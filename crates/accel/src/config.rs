@@ -1,0 +1,175 @@
+//! Accelerator configuration (Table III of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware component with its synthesized area and power (28 nm, 500 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Component name as it appears in Table III.
+    pub name: &'static str,
+    /// Descriptive parameter string (array geometry and bit width).
+    pub parameter: &'static str,
+    /// Synthesized area in mm².
+    pub area_mm2: f64,
+    /// Synthesized power in mW.
+    pub power_mw: f64,
+}
+
+/// Full configuration of the ViTALiTy accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Rows of the SA-General systolic sub-array.
+    pub sa_general_rows: usize,
+    /// Columns of the SA-General systolic sub-array.
+    pub sa_general_cols: usize,
+    /// Rows of the SA-Diag systolic sub-array (one PE column in the paper).
+    pub sa_diag_rows: usize,
+    /// Columns of the SA-Diag systolic sub-array.
+    pub sa_diag_cols: usize,
+    /// Lanes of the accumulator array.
+    pub accumulator_lanes: usize,
+    /// Lanes of the adder array.
+    pub adder_lanes: usize,
+    /// Lanes of the divider array.
+    pub divider_lanes: usize,
+    /// On-chip SRAM per operand buffer (Q, K, V, O) in bytes.
+    pub sram_bytes_per_buffer: usize,
+    /// Arithmetic bit width.
+    pub bit_width: usize,
+    /// Scale factor applied to the whole design when matching a larger platform's peak
+    /// throughput (the paper scales the accelerator up for GPU/CPU comparisons).
+    pub scale_factor: f64,
+}
+
+impl AcceleratorConfig {
+    /// The configuration synthesized in the paper (Table III).
+    pub fn paper() -> Self {
+        Self {
+            frequency_hz: 500e6,
+            sa_general_rows: 64,
+            sa_general_cols: 64,
+            sa_diag_rows: 64,
+            sa_diag_cols: 1,
+            accumulator_lanes: 64,
+            adder_lanes: 64,
+            divider_lanes: 64,
+            sram_bytes_per_buffer: 50 * 1024,
+            bit_width: 16,
+            scale_factor: 1.0,
+        }
+    }
+
+    /// A copy of the configuration scaled up by `factor` (peak-throughput matching against
+    /// general-purpose platforms, following DOTA's methodology as the paper does).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self {
+            scale_factor: self.scale_factor * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Peak multiply–accumulate throughput in MAC/s (both systolic sub-arrays).
+    pub fn peak_macs_per_second(&self) -> f64 {
+        let pes = (self.sa_general_rows * self.sa_general_cols + self.sa_diag_rows * self.sa_diag_cols)
+            as f64;
+        pes * self.frequency_hz * self.scale_factor
+    }
+
+    /// Table III component breakdown for the ViTALiTy accelerator.
+    pub fn component_table(&self) -> Vec<ComponentSpec> {
+        vec![
+            ComponentSpec {
+                name: "Accumulator Array",
+                parameter: "64 x 1, 16-bit",
+                area_mm2: 0.209,
+                power_mw: 92.83,
+            },
+            ComponentSpec {
+                name: "Adder Array",
+                parameter: "64 x 1, 16-bit",
+                area_mm2: 0.012,
+                power_mw: 6.34,
+            },
+            ComponentSpec {
+                name: "Divider Array",
+                parameter: "64 x 1, 16-bit",
+                area_mm2: 0.562,
+                power_mw: 46.26,
+            },
+            ComponentSpec {
+                name: "SA-General",
+                parameter: "64 x 64, 16-bit",
+                area_mm2: 3.595,
+                power_mw: 1277.0,
+            },
+            ComponentSpec {
+                name: "SA-Diag",
+                parameter: "64 x 1, 16-bit",
+                area_mm2: 0.053,
+                power_mw: 15.18,
+            },
+            ComponentSpec {
+                name: "Memory [Q, K, V, O]",
+                parameter: "50 KB x 4",
+                area_mm2: 0.792,
+                power_mw: 22.9,
+            },
+        ]
+    }
+
+    /// Total synthesized area in mm² (Table III reports 5.223 mm²).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.component_table().iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total synthesized power in mW (Table III reports 1460 mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.component_table().iter().map(|c| c.power_mw).sum()
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_table3_totals() {
+        let cfg = AcceleratorConfig::paper();
+        assert!((cfg.total_area_mm2() - 5.223).abs() < 0.01, "area {}", cfg.total_area_mm2());
+        assert!((cfg.total_power_mw() - 1460.0).abs() < 5.0, "power {}", cfg.total_power_mw());
+        assert_eq!(cfg.component_table().len(), 6);
+        assert_eq!(cfg.sa_general_rows * cfg.sa_general_cols, 4096);
+    }
+
+    #[test]
+    fn peak_throughput_scales_with_the_scale_factor() {
+        let base = AcceleratorConfig::paper();
+        let scaled = base.scaled(4.0);
+        assert!((scaled.peak_macs_per_second() / base.peak_macs_per_second() - 4.0).abs() < 1e-9);
+        assert_eq!(scaled.sa_general_rows, base.sa_general_rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaling_rejects_non_positive_factors() {
+        let _ = AcceleratorConfig::paper().scaled(0.0);
+    }
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        assert_eq!(AcceleratorConfig::default(), AcceleratorConfig::paper());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dataflow choices for the consecutive matrix multiplications of the Taylor attention and
+//! their memory-traffic consequences (Section IV-D, Fig. 9, Table V).
+
+use serde::{Deserialize, Serialize};
+
+/// How the chain `G = \hat{K}^T V`, `Q G`, `Q \hat{k}_{sum}^T` is mapped onto the systolic
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Keep `G` stationary inside the PEs between the two multiplications (output
+    /// stationary for `\hat{K}^T V`, then input stationary for `Q G`). Minimises `G`
+    /// traffic but requires PEs that support both accumulation modes.
+    GStationary,
+    /// Use input-stationary down-forward accumulation for every multiplication (the
+    /// ViTALiTy choice): simpler PEs, but `G` is written to and read back from SRAM.
+    DownForwardAccumulation,
+}
+
+impl Dataflow {
+    /// Relative per-MAC energy overhead of the PE design this dataflow requires.
+    ///
+    /// G-stationary PEs must be reconfigurable between inner-PE accumulation and
+    /// down-forward accumulation, which costs extra multiplexing on every operation; the
+    /// overhead factor is calibrated to the Table V systolic-array energy ratio.
+    pub fn pe_energy_overhead(&self) -> f64 {
+        match self {
+            Dataflow::GStationary => 1.13,
+            Dataflow::DownForwardAccumulation => 1.0,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataflow::GStationary => "G-stationary",
+            Dataflow::DownForwardAccumulation => "down-forward accumulation",
+        }
+    }
+}
+
+/// Number of 16-bit word accesses per memory-hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryTraffic {
+    /// Off-chip DRAM accesses (weights and input activations fetched once per layer).
+    pub dram: u64,
+    /// On-chip SRAM buffer accesses.
+    pub sram: u64,
+    /// Network-on-chip transfers between SRAM and the chunks.
+    pub noc: u64,
+    /// Register-file accesses inside the PEs and processors.
+    pub reg: u64,
+}
+
+impl MemoryTraffic {
+    /// Element-wise sum of two traffic counts.
+    pub fn combine(&self, other: &MemoryTraffic) -> MemoryTraffic {
+        MemoryTraffic {
+            dram: self.dram + other.dram,
+            sram: self.sram + other.sram,
+            noc: self.noc + other.noc,
+            reg: self.reg + other.reg,
+        }
+    }
+
+    /// Scales every count by an integer factor (e.g. heads × layers).
+    pub fn scaled(&self, factor: u64) -> MemoryTraffic {
+        MemoryTraffic {
+            dram: self.dram * factor,
+            sram: self.sram * factor,
+            noc: self.noc * factor,
+            reg: self.reg * factor,
+        }
+    }
+
+    /// Total accesses across all levels.
+    pub fn total(&self) -> u64 {
+        self.dram + self.sram + self.noc + self.reg
+    }
+}
+
+/// Memory traffic of one head of the Taylor attention (`n` tokens, `d` per-head features)
+/// under the given dataflow.
+///
+/// Counts are in 16-bit words. Both dataflows read `Q`, `K`, `V` once from SRAM and write
+/// the score `Z` back; the difference is the handling of the global context matrix `G`
+/// (kept in the PEs versus spilled to SRAM) and the extra `Q` streaming pass the
+/// G-stationary layout avoids.
+pub fn taylor_head_traffic(n: usize, d: usize, dataflow: Dataflow) -> MemoryTraffic {
+    let n = n as u64;
+    let d = d as u64;
+    // Common traffic: operand reads, score write, small vectors.
+    let operand_reads = 3 * n * d; // Q, K, V
+    let score_write = n * d;
+    let vectors = 4 * d + 2 * n; // k_bar, k_sum, v_sum, t_D and the numerator broadcast
+    let common_sram = operand_reads + score_write + vectors;
+    // The moving operands also traverse the NoC once and touch PE registers ~2x per MAC.
+    let macs = 2 * n * d * d + n * d;
+    match dataflow {
+        Dataflow::GStationary => MemoryTraffic {
+            dram: 0,
+            sram: common_sram,
+            noc: operand_reads + score_write,
+            reg: 2 * macs,
+        },
+        Dataflow::DownForwardAccumulation => {
+            // G (d x d) is written to SRAM after K^T V and read back for Q G, and Q is
+            // streamed from SRAM a second time for the SA-Diag product.
+            let g_spill = 2 * d * d;
+            let q_restream = n * d;
+            MemoryTraffic {
+                dram: 0,
+                sram: common_sram + g_spill + q_restream,
+                noc: operand_reads + score_write + g_spill + q_restream,
+                reg: 2 * macs,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_forward_has_more_sram_traffic_than_g_stationary() {
+        let gs = taylor_head_traffic(197, 64, Dataflow::GStationary);
+        let df = taylor_head_traffic(197, 64, Dataflow::DownForwardAccumulation);
+        assert!(df.sram > gs.sram);
+        assert!(df.noc > gs.noc);
+        assert_eq!(df.reg, gs.reg, "PE register traffic is dataflow independent");
+        // The overhead is the G spill plus the Q re-stream.
+        assert_eq!(df.sram - gs.sram, 2 * 64 * 64 + 197 * 64);
+    }
+
+    #[test]
+    fn g_stationary_pays_a_pe_energy_overhead_instead() {
+        assert!(Dataflow::GStationary.pe_energy_overhead() > 1.0);
+        assert_eq!(Dataflow::DownForwardAccumulation.pe_energy_overhead(), 1.0);
+        assert_ne!(Dataflow::GStationary.label(), Dataflow::DownForwardAccumulation.label());
+    }
+
+    #[test]
+    fn traffic_combines_and_scales() {
+        let a = taylor_head_traffic(32, 16, Dataflow::DownForwardAccumulation);
+        let doubled = a.combine(&a);
+        assert_eq!(doubled.total(), a.total() * 2);
+        assert_eq!(a.scaled(3).sram, a.sram * 3);
+        assert_eq!(MemoryTraffic::default().total(), 0);
+    }
+
+    #[test]
+    fn traffic_grows_linearly_with_tokens() {
+        let small = taylor_head_traffic(100, 64, Dataflow::DownForwardAccumulation);
+        let large = taylor_head_traffic(200, 64, Dataflow::DownForwardAccumulation);
+        // Register traffic (per-MAC) dominates and is linear in n.
+        assert!(large.total() < small.total() * 2 + 1000);
+        assert!(large.total() > small.total());
+    }
+}

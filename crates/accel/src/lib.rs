@@ -1,0 +1,51 @@
+//! Cycle-level simulator of the ViTALiTy accelerator (Section IV of the paper).
+//!
+//! The accelerator is a chunk-based design: a large systolic array for the matrix
+//! multiplications of the linear Taylor attention (and the surrounding projection / MLP
+//! layers), plus small dedicated pre/post-processors — an accumulator array for
+//! column-wise summation, an adder array for element-wise additions and a reconfigurable
+//! divider array for the single-divisor and multiple-divisor division patterns. A
+//! four-level memory hierarchy (DRAM, SRAM, NoC, registers) feeds the chunks, an
+//! intra-layer pipeline overlaps the pre/post-processing with the matrix multiplications
+//! (Fig. 7), and the systolic array uses the input-stationary *down-forward accumulation*
+//! dataflow (Fig. 8/9) rather than the G-stationary alternative.
+//!
+//! The crate models, per layer and per model:
+//!
+//! * cycle counts of every chunk for every step of Algorithm 1 ([`processors`],
+//!   [`systolic`]),
+//! * the pipelined and non-pipelined layer latency ([`pipeline`]),
+//! * memory traffic per hierarchy level and per dataflow ([`dataflow`]),
+//! * energy from the synthesized unit powers of Table III ([`energy`]),
+//! * end-to-end model latency/energy ([`simulator`]).
+//!
+//! # Example
+//!
+//! ```
+//! use vitality_accel::{AcceleratorConfig, VitalityAccelerator};
+//! use vitality_vit::{ModelConfig, ModelWorkload};
+//!
+//! let accel = VitalityAccelerator::new(AcceleratorConfig::paper());
+//! let workload = ModelWorkload::for_model(&ModelConfig::deit_tiny());
+//! let report = accel.simulate_model(&workload);
+//! assert!(report.total_latency_s > 0.0);
+//! assert!(report.total_energy_j > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod dataflow;
+pub mod energy;
+pub mod pipeline;
+pub mod processors;
+pub mod simulator;
+pub mod systolic;
+
+pub use config::{AcceleratorConfig, ComponentSpec};
+pub use dataflow::{Dataflow, MemoryTraffic};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use pipeline::{LayerSchedule, PipelineMode};
+pub use processors::{AccumulatorArray, AdderArray, DividerArray, DividerMode};
+pub use simulator::{AttentionEngine, SimulationReport, VitalityAccelerator};
+pub use systolic::{SystolicArray, SystolicDataflow};

@@ -1,0 +1,199 @@
+//! Intra-layer pipeline model (Section IV-C, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::AcceleratorConfig;
+use crate::processors::{AccumulatorArray, AdderArray, DividerArray, DividerMode};
+use crate::systolic::{SystolicArray, SystolicDataflow};
+
+/// Whether the intra-layer pipeline is enabled (the ablation knob of the paper's
+/// throughput discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Chunks execute strictly one step after another (the GPU-like behaviour of Table II).
+    Sequential,
+    /// The pre/post-processing chunks overlap with the systolic array as in Fig. 7.
+    Pipelined,
+}
+
+/// Busy cycles of every chunk for one Taylor-attention layer (all heads), plus the
+/// resulting layer latency under both pipeline modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    /// Accumulator-array busy cycles (Step 1 column sums, Step 3 column sums).
+    pub accumulator_cycles: u64,
+    /// Adder-array busy cycles (Step 1 subtraction, Step 4/5 additions).
+    pub adder_cycles: u64,
+    /// Divider-array busy cycles (Step 1 mean, Step 6 normalisation).
+    pub divider_cycles: u64,
+    /// SA-General busy cycles (`G = \hat{K}^T V` and `Q G`).
+    pub sa_general_cycles: u64,
+    /// SA-Diag busy cycles (`Q \hat{k}_{sum}^T`).
+    pub sa_diag_cycles: u64,
+    /// Layer latency with every step executed sequentially.
+    pub sequential_cycles: u64,
+    /// Layer latency with the intra-layer pipeline of Fig. 7.
+    pub pipelined_cycles: u64,
+}
+
+impl LayerSchedule {
+    /// Latency under the requested pipeline mode.
+    pub fn latency_cycles(&self, mode: PipelineMode) -> u64 {
+        match mode {
+            PipelineMode::Sequential => self.sequential_cycles,
+            PipelineMode::Pipelined => self.pipelined_cycles,
+        }
+    }
+
+    /// Pre/post-processing share of the sequential latency, the quantity the paper says
+    /// reaches ~50% on a GPU and motivates the pipeline.
+    pub fn processing_overhead_fraction(&self) -> f64 {
+        if self.sequential_cycles == 0 {
+            return 0.0;
+        }
+        let processors = self.accumulator_cycles + self.adder_cycles + self.divider_cycles;
+        processors as f64 / self.sequential_cycles as f64
+    }
+
+    /// Throughput gain of the pipeline over sequential execution.
+    pub fn pipeline_speedup(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles as f64 / self.pipelined_cycles as f64
+    }
+}
+
+/// Computes the per-chunk busy cycles and the layer latency of one Taylor-attention layer
+/// with `heads` heads of `n` tokens by `d` per-head features.
+///
+/// Heads are processed back to back on each chunk; the systolic array is partitioned into
+/// SA-General and SA-Diag so that `Q G` and `Q \hat{k}_{sum}^T` proceed in parallel.
+pub fn taylor_layer_schedule(config: &AcceleratorConfig, n: usize, d: usize, heads: usize) -> LayerSchedule {
+    let accumulator = AccumulatorArray::new(config.accumulator_lanes);
+    let adder = AdderArray::new(config.adder_lanes);
+    let divider = DividerArray::new(config.divider_lanes);
+    let sa_general = SystolicArray::new(config.sa_general_rows, config.sa_general_cols);
+    let sa_diag = SystolicArray::new(config.sa_diag_rows, config.sa_diag_cols);
+    let h = heads as u64;
+
+    // Step 1 + Step 3: three column-wise accumulations over the n x (d*heads) operand
+    // (1_n^T K, then \hat{k}_{sum} and v_{sum}); the accumulator lanes pack heads side by
+    // side along the feature dimension.
+    let accumulator_cycles = 3 * accumulator.column_sum_cycles(n, d * heads);
+    // Step 1 subtraction (n*d), Step 4 additions (n), Step 5 additions (n*d) per head.
+    let adder_cycles = h
+        * (adder.elementwise_cycles(n * d) + adder.elementwise_cycles(n) + adder.elementwise_cycles(n * d));
+    // Step 1 single-divisor mean (d divisions), Step 6 row-wise normalisation (n*d).
+    let divider_cycles = h
+        * (divider.division_cycles(d, DividerMode::SingleDivisor)
+            + divider.division_cycles(n * d, DividerMode::MultipleDivisors));
+    // Step 2 (G = \hat{K}^T V: reduction over n, output d x d) and Step 5's Q G
+    // (reduction over d, output n x d) on SA-General. Heads whose per-head dimension is
+    // narrower than the PE columns are packed side by side across the array (LeViT's
+    // 16-wide heads), so the array is not left mostly idle on hierarchical models.
+    let heads_per_pass = (config.sa_general_cols / d.max(1)).clamp(1, heads.max(1));
+    let passes = heads.div_ceil(heads_per_pass) as u64;
+    let packed_cols = d * heads_per_pass;
+    let sa_general_cycles = passes
+        * (sa_general.matmul_cycles(d, n, packed_cols, SystolicDataflow::InputStationary)
+            + sa_general.matmul_cycles(n, d, packed_cols, SystolicDataflow::InputStationary));
+    // Step 4's Q \hat{k}_{sum}^T on SA-Diag (runs concurrently with Q G).
+    let sa_diag_cycles = h * sa_diag.matmul_cycles(n, d, 1, SystolicDataflow::InputStationary);
+
+    // Sequential latency: every chunk waits for the previous step; SA-Diag overlaps with
+    // SA-General even without the pipeline because they are separate partitions fed by the
+    // same broadcast of Q.
+    let sequential_cycles = accumulator_cycles
+        + adder_cycles
+        + divider_cycles
+        + sa_general_cycles.max(sa_diag_cycles);
+
+    // Pipelined latency: the accumulator/adder/divider work overlaps with the systolic
+    // array (mean-centred keys stream into SA-General as they are produced; the
+    // numerator/denominator post-processing starts as soon as the first rows of Q G and
+    // Q \hat{k}_{sum}^T emerge). The residual non-overlapped portion is the pipeline fill
+    // (first column-sum pass) and drain (last row of divisions).
+    let processor_cycles = accumulator_cycles + adder_cycles + divider_cycles;
+    let fill = accumulator.column_sum_cycles(n, d);
+    let drain = divider.division_cycles(d, DividerMode::MultipleDivisors);
+    let pipelined_cycles = sa_general_cycles
+        .max(sa_diag_cycles)
+        .max(processor_cycles)
+        + fill
+        + drain;
+
+    LayerSchedule {
+        accumulator_cycles,
+        adder_cycles,
+        divider_cycles,
+        sa_general_cycles,
+        sa_diag_cycles,
+        sequential_cycles,
+        pipelined_cycles: pipelined_cycles.min(sequential_cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deit_tiny_layer() -> LayerSchedule {
+        taylor_layer_schedule(&AcceleratorConfig::paper(), 197, 64, 3)
+    }
+
+    #[test]
+    fn pipeline_reduces_layer_latency() {
+        let s = deit_tiny_layer();
+        assert!(s.pipelined_cycles < s.sequential_cycles);
+        assert!(s.pipeline_speedup() > 1.2, "speedup {}", s.pipeline_speedup());
+        assert_eq!(s.latency_cycles(PipelineMode::Sequential), s.sequential_cycles);
+        assert_eq!(s.latency_cycles(PipelineMode::Pipelined), s.pipelined_cycles);
+    }
+
+    #[test]
+    fn pipelined_latency_is_at_least_the_busiest_chunk() {
+        let s = deit_tiny_layer();
+        let busiest = s
+            .sa_general_cycles
+            .max(s.sa_diag_cycles)
+            .max(s.accumulator_cycles + s.adder_cycles + s.divider_cycles);
+        assert!(s.pipelined_cycles >= busiest);
+    }
+
+    #[test]
+    fn processing_overhead_is_substantial_without_the_pipeline() {
+        // The paper observes the light pre/post-processing steps contribute ~50% of the
+        // Taylor attention latency when executed sequentially on a GPU. On the dedicated
+        // chunks the share is smaller but still significant for DeiT-like shapes.
+        let s = deit_tiny_layer();
+        let overhead = s.processing_overhead_fraction();
+        assert!(overhead > 0.1 && overhead < 0.9, "overhead {overhead}");
+    }
+
+    #[test]
+    fn sa_diag_is_much_cheaper_than_sa_general() {
+        let s = deit_tiny_layer();
+        assert!(s.sa_diag_cycles < s.sa_general_cycles);
+    }
+
+    #[test]
+    fn cycles_scale_with_head_count() {
+        let cfg = AcceleratorConfig::paper();
+        let one = taylor_layer_schedule(&cfg, 197, 64, 1);
+        let three = taylor_layer_schedule(&cfg, 197, 64, 3);
+        assert_eq!(three.sa_general_cycles, one.sa_general_cycles * 3);
+        assert_eq!(three.accumulator_cycles, one.accumulator_cycles * 3);
+    }
+
+    #[test]
+    fn degenerate_layer_has_zero_latency_components() {
+        let s = taylor_layer_schedule(&AcceleratorConfig::paper(), 0, 64, 1);
+        assert_eq!(s.sa_general_cycles, 0);
+        assert_eq!(s.accumulator_cycles, 0);
+        assert!(s.pipelined_cycles <= s.sequential_cycles);
+        let empty = LayerSchedule::default();
+        assert_eq!(empty.pipeline_speedup(), 1.0);
+        assert_eq!(empty.processing_overhead_fraction(), 0.0);
+    }
+}

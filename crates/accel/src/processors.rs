@@ -1,0 +1,180 @@
+//! Cycle models of the pre/post-processor chunks (accumulator, adder and divider arrays).
+
+use serde::{Deserialize, Serialize};
+
+/// The accumulator array: `lanes` parallel accumulators performing column(token)-wise
+/// summation — `1_n^T K`, `\hat{k}_{sum}` and `v_{sum}` in Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumulatorArray {
+    lanes: usize,
+}
+
+impl AccumulatorArray {
+    /// Creates an accumulator array with the given number of lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "accumulator array needs at least one lane");
+        Self { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles to accumulate an `n x d` matrix along its token dimension: each lane owns a
+    /// column, so `ceil(d / lanes)` passes of `n` sequential additions each.
+    pub fn column_sum_cycles(&self, n: usize, d: usize) -> u64 {
+        (d.div_ceil(self.lanes) as u64) * n as u64
+    }
+}
+
+/// The adder array: element-wise additions/subtractions (mean-centring the keys, the
+/// Taylor numerator/denominator assembly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdderArray {
+    lanes: usize,
+}
+
+impl AdderArray {
+    /// Creates an adder array with the given number of lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "adder array needs at least one lane");
+        Self { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles to perform `count` element-wise additions.
+    pub fn elementwise_cycles(&self, count: usize) -> u64 {
+        count.div_ceil(self.lanes) as u64
+    }
+}
+
+/// The division pattern the reconfigurable divider array is operating in (Fig. 6, upper
+/// left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DividerMode {
+    /// A single divisor shared by every element (dividing the key column sums by `n` to
+    /// form the mean in Step 1).
+    SingleDivisor,
+    /// One divisor per row (the `diag^{-1}(t_D) T_N` normalisation of Step 6).
+    MultipleDivisors,
+}
+
+/// The divider array: element-wise divisions in either of the two patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DividerArray {
+    lanes: usize,
+    /// Pipeline latency of one 16-bit division in cycles.
+    division_latency: u64,
+}
+
+impl DividerArray {
+    /// Creates a divider array with the given number of lanes and a 4-cycle pipelined
+    /// divider per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "divider array needs at least one lane");
+        Self {
+            lanes,
+            division_latency: 4,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Pipeline latency of a single division.
+    pub fn division_latency(&self) -> u64 {
+        self.division_latency
+    }
+
+    /// Cycles to perform `count` divisions in the given mode.
+    ///
+    /// Divisions are pipelined, so throughput is one result per lane per cycle after the
+    /// initial latency. `MultipleDivisors` pays one extra cycle per group of `lanes`
+    /// results to reload the divisor registers.
+    pub fn division_cycles(&self, count: usize, mode: DividerMode) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let groups = count.div_ceil(self.lanes) as u64;
+        let reload = match mode {
+            DividerMode::SingleDivisor => 0,
+            DividerMode::MultipleDivisors => groups,
+        };
+        self.division_latency + groups + reload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_cycles_scale_with_tokens_and_columns() {
+        let acc = AccumulatorArray::new(64);
+        assert_eq!(acc.lanes(), 64);
+        // 64 columns fit in one pass: n cycles.
+        assert_eq!(acc.column_sum_cycles(197, 64), 197);
+        // 128 columns need two passes.
+        assert_eq!(acc.column_sum_cycles(197, 128), 394);
+        assert_eq!(acc.column_sum_cycles(0, 64), 0);
+    }
+
+    #[test]
+    fn adder_cycles_divide_by_lane_count() {
+        let adder = AdderArray::new(64);
+        assert_eq!(adder.lanes(), 64);
+        assert_eq!(adder.elementwise_cycles(64), 1);
+        assert_eq!(adder.elementwise_cycles(65), 2);
+        assert_eq!(adder.elementwise_cycles(0), 0);
+        assert_eq!(adder.elementwise_cycles(197 * 64), 197);
+    }
+
+    #[test]
+    fn divider_modes_differ_by_the_reload_overhead() {
+        let div = DividerArray::new(64);
+        assert_eq!(div.lanes(), 64);
+        let single = div.division_cycles(640, DividerMode::SingleDivisor);
+        let multi = div.division_cycles(640, DividerMode::MultipleDivisors);
+        assert!(multi > single);
+        assert_eq!(multi - single, 10);
+        assert_eq!(div.division_cycles(0, DividerMode::SingleDivisor), 0);
+        assert!(div.division_cycles(1, DividerMode::SingleDivisor) >= div.division_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn accumulator_rejects_zero_lanes() {
+        let _ = AccumulatorArray::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn adder_rejects_zero_lanes() {
+        let _ = AdderArray::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn divider_rejects_zero_lanes() {
+        let _ = DividerArray::new(0);
+    }
+}

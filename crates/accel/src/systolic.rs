@@ -1,0 +1,161 @@
+//! Cycle model of the systolic array (SA-General + SA-Diag).
+
+use serde::{Deserialize, Serialize};
+
+/// Dataflow of a single dense matrix multiplication on the systolic array (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystolicDataflow {
+    /// Input stationary with down-forward accumulation of partial sums (the ViTALiTy
+    /// choice): the stationary operand is loaded into the PEs, the moving operand streams
+    /// through row by row, and partial sums ripple down to the bottom-most PEs.
+    InputStationary,
+    /// Output stationary with inner-PE accumulation: each PE owns one output element and
+    /// accumulates it locally, which requires a reconfigurable accumulation path when the
+    /// output must immediately serve as the next multiplication's stationary input.
+    OutputStationary,
+}
+
+/// A weight/input-stationary systolic array of `rows x cols` processing elements.
+///
+/// The cycle model is the standard tile-based one: the stationary operand is partitioned
+/// into `rows x cols` tiles; for each tile the array pays a load phase (`rows` cycles),
+/// then streams the moving operand (`m` cycles), then drains the last partial sums
+/// (`rows + cols` cycles for down-forward accumulation, `0` extra for output stationary
+/// since results stay in place but must then be flushed, costing `cols` cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array of `rows x cols` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "systolic array dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of PEs.
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cycles to compute an `m x k` by `k x n` matrix multiplication.
+    ///
+    /// `k` maps to the PE rows (the reduction dimension held stationary), `n` maps to the
+    /// PE columns, and `m` streams through.
+    pub fn matmul_cycles(&self, m: usize, k: usize, n: usize, dataflow: SystolicDataflow) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let row_tiles = k.div_ceil(self.rows) as u64;
+        let col_tiles = n.div_ceil(self.cols) as u64;
+        let stream = m as u64;
+        let per_tile = match dataflow {
+            // Load the stationary tile (rows cycles), stream m rows, drain partial sums
+            // down the array and out (rows + cols cycles).
+            SystolicDataflow::InputStationary => {
+                self.rows as u64 + stream + self.rows as u64 + self.cols as u64
+            }
+            // Stream m rows while both operands skew in; results accumulate in place, so
+            // there is no down-forward drain, only the skew-in latency.
+            SystolicDataflow::OutputStationary => stream + self.rows as u64 + self.cols as u64,
+        };
+        row_tiles * col_tiles * per_tile
+    }
+
+    /// Cycles for the same multiplication assuming ideal utilisation (a lower bound used
+    /// for sanity checks and utilisation reporting).
+    pub fn ideal_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        ((m * k * n) as u64).div_ceil(self.pes() as u64)
+    }
+
+    /// Utilisation of the array for a multiplication, in `(0, 1]`.
+    pub fn utilisation(&self, m: usize, k: usize, n: usize, dataflow: SystolicDataflow) -> f64 {
+        let actual = self.matmul_cycles(m, k, n, dataflow);
+        if actual == 0 {
+            return 1.0;
+        }
+        self.ideal_cycles(m, k, n) as f64 / actual as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_square_matmul_approaches_ideal_cycles() {
+        let sa = SystolicArray::new(64, 64);
+        let cycles = sa.matmul_cycles(512, 512, 512, SystolicDataflow::InputStationary);
+        let ideal = sa.ideal_cycles(512, 512, 512);
+        assert!(cycles >= ideal);
+        // For a big multiplication the overhead should stay within ~2.5x of ideal.
+        assert!((cycles as f64) < ideal as f64 * 2.5, "cycles {cycles} ideal {ideal}");
+    }
+
+    #[test]
+    fn small_matrices_are_dominated_by_fill_and_drain() {
+        let sa = SystolicArray::new(64, 64);
+        let util = sa.utilisation(16, 16, 16, SystolicDataflow::InputStationary);
+        assert!(util < 0.1, "small matmul utilisation {util}");
+        let util_large = sa.utilisation(1024, 64, 64, SystolicDataflow::InputStationary);
+        assert!(util_large > 0.5, "large matmul utilisation {util_large}");
+    }
+
+    #[test]
+    fn cycles_scale_with_tile_counts() {
+        let sa = SystolicArray::new(64, 64);
+        let one = sa.matmul_cycles(100, 64, 64, SystolicDataflow::InputStationary);
+        let four = sa.matmul_cycles(100, 128, 128, SystolicDataflow::InputStationary);
+        assert_eq!(four, one * 4);
+    }
+
+    #[test]
+    fn zero_sized_work_costs_nothing() {
+        let sa = SystolicArray::new(8, 8);
+        assert_eq!(sa.matmul_cycles(0, 10, 10, SystolicDataflow::InputStationary), 0);
+        assert_eq!(sa.matmul_cycles(10, 0, 10, SystolicDataflow::OutputStationary), 0);
+        assert_eq!(sa.utilisation(0, 0, 0, SystolicDataflow::InputStationary), 1.0);
+    }
+
+    #[test]
+    fn sa_diag_models_the_single_column_geometry() {
+        // SA-Diag is a 64 x 1 strip computing Q k_sum^T (an n x d by d x 1 product).
+        let diag = SystolicArray::new(64, 1);
+        assert_eq!(diag.pes(), 64);
+        let cycles = diag.matmul_cycles(197, 64, 1, SystolicDataflow::InputStationary);
+        assert!(cycles > 197);
+        // It is far cheaper than running the same thing through a full 64x64 tile.
+        let general = SystolicArray::new(64, 64);
+        assert!(cycles <= general.matmul_cycles(197, 64, 64, SystolicDataflow::InputStationary));
+    }
+
+    #[test]
+    fn dataflows_differ_in_per_tile_overhead() {
+        let sa = SystolicArray::new(64, 64);
+        let input = sa.matmul_cycles(64, 64, 64, SystolicDataflow::InputStationary);
+        let output = sa.matmul_cycles(64, 64, 64, SystolicDataflow::OutputStationary);
+        assert_ne!(input, output);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dimensions() {
+        let _ = SystolicArray::new(0, 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Attention mechanisms for the ViTALiTy reproduction.
+//!
+//! This crate implements the paper's primary contribution — the **linear Taylor attention**
+//! with row-mean centring (Algorithm 1) — together with every attention mechanism it is
+//! compared against in the evaluation:
+//!
+//! * [`SoftmaxAttention`] — the vanilla quadratic softmax attention (BASELINE).
+//! * [`TaylorAttention`] — the ViTALiTy low-rank linear attention used at inference.
+//! * [`SangerSparseAttention`] — a Sanger-style dynamically predicted sparse attention
+//!   (the SPARSE baseline and the training-time regulariser).
+//! * [`UnifiedLowRankSparseAttention`] — the training-time combination of the Taylor
+//!   low-rank component and the sparse "strong connection" component (Fig. 4).
+//! * [`LinformerAttention`], [`PerformerAttention`], [`LinearKernelAttention`],
+//!   [`EfficientAttention`] — the linear-attention baselines of Table IV / Table VI.
+//!
+//! Every mechanism exposes the same [`AttentionMechanism`] interface (a per-head
+//! `n x d -> n x d` map plus an operation-count model), so the ViT substrate, the training
+//! schemes and the accelerator simulators can swap mechanisms freely.
+//!
+//! # Example: the Taylor attention approximates the softmax attention
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vitality_attention::{AttentionMechanism, SoftmaxAttention, TaylorAttention};
+//! use vitality_tensor::init;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let (n, d) = (16, 8);
+//! // Small-magnitude logits: the regime the paper's Fig. 3 shows mean-centring produces.
+//! let q = init::normal(&mut rng, n, d, 0.0, 0.1);
+//! let k = init::normal(&mut rng, n, d, 0.0, 0.1);
+//! let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+//! let exact = SoftmaxAttention::new().compute(&q, &k, &v);
+//! let taylor = TaylorAttention::new().compute(&q, &k, &v);
+//! assert!(exact.max_abs_diff(&taylor) < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod efficient;
+pub mod linear_kernel;
+pub mod linformer;
+pub mod opcount;
+pub mod performer;
+pub mod softmax;
+pub mod sparse;
+pub mod taxonomy;
+pub mod taylor;
+pub mod unified;
+
+pub use efficient::EfficientAttention;
+pub use linear_kernel::LinearKernelAttention;
+pub use linformer::LinformerAttention;
+pub use opcount::OpCounts;
+pub use performer::PerformerAttention;
+pub use softmax::SoftmaxAttention;
+pub use sparse::{quantize_symmetric, PackedMask, SangerSparseAttention};
+pub use taxonomy::{AttentionFamily, PostProcessorKind, PreProcessorKind, TaxonomyEntry};
+pub use taylor::{mean_center_keys, TaylorAttention, TaylorTrace};
+pub use unified::UnifiedLowRankSparseAttention;
+
+use vitality_tensor::Matrix;
+
+/// A single-head attention mechanism mapping `(Q, K, V)` (each `n x d`) to an `n x d`
+/// attention score matrix, together with an analytical operation-count model.
+pub trait AttentionMechanism {
+    /// Human-readable mechanism name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Computes the per-head attention score `Z` from queries, keys and values.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the operand shapes are inconsistent (different numbers
+    /// of rows, or mismatched feature dimensions).
+    fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix;
+
+    /// Number of scalar multiplications / additions / divisions / exponentiations needed
+    /// for one head with `n` tokens and `d` feature dimensions.
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts;
+
+    /// Which taxonomy family the mechanism belongs to (Table VI of the paper).
+    fn family(&self) -> AttentionFamily;
+}
+
+/// Validates that `(Q, K, V)` agree on the token count and feature dimension.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when the shapes are inconsistent.
+pub(crate) fn validate_qkv(q: &Matrix, k: &Matrix, v: &Matrix) {
+    assert_eq!(
+        q.cols(),
+        k.cols(),
+        "queries and keys must share the feature dimension"
+    );
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "keys and values must share the token count"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    /// Every mechanism must produce an `n x d` score and a non-trivial op-count model.
+    #[test]
+    fn all_mechanisms_produce_correctly_shaped_scores() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let (n, d) = (12, 8);
+        let q = init::normal(&mut rng, n, d, 0.0, 0.3);
+        let k = init::normal(&mut rng, n, d, 0.0, 0.3);
+        let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+
+        let mechanisms: Vec<Box<dyn AttentionMechanism>> = vec![
+            Box::new(SoftmaxAttention::new()),
+            Box::new(TaylorAttention::new()),
+            Box::new(SangerSparseAttention::new(0.02)),
+            Box::new(UnifiedLowRankSparseAttention::new(0.5)),
+            Box::new(LinformerAttention::new(&mut rng, n, 4)),
+            Box::new(PerformerAttention::new(&mut rng, d, 8)),
+            Box::new(LinearKernelAttention::new()),
+            Box::new(EfficientAttention::new()),
+        ];
+        for m in &mechanisms {
+            let z = m.compute(&q, &k, &v);
+            assert_eq!(z.shape(), (n, d), "{} produced a wrong shape", m.name());
+            assert!(z.iter().all(|v| v.is_finite()), "{} produced NaN/inf", m.name());
+            let ops = m.op_counts(n, d);
+            assert!(ops.total() > 0, "{} reported zero operations", m.name());
+            assert!(!m.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The vanilla (quadratic) softmax attention — the paper's BASELINE.
+
+use crate::opcount::{vanilla_softmax_ops, OpCounts};
+use crate::taxonomy::AttentionFamily;
+use crate::{validate_qkv, AttentionMechanism};
+use vitality_autograd::Var;
+use vitality_tensor::Matrix;
+
+/// Computes the scaled dot-product similarity `Q K^T / sqrt(d)` — the input to the softmax
+/// in Step 2 of the vanilla attention (Fig. 2 of the paper).
+pub fn scaled_similarity(q: &Matrix, k: &Matrix) -> Matrix {
+    let d = q.cols() as f32;
+    q.matmul_transpose_b(k).scale(1.0 / d.sqrt())
+}
+
+/// The standard softmax attention `softmax(Q K^T / sqrt(d)) V`.
+///
+/// Materialises the full `n x n` attention map, so both its compute and its memory cost
+/// grow quadratically with the token count — the bottleneck ViTALiTy removes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftmaxAttention {
+    _private: (),
+}
+
+impl SoftmaxAttention {
+    /// Creates the vanilla softmax attention.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the explicit `n x n` softmax attention map `S = softmax(Q K^T / sqrt(d))`.
+    pub fn attention_map(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        scaled_similarity(q, k).softmax_rows()
+    }
+
+    /// Training-time softmax attention on the autograd tape.
+    pub fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        let d = q.shape().1 as f32;
+        q.matmul_transpose_b(k)
+            .scale(1.0 / d.sqrt())
+            .softmax_rows()
+            .matmul(v)
+    }
+}
+
+impl AttentionMechanism for SoftmaxAttention {
+    fn name(&self) -> &'static str {
+        "vanilla-softmax"
+    }
+
+    fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        validate_qkv(q, k, v);
+        self.attention_map(q, k).matmul(v)
+    }
+
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts {
+        vanilla_softmax_ops(n, d)
+    }
+
+    fn family(&self) -> AttentionFamily {
+        AttentionFamily::VanillaSoftmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    #[test]
+    fn attention_map_rows_are_probability_distributions() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let q = init::normal(&mut rng, 10, 8, 0.0, 1.0);
+        let k = init::normal(&mut rng, 10, 8, 0.0, 1.0);
+        let map = SoftmaxAttention::new().attention_map(&q, &k);
+        assert_eq!(map.shape(), (10, 10));
+        for i in 0..10 {
+            let sum: f32 = map.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(map.row(i).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_keys_give_uniform_attention_and_mean_value_output() {
+        // If all keys are identical, every query attends uniformly and the output is the
+        // per-column mean of the values.
+        let q = Matrix::from_fn(5, 4, |i, j| (i + j) as f32 * 0.1);
+        let k = Matrix::ones(6, 4);
+        let v = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f32);
+        let z = SoftmaxAttention::new().compute(&q, &k, &v);
+        let expected_row = v.col_mean();
+        for i in 0..z.rows() {
+            for j in 0..z.cols() {
+                assert!((z.get(i, j) - expected_row.get(0, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn sharp_logits_select_the_best_matching_value() {
+        // With one key aligned to the query and large magnitude, attention concentrates on
+        // that key's value row.
+        let d = 8;
+        let mut k = Matrix::zeros(4, d);
+        for j in 0..d {
+            k.set(2, j, 10.0);
+        }
+        let q = Matrix::from_fn(1, d, |_, _| 10.0);
+        let v = Matrix::from_fn(4, d, |i, _| i as f32);
+        let z = SoftmaxAttention::new().compute(&q, &k, &v);
+        assert!((z.get(0, 0) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaled_similarity_applies_inverse_sqrt_d() {
+        let q = Matrix::ones(2, 4);
+        let k = Matrix::ones(3, 4);
+        let sim = scaled_similarity(&q, &k);
+        assert_eq!(sim.shape(), (2, 3));
+        assert!((sim.get(0, 0) - 4.0 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_train_matches_inference_and_backpropagates() {
+        use vitality_autograd::Graph;
+        let mut rng = StdRng::seed_from_u64(21);
+        let q = init::normal(&mut rng, 6, 4, 0.0, 0.7);
+        let k = init::normal(&mut rng, 6, 4, 0.0, 0.7);
+        let v = init::normal(&mut rng, 6, 4, 0.0, 1.0);
+        let reference = SoftmaxAttention::new().compute(&q, &k, &v);
+        let graph = Graph::new();
+        let qv = graph.parameter(q);
+        let kv = graph.parameter(k);
+        let vv = graph.parameter(v);
+        let z = SoftmaxAttention::new().forward_train(&qv, &kv, &vv);
+        assert!(z.value().approx_eq(&reference, 1e-4));
+        let grads = graph.backward(&z.mean_all());
+        assert_eq!(grads.len(), 3);
+    }
+
+    #[test]
+    fn op_counts_are_quadratic_and_include_exponentiations() {
+        let ops = SoftmaxAttention::new().op_counts(197, 64);
+        assert_eq!(ops.exp, 197 * 197);
+        assert_eq!(SoftmaxAttention::new().family(), AttentionFamily::VanillaSoftmax);
+        assert_eq!(SoftmaxAttention::new().name(), "vanilla-softmax");
+    }
+}

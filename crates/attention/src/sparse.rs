@@ -1,0 +1,357 @@
+//! Sanger-style dynamically-predicted sparse attention.
+//!
+//! Sanger (MICRO'21) predicts which attention entries matter by computing a *quantized*
+//! low-precision estimate of the softmax attention map, thresholding it into a binary
+//! mask, and then computing the exact attention only at the surviving positions. The mask
+//! is further "packed and split" into hardware-friendly structured blocks for its
+//! reconfigurable systolic array. The ViTALiTy paper uses this mechanism both as its
+//! SPARSE baseline and as the training-time regulariser that approximates the "strong"
+//! higher-order Taylor terms.
+
+use crate::opcount::{vanilla_softmax_ops, OpCounts};
+use crate::softmax::scaled_similarity;
+use crate::taxonomy::AttentionFamily;
+use crate::{validate_qkv, AttentionMechanism};
+use vitality_tensor::Matrix;
+
+/// Default sparsity threshold used by the SPARSE baseline (Sanger's published default).
+pub const DEFAULT_SPARSITY_THRESHOLD: f32 = 0.02;
+
+/// Quantizes a matrix to a signed integer grid with the given number of bits
+/// (symmetric per-matrix scaling), returning the de-quantized approximation.
+///
+/// Sanger's prediction path runs at 4-bit precision; the reproduction keeps the bit-width
+/// configurable for the quantization-sensitivity tests.
+pub fn quantize_symmetric(m: &Matrix, bits: u32) -> Matrix {
+    assert!(bits >= 2 && bits <= 16, "quantization bits must be in [2, 16]");
+    let max_abs = m.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    if max_abs == 0.0 {
+        return m.clone();
+    }
+    let levels = ((1u32 << (bits - 1)) - 1) as f32;
+    let scale = max_abs / levels;
+    m.map(|v| (v / scale).round() * scale)
+}
+
+/// A binary attention mask packed into row-blocks, with the per-block occupancy metadata
+/// the Sanger accelerator's load balancer ("pack and split") consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMask {
+    mask: Matrix,
+    block_rows: usize,
+    row_nnz: Vec<usize>,
+    block_nnz: Vec<usize>,
+}
+
+impl PackedMask {
+    /// Packs a binary mask into blocks of `block_rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block_rows == 0`.
+    pub fn new(mask: Matrix, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block_rows must be positive");
+        let row_nnz: Vec<usize> = (0..mask.rows())
+            .map(|r| mask.row(r).iter().filter(|&&v| v != 0.0).count())
+            .collect();
+        let block_nnz = row_nnz
+            .chunks(block_rows)
+            .map(|chunk| chunk.iter().sum())
+            .collect();
+        Self {
+            mask,
+            block_rows,
+            row_nnz,
+            block_nnz,
+        }
+    }
+
+    /// The underlying binary mask.
+    pub fn mask(&self) -> &Matrix {
+        &self.mask
+    }
+
+    /// Rows per packed block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Non-zero count per row.
+    pub fn row_nnz(&self) -> &[usize] {
+        &self.row_nnz
+    }
+
+    /// Non-zero count per packed row-block.
+    pub fn block_nnz(&self) -> &[usize] {
+        &self.block_nnz
+    }
+
+    /// Total number of surviving attention entries.
+    pub fn total_nnz(&self) -> usize {
+        self.row_nnz.iter().sum()
+    }
+
+    /// Overall attention density (`nnz / n²`).
+    pub fn density(&self) -> f32 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.total_nnz() as f32 / self.mask.len() as f32
+    }
+
+    /// Load-imbalance factor across blocks: `max_block_nnz / mean_block_nnz`. A perfectly
+    /// balanced mask (what pack-and-split aims for) has a factor of 1.
+    pub fn load_imbalance(&self) -> f32 {
+        if self.block_nnz.is_empty() {
+            return 1.0;
+        }
+        let max = *self.block_nnz.iter().max().unwrap() as f32;
+        let mean = self.total_nnz() as f32 / self.block_nnz.len() as f32;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Sanger-style sparse attention: quantized prediction, threshold mask, exact sparse
+/// softmax attention at the surviving positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SangerSparseAttention {
+    threshold: f32,
+    quant_bits: u32,
+}
+
+impl SangerSparseAttention {
+    /// Creates a sparse attention with the given sparsity threshold and 4-bit prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is outside `[0, 1]`.
+    pub fn new(threshold: f32) -> Self {
+        Self::with_quantization(threshold, 4)
+    }
+
+    /// Creates a sparse attention with an explicit prediction bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is outside `[0, 1]` or the bit-width outside `[2, 16]`.
+    pub fn with_quantization(threshold: f32, quant_bits: u32) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        assert!((2..=16).contains(&quant_bits), "quantization bits must be in [2, 16]");
+        Self {
+            threshold,
+            quant_bits,
+        }
+    }
+
+    /// Configured sparsity threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Configured prediction bit-width.
+    pub fn quant_bits(&self) -> u32 {
+        self.quant_bits
+    }
+
+    /// The quantized prediction of the softmax attention map used to derive the mask.
+    pub fn predicted_attention(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        let q_q = quantize_symmetric(q, self.quant_bits);
+        let k_q = quantize_symmetric(k, self.quant_bits);
+        scaled_similarity(&q_q, &k_q).softmax_rows()
+    }
+
+    /// The binary sparsity mask: 1 where the predicted attention is at least the threshold.
+    ///
+    /// Every row keeps at least its own maximum entry so that no query is left without any
+    /// attended key (Sanger guarantees the same through its fallback path).
+    pub fn prediction_mask(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        let predicted = self.predicted_attention(q, k);
+        let mut mask = predicted.map(|v| if v >= self.threshold { 1.0 } else { 0.0 });
+        for i in 0..predicted.rows() {
+            if mask.row(i).iter().all(|&v| v == 0.0) {
+                let (mut best_j, mut best) = (0, f32::NEG_INFINITY);
+                for j in 0..predicted.cols() {
+                    if predicted.get(i, j) > best {
+                        best = predicted.get(i, j);
+                        best_j = j;
+                    }
+                }
+                mask.set(i, best_j, 1.0);
+            }
+        }
+        mask
+    }
+
+    /// Packs the prediction mask into row-blocks for the Sanger accelerator model.
+    pub fn pack_and_split(&self, q: &Matrix, k: &Matrix, block_rows: usize) -> PackedMask {
+        PackedMask::new(self.prediction_mask(q, k), block_rows)
+    }
+
+    /// The exact sparse softmax attention map: full-precision logits, masked positions set
+    /// to `-inf` before the softmax so each row renormalises over the surviving entries.
+    pub fn sparse_attention_map(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        let mask = self.prediction_mask(q, k);
+        let logits = scaled_similarity(q, k);
+        let masked = Matrix::from_fn(logits.rows(), logits.cols(), |i, j| {
+            if mask.get(i, j) != 0.0 {
+                logits.get(i, j)
+            } else {
+                f32::NEG_INFINITY
+            }
+        });
+        masked.softmax_rows().apply_mask(&mask)
+    }
+}
+
+impl AttentionMechanism for SangerSparseAttention {
+    fn name(&self) -> &'static str {
+        "sanger-sparse"
+    }
+
+    fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        validate_qkv(q, k, v);
+        self.sparse_attention_map(q, k).matmul(v)
+    }
+
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts {
+        // Prediction path (quantized Q K^T + softmax) plus the sparse exact path. The
+        // exact path's cost scales with the attention density; we report the worst case
+        // here (density cannot be known without data) and the Sanger simulator in
+        // `vitality-baselines` refines it with the measured density.
+        let full = vanilla_softmax_ops(n, d);
+        let prediction = OpCounts::new(
+            (n * n * d) as u64,
+            (n * n * d + n * n) as u64,
+            (n * n) as u64,
+            (n * n) as u64,
+        );
+        full + prediction
+    }
+
+    fn family(&self) -> AttentionFamily {
+        AttentionFamily::DynamicSparse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::SoftmaxAttention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    fn qkv(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            init::normal(&mut rng, n, d, 0.0, 0.8),
+            init::normal(&mut rng, n, d, 0.0, 0.8),
+            init::normal(&mut rng, n, d, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn quantization_reduces_resolution_but_bounds_error() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let m = init::normal(&mut rng, 16, 16, 0.0, 1.0);
+        let q4 = quantize_symmetric(&m, 4);
+        let q8 = quantize_symmetric(&m, 8);
+        let max_abs = m.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(m.max_abs_diff(&q4) <= max_abs / 7.0 + 1e-6);
+        assert!(m.max_abs_diff(&q8) < m.max_abs_diff(&q4));
+        // All-zero input stays untouched.
+        assert!(quantize_symmetric(&Matrix::zeros(2, 2), 4).approx_eq(&Matrix::zeros(2, 2), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization bits")]
+    fn quantization_rejects_one_bit() {
+        let _ = quantize_symmetric(&Matrix::ones(2, 2), 1);
+    }
+
+    #[test]
+    fn higher_threshold_gives_sparser_masks() {
+        let (q, k, _) = qkv(32, 16, 31);
+        let loose = SangerSparseAttention::new(0.02).prediction_mask(&q, &k);
+        let tight = SangerSparseAttention::new(0.2).prediction_mask(&q, &k);
+        assert!(tight.nnz() <= loose.nnz());
+        assert!(loose.nnz() <= 32 * 32);
+    }
+
+    #[test]
+    fn every_row_keeps_at_least_one_entry() {
+        let (q, k, _) = qkv(16, 8, 32);
+        // An extreme threshold would otherwise zero everything.
+        let mask = SangerSparseAttention::new(1.0).prediction_mask(&q, &k);
+        for i in 0..mask.rows() {
+            assert!(mask.row(i).iter().any(|&v| v != 0.0), "row {i} lost all entries");
+        }
+    }
+
+    #[test]
+    fn sparse_map_rows_renormalise_over_surviving_entries() {
+        let (q, k, _) = qkv(20, 8, 33);
+        let map = SangerSparseAttention::new(0.05).sparse_attention_map(&q, &k);
+        for i in 0..map.rows() {
+            let sum: f32 = map.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn low_threshold_recovers_the_dense_attention() {
+        let (q, k, v) = qkv(16, 8, 34);
+        let dense = SoftmaxAttention::new().compute(&q, &k, &v);
+        let nearly_dense = SangerSparseAttention::new(0.0).compute(&q, &k, &v);
+        assert!(dense.approx_eq(&nearly_dense, 1e-3));
+    }
+
+    #[test]
+    fn packed_mask_statistics() {
+        let mask = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let packed = PackedMask::new(mask, 2);
+        assert_eq!(packed.block_rows(), 2);
+        assert_eq!(packed.row_nnz(), &[2, 4, 1, 1]);
+        assert_eq!(packed.block_nnz(), &[6, 2]);
+        assert_eq!(packed.total_nnz(), 8);
+        assert!((packed.density() - 0.5).abs() < 1e-6);
+        assert!((packed.load_imbalance() - 6.0 / 4.0).abs() < 1e-6);
+        assert_eq!(packed.mask().rows(), 4);
+    }
+
+    #[test]
+    fn pack_and_split_uses_prediction_mask() {
+        let (q, k, _) = qkv(16, 8, 35);
+        let attn = SangerSparseAttention::with_quantization(0.05, 4);
+        assert_eq!(attn.threshold(), 0.05);
+        assert_eq!(attn.quant_bits(), 4);
+        let packed = attn.pack_and_split(&q, &k, 4);
+        assert_eq!(packed.row_nnz().len(), 16);
+        assert_eq!(packed.block_nnz().len(), 4);
+        assert_eq!(packed.total_nnz(), attn.prediction_mask(&q, &k).nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_invalid_threshold() {
+        let _ = SangerSparseAttention::new(1.5);
+    }
+
+    #[test]
+    fn op_counts_exceed_vanilla_due_to_prediction_overhead() {
+        let sparse = SangerSparseAttention::new(0.02).op_counts(64, 32);
+        let vanilla = vanilla_softmax_ops(64, 32);
+        assert!(sparse.total() > vanilla.total());
+        assert_eq!(SangerSparseAttention::new(0.02).family(), AttentionFamily::DynamicSparse);
+    }
+}

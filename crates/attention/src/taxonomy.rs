@@ -1,0 +1,174 @@
+//! Attention taxonomy and the pre/post-processor requirements of Table VI.
+//!
+//! The paper argues that the ViTALiTy accelerator generalises beyond the Taylor attention:
+//! any linear-attention Transformer decomposes into matrix multiplications (handled by the
+//! systolic array) plus a small set of pre/post-processing operators. Table VI lists, for
+//! each attention family, which processors are needed; this module encodes that table so
+//! the `table6_attention_taxonomy` experiment can regenerate it and the accelerator can
+//! check at configuration time that it has the required processors.
+
+use serde::{Deserialize, Serialize};
+
+/// Families of attention mechanisms considered by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttentionFamily {
+    /// The vanilla quadratic softmax attention.
+    VanillaSoftmax,
+    /// Dynamically predicted sparse attentions (Sanger, DOTA, SpAtten, ...).
+    DynamicSparse,
+    /// Low-rank token projection (Linformer).
+    LowRankProjection,
+    /// Kernel feature-map attentions (Performer, Linear Transformer, Efficient Attention).
+    KernelBased,
+    /// The ViTALiTy first-order Taylor attention.
+    TaylorBased,
+}
+
+impl AttentionFamily {
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttentionFamily::VanillaSoftmax => "Vanilla Softmax",
+            AttentionFamily::DynamicSparse => "Dynamic Sparse",
+            AttentionFamily::LowRankProjection => "Low-Rank",
+            AttentionFamily::KernelBased => "Kernel-Based",
+            AttentionFamily::TaylorBased => "Taylor-Based",
+        }
+    }
+}
+
+/// Pre-processing operators an accelerator must provide for a given attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreProcessorKind {
+    /// Column/token-wise accumulation (the ViTALiTy accumulator array).
+    Accumulator,
+    /// Exponentiation units (softmax-style kernels).
+    Exponential,
+    /// Low-precision quantised prediction (Sanger's prediction path).
+    QuantizedPrediction,
+    /// Random-feature projection (Performer's PORF).
+    RandomFeatureProjection,
+    /// Token-dimension projection (Linformer).
+    TokenProjection,
+}
+
+/// Post-processing operators an accelerator must provide for a given attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PostProcessorKind {
+    /// Element-wise or row-wise division (normalisation).
+    Divider,
+    /// Element-wise addition (e.g. the `sqrt(d) 1_n v_sum` term).
+    Adder,
+    /// Sparse gather/scatter of surviving attention entries.
+    SparseGather,
+}
+
+/// One row of Table VI: an attention family, a representative model, and the processors it
+/// needs beyond a generic matrix-multiplication array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyEntry {
+    /// Attention family.
+    pub family: AttentionFamily,
+    /// Representative model / paper.
+    pub representative: &'static str,
+    /// Short description of the similarity function.
+    pub detail: &'static str,
+    /// Required pre-processors.
+    pub pre_processors: Vec<PreProcessorKind>,
+    /// Required post-processors.
+    pub post_processors: Vec<PostProcessorKind>,
+}
+
+/// The full Table VI taxonomy, including the ViTALiTy row.
+pub fn taxonomy() -> Vec<TaxonomyEntry> {
+    vec![
+        TaxonomyEntry {
+            family: AttentionFamily::LowRankProjection,
+            representative: "Linformer",
+            detail: "reduce token dimension of K/V",
+            pre_processors: vec![PreProcessorKind::TokenProjection, PreProcessorKind::Exponential],
+            post_processors: vec![PostProcessorKind::Divider],
+        },
+        TaxonomyEntry {
+            family: AttentionFamily::KernelBased,
+            representative: "Efficient Attention",
+            detail: "phi() = softmax() applied separately to Q and K",
+            pre_processors: vec![PreProcessorKind::Exponential],
+            post_processors: vec![PostProcessorKind::Divider],
+        },
+        TaxonomyEntry {
+            family: AttentionFamily::KernelBased,
+            representative: "Performer",
+            detail: "positive orthogonal random features",
+            pre_processors: vec![
+                PreProcessorKind::RandomFeatureProjection,
+                PreProcessorKind::Exponential,
+            ],
+            post_processors: vec![PostProcessorKind::Divider, PostProcessorKind::Adder],
+        },
+        TaxonomyEntry {
+            family: AttentionFamily::KernelBased,
+            representative: "Linear Transformer",
+            detail: "phi() = elu() + 1",
+            pre_processors: vec![PreProcessorKind::Exponential],
+            post_processors: vec![PostProcessorKind::Divider, PostProcessorKind::Adder],
+        },
+        TaxonomyEntry {
+            family: AttentionFamily::TaylorBased,
+            representative: "ViTALiTy (ours)",
+            detail: "first-order Taylor expansion with mean-centred keys (Algorithm 1)",
+            pre_processors: vec![PreProcessorKind::Accumulator],
+            post_processors: vec![PostProcessorKind::Divider, PostProcessorKind::Adder],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_contains_all_table6_rows() {
+        let rows = taxonomy();
+        assert_eq!(rows.len(), 5);
+        let representatives: Vec<&str> = rows.iter().map(|r| r.representative).collect();
+        assert!(representatives.contains(&"Linformer"));
+        assert!(representatives.contains(&"Performer"));
+        assert!(representatives.contains(&"ViTALiTy (ours)"));
+    }
+
+    #[test]
+    fn vitality_row_needs_no_exponential_unit() {
+        let rows = taxonomy();
+        let vitality = rows
+            .iter()
+            .find(|r| r.family == AttentionFamily::TaylorBased)
+            .unwrap();
+        assert!(!vitality.pre_processors.contains(&PreProcessorKind::Exponential));
+        assert!(vitality.pre_processors.contains(&PreProcessorKind::Accumulator));
+        assert!(vitality.post_processors.contains(&PostProcessorKind::Divider));
+        assert!(vitality.post_processors.contains(&PostProcessorKind::Adder));
+    }
+
+    #[test]
+    fn every_kernel_family_row_needs_an_exponential_unit() {
+        for row in taxonomy() {
+            if row.family == AttentionFamily::KernelBased {
+                assert!(
+                    row.pre_processors.contains(&PreProcessorKind::Exponential),
+                    "{} should require an exponential unit",
+                    row.representative
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(AttentionFamily::TaylorBased.label(), "Taylor-Based");
+        assert_eq!(AttentionFamily::VanillaSoftmax.label(), "Vanilla Softmax");
+        assert_eq!(AttentionFamily::DynamicSparse.label(), "Dynamic Sparse");
+        assert_eq!(AttentionFamily::LowRankProjection.label(), "Low-Rank");
+        assert_eq!(AttentionFamily::KernelBased.label(), "Kernel-Based");
+    }
+}

@@ -1,0 +1,222 @@
+//! The training-time unification of the low-rank Taylor attention and the sparse
+//! approximation of the "strong" higher-order terms (Fig. 4 of the paper).
+
+use crate::opcount::{taylor_attention_ops, vanilla_softmax_ops, OpCounts};
+use crate::sparse::SangerSparseAttention;
+use crate::taxonomy::AttentionFamily;
+use crate::taylor::{mean_center_keys, TaylorAttention};
+use crate::{validate_qkv, AttentionMechanism};
+use vitality_autograd::Var;
+use vitality_tensor::Matrix;
+
+/// Unified low-rank + sparse attention used while fine-tuning ViTALiTy models.
+///
+/// The vanilla softmax attention decomposes into the first-order ("weak") Taylor map plus
+/// the higher-order ("strong") residual. During training ViTALiTy computes the weak part
+/// exactly (it is the linear Taylor attention) and approximates the strong residual with a
+/// Sanger-style sparse component; at inference the sparse component is dropped because it
+/// empirically vanishes during training (Fig. 14), leaving only the linear attention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnifiedLowRankSparseAttention {
+    taylor: TaylorAttention,
+    sparse: SangerSparseAttention,
+}
+
+impl UnifiedLowRankSparseAttention {
+    /// Creates the unified attention with the given sparsity threshold (the paper's
+    /// ablation finds `T = 0.5` optimal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is outside `[0, 1]`.
+    pub fn new(threshold: f32) -> Self {
+        Self {
+            taylor: TaylorAttention::new(),
+            sparse: SangerSparseAttention::new(threshold),
+        }
+    }
+
+    /// The sparsity threshold of the sparse component.
+    pub fn threshold(&self) -> f32 {
+        self.sparse.threshold()
+    }
+
+    /// The low-rank component (the attention used alone at inference time).
+    pub fn low_rank(&self) -> TaylorAttention {
+        self.taylor
+    }
+
+    /// The sparse component configuration.
+    pub fn sparse(&self) -> SangerSparseAttention {
+        self.sparse
+    }
+
+    /// The masked strong residual: `(softmax map − weak Taylor map) ⊙ mask`.
+    ///
+    /// This is the quantity whose non-zero occupancy the paper tracks over training
+    /// epochs (Fig. 14); when it vanishes the sparse component can be dropped.
+    pub fn masked_strong_component(&self, q: &Matrix, k: &Matrix) -> Matrix {
+        let k_hat = mean_center_keys(k);
+        let strong = self.taylor.strong_attention_map(q, k);
+        // Sanger predicts on the mean-centred logits, matching the training pipeline.
+        let mask = self.sparse.prediction_mask(q, &k_hat);
+        strong.apply_mask(&mask)
+    }
+
+    /// Fraction of non-zero entries in the masked strong component (the y-axis of Fig. 14).
+    pub fn sparse_occupancy(&self, q: &Matrix, k: &Matrix) -> f32 {
+        let masked = self.masked_strong_component(q, k);
+        if masked.is_empty() {
+            return 0.0;
+        }
+        let significant = masked.iter().filter(|v| v.abs() > 1e-6).count();
+        significant as f32 / masked.len() as f32
+    }
+
+    /// Training-time forward pass on the autograd tape.
+    ///
+    /// Gradients flow through both the low-rank path and the masked softmax residual; the
+    /// mask itself is derived from the (non-differentiable) quantized prediction and is
+    /// treated as a constant, exactly as Sanger's straight-through training does.
+    pub fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        let low_rank = self.taylor.forward_train(q, k, v);
+        // Strong residual on the tape: softmax map minus weak Taylor map, masked.
+        let d = q.shape().1 as f32;
+        let n = k.shape().0 as f32;
+        let k_hat = k.broadcast_sub_row(&k.col_mean());
+        let logits = q.matmul_transpose_b(&k_hat).scale(1.0 / d.sqrt());
+        let exact_map = logits.softmax_rows();
+        let k_sum = k_hat.col_sum();
+        let denom = q
+            .matmul_transpose_b(&k_sum)
+            .scale(1.0 / d.sqrt())
+            .add_scalar(n);
+        let weak_map = logits.add_scalar(1.0).broadcast_div_col(&denom);
+        let strong_map = exact_map.sub(&weak_map);
+        let mask = self
+            .sparse
+            .prediction_mask(&q.value(), &mean_center_keys(&k.value()));
+        strong_map.apply_mask(&mask).matmul(v).add(&low_rank)
+    }
+}
+
+impl AttentionMechanism for UnifiedLowRankSparseAttention {
+    fn name(&self) -> &'static str {
+        "vitality-unified-lowrank-sparse"
+    }
+
+    fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        validate_qkv(q, k, v);
+        let low_rank = self.taylor.compute(q, k, v);
+        let residual = self.masked_strong_component(q, k).matmul(v);
+        low_rank.try_add(&residual).expect("unified component shapes")
+    }
+
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts {
+        // The training-time cost is the linear attention plus the full quadratic path that
+        // the sparse residual needs (prediction + exact attention). This is only paid
+        // during fine-tuning; inference pays `taylor_attention_ops` alone.
+        taylor_attention_ops(n, d) + vanilla_softmax_ops(n, d)
+    }
+
+    fn family(&self) -> AttentionFamily {
+        AttentionFamily::TaylorBased
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::SoftmaxAttention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    fn qkv(n: usize, d: usize, scale: f32, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            init::normal(&mut rng, n, d, 0.0, scale),
+            init::normal(&mut rng, n, d, 0.0, scale),
+            init::normal(&mut rng, n, d, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn zero_threshold_recovers_the_exact_softmax_attention() {
+        // With threshold 0 the sparse mask keeps everything, so low-rank + strong residual
+        // reconstructs the vanilla attention exactly (weak + strong = softmax).
+        let (q, k, v) = qkv(16, 8, 0.8, 40);
+        let unified = UnifiedLowRankSparseAttention::new(0.0).compute(&q, &k, &v);
+        let exact = SoftmaxAttention::new().compute(&q, &k, &v);
+        assert!(unified.approx_eq(&exact, 1e-3), "max diff {}", unified.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn unified_is_closer_to_softmax_than_lowrank_alone() {
+        let (q, k, v) = qkv(24, 8, 1.0, 41);
+        let exact = SoftmaxAttention::new().compute(&q, &k, &v);
+        let unified = UnifiedLowRankSparseAttention::new(0.1).compute(&q, &k, &v);
+        let low_rank = TaylorAttention::new().compute(&q, &k, &v);
+        assert!(unified.max_abs_diff(&exact) <= low_rank.max_abs_diff(&exact) + 1e-6);
+    }
+
+    #[test]
+    fn higher_threshold_reduces_sparse_occupancy() {
+        let (q, k, _) = qkv(32, 16, 0.8, 42);
+        let low = UnifiedLowRankSparseAttention::new(0.02).sparse_occupancy(&q, &k);
+        let high = UnifiedLowRankSparseAttention::new(0.5).sparse_occupancy(&q, &k);
+        assert!(high <= low, "occupancy should not increase with threshold ({low} -> {high})");
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let unified = UnifiedLowRankSparseAttention::new(0.5);
+        assert_eq!(unified.threshold(), 0.5);
+        assert!(unified.low_rank().mean_centering());
+        assert_eq!(unified.sparse().threshold(), 0.5);
+        assert_eq!(unified.name(), "vitality-unified-lowrank-sparse");
+        assert_eq!(unified.family(), AttentionFamily::TaylorBased);
+    }
+
+    #[test]
+    fn training_cost_exceeds_inference_cost() {
+        let unified = UnifiedLowRankSparseAttention::new(0.5);
+        let train = unified.op_counts(197, 64);
+        let inference = TaylorAttention::new().op_counts(197, 64);
+        assert!(train.total() > inference.total());
+    }
+
+    #[test]
+    fn forward_train_matches_compute_and_backpropagates() {
+        use vitality_autograd::Graph;
+        let (q, k, v) = qkv(12, 6, 0.6, 43);
+        let unified = UnifiedLowRankSparseAttention::new(0.1);
+        let reference = unified.compute(&q, &k, &v);
+        let graph = Graph::new();
+        let qv = graph.parameter(q);
+        let kv = graph.parameter(k);
+        let vv = graph.parameter(v);
+        let z = unified.forward_train(&qv, &kv, &vv);
+        assert!(z.value().approx_eq(&reference, 1e-3), "max diff {}", z.value().max_abs_diff(&reference));
+        let grads = graph.backward(&z.mean_all());
+        assert_eq!(grads.len(), 3);
+    }
+
+    #[test]
+    fn masked_strong_component_is_subset_of_strong_component() {
+        let (q, k, _) = qkv(16, 8, 0.8, 44);
+        let unified = UnifiedLowRankSparseAttention::new(0.2);
+        let strong = TaylorAttention::new().strong_attention_map(&q, &k);
+        let masked = unified.masked_strong_component(&q, &k);
+        assert!(masked.nnz() <= strong.nnz());
+        // Every surviving entry matches the unmasked strong component.
+        for i in 0..masked.rows() {
+            for j in 0..masked.cols() {
+                let m = masked.get(i, j);
+                if m != 0.0 {
+                    assert!((m - strong.get(i, j)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Numerical gradient checking.
+//!
+//! Every analytic backward rule in [`crate::graph`] can be validated against a central
+//! finite-difference estimate. The training experiments lean on these checks to make sure
+//! the Taylor-attention and sparse-attention training graphs differentiate correctly.
+
+use crate::graph::{Graph, Var};
+use vitality_tensor::Matrix;
+
+/// Outcome of a gradient check for a single parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numerical gradients.
+    pub max_abs_error: f32,
+    /// Largest relative difference (normalised by the larger magnitude, floored at 1).
+    pub max_rel_error: f32,
+    /// Number of elements compared.
+    pub count: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when both error measures are below `tol`.
+    pub fn passed(&self, tol: f32) -> bool {
+        self.max_abs_error <= tol || self.max_rel_error <= tol
+    }
+}
+
+/// Estimates `d loss / d parameter` by central finite differences.
+///
+/// `build` must construct the scalar loss from scratch on the supplied graph each time it
+/// is called; the parameter of interest is passed in as the second argument.
+pub fn numerical_gradient<F>(initial: &Matrix, epsilon: f32, mut build: F) -> Matrix
+where
+    F: FnMut(&Graph, &Var) -> Var,
+{
+    let mut grad = Matrix::zeros(initial.rows(), initial.cols());
+    for i in 0..initial.rows() {
+        for j in 0..initial.cols() {
+            let mut plus = initial.clone();
+            plus.set(i, j, plus.get(i, j) + epsilon);
+            let mut minus = initial.clone();
+            minus.set(i, j, minus.get(i, j) - epsilon);
+
+            let g_plus = Graph::new();
+            let p_plus = g_plus.parameter(plus);
+            let loss_plus = build(&g_plus, &p_plus).value().get(0, 0);
+
+            let g_minus = Graph::new();
+            let p_minus = g_minus.parameter(minus);
+            let loss_minus = build(&g_minus, &p_minus).value().get(0, 0);
+
+            grad.set(i, j, (loss_plus - loss_minus) / (2.0 * epsilon));
+        }
+    }
+    grad
+}
+
+/// Compares the analytic gradient of `build`'s scalar output against the finite-difference
+/// estimate for a parameter initialised to `initial`.
+pub fn check_gradients<F>(initial: &Matrix, epsilon: f32, mut build: F) -> GradCheckReport
+where
+    F: FnMut(&Graph, &Var) -> Var,
+{
+    let graph = Graph::new();
+    let param = graph.parameter(initial.clone());
+    let loss = build(&graph, &param);
+    let analytic = graph
+        .backward(&loss)
+        .get(&param)
+        .cloned()
+        .unwrap_or_else(|| Matrix::zeros(initial.rows(), initial.cols()));
+    let numerical = numerical_gradient(initial, epsilon, build);
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (a, n) in analytic.iter().zip(numerical.iter()) {
+        let abs = (a - n).abs();
+        let rel = abs / a.abs().max(n.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport {
+        max_abs_error: max_abs,
+        max_rel_error: max_rel,
+        count: analytic.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        init::normal(&mut StdRng::seed_from_u64(seed), rows, cols, 0.0, 0.5)
+    }
+
+    #[test]
+    fn matmul_chain_gradcheck() {
+        let w = random(3, 4, 1);
+        let x = random(5, 3, 2);
+        let report = check_gradients(&w, EPS, |g, p| {
+            let xv = g.constant(x.clone());
+            xv.matmul(p).sum()
+        });
+        assert!(report.passed(TOL), "{report:?}");
+        assert_eq!(report.count, 12);
+    }
+
+    #[test]
+    fn softmax_loss_gradcheck() {
+        let logits = random(4, 5, 3);
+        let weights = random(5, 1, 4);
+        let report = check_gradients(&logits, EPS, |g, p| {
+            let w = g.constant(weights.clone());
+            p.softmax_rows().matmul(&w).sum()
+        });
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn gelu_mlp_gradcheck() {
+        let w = random(4, 4, 5);
+        let x = random(3, 4, 6);
+        let report = check_gradients(&w, EPS, |g, p| {
+            let xv = g.constant(x.clone());
+            xv.matmul(p).gelu().mean_all()
+        });
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        let x = random(3, 6, 7);
+        let report = check_gradients(&x, EPS, |g, p| {
+            let gamma = g.constant(Matrix::filled(1, 6, 1.2));
+            let beta = g.constant(Matrix::filled(1, 6, -0.1));
+            p.layer_norm(&gamma, &beta, 1e-5).hadamard(&p.layer_norm(&gamma, &beta, 1e-5)).sum()
+        });
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn taylor_attention_style_graph_gradcheck() {
+        // The exact op mix of the ViTALiTy Taylor attention: mean-centre keys, compute the
+        // global context matrix G = K^T V, then Q G with a row-wise normaliser.
+        let q = random(5, 4, 8);
+        let v = random(5, 4, 9);
+        let k = random(5, 4, 10);
+        let report = check_gradients(&k, EPS, |g, p| {
+            let qv = g.constant(q.clone());
+            let vv = g.constant(v.clone());
+            let centred = p.broadcast_sub_row(&p.col_mean());
+            let context = centred.transpose_matmul(&vv);
+            let ksum = centred.col_sum();
+            let denom = qv.matmul_transpose_b(&ksum).add_scalar(5.0 * 2.0);
+            qv.matmul(&context).broadcast_div_col(&denom).mean_all()
+        });
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = random(4, 3, 11);
+        let report = check_gradients(&logits, EPS, |_, p| p.cross_entropy_with_logits(&[0, 2, 1, 1]));
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn soft_cross_entropy_gradcheck() {
+        let logits = random(3, 4, 12);
+        let teacher = random(3, 4, 13).softmax_rows();
+        let report = check_gradients(&logits, EPS, |_, p| p.soft_cross_entropy(&teacher));
+        assert!(report.passed(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn numerical_gradient_of_quadratic_is_linear() {
+        let x = Matrix::from_rows(&[vec![1.0, -2.0, 3.0]]).unwrap();
+        let grad = numerical_gradient(&x, 1e-3, |_, p| p.hadamard(p).sum());
+        assert!(grad.approx_eq(&x.scale(2.0), 1e-2));
+    }
+
+    #[test]
+    fn report_passed_thresholds() {
+        let report = GradCheckReport {
+            max_abs_error: 1e-3,
+            max_rel_error: 5e-1,
+            count: 4,
+        };
+        assert!(report.passed(1e-2));
+        assert!(!GradCheckReport {
+            max_abs_error: 1.0,
+            max_rel_error: 1.0,
+            count: 1
+        }
+        .passed(1e-2));
+    }
+}

@@ -1,0 +1,36 @@
+//! Reverse-mode automatic differentiation over [`vitality_tensor::Matrix`] values.
+//!
+//! The ViTALiTy paper fine-tunes Vision Transformers with a *unified low-rank + sparse*
+//! attention (the linear Taylor attention plus a Sanger-style sparse component used as a
+//! training-time regulariser). Reproducing those accuracy experiments (Fig. 10, Fig. 13,
+//! Fig. 14, Fig. 15 and Table IV) therefore needs a training stack. This crate provides
+//! the differentiation engine: a dynamically-built tape ([`Graph`]) of matrix operations
+//! with reverse-mode gradient propagation.
+//!
+//! The operator set is exactly what a ViT with softmax, Taylor, or sparse attention needs:
+//! matrix products, broadcasts along rows/columns, row softmax, layer normalisation, GELU,
+//! the Taylor-attention normalisation (`broadcast_div_col`), column sums (for the global
+//! context matrix `G` and `k_sum`/`v_sum`), masking, cross-entropy and the KL-divergence
+//! distillation loss.
+//!
+//! # Example
+//!
+//! ```
+//! use vitality_autograd::Graph;
+//! use vitality_tensor::Matrix;
+//!
+//! let graph = Graph::new();
+//! let x = graph.constant(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
+//! let w = graph.parameter(Matrix::identity(2));
+//! let y = x.matmul(&w).gelu().sum();
+//! let grads = graph.backward(&y);
+//! assert_eq!(grads.get(&w).unwrap().shape(), (2, 2));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod gradcheck;
+pub mod graph;
+
+pub use gradcheck::{check_gradients, numerical_gradient, GradCheckReport};
+pub use graph::{Gradients, Graph, Var, VarId};

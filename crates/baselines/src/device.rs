@@ -1,0 +1,346 @@
+//! Analytical models of general-purpose platforms (CPU, GPUs, phone SoC).
+//!
+//! The paper profiles DeiT-Tiny's MHA on an RTX 2080Ti, a Jetson TX2 and a Pixel 3
+//! (Fig. 1) and profiles the Taylor-attention steps on the TX2 (Table II). Those
+//! measurements are the calibration targets of this module: each device is described by
+//! effective throughputs per *operator class* — large dense GEMMs (the Q/K/V/MLP
+//! projections), small per-head attention GEMMs, element-wise operations, divisions and
+//! exponentials — plus a per-kernel launch overhead. The split reproduces the paper's key
+//! observation that general-purpose platforms cannot exploit the Taylor attention's
+//! theoretical savings: its light pre/post-processing steps are launch- and
+//! bandwidth-bound.
+
+use serde::{Deserialize, Serialize};
+
+use vitality_vit::{AttentionStep, ModelWorkload};
+
+/// Which attention algorithm the device is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// The vanilla quadratic softmax attention.
+    VanillaSoftmax,
+    /// The ViTALiTy linear Taylor attention (Algorithm 1), run step by step.
+    Taylor,
+}
+
+/// Latency of one attention step (summed over all layers of the model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Which step.
+    pub step: AttentionStep,
+    /// Latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Latency/energy report of one model on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device name.
+    pub device: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Which attention algorithm was simulated.
+    pub attention: AttentionKind,
+    /// Latency of the Q/K/V projections (Step 1 of Fig. 1), all layers.
+    pub projection_latency_s: f64,
+    /// Per-step attention latencies (Steps 2–3 for vanilla, Algorithm 1 Steps 1–6 for Taylor).
+    pub attention_steps: Vec<StepTiming>,
+    /// Latency of the output projection, MLP and convolutional backbone.
+    pub other_latency_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+impl DeviceReport {
+    /// Attention-only latency (excluding the projections).
+    pub fn attention_latency_s(&self) -> f64 {
+        self.attention_steps.iter().map(|s| s.latency_s).sum()
+    }
+
+    /// Latency of the whole MHA module (projections + attention), the Fig. 1 quantity.
+    pub fn mha_latency_s(&self) -> f64 {
+        self.projection_latency_s + self.attention_latency_s()
+    }
+
+    /// End-to-end latency.
+    pub fn total_latency_s(&self) -> f64 {
+        self.mha_latency_s() + self.other_latency_s
+    }
+}
+
+/// An analytical device model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name as used in the paper.
+    pub name: &'static str,
+    /// Effective throughput of large dense GEMMs (projections, MLP) in FLOP/s.
+    pub large_gemm_flops: f64,
+    /// Effective throughput of small per-head attention GEMMs in FLOP/s.
+    pub small_gemm_flops: f64,
+    /// Effective throughput of skinny GEMMs whose output is only `d x d` (the Taylor
+    /// attention's `G = K^T V` and `Q G` products), in FLOP/s. These launch as many tiny
+    /// kernels and run far below the dense-GEMM rate, which is why the Taylor attention
+    /// does not speed up on general-purpose platforms (Table II).
+    pub skinny_gemm_flops: f64,
+    /// Effective throughput of element-wise additions/subtractions in op/s.
+    pub elementwise_ops: f64,
+    /// Effective throughput of divisions in op/s.
+    pub division_ops: f64,
+    /// Effective throughput of exponentials in op/s.
+    pub exponential_ops: f64,
+    /// Fixed overhead per launched kernel (one kernel per step per layer), in seconds.
+    pub kernel_overhead_s: f64,
+    /// Average dynamic energy per scalar operation, in joules.
+    pub energy_per_op_j: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA RTX 2080Ti desktop GPU.
+    pub fn rtx_2080ti() -> Self {
+        Self {
+            name: "RTX-2080Ti",
+            skinny_gemm_flops: 150e9,
+            large_gemm_flops: 2.0e12,
+            small_gemm_flops: 400e9,
+            elementwise_ops: 20e9,
+            division_ops: 9e9,
+            exponential_ops: 8e9,
+            kernel_overhead_s: 4e-6,
+            energy_per_op_j: 85e-12,
+        }
+    }
+
+    /// NVIDIA Jetson TX2 edge GPU.
+    pub fn jetson_tx2() -> Self {
+        Self {
+            name: "Jetson-TX2",
+            skinny_gemm_flops: 17e9,
+            large_gemm_flops: 110e9,
+            small_gemm_flops: 50e9,
+            elementwise_ops: 0.65e9,
+            division_ops: 0.30e9,
+            exponential_ops: 0.95e9,
+            kernel_overhead_s: 20e-6,
+            energy_per_op_j: 75e-12,
+        }
+    }
+
+    /// Intel Xeon Gold 6230 server CPU.
+    pub fn xeon_6230() -> Self {
+        Self {
+            name: "Xeon-6230",
+            skinny_gemm_flops: 8e9,
+            large_gemm_flops: 50e9,
+            small_gemm_flops: 15e9,
+            elementwise_ops: 1.5e9,
+            division_ops: 0.8e9,
+            exponential_ops: 0.6e9,
+            kernel_overhead_s: 1e-6,
+            energy_per_op_j: 130e-12,
+        }
+    }
+
+    /// Google Pixel 3 phone SoC (used only for the Fig. 1 runtime breakdown).
+    pub fn pixel3() -> Self {
+        Self {
+            name: "Pixel3",
+            skinny_gemm_flops: 1.5e9,
+            large_gemm_flops: 26e9,
+            small_gemm_flops: 4.5e9,
+            elementwise_ops: 0.12e9,
+            division_ops: 0.05e9,
+            exponential_ops: 0.095e9,
+            kernel_overhead_s: 50e-6,
+            energy_per_op_j: 50e-12,
+        }
+    }
+
+    /// The three devices of Fig. 1.
+    pub fn figure1_devices() -> Vec<DeviceModel> {
+        vec![Self::rtx_2080ti(), Self::jetson_tx2(), Self::pixel3()]
+    }
+
+    /// Latency of one attention step aggregated over all layers of a stage.
+    fn step_latency(&self, step: AttentionStep, ops: vitality_attention::OpCounts, layers: u64) -> f64 {
+        let gemm_rate = match step {
+            AttentionStep::QkvProjection => self.large_gemm_flops,
+            AttentionStep::TaylorGlobalContext | AttentionStep::TaylorNumerator => {
+                self.skinny_gemm_flops
+            }
+            _ => self.small_gemm_flops,
+        };
+        let mul_add = (ops.mul + ops.add) as f64;
+        let compute = mul_add / gemm_rate
+            + ops.div as f64 / self.division_ops
+            + ops.exp as f64 / self.exponential_ops;
+        // Pre/post-processing steps have no large GEMM; their additions are bandwidth
+        // bound rather than GEMM bound.
+        let compute = match step {
+            AttentionStep::TaylorMeanCenter
+            | AttentionStep::TaylorColumnSums
+            | AttentionStep::TaylorDenominator
+            | AttentionStep::TaylorScore => {
+                (ops.mul + ops.add) as f64 / self.elementwise_ops
+                    + ops.div as f64 / self.division_ops
+                    + ops.exp as f64 / self.exponential_ops
+            }
+            _ => compute,
+        };
+        (compute + self.kernel_overhead_s) * layers as f64
+    }
+
+    /// Simulates one model with the chosen attention algorithm.
+    pub fn simulate(&self, workload: &ModelWorkload, attention: AttentionKind) -> DeviceReport {
+        let mut projection_latency = 0.0;
+        let mut other_latency = 0.0;
+        let mut step_totals: Vec<(AttentionStep, f64)> = match attention {
+            AttentionKind::VanillaSoftmax => AttentionStep::vanilla_steps()
+                .into_iter()
+                .map(|s| (s, 0.0))
+                .collect(),
+            AttentionKind::Taylor => AttentionStep::taylor_steps()
+                .into_iter()
+                .map(|s| (s, 0.0))
+                .collect(),
+        };
+        let mut total_ops = 0.0f64;
+
+        for stage in &workload.stages {
+            let layers = stage.stage.layers as u64;
+            // Projections (Step 1 of Fig. 1) and the rest of the network.
+            let proj_flops = 2.0 * stage.qkv_projection_macs as f64;
+            projection_latency +=
+                (proj_flops / self.large_gemm_flops + self.kernel_overhead_s) * layers as f64;
+            let other_flops = 2.0 * (stage.output_projection_macs + stage.mlp_macs) as f64;
+            other_latency +=
+                (other_flops / self.large_gemm_flops + 2.0 * self.kernel_overhead_s) * layers as f64;
+            total_ops += (proj_flops + other_flops) * layers as f64;
+
+            let steps = match attention {
+                AttentionKind::VanillaSoftmax => &stage.vanilla_steps,
+                AttentionKind::Taylor => &stage.taylor_steps,
+            };
+            for step_ops in steps {
+                let latency = self.step_latency(step_ops.step, step_ops.ops, layers);
+                if let Some(entry) = step_totals.iter_mut().find(|(s, _)| *s == step_ops.step) {
+                    entry.1 += latency;
+                }
+                total_ops += step_ops.ops.total() as f64 * layers as f64;
+            }
+        }
+        // Convolutional backbone.
+        let backbone_flops = 2.0 * workload.backbone_macs as f64;
+        other_latency += backbone_flops / self.large_gemm_flops;
+        total_ops += backbone_flops;
+
+        DeviceReport {
+            device: self.name,
+            model: workload.name,
+            attention,
+            projection_latency_s: projection_latency,
+            attention_steps: step_totals
+                .into_iter()
+                .map(|(step, latency_s)| StepTiming { step, latency_s })
+                .collect(),
+            other_latency_s: other_latency,
+            energy_j: total_ops * self.energy_per_op_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitality_vit::ModelConfig;
+
+    fn deit_tiny() -> ModelWorkload {
+        ModelWorkload::for_model(&ModelConfig::deit_tiny())
+    }
+
+    #[test]
+    fn softmax_step_dominates_the_mha_runtime_on_every_device() {
+        // Fig. 1: the softmax attention map (Step 2) takes 52-58% of the MHA runtime.
+        for device in DeviceModel::figure1_devices() {
+            let report = device.simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
+            let softmax = report
+                .attention_steps
+                .iter()
+                .find(|s| s.step == AttentionStep::SoftmaxAttentionMap)
+                .unwrap()
+                .latency_s;
+            let share = softmax / report.mha_latency_s();
+            assert!(
+                (0.40..0.70).contains(&share),
+                "{}: softmax share {share:.2}",
+                device.name
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_share_grows_as_devices_get_weaker() {
+        // Fig. 1's trend: 2080Ti 52% -> TX2 55% -> Pixel3 58%.
+        let share = |device: DeviceModel| {
+            let report = device.simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
+            let softmax = report
+                .attention_steps
+                .iter()
+                .find(|s| s.step == AttentionStep::SoftmaxAttentionMap)
+                .unwrap()
+                .latency_s;
+            softmax / report.mha_latency_s()
+        };
+        let gpu = share(DeviceModel::rtx_2080ti());
+        let edge = share(DeviceModel::jetson_tx2());
+        let phone = share(DeviceModel::pixel3());
+        assert!(gpu < edge && edge < phone, "{gpu:.2} {edge:.2} {phone:.2}");
+    }
+
+    #[test]
+    fn taylor_attention_is_not_faster_on_the_edge_gpu() {
+        // Table II: despite fewer operations, the Taylor attention's many light steps make
+        // it *slower* than the vanilla attention on the TX2 (14.03 ms vs 11.65 ms for
+        // DeiT-Tiny) — the motivation for a dedicated accelerator.
+        let device = DeviceModel::jetson_tx2();
+        let vanilla = device.simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
+        let taylor = device.simulate(&deit_tiny(), AttentionKind::Taylor);
+        assert!(
+            taylor.attention_latency_s() > 0.7 * vanilla.attention_latency_s(),
+            "taylor {:.2} ms vs vanilla {:.2} ms",
+            taylor.attention_latency_s() * 1e3,
+            vanilla.attention_latency_s() * 1e3
+        );
+    }
+
+    #[test]
+    fn edge_gpu_vanilla_attention_latency_matches_table2_scale() {
+        // Table II reports 11.65 ms for DeiT-Tiny's vanilla attention on the TX2.
+        let report = DeviceModel::jetson_tx2().simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
+        let ms = report.attention_latency_s() * 1e3;
+        assert!((6.0..20.0).contains(&ms), "attention latency {ms:.2} ms");
+    }
+
+    #[test]
+    fn devices_are_ordered_by_capability() {
+        let wl = deit_tiny();
+        let gpu = DeviceModel::rtx_2080ti().simulate(&wl, AttentionKind::VanillaSoftmax);
+        let edge = DeviceModel::jetson_tx2().simulate(&wl, AttentionKind::VanillaSoftmax);
+        let cpu = DeviceModel::xeon_6230().simulate(&wl, AttentionKind::VanillaSoftmax);
+        let phone = DeviceModel::pixel3().simulate(&wl, AttentionKind::VanillaSoftmax);
+        assert!(gpu.total_latency_s() < edge.total_latency_s());
+        assert!(edge.total_latency_s() < phone.total_latency_s());
+        assert!(gpu.total_latency_s() < cpu.total_latency_s());
+        assert!(cpu.energy_j > gpu.energy_j * 0.5);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let report = DeviceModel::xeon_6230().simulate(&deit_tiny(), AttentionKind::Taylor);
+        assert_eq!(report.attention_steps.len(), 6);
+        let sum: f64 = report.attention_steps.iter().map(|s| s.latency_s).sum();
+        assert!((report.attention_latency_s() - sum).abs() < 1e-12);
+        assert!(report.total_latency_s() >= report.mha_latency_s());
+        assert!(report.energy_j > 0.0);
+        assert_eq!(report.attention, AttentionKind::Taylor);
+    }
+}

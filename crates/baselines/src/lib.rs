@@ -1,0 +1,23 @@
+//! Baseline hardware models for the ViTALiTy evaluation.
+//!
+//! The paper compares its accelerator against four baselines:
+//!
+//! * general-purpose platforms — a server CPU (Xeon Gold 6230), a desktop GPU (RTX
+//!   2080Ti), an edge GPU (Jetson TX2) and a phone SoC (Pixel 3) — modelled analytically
+//!   in [`device`] with per-operator-class effective throughputs calibrated to the
+//!   paper's own profiling (Fig. 1 and Table II);
+//! * the Sanger sparse-attention accelerator (MICRO'21), modelled cycle-level in
+//!   [`sanger`] with the quantized prediction pass, pack-and-split load balancing and a
+//!   64×16 reconfigurable PE array;
+//! * the SALO window-attention accelerator (DAC'22), modelled analytically in [`salo`]
+//!   for the comparison sentence in Section V-C.
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod salo;
+pub mod sanger;
+
+pub use device::{AttentionKind, DeviceModel, DeviceReport, StepTiming};
+pub use salo::SaloAccelerator;
+pub use sanger::{SangerAccelerator, SangerConfig, SangerReport};

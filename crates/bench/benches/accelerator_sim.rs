@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the accelerator and baseline simulators themselves: how long it
+//! takes to regenerate the Fig. 11 / Fig. 12 style comparisons for every model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vitality_accel::{AcceleratorConfig, VitalityAccelerator};
+use vitality_baselines::{AttentionKind, DeviceModel, SangerAccelerator, SangerConfig};
+use vitality_vit::{ModelConfig, ModelWorkload};
+
+fn bench_vitality_simulation(c: &mut Criterion) {
+    let accel = VitalityAccelerator::new(AcceleratorConfig::paper());
+    let mut group = c.benchmark_group("vitality_accelerator_simulation");
+    for config in ModelConfig::all_models() {
+        let workload = ModelWorkload::for_model(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(config.name), &workload, |b, wl| {
+            b.iter(|| black_box(accel.simulate_model(wl)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_simulations(c: &mut Criterion) {
+    let workload = ModelWorkload::for_model(&ModelConfig::deit_tiny());
+    let mut group = c.benchmark_group("baseline_simulation");
+    group.bench_function("sanger", |b| {
+        let sanger = SangerAccelerator::new(SangerConfig::paper());
+        b.iter(|| black_box(sanger.simulate_model(&workload)))
+    });
+    group.bench_function("edge_gpu_vanilla", |b| {
+        let device = DeviceModel::jetson_tx2();
+        b.iter(|| black_box(device.simulate(&workload, AttentionKind::VanillaSoftmax)))
+    });
+    group.bench_function("edge_gpu_taylor", |b| {
+        let device = DeviceModel::jetson_tx2();
+        b.iter(|| black_box(device.simulate(&workload, AttentionKind::Taylor)))
+    });
+    group.finish();
+}
+
+fn bench_full_comparison(c: &mut Criterion) {
+    c.bench_function("fig11_full_platform_comparison", |b| {
+        b.iter(|| black_box(vitality_bench::hardware::compare_all_platforms()))
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets =     bench_vitality_simulation,
+    bench_baseline_simulations,
+    bench_full_comparison
+
+}
+criterion_main!(benches);

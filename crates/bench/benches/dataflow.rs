@@ -1,0 +1,44 @@
+//! Ablation bench for the systolic-array dataflow choice (Table V): simulated energy and
+//! latency of the G-stationary versus down-forward accumulation dataflows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vitality_accel::{AcceleratorConfig, Dataflow, VitalityAccelerator};
+use vitality_vit::{ModelConfig, ModelWorkload};
+
+fn bench_dataflow_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_ablation");
+    for config in [ModelConfig::deit_base(), ModelConfig::levit_128()] {
+        let workload = ModelWorkload::for_model(&config);
+        for dataflow in [Dataflow::DownForwardAccumulation, Dataflow::GStationary] {
+            let accel = VitalityAccelerator::new(AcceleratorConfig::paper()).with_dataflow(dataflow);
+            group.bench_with_input(
+                BenchmarkId::new(dataflow.label(), config.name),
+                &workload,
+                |b, wl| b.iter(|| black_box(accel.simulate_model(wl))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dataflow_energy_report(c: &mut Criterion) {
+    c.bench_function("table5_dataflow_energy_report", |b| {
+        b.iter(|| black_box(vitality_bench::tables::table5_dataflow_energy()))
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_dataflow_ablation, bench_dataflow_energy_report
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench for the intra-layer pipeline (Fig. 7): simulated cycles with the
+//! pipeline on versus off, and the SA-Diag split versus folding everything onto SA-General.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vitality_accel::{AcceleratorConfig, PipelineMode, VitalityAccelerator};
+use vitality_vit::{ModelConfig, ModelWorkload};
+
+fn bench_pipeline_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_ablation");
+    for config in [ModelConfig::deit_tiny(), ModelConfig::mobilevit_xs()] {
+        let workload = ModelWorkload::for_model(&config);
+        for mode in [PipelineMode::Pipelined, PipelineMode::Sequential] {
+            let accel = VitalityAccelerator::new(AcceleratorConfig::paper()).with_pipeline(mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), config.name),
+                &workload,
+                |b, wl| b.iter(|| black_box(accel.simulate_model(wl))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_layer_schedule(c: &mut Criterion) {
+    let accel = VitalityAccelerator::new(AcceleratorConfig::paper());
+    let mut group = c.benchmark_group("layer_schedule");
+    for &(n, d, h) in &[(197usize, 64usize, 3usize), (256, 24, 4), (49, 16, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}_h{h}")),
+            &(n, d, h),
+            |b, &(n, d, h)| b.iter(|| black_box(accel.attention_layer_schedule(n, d, h))),
+        );
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_pipeline_ablation, bench_layer_schedule
+}
+criterion_main!(benches);

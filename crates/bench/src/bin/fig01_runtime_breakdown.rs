@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1: MHA runtime breakdown of DeiT-Tiny on three devices.
+fn main() {
+    println!("{}", vitality_bench::tables::fig01_runtime_breakdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3: attention-logit distribution before/after mean-centring.
+fn main() {
+    println!("{}", vitality_bench::tables::fig03_attention_distribution());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10: accuracy of the four training schemes across models.
+//! Pass `--quick` for a fast, smaller-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", vitality_bench::accuracy::fig10_accuracy(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11: end-to-end latency speedup of the ViTALiTy accelerator.
+fn main() {
+    println!("{}", vitality_bench::hardware::fig11_latency_speedup());
+}

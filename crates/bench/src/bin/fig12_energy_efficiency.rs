@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12: energy-efficiency improvement of the ViTALiTy accelerator.
+fn main() {
+    println!("{}", vitality_bench::hardware::fig12_energy_efficiency());
+}

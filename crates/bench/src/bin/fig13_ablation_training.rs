@@ -1,0 +1,6 @@
+//! Regenerates Fig. 13: the training-scheme ablation.
+//! Pass `--quick` for a fast, smaller-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", vitality_bench::accuracy::fig13_training_ablation(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 14: the sparse component vanishing over training epochs.
+//! Pass `--quick` for a fast, smaller-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", vitality_bench::accuracy::fig14_sparse_vanishing(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 15: the sparsity-threshold sweep.
+//! Pass `--quick` for a fast, smaller-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", vitality_bench::accuracy::fig15_threshold_sweep(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section V-C comparison against the SALO accelerator.
+fn main() {
+    println!("{}", vitality_bench::hardware::salo_comparison());
+}

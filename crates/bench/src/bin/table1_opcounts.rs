@@ -1,0 +1,4 @@
+//! Regenerates Table I: attention operation counts.
+fn main() {
+    println!("{}", vitality_bench::tables::table1_opcounts());
+}

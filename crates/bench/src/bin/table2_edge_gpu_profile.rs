@@ -1,0 +1,4 @@
+//! Regenerates Table II: per-step attention latency on the edge-GPU model.
+fn main() {
+    println!("{}", vitality_bench::tables::table2_edge_gpu_profile());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III: accelerator configurations (area/power).
+fn main() {
+    println!("{}", vitality_bench::tables::table3_accelerator_config());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV: accuracy versus attention FLOPs trade-off.
+//! Pass `--quick` for a fast, smaller-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", vitality_bench::accuracy::table4_accuracy_flops(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table V: G-stationary vs down-forward accumulation dataflow energy.
+fn main() {
+    println!("{}", vitality_bench::tables::table5_dataflow_energy());
+}

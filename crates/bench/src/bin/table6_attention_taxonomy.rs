@@ -1,0 +1,4 @@
+//! Regenerates Table VI: attention taxonomy and required pre/post-processors.
+fn main() {
+    println!("{}", vitality_bench::tables::table6_attention_taxonomy());
+}

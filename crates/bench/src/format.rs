@@ -1,0 +1,113 @@
+//! Small plain-text table formatting helpers shared by the experiment reports.
+
+/// Renders a table with a header row and aligned columns.
+///
+/// ```
+/// let table = vitality_bench::format::render_table(
+///     &["model", "speedup"],
+///     &[vec!["DeiT-Tiny".to_string(), "3.1x".to_string()]],
+/// );
+/// assert!(table.contains("DeiT-Tiny"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, width) in cells.iter().zip(widths.iter()) {
+            line.push_str(&format!(" {cell:<width$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut separator = String::from("|");
+    for width in &widths {
+        separator.push_str(&format!("{}|", "-".repeat(width + 2)));
+    }
+    separator.push('\n');
+    out.push_str(&separator);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a duration in seconds with an appropriate unit.
+pub fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2} us", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+/// Formats an energy in joules with an appropriate unit.
+pub fn format_energy(joules: f64) -> String {
+    if joules >= 1.0 {
+        format!("{joules:.2} J")
+    } else if joules >= 1e-3 {
+        format!("{:.2} mJ", joules * 1e3)
+    } else if joules >= 1e-6 {
+        format!("{:.2} uJ", joules * 1e6)
+    } else {
+        format!("{:.2} nJ", joules * 1e9)
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn format_ratio(ratio: f64) -> String {
+    format!("{ratio:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn format_percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_content() {
+        let table = render_table(
+            &["a", "long header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["wide cell".into(), "3".into()],
+            ],
+        );
+        assert!(table.contains("long header"));
+        assert!(table.contains("wide cell"));
+        assert_eq!(table.lines().count(), 4);
+        // Every row has the same width.
+        let widths: Vec<usize> = table.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(format_duration(2.0), "2.00 s");
+        assert_eq!(format_duration(2e-3), "2.00 ms");
+        assert_eq!(format_duration(2e-6), "2.00 us");
+        assert_eq!(format_duration(2e-9), "2.00 ns");
+        assert_eq!(format_energy(1.5), "1.50 J");
+        assert_eq!(format_energy(1.5e-3), "1.50 mJ");
+        assert_eq!(format_energy(1.5e-6), "1.50 uJ");
+        assert_eq!(format_energy(1.5e-9), "1.50 nJ");
+        assert_eq!(format_ratio(3.14), "3.1x");
+        assert_eq!(format_percent(0.525), "52.5%");
+    }
+}

@@ -1,0 +1,243 @@
+//! Hardware comparison experiments: Fig. 11 (latency speedup), Fig. 12 (energy
+//! efficiency) and the Section V-C SALO comparison.
+
+use crate::format::{format_duration, format_ratio, render_table};
+use vitality_accel::{AcceleratorConfig, VitalityAccelerator};
+use vitality_baselines::{AttentionKind, DeviceModel, SaloAccelerator, SangerAccelerator, SangerConfig};
+use vitality_vit::{ModelConfig, ModelWorkload};
+
+/// Latency/energy of every baseline platform and the ViTALiTy accelerator for one model.
+#[derive(Debug, Clone)]
+pub struct PlatformComparison {
+    /// Model name.
+    pub model: &'static str,
+    /// ViTALiTy accelerator attention / end-to-end latency (seconds) and energy (joules).
+    pub vitality: (f64, f64, f64),
+    /// Sanger accelerator attention / end-to-end latency and end-to-end energy.
+    pub sanger: (f64, f64, f64),
+    /// GPU (RTX 2080Ti) attention / end-to-end latency and end-to-end energy.
+    pub gpu: (f64, f64, f64),
+    /// Edge GPU (Jetson TX2) attention / end-to-end latency and end-to-end energy.
+    pub edge_gpu: (f64, f64, f64),
+    /// CPU (Xeon 6230) attention / end-to-end latency and end-to-end energy.
+    pub cpu: (f64, f64, f64),
+}
+
+/// Runs every platform on every model of Fig. 11 / Fig. 12.
+pub fn compare_all_platforms() -> Vec<PlatformComparison> {
+    let vitality = VitalityAccelerator::new(AcceleratorConfig::paper());
+    let sanger = SangerAccelerator::new(SangerConfig::paper());
+    let gpu = DeviceModel::rtx_2080ti();
+    let edge = DeviceModel::jetson_tx2();
+    let cpu = DeviceModel::xeon_6230();
+    ModelConfig::all_models()
+        .iter()
+        .map(|config| {
+            let workload = ModelWorkload::for_model(config);
+            let v = vitality.simulate_model(&workload);
+            let s = sanger.simulate_model(&workload);
+            let device = |d: &DeviceModel| {
+                let report = d.simulate(&workload, AttentionKind::VanillaSoftmax);
+                (report.attention_latency_s(), report.total_latency_s(), report.energy_j)
+            };
+            PlatformComparison {
+                model: config.name,
+                vitality: (v.attention_latency_s, v.total_latency_s, v.total_energy_j),
+                sanger: (s.attention_latency_s, s.total_latency_s, s.total_energy_j),
+                gpu: device(&gpu),
+                edge_gpu: device(&edge),
+                cpu: device(&cpu),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 11: end-to-end latency speedup of the ViTALiTy accelerator over the GPU, Sanger,
+/// edge GPU and CPU, for all seven models.
+pub fn fig11_latency_speedup() -> String {
+    let comparisons = compare_all_platforms();
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4];
+    for c in &comparisons {
+        let speedups = [
+            c.gpu.1 / c.vitality.1,
+            c.sanger.1 / c.vitality.1,
+            c.edge_gpu.1 / c.vitality.1,
+            c.cpu.1 / c.vitality.1,
+        ];
+        for (sum, s) in sums.iter_mut().zip(speedups.iter()) {
+            *sum += s;
+        }
+        rows.push(vec![
+            c.model.to_string(),
+            format_duration(c.vitality.1),
+            format_ratio(speedups[0]),
+            format_ratio(speedups[1]),
+            format_ratio(speedups[2]),
+            format_ratio(speedups[3]),
+        ]);
+    }
+    let n = comparisons.len() as f64;
+    rows.push(vec![
+        "Average".to_string(),
+        String::new(),
+        format_ratio(sums[0] / n),
+        format_ratio(sums[1] / n),
+        format_ratio(sums[2] / n),
+        format_ratio(sums[3] / n),
+    ]);
+    let mut out = String::from(
+        "Fig. 11 — End-to-end latency speedup of the ViTALiTy accelerator\n(paper averages: ~2x GPU, ~3x Sanger, ~30x EdgeGPU, ~53x CPU)\n\n",
+    );
+    out.push_str(&render_table(
+        &["model", "ViTALiTy latency", "vs GPU", "vs Sanger", "vs EdgeGPU", "vs CPU"],
+        &rows,
+    ));
+    out.push_str("\nAttention-only speedups (paper averages: ~9x GPU, ~7x Sanger, ~239x EdgeGPU, ~236x CPU)\n\n");
+    let mut attention_rows = Vec::new();
+    for c in &comparisons {
+        attention_rows.push(vec![
+            c.model.to_string(),
+            format_ratio(c.gpu.0 / c.vitality.0),
+            format_ratio(c.sanger.0 / c.vitality.0),
+            format_ratio(c.edge_gpu.0 / c.vitality.0),
+            format_ratio(c.cpu.0 / c.vitality.0),
+        ]);
+    }
+    out.push_str(&render_table(
+        &["model", "vs GPU", "vs Sanger", "vs EdgeGPU", "vs CPU"],
+        &attention_rows,
+    ));
+    out
+}
+
+/// Fig. 12: end-to-end energy-efficiency improvement of the ViTALiTy accelerator over
+/// Sanger, the GPU, the edge GPU and the CPU.
+pub fn fig12_energy_efficiency() -> String {
+    let comparisons = compare_all_platforms();
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4];
+    for c in &comparisons {
+        let ratios = [
+            c.sanger.2 / c.vitality.2,
+            c.gpu.2 / c.vitality.2,
+            c.edge_gpu.2 / c.vitality.2,
+            c.cpu.2 / c.vitality.2,
+        ];
+        for (sum, r) in sums.iter_mut().zip(ratios.iter()) {
+            *sum += r;
+        }
+        rows.push(vec![
+            c.model.to_string(),
+            crate::format::format_energy(c.vitality.2),
+            format_ratio(ratios[0]),
+            format_ratio(ratios[1]),
+            format_ratio(ratios[2]),
+            format_ratio(ratios[3]),
+        ]);
+    }
+    let n = comparisons.len() as f64;
+    rows.push(vec![
+        "Average".to_string(),
+        String::new(),
+        format_ratio(sums[0] / n),
+        format_ratio(sums[1] / n),
+        format_ratio(sums[2] / n),
+        format_ratio(sums[3] / n),
+    ]);
+    let mut out = String::from(
+        "Fig. 12 — End-to-end energy-efficiency improvement of the ViTALiTy accelerator\n(paper averages: ~3x Sanger, ~73x GPU, ~67x EdgeGPU, ~115x CPU)\n\n",
+    );
+    out.push_str(&render_table(
+        &["model", "ViTALiTy energy", "vs Sanger", "vs GPU", "vs EdgeGPU", "vs CPU"],
+        &rows,
+    ));
+    out
+}
+
+/// Section V-C: attention speedup over the SALO window-attention accelerator for
+/// DeiT-Tiny and DeiT-Small under a matched hardware budget.
+pub fn salo_comparison() -> String {
+    let vitality = VitalityAccelerator::new(AcceleratorConfig::paper());
+    let salo = SaloAccelerator::matched_budget();
+    let mut rows = Vec::new();
+    for (config, paper) in [(ModelConfig::deit_tiny(), 4.7), (ModelConfig::deit_small(), 5.0)] {
+        let workload = ModelWorkload::for_model(&config);
+        let vitality_latency = vitality.simulate_model(&workload).attention_latency_s;
+        let salo_latency = salo.attention_latency_s(&workload);
+        rows.push(vec![
+            config.name.to_string(),
+            format_duration(salo_latency),
+            format_duration(vitality_latency),
+            format_ratio(salo_latency / vitality_latency),
+            format!("{paper}x"),
+        ]);
+    }
+    let mut out = String::from("Section V-C — Attention speedup over SALO under a matched hardware budget\n\n");
+    out.push_str(&render_table(
+        &["model", "SALO attention", "ViTALiTy attention", "speedup", "paper"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vitality_wins_every_end_to_end_comparison() {
+        for c in compare_all_platforms() {
+            assert!(c.vitality.1 < c.sanger.1, "{}: Sanger", c.model);
+            assert!(c.vitality.1 < c.gpu.1, "{}: GPU", c.model);
+            assert!(c.vitality.1 < c.edge_gpu.1, "{}: EdgeGPU", c.model);
+            assert!(c.vitality.1 < c.cpu.1, "{}: CPU", c.model);
+            assert!(c.vitality.2 < c.sanger.2, "{}: Sanger energy", c.model);
+            assert!(c.vitality.2 < c.cpu.2, "{}: CPU energy", c.model);
+        }
+    }
+
+    #[test]
+    fn speedup_ordering_matches_the_paper() {
+        // CPU and the edge GPU are far slower than the desktop GPU; Sanger sits between
+        // the GPU and the edge platforms (Fig. 11's ordering).
+        let comparisons = compare_all_platforms();
+        let avg = |f: &dyn Fn(&PlatformComparison) -> f64| {
+            comparisons.iter().map(f).sum::<f64>() / comparisons.len() as f64
+        };
+        let gpu = avg(&|c| c.gpu.1 / c.vitality.1);
+        let sanger = avg(&|c| c.sanger.1 / c.vitality.1);
+        let edge = avg(&|c| c.edge_gpu.1 / c.vitality.1);
+        let cpu = avg(&|c| c.cpu.1 / c.vitality.1);
+        assert!(gpu > 1.0 && gpu < 15.0, "GPU speedup {gpu:.1}");
+        assert!(sanger > 1.5 && sanger < 12.0, "Sanger speedup {sanger:.1}");
+        assert!(edge > 8.0, "EdgeGPU speedup {edge:.1}");
+        assert!(cpu > 15.0, "CPU speedup {cpu:.1}");
+        assert!(gpu < edge && gpu < cpu);
+        assert!(sanger < edge);
+    }
+
+    #[test]
+    fn attention_speedups_exceed_end_to_end_speedups() {
+        // Amdahl: the attention is where the algorithmic win is, so attention-only
+        // speedups are larger than end-to-end ones (236x vs 53x on the CPU in the paper).
+        for c in compare_all_platforms() {
+            assert!(c.cpu.0 / c.vitality.0 > c.cpu.1 / c.vitality.1, "{}", c.model);
+            assert!(c.edge_gpu.0 / c.vitality.0 > c.edge_gpu.1 / c.vitality.1, "{}", c.model);
+        }
+    }
+
+    #[test]
+    fn reports_render_every_model() {
+        let fig11 = fig11_latency_speedup();
+        let fig12 = fig12_energy_efficiency();
+        for config in ModelConfig::all_models() {
+            assert!(fig11.contains(config.name));
+            assert!(fig12.contains(config.name));
+        }
+        assert!(fig11.contains("Average"));
+        assert!(fig12.contains("Average"));
+        let salo = salo_comparison();
+        assert!(salo.contains("DeiT-Small"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the ViTALiTy paper.
+//!
+//! Each experiment is a plain function returning a formatted report string, so it can be
+//! exercised both by the `src/bin/*` experiment binaries (what `EXPERIMENTS.md` records)
+//! and by the integration tests that assert the reproduced *shapes* — who wins, by roughly
+//! what factor, where the crossovers fall.
+//!
+//! | Paper artefact | Function |
+//! |---|---|
+//! | Fig. 1 (MHA runtime breakdown)            | [`tables::fig01_runtime_breakdown`] |
+//! | Fig. 3 (attention distribution)           | [`tables::fig03_attention_distribution`] |
+//! | Table I (operation counts)                | [`tables::table1_opcounts`] |
+//! | Table II (edge-GPU step profiling)        | [`tables::table2_edge_gpu_profile`] |
+//! | Table III (accelerator configurations)    | [`tables::table3_accelerator_config`] |
+//! | Fig. 10 (accuracy across models)          | [`accuracy::fig10_accuracy`] |
+//! | Table IV (accuracy vs attention FLOPs)    | [`accuracy::table4_accuracy_flops`] |
+//! | Fig. 11 (latency speedup)                 | [`hardware::fig11_latency_speedup`] |
+//! | Fig. 12 (energy efficiency)               | [`hardware::fig12_energy_efficiency`] |
+//! | Fig. 13 (training-scheme ablation)        | [`accuracy::fig13_training_ablation`] |
+//! | Fig. 14 (sparse component vanishing)      | [`accuracy::fig14_sparse_vanishing`] |
+//! | Fig. 15 (sparsity-threshold sweep)        | [`accuracy::fig15_threshold_sweep`] |
+//! | Table V (dataflow energy ablation)        | [`tables::table5_dataflow_energy`] |
+//! | Table VI (attention taxonomy)             | [`tables::table6_attention_taxonomy`] |
+//! | §V-C SALO comparison                      | [`hardware::salo_comparison`] |
+
+#![deny(missing_docs)]
+
+pub mod accuracy;
+pub mod format;
+pub mod hardware;
+pub mod tables;

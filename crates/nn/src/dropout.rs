@@ -1,0 +1,114 @@
+//! Inverted dropout.
+
+use rand::Rng;
+
+use vitality_autograd::Var;
+use vitality_tensor::Matrix;
+
+/// Inverted dropout: during training, elements are zeroed with probability `p` and the
+/// survivors are scaled by `1 / (1 - p)` so that inference needs no rescaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Samples a keep/drop mask (already including the `1/(1-p)` scale) for a tensor of
+    /// the given shape.
+    pub fn sample_mask<R: Rng + ?Sized>(&self, rng: &mut R, rows: usize, cols: usize) -> Matrix {
+        if self.p == 0.0 {
+            return Matrix::ones(rows, cols);
+        }
+        let keep = 1.0 - self.p;
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Applies dropout on the autograd graph using a pre-sampled mask.
+    ///
+    /// The mask already carries the `1/(1-p)` scale, so a Hadamard product with a constant
+    /// realises scaled dropout with the correct gradient.
+    pub fn forward(&self, x: &Var, mask: &Matrix) -> Var {
+        if self.p == 0.0 {
+            x.clone()
+        } else {
+            x.hadamard(&x.graph().constant(mask.clone()))
+        }
+    }
+
+    /// Applies dropout to a plain matrix (inference-time no-op: inverted dropout needs no
+    /// rescaling at inference).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_autograd::Graph;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let d = Dropout::new(0.0);
+        assert_eq!(d.probability(), 0.0);
+        let mut rng = StdRng::seed_from_u64(15);
+        let mask = d.sample_mask(&mut rng, 3, 3);
+        assert!(mask.approx_eq(&Matrix::ones(3, 3), 0.0));
+        let x = Matrix::ones(3, 3);
+        assert!(d.infer(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn mask_preserves_expectation() {
+        let d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(16);
+        let mask = d.sample_mask(&mut rng, 100, 100);
+        // Inverted dropout: the mean of the mask should be close to 1.
+        assert!((mask.mean() - 1.0).abs() < 0.05, "mean {}", mask.mean());
+        // Survivors carry the 1/keep scale.
+        assert!(mask.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn forward_applies_mask_with_gradient() {
+        let d = Dropout::new(0.5);
+        let graph = Graph::new();
+        let x = graph.parameter(Matrix::ones(2, 2));
+        let mask = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        let y = d.forward(&x, &mask);
+        assert_eq!(y.value().sum(), 4.0);
+        let grads = graph.backward(&y.sum());
+        let gx = grads.get(&x).unwrap();
+        assert_eq!(gx.get(0, 0), 2.0);
+        assert_eq!(gx.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_probability() {
+        let _ = Dropout::new(1.0);
+    }
+}

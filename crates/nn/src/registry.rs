@@ -1,0 +1,111 @@
+//! Parameter registration shared by every layer.
+
+use std::collections::HashMap;
+
+use vitality_autograd::{Gradients, Graph, Var, VarId};
+use vitality_tensor::Matrix;
+
+/// Records which tape node each named parameter was registered to during a forward pass.
+///
+/// The registry is rebuilt together with the graph at every training step. After a
+/// backward pass it resolves parameter names to gradients, which is what the optimisers in
+/// `vitality-train` consume.
+#[derive(Debug, Default, Clone)]
+pub struct ParamRegistry {
+    ids: HashMap<String, VarId>,
+}
+
+impl ParamRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `value` as a trainable parameter called `name` on `graph` and returns the
+    /// tape variable to use in the forward computation.
+    ///
+    /// Registering the same name twice in one pass returns a fresh node each time and the
+    /// later registration wins for gradient lookup; layers therefore use unique prefixes.
+    pub fn register(&mut self, graph: &Graph, name: impl Into<String>, value: &Matrix) -> Var {
+        let var = graph.parameter(value.clone());
+        self.ids.insert(name.into(), var.id());
+        var
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Gradient of the parameter registered under `name`, if any.
+    pub fn grad<'g>(&self, name: &str, grads: &'g Gradients) -> Option<&'g Matrix> {
+        self.ids.get(name).and_then(|id| grads.get_by_id(*id))
+    }
+
+    /// Names of all registered parameters (order unspecified).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.ids.keys().map(String::as_str)
+    }
+}
+
+/// Trait implemented by layers and models that own trainable parameters.
+///
+/// `visit_parameters` and `visit_parameters_mut` walk every owned matrix with a stable,
+/// fully-qualified name (for example `"block3.attn.wq"`), which is the contract the
+/// optimisers rely on.
+pub trait NamedParameters {
+    /// Calls `visitor` with the name and current value of every parameter.
+    fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix));
+
+    /// Calls `visitor` with the name and a mutable reference to every parameter.
+    fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix));
+
+    /// Total number of scalar parameters.
+    fn parameter_count(&self) -> usize {
+        let mut count = 0;
+        self.visit_parameters("", &mut |_, m| count += m.len());
+        count
+    }
+}
+
+/// Joins a prefix and a leaf name with a dot, omitting the dot for an empty prefix.
+pub(crate) fn qualify(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_gradients() {
+        let graph = Graph::new();
+        let mut reg = ParamRegistry::new();
+        let w = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        let w_var = reg.register(&graph, "w", &w);
+        let x = graph.constant(Matrix::ones(1, 2));
+        let loss = x.matmul(&w_var).sum();
+        let grads = graph.backward(&loss);
+        let gw = reg.grad("w", &grads).unwrap();
+        assert_eq!(gw.shape(), (2, 2));
+        assert!(reg.grad("missing", &grads).is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.names().count(), 1);
+    }
+
+    #[test]
+    fn qualify_handles_empty_prefix() {
+        assert_eq!(qualify("", "w"), "w");
+        assert_eq!(qualify("block0.attn", "wq"), "block0.attn.wq");
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for shape-checked tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used by fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+/// Error returned when the shapes of two operands are incompatible.
+///
+/// The panic-free entry points (`try_*` methods on [`crate::Matrix`]) return this error
+/// instead of panicking, so callers that assemble shapes at runtime (for example the
+/// accelerator simulator replaying arbitrary workloads) can recover gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the operation that failed, e.g. `"matmul"`.
+    op: &'static str,
+    /// Shape of the left-hand operand.
+    lhs: (usize, usize),
+    /// Shape of the right-hand operand.
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with the offending operand shapes.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that rejected the shapes.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left-hand operand.
+    pub fn lhs(&self) -> (usize, usize) {
+        self.lhs
+    }
+
+    /// Shape of the right-hand operand.
+    pub fn rhs(&self) -> (usize, usize) {
+        self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: left is {}x{}, right is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation_and_shapes() {
+        let err = ShapeError::new("matmul", (2, 3), (4, 5));
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+        assert_eq!(err.op(), "matmul");
+        assert_eq!(err.lhs(), (2, 3));
+        assert_eq!(err.rhs(), (4, 5));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic random initialisers for matrices.
+//!
+//! All initialisers take an explicit `rand::Rng`, so experiment binaries can seed a
+//! `StdRng` and obtain bit-for-bit reproducible weights and synthetic data.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Samples a standard normal value using the Box–Muller transform.
+///
+/// Implemented locally to keep the dependency set to the pre-approved crates (no
+/// `rand_distr`).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid log(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Matrix with i.i.d. normal entries of the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    mean: f32,
+    std_dev: f32,
+) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std_dev * sample_standard_normal(rng))
+}
+
+/// Matrix with i.i.d. uniform entries drawn from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Xavier/Glorot uniform initialiser for a weight matrix with `rows` inputs and `cols`
+/// outputs: entries are uniform in `[-a, a]` with `a = sqrt(6 / (rows + cols))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, -a, a)
+}
+
+/// Kaiming/He normal initialiser: entries are normal with standard deviation
+/// `sqrt(2 / rows)`. Suited to layers followed by ReLU/GELU non-linearities.
+pub fn kaiming_normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    normal(rng, rows, cols, 0.0, (2.0 / rows.max(1) as f32).sqrt())
+}
+
+/// Truncated normal initialiser (values re-sampled until they fall within
+/// `mean ± 2 * std_dev`), the initialiser DeiT uses for its projection weights.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    mean: f32,
+    std_dev: f32,
+) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| loop {
+        let v = mean + std_dev * sample_standard_normal(rng);
+        if (v - mean).abs() <= 2.0 * std_dev {
+            return v;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_expected_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = normal(&mut rng, 100, 100, 0.5, 2.0);
+        let s = m.summary();
+        assert!((s.mean - 0.5).abs() < 0.05, "mean was {}", s.mean);
+        assert!((s.std_dev - 2.0).abs() < 0.05, "std was {}", s.std_dev);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = uniform(&mut rng, 50, 50, -0.25, 0.25);
+        assert!(m.max() < 0.25);
+        assert!(m.min() >= -0.25);
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = xavier_uniform(&mut rng, 64, 64);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(m.max() <= bound + 1e-6);
+        assert!(m.min() >= -bound - 1e-6);
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let wide = kaiming_normal(&mut rng, 512, 32);
+        let narrow = kaiming_normal(&mut rng, 8, 32);
+        assert!(wide.summary().std_dev < narrow.summary().std_dev);
+    }
+
+    #[test]
+    fn truncated_normal_stays_within_two_sigma() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = truncated_normal(&mut rng, 40, 40, 0.0, 0.02);
+        assert!(m.max() <= 0.04 + 1e-6);
+        assert!(m.min() >= -0.04 - 1e-6);
+    }
+
+    #[test]
+    fn seeded_initialisation_is_deterministic() {
+        let a = normal(&mut StdRng::seed_from_u64(42), 10, 10, 0.0, 1.0);
+        let b = normal(&mut StdRng::seed_from_u64(42), 10, 10, 0.0, 1.0);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Histogram and interval-occupancy helpers.
+//!
+//! The ViTALiTy paper motivates its Taylor attention with the distribution of
+//! (mean-centred) attention logits: Fig. 3 shows that row-wise mean centring moves up to
+//! 67% of the similarity values into the interval `[-1, 1)`. These helpers compute the
+//! same statistics for arbitrary matrices.
+
+use crate::matrix::Matrix;
+
+/// Simple summary statistics over a collection of values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std_dev: f32,
+    /// Smallest value.
+    pub min: f32,
+    /// Largest value.
+    pub max: f32,
+    /// Number of values summarised.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`. An empty slice yields all-zero statistics.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f32>() / count as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / count as f32;
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            count,
+        }
+    }
+}
+
+/// A fixed-width histogram over a closed-open interval `[lo, hi)`.
+///
+/// Values outside the interval are accumulated in underflow / overflow counters so that
+/// the histogram never silently drops observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    bins: Vec<usize>,
+    underflow: usize,
+    overflow: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram interval must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds a single observation.
+    pub fn record(&mut self, value: f32) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f32;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Adds every element of a matrix.
+    pub fn record_matrix(&mut self, matrix: &Matrix) {
+        for &v in matrix.iter() {
+            self.record(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Observations below the interval.
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Total number of recorded observations (including under/overflow).
+    pub fn total(&self) -> usize {
+        self.bins.iter().sum::<usize>() + self.underflow + self.overflow
+    }
+
+    /// Fraction of observations that landed inside `[lo, hi)`.
+    pub fn fraction_in_range(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bins.iter().sum::<usize>() as f32 / total as f32
+    }
+
+    /// Normalised bin densities (fractions of the total count).
+    pub fn densities(&self) -> Vec<f32> {
+        let total = self.total().max(1) as f32;
+        self.bins.iter().map(|&c| c as f32 / total).collect()
+    }
+}
+
+/// Fraction of matrix elements lying in the closed-open interval `[lo, hi)`.
+///
+/// This is the paper's Fig. 3 metric: the share of attention logits inside `[-1, 1)`,
+/// i.e. the share of "weak" query/key connections that the first-order Taylor expansion
+/// approximates well.
+///
+/// ```
+/// use vitality_tensor::{Matrix, stats::fraction_in_interval};
+/// let m = Matrix::from_rows(&[vec![-0.5, 0.5, 2.0, -3.0]]).unwrap();
+/// assert!((fraction_in_interval(&m, -1.0, 1.0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn fraction_in_interval(matrix: &Matrix, lo: f32, hi: f32) -> f32 {
+    if matrix.is_empty() {
+        return 0.0;
+    }
+    let inside = matrix.iter().filter(|&&v| v >= lo && v < hi).count();
+    inside as f32 / matrix.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.std_dev - (1.25f32).sqrt()).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_of_empty_slice_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(-1.0, 1.0, 4);
+        for v in [-2.0, -0.9, -0.1, 0.1, 0.9, 1.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<usize>(), 4);
+        assert!((h.fraction_in_range() - 4.0 / 7.0).abs() < 1e-6);
+        let densities = h.densities();
+        assert!((densities.iter().sum::<f32>() - 4.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_record_matrix() {
+        let m = Matrix::from_rows(&[vec![-0.5, 0.5], vec![1.5, -1.5]]).unwrap();
+        let mut h = Histogram::new(-1.0, 1.0, 2);
+        h.record_matrix(&m);
+        assert_eq!(h.total(), 4);
+        assert!((h.fraction_in_range() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn fraction_in_interval_edges() {
+        let m = Matrix::from_rows(&[vec![-1.0, 1.0]]).unwrap();
+        // Closed at the lower bound, open at the upper bound.
+        assert!((fraction_in_interval(&m, -1.0, 1.0) - 0.5).abs() < 1e-6);
+        assert_eq!(fraction_in_interval(&Matrix::zeros(0, 0), -1.0, 1.0), 0.0);
+    }
+}

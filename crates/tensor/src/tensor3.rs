@@ -1,0 +1,231 @@
+//! Batched stacks of equally-shaped matrices (the head / batch dimension).
+
+use crate::error::{ShapeError, TensorResult};
+use crate::matrix::Matrix;
+
+/// A stack of equally-shaped [`Matrix`] values.
+///
+/// Multi-head attention operates on one `n x d` matrix per head; `Tensor3` groups those
+/// per-head matrices, letting model code express "apply this per-head kernel to every
+/// head" without hand-rolled loops everywhere.
+///
+/// # Example
+///
+/// ```
+/// use vitality_tensor::{Matrix, Tensor3};
+///
+/// let heads = Tensor3::from_matrices(vec![Matrix::ones(4, 2), Matrix::zeros(4, 2)]).unwrap();
+/// let scaled = heads.map(|m| m.scale(3.0));
+/// assert_eq!(scaled.get(0).sum(), 24.0);
+/// assert_eq!(scaled.get(1).sum(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    mats: Vec<Matrix>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor3 {
+    /// Creates a stack of `batch` zero matrices of shape `rows x cols`.
+    pub fn zeros(batch: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            mats: (0..batch).map(|_| Matrix::zeros(rows, cols)).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a stack from existing matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the matrices do not all share a shape or when the
+    /// input is empty.
+    pub fn from_matrices(mats: Vec<Matrix>) -> TensorResult<Self> {
+        let first = mats
+            .first()
+            .ok_or_else(|| ShapeError::new("tensor3_from_matrices", (0, 0), (0, 0)))?;
+        let (rows, cols) = first.shape();
+        for m in &mats {
+            if m.shape() != (rows, cols) {
+                return Err(ShapeError::new("tensor3_from_matrices", (rows, cols), m.shape()));
+            }
+        }
+        Ok(Self { mats, rows, cols })
+    }
+
+    /// Number of matrices in the stack.
+    pub fn batch(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Shape of every matrix in the stack.
+    pub fn inner_shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `(batch, rows, cols)` triple.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.mats.len(), self.rows, self.cols)
+    }
+
+    /// Borrow of the `index`-th matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= batch()`.
+    pub fn get(&self, index: usize) -> &Matrix {
+        &self.mats[index]
+    }
+
+    /// Mutable borrow of the `index`-th matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= batch()`.
+    pub fn get_mut(&mut self, index: usize) -> &mut Matrix {
+        &mut self.mats[index]
+    }
+
+    /// Iterator over the stacked matrices.
+    pub fn iter(&self) -> std::slice::Iter<'_, Matrix> {
+        self.mats.iter()
+    }
+
+    /// Consumes the stack, returning the underlying matrices.
+    pub fn into_matrices(self) -> Vec<Matrix> {
+        self.mats
+    }
+
+    /// Applies `f` to every matrix, producing a new stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` returns matrices of differing shapes.
+    pub fn map<F: FnMut(&Matrix) -> Matrix>(&self, mut f: F) -> Self {
+        let mats: Vec<Matrix> = self.mats.iter().map(|m| f(m)).collect();
+        Self::from_matrices(mats).expect("map closure returned inconsistent shapes")
+    }
+
+    /// Applies a binary kernel to corresponding matrices of two stacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the batch sizes differ.
+    pub fn zip_map<F: FnMut(&Matrix, &Matrix) -> Matrix>(
+        &self,
+        other: &Self,
+        mut f: F,
+    ) -> TensorResult<Self> {
+        if self.batch() != other.batch() {
+            return Err(ShapeError::new(
+                "tensor3_zip_map",
+                (self.batch(), 0),
+                (other.batch(), 0),
+            ));
+        }
+        let mats: Vec<Matrix> = self
+            .mats
+            .iter()
+            .zip(other.mats.iter())
+            .map(|(a, b)| f(a, b))
+            .collect();
+        Self::from_matrices(mats)
+    }
+
+    /// Concatenates the stacked matrices along the column axis into one `rows x (batch*cols)`
+    /// matrix — the "merge heads" step of multi-head attention.
+    pub fn concat_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols * self.mats.len());
+        for (h, m) in self.mats.iter().enumerate() {
+            for r in 0..self.rows {
+                let dst = &mut out.row_mut(r)[h * self.cols..(h + 1) * self.cols];
+                dst.copy_from_slice(m.row(r));
+            }
+        }
+        out
+    }
+
+    /// Splits a `rows x (heads*head_dim)` matrix into a stack of `heads` matrices of shape
+    /// `rows x head_dim` — the "split heads" step of multi-head attention.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the column count is not divisible by `heads`.
+    pub fn split_cols(matrix: &Matrix, heads: usize) -> TensorResult<Self> {
+        if heads == 0 || matrix.cols() % heads != 0 {
+            return Err(ShapeError::new("tensor3_split_cols", matrix.shape(), (heads, 0)));
+        }
+        let head_dim = matrix.cols() / heads;
+        let mats = (0..heads)
+            .map(|h| matrix.slice_cols(h * head_dim, (h + 1) * head_dim))
+            .collect();
+        Self::from_matrices(mats)
+    }
+
+    /// Sum of every element across the whole stack.
+    pub fn sum(&self) -> f32 {
+        self.mats.iter().map(Matrix::sum).sum()
+    }
+
+    /// `true` when both stacks agree elementwise within `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+        self.batch() == other.batch()
+            && self
+                .mats
+                .iter()
+                .zip(other.mats.iter())
+                .all(|(a, b)| a.approx_eq(b, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_matrices_validates_shapes() {
+        assert!(Tensor3::from_matrices(vec![]).is_err());
+        assert!(Tensor3::from_matrices(vec![Matrix::ones(2, 2), Matrix::ones(2, 3)]).is_err());
+        let t = Tensor3::from_matrices(vec![Matrix::ones(2, 2), Matrix::zeros(2, 2)]).unwrap();
+        assert_eq!(t.shape(), (2, 2, 2));
+    }
+
+    #[test]
+    fn split_then_concat_round_trips() {
+        let m = Matrix::from_fn(3, 6, |i, j| (i * 6 + j) as f32);
+        let t = Tensor3::split_cols(&m, 3).unwrap();
+        assert_eq!(t.batch(), 3);
+        assert_eq!(t.inner_shape(), (3, 2));
+        assert!(t.concat_cols().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn split_rejects_indivisible_heads() {
+        let m = Matrix::ones(2, 5);
+        assert!(Tensor3::split_cols(&m, 2).is_err());
+        assert!(Tensor3::split_cols(&m, 0).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor3::from_matrices(vec![Matrix::ones(2, 2), Matrix::ones(2, 2)]).unwrap();
+        let doubled = a.map(|m| m.scale(2.0));
+        assert_eq!(doubled.sum(), 16.0);
+        let combined = a.zip_map(&doubled, |x, y| x.try_add(y).unwrap()).unwrap();
+        assert_eq!(combined.sum(), 24.0);
+        let mismatched = Tensor3::zeros(3, 2, 2);
+        assert!(a.zip_map(&mismatched, |x, _| x.clone()).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.get_mut(1).set(0, 0, 5.0);
+        assert_eq!(t.get(1).get(0, 0), 5.0);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.clone().into_matrices().len(), 2);
+        assert!(t.approx_eq(&t.clone(), 0.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Classification metrics.
+
+use vitality_tensor::Matrix;
+use vitality_vit::VisionTransformer;
+
+/// Top-1 accuracy of `model` on a labelled image set, in `[0, 1]`.
+pub fn accuracy(model: &VisionTransformer, images: &[Matrix], labels: &[usize]) -> f32 {
+    model.accuracy(images, labels)
+}
+
+/// Confusion matrix: `counts[true_class][predicted_class]`.
+///
+/// # Panics
+///
+/// Panics when a label is out of range for the model's class count.
+pub fn confusion_matrix(
+    model: &VisionTransformer,
+    images: &[Matrix],
+    labels: &[usize],
+) -> Vec<Vec<usize>> {
+    let classes = model.config().classes;
+    let mut counts = vec![vec![0usize; classes]; classes];
+    for (image, &label) in images.iter().zip(labels.iter()) {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        counts[label][model.predict(image)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+    use vitality_vit::{AttentionVariant, TrainConfig};
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_sample_counts() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(500);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let images: Vec<Matrix> = (0..6)
+            .map(|_| init::uniform(&mut rng, cfg.image_size, cfg.image_size, 0.0, 1.0))
+            .collect();
+        let labels = vec![0, 1, 2, 3, 0, 1];
+        let cm = confusion_matrix(&model, &images, &labels);
+        assert_eq!(cm.len(), cfg.classes);
+        let row_sums: Vec<usize> = cm.iter().map(|r| r.iter().sum()).collect();
+        assert_eq!(row_sums, vec![2, 2, 1, 1]);
+        // Accuracy equals the trace over the total.
+        let trace: usize = (0..cfg.classes).map(|i| cm[i][i]).sum();
+        let acc = accuracy(&model, &images, &labels);
+        assert!((acc - trace as f32 / images.len() as f32).abs() < 1e-6);
+    }
+}

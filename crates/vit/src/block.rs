@@ -1,0 +1,423 @@
+//! Multi-head attention and the Transformer block with a pluggable attention variant.
+
+use rand::Rng;
+
+use vitality_attention::{
+    mean_center_keys, AttentionMechanism, SangerSparseAttention, SoftmaxAttention,
+    TaylorAttention, UnifiedLowRankSparseAttention,
+};
+use vitality_autograd::{Graph, Var};
+use vitality_nn::registry::{NamedParameters, ParamRegistry};
+use vitality_nn::{Activation, LayerNorm, Linear, Mlp};
+use vitality_tensor::Matrix;
+
+/// Which attention mechanism a model uses, covering every training scheme of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttentionVariant {
+    /// Vanilla softmax attention (BASELINE).
+    Softmax,
+    /// ViTALiTy linear Taylor attention (LOWRANK / ViTALiTy inference).
+    Taylor,
+    /// Taylor attention without key mean-centring (ablation).
+    TaylorNoCentering,
+    /// Sanger-style sparse attention with the given threshold (SPARSE).
+    Sparse {
+        /// Sparsity threshold applied to the predicted attention.
+        threshold: f32,
+    },
+    /// Unified low-rank + sparse attention with the given threshold (ViTALiTy training).
+    Unified {
+        /// Sparsity threshold of the sparse component.
+        threshold: f32,
+    },
+}
+
+impl AttentionVariant {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttentionVariant::Softmax => "softmax",
+            AttentionVariant::Taylor => "taylor",
+            AttentionVariant::TaylorNoCentering => "taylor-no-centering",
+            AttentionVariant::Sparse { .. } => "sparse",
+            AttentionVariant::Unified { .. } => "unified",
+        }
+    }
+
+    /// Per-head inference computation.
+    pub fn infer(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        match *self {
+            AttentionVariant::Softmax => SoftmaxAttention::new().compute(q, k, v),
+            AttentionVariant::Taylor => TaylorAttention::new().compute(q, k, v),
+            AttentionVariant::TaylorNoCentering => {
+                TaylorAttention::without_mean_centering().compute(q, k, v)
+            }
+            AttentionVariant::Sparse { threshold } => {
+                SangerSparseAttention::new(threshold).compute(q, k, v)
+            }
+            AttentionVariant::Unified { threshold } => {
+                UnifiedLowRankSparseAttention::new(threshold).compute(q, k, v)
+            }
+        }
+    }
+
+    /// Per-head training computation on the autograd tape.
+    pub fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        match *self {
+            AttentionVariant::Softmax => SoftmaxAttention::new().forward_train(q, k, v),
+            AttentionVariant::Taylor => TaylorAttention::new().forward_train(q, k, v),
+            AttentionVariant::TaylorNoCentering => {
+                TaylorAttention::without_mean_centering().forward_train(q, k, v)
+            }
+            AttentionVariant::Sparse { threshold } => sparse_forward_train(threshold, q, k, v),
+            AttentionVariant::Unified { threshold } => {
+                UnifiedLowRankSparseAttention::new(threshold).forward_train(q, k, v)
+            }
+        }
+    }
+
+    /// Fraction of non-zero entries in the training-time sparse component (Fig. 14);
+    /// zero for variants without a sparse component.
+    pub fn sparse_occupancy(&self, q: &Matrix, k: &Matrix) -> f32 {
+        match *self {
+            AttentionVariant::Unified { threshold } => {
+                UnifiedLowRankSparseAttention::new(threshold).sparse_occupancy(q, k)
+            }
+            AttentionVariant::Sparse { threshold } => {
+                SangerSparseAttention::new(threshold)
+                    .prediction_mask(q, &mean_center_keys(k))
+                    .sparsity()
+                    .mul_add(-1.0, 1.0)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Differentiable Sanger-style sparse attention: the mask comes from the quantized
+/// prediction (treated as a constant), the surviving probabilities are renormalised per
+/// row, gradients flow through the full-precision path only.
+fn sparse_forward_train(threshold: f32, q: &Var, k: &Var, v: &Var) -> Var {
+    let d = q.shape().1 as f32;
+    let mask = SangerSparseAttention::new(threshold).prediction_mask(&q.value(), &k.value());
+    let probs = q
+        .matmul_transpose_b(k)
+        .scale(1.0 / d.sqrt())
+        .softmax_rows()
+        .apply_mask(&mask);
+    let renormalised = probs.broadcast_div_col(&probs.row_sum().add_scalar(1e-9));
+    renormalised.matmul(v)
+}
+
+/// Multi-head attention module: Q/K/V projections, per-head attention, head merge and the
+/// output projection.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates a multi-head attention over `embed_dim` features with `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `embed_dim` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, embed_dim: usize, heads: usize) -> Self {
+        assert!(heads > 0 && embed_dim % heads == 0, "embed_dim must divide evenly into heads");
+        Self {
+            wq: Linear::new(rng, embed_dim, embed_dim, true),
+            wk: Linear::new(rng, embed_dim, embed_dim, true),
+            wv: Linear::new(rng, embed_dim, embed_dim, true),
+            wo: Linear::new(rng, embed_dim, embed_dim, true),
+            heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head feature dimension.
+    pub fn head_dim(&self) -> usize {
+        self.wq.out_features() / self.heads
+    }
+
+    /// Training forward pass with the given attention variant.
+    pub fn forward_train(
+        &self,
+        graph: &Graph,
+        reg: &mut ParamRegistry,
+        prefix: &str,
+        variant: AttentionVariant,
+        x: &Var,
+    ) -> Var {
+        let q = self.wq.forward(graph, reg, &format!("{prefix}.wq"), x);
+        let k = self.wk.forward(graph, reg, &format!("{prefix}.wk"), x);
+        let v = self.wv.forward(graph, reg, &format!("{prefix}.wv"), x);
+        let hd = self.head_dim();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * hd, (h + 1) * hd);
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            head_outputs.push(variant.forward_train(&qh, &kh, &vh));
+        }
+        let merged = Var::concat_cols(&head_outputs);
+        self.wo.forward(graph, reg, &format!("{prefix}.wo"), &merged)
+    }
+
+    /// Inference forward pass with the given attention variant.
+    pub fn infer(&self, variant: AttentionVariant, x: &Matrix) -> Matrix {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let hd = self.head_dim();
+        let mut merged = Matrix::zeros(x.rows(), self.heads * hd);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * hd, (h + 1) * hd);
+            let z = variant.infer(&q.slice_cols(lo, hi), &k.slice_cols(lo, hi), &v.slice_cols(lo, hi));
+            for r in 0..z.rows() {
+                merged.row_mut(r)[lo..hi].copy_from_slice(z.row(r));
+            }
+        }
+        self.wo.infer(&merged)
+    }
+
+    /// Per-head scaled attention logits (raw and mean-centred), used by the Fig. 3
+    /// distribution probe.
+    pub fn head_logits(&self, x: &Matrix) -> Vec<(Matrix, Matrix)> {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let hd = self.head_dim();
+        (0..self.heads)
+            .map(|h| {
+                let (lo, hi) = (h * hd, (h + 1) * hd);
+                let qh = q.slice_cols(lo, hi);
+                let kh = k.slice_cols(lo, hi);
+                let raw = vitality_attention::softmax::scaled_similarity(&qh, &kh);
+                let centred =
+                    vitality_attention::softmax::scaled_similarity(&qh, &mean_center_keys(&kh));
+                (raw, centred)
+            })
+            .collect()
+    }
+
+    /// Mean sparse-component occupancy across heads (Fig. 14 probe).
+    pub fn sparse_occupancy(&self, variant: AttentionVariant, x: &Matrix) -> f32 {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let hd = self.head_dim();
+        let mut total = 0.0;
+        for h in 0..self.heads {
+            let (lo, hi) = (h * hd, (h + 1) * hd);
+            total += variant.sparse_occupancy(&q.slice_cols(lo, hi), &k.slice_cols(lo, hi));
+        }
+        total / self.heads as f32
+    }
+}
+
+impl NamedParameters for MultiHeadAttention {
+    fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
+        self.wq.visit_parameters(&format!("{prefix}.wq"), visitor);
+        self.wk.visit_parameters(&format!("{prefix}.wk"), visitor);
+        self.wv.visit_parameters(&format!("{prefix}.wv"), visitor);
+        self.wo.visit_parameters(&format!("{prefix}.wo"), visitor);
+    }
+
+    fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
+        self.wq.visit_parameters_mut(&format!("{prefix}.wq"), visitor);
+        self.wk.visit_parameters_mut(&format!("{prefix}.wk"), visitor);
+        self.wv.visit_parameters_mut(&format!("{prefix}.wv"), visitor);
+        self.wo.visit_parameters_mut(&format!("{prefix}.wo"), visitor);
+    }
+}
+
+/// A pre-norm Transformer block: `x + MHA(LN(x))` followed by `x + MLP(LN(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    norm1: LayerNorm,
+    attn: MultiHeadAttention,
+    norm2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a block over `embed_dim` features with `heads` heads and the given MLP
+    /// expansion ratio.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, embed_dim: usize, heads: usize, mlp_ratio: f32) -> Self {
+        let hidden = ((embed_dim as f32) * mlp_ratio).round().max(1.0) as usize;
+        Self {
+            norm1: LayerNorm::new(embed_dim),
+            attn: MultiHeadAttention::new(rng, embed_dim, heads),
+            norm2: LayerNorm::new(embed_dim),
+            mlp: Mlp::new(rng, embed_dim, hidden, Activation::Gelu),
+        }
+    }
+
+    /// The block's attention module.
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+
+    /// Training forward pass.
+    pub fn forward_train(
+        &self,
+        graph: &Graph,
+        reg: &mut ParamRegistry,
+        prefix: &str,
+        variant: AttentionVariant,
+        x: &Var,
+    ) -> Var {
+        let normed = self.norm1.forward(graph, reg, &format!("{prefix}.norm1"), x);
+        let attended = self
+            .attn
+            .forward_train(graph, reg, &format!("{prefix}.attn"), variant, &normed);
+        let x = x.add(&attended);
+        let normed = self.norm2.forward(graph, reg, &format!("{prefix}.norm2"), &x);
+        let expanded = self.mlp.forward(graph, reg, &format!("{prefix}.mlp"), &normed);
+        x.add(&expanded)
+    }
+
+    /// Inference forward pass.
+    pub fn infer(&self, variant: AttentionVariant, x: &Matrix) -> Matrix {
+        let attended = self.attn.infer(variant, &self.norm1.infer(x));
+        let x = x.try_add(&attended).expect("residual shapes");
+        let expanded = self.mlp.infer(&self.norm2.infer(&x));
+        x.try_add(&expanded).expect("residual shapes")
+    }
+}
+
+impl NamedParameters for TransformerBlock {
+    fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
+        self.norm1.visit_parameters(&format!("{prefix}.norm1"), visitor);
+        self.attn.visit_parameters(&format!("{prefix}.attn"), visitor);
+        self.norm2.visit_parameters(&format!("{prefix}.norm2"), visitor);
+        self.mlp.visit_parameters(&format!("{prefix}.mlp"), visitor);
+    }
+
+    fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
+        self.norm1.visit_parameters_mut(&format!("{prefix}.norm1"), visitor);
+        self.attn.visit_parameters_mut(&format!("{prefix}.attn"), visitor);
+        self.norm2.visit_parameters_mut(&format!("{prefix}.norm2"), visitor);
+        self.mlp.visit_parameters_mut(&format!("{prefix}.mlp"), visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    fn tokens(n: usize, d: usize, seed: u64) -> Matrix {
+        init::normal(&mut StdRng::seed_from_u64(seed), n, d, 0.0, 0.5)
+    }
+
+    #[test]
+    fn mha_output_shape_and_parameters() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let mha = MultiHeadAttention::new(&mut rng, 16, 4);
+        assert_eq!(mha.heads(), 4);
+        assert_eq!(mha.head_dim(), 4);
+        assert_eq!(mha.parameter_count(), 4 * (16 * 16 + 16));
+        let x = tokens(9, 16, 1);
+        let y = mha.infer(AttentionVariant::Softmax, &x);
+        assert_eq!(y.shape(), (9, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn mha_rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let _ = MultiHeadAttention::new(&mut rng, 10, 3);
+    }
+
+    #[test]
+    fn forward_train_matches_infer_for_every_variant() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = tokens(6, 8, 2);
+        for variant in [
+            AttentionVariant::Softmax,
+            AttentionVariant::Taylor,
+            AttentionVariant::TaylorNoCentering,
+            AttentionVariant::Sparse { threshold: 0.05 },
+            AttentionVariant::Unified { threshold: 0.1 },
+        ] {
+            let graph = Graph::new();
+            let mut reg = ParamRegistry::new();
+            let xv = graph.constant(x.clone());
+            let trained = mha.forward_train(&graph, &mut reg, "attn", variant, &xv);
+            let inferred = mha.infer(variant, &x);
+            assert!(
+                trained.value().approx_eq(&inferred, 2e-2),
+                "variant {} diverges: {}",
+                variant.label(),
+                trained.value().max_abs_diff(&inferred)
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_all_projections() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let graph = Graph::new();
+        let mut reg = ParamRegistry::new();
+        let x = graph.constant(tokens(5, 8, 3));
+        let y = mha.forward_train(&graph, &mut reg, "attn", AttentionVariant::Taylor, &x);
+        let grads = graph.backward(&y.mean_all());
+        for name in ["attn.wq.weight", "attn.wk.weight", "attn.wv.weight", "attn.wo.weight"] {
+            assert!(reg.grad(name, &grads).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn head_logits_and_sparse_occupancy_probe() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = tokens(7, 8, 4);
+        let logits = mha.head_logits(&x);
+        assert_eq!(logits.len(), 2);
+        assert_eq!(logits[0].0.shape(), (7, 7));
+        assert_eq!(logits[0].1.shape(), (7, 7));
+        let occupancy = mha.sparse_occupancy(AttentionVariant::Unified { threshold: 0.5 }, &x);
+        assert!((0.0..=1.0).contains(&occupancy));
+        assert_eq!(mha.sparse_occupancy(AttentionVariant::Taylor, &x), 0.0);
+    }
+
+    #[test]
+    fn transformer_block_train_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let block = TransformerBlock::new(&mut rng, 8, 2, 2.0);
+        let x = tokens(6, 8, 5);
+        let graph = Graph::new();
+        let mut reg = ParamRegistry::new();
+        let y = block.forward_train(
+            &graph,
+            &mut reg,
+            "block0",
+            AttentionVariant::Softmax,
+            &graph.constant(x.clone()),
+        );
+        assert!(y.value().approx_eq(&block.infer(AttentionVariant::Softmax, &x), 1e-3));
+        assert!(block.parameter_count() > 0);
+        assert_eq!(block.attention().heads(), 2);
+    }
+
+    #[test]
+    fn variant_labels_are_stable() {
+        assert_eq!(AttentionVariant::Softmax.label(), "softmax");
+        assert_eq!(AttentionVariant::Taylor.label(), "taylor");
+        assert_eq!(AttentionVariant::Sparse { threshold: 0.1 }.label(), "sparse");
+        assert_eq!(AttentionVariant::Unified { threshold: 0.1 }.label(), "unified");
+        assert_eq!(AttentionVariant::TaylorNoCentering.label(), "taylor-no-centering");
+    }
+}

@@ -1,0 +1,468 @@
+//! Model configurations for the seven ViT models evaluated in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Which family a model belongs to (used for labelling experiment output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Vanilla (isotropic) ViTs: DeiT-Tiny/Small/Base.
+    Deit,
+    /// Lightweight hybrid CNN+ViT models: MobileViT-xxs/xs.
+    MobileVit,
+    /// Hybrid multi-stage models with attention downsampling: LeViT-128s/128.
+    Levit,
+}
+
+/// One stage of a (possibly hierarchical) ViT: a run of identical Transformer layers over
+/// a fixed token count.
+///
+/// Isotropic models such as DeiT have exactly one stage; MobileViT and LeViT have three
+/// stages with decreasing token counts and increasing widths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageConfig {
+    /// Number of tokens `n` entering the attention of this stage.
+    pub tokens: usize,
+    /// Embedding (model) dimension used by the projections and the MLP.
+    pub embed_dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Per-head feature dimension `d` used by the attention op-count model.
+    pub head_dim: usize,
+    /// Number of Transformer layers in the stage.
+    pub layers: usize,
+    /// MLP expansion ratio (hidden = embed_dim * mlp_ratio).
+    pub mlp_ratio: f32,
+}
+
+impl StageConfig {
+    /// Token-to-head-dimension ratio `n / d`, the quantity the paper's Eq. (1)–(3) show
+    /// governs the theoretical speedup of the Taylor attention.
+    pub fn n_over_d(&self) -> f64 {
+        self.tokens as f64 / self.head_dim as f64
+    }
+}
+
+/// Full workload description of one ViT model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name matching the paper's tables ("DeiT-Tiny", "LeViT-128", ...).
+    pub name: &'static str,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Input resolution assumed by the workload model (pixels per side).
+    pub resolution: usize,
+    /// The attention stages.
+    pub stages: Vec<StageConfig>,
+    /// Multiply–accumulate count of the non-Transformer backbone (the convolutional stem
+    /// and MobileNet-style blocks of MobileViT / LeViT). Zero for DeiT.
+    pub backbone_macs: u64,
+}
+
+impl ModelConfig {
+    /// DeiT-Tiny: 12 layers, 196 patches + class token, 192-dim embedding, 3 heads.
+    pub fn deit_tiny() -> Self {
+        Self {
+            name: "DeiT-Tiny",
+            family: ModelFamily::Deit,
+            resolution: 224,
+            stages: vec![StageConfig {
+                tokens: 197,
+                embed_dim: 192,
+                heads: 3,
+                head_dim: 64,
+                layers: 12,
+                mlp_ratio: 4.0,
+            }],
+            backbone_macs: 0,
+        }
+    }
+
+    /// DeiT-Small: 12 layers, 384-dim embedding, 6 heads.
+    pub fn deit_small() -> Self {
+        Self {
+            name: "DeiT-Small",
+            family: ModelFamily::Deit,
+            resolution: 224,
+            stages: vec![StageConfig {
+                tokens: 197,
+                embed_dim: 384,
+                heads: 6,
+                head_dim: 64,
+                layers: 12,
+                mlp_ratio: 4.0,
+            }],
+            backbone_macs: 0,
+        }
+    }
+
+    /// DeiT-Base: 12 layers, 768-dim embedding, 12 heads.
+    pub fn deit_base() -> Self {
+        Self {
+            name: "DeiT-Base",
+            family: ModelFamily::Deit,
+            resolution: 224,
+            stages: vec![StageConfig {
+                tokens: 197,
+                embed_dim: 768,
+                heads: 12,
+                head_dim: 64,
+                layers: 12,
+                mlp_ratio: 4.0,
+            }],
+            backbone_macs: 0,
+        }
+    }
+
+    /// MobileViT-xxs: three transformer stages (64/80/96 wide) over 256/64/16 tokens.
+    pub fn mobilevit_xxs() -> Self {
+        Self {
+            name: "MobileViT-xxs",
+            family: ModelFamily::MobileVit,
+            resolution: 256,
+            stages: vec![
+                StageConfig {
+                    tokens: 256,
+                    embed_dim: 64,
+                    heads: 4,
+                    head_dim: 16,
+                    layers: 2,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 64,
+                    embed_dim: 80,
+                    heads: 4,
+                    head_dim: 20,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 16,
+                    embed_dim: 96,
+                    heads: 4,
+                    head_dim: 24,
+                    layers: 3,
+                    mlp_ratio: 2.0,
+                },
+            ],
+            backbone_macs: 250_000_000,
+        }
+    }
+
+    /// MobileViT-xs: three transformer stages (96/120/144 wide) over 256/64/16 tokens.
+    ///
+    /// With these dimensions the attention operation counts land within a few percent of
+    /// the paper's Table I (28.4 M vanilla multiplications vs 4.8 M for ViTALiTy).
+    pub fn mobilevit_xs() -> Self {
+        Self {
+            name: "MobileViT-xs",
+            family: ModelFamily::MobileVit,
+            resolution: 256,
+            stages: vec![
+                StageConfig {
+                    tokens: 256,
+                    embed_dim: 96,
+                    heads: 4,
+                    head_dim: 24,
+                    layers: 2,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 64,
+                    embed_dim: 120,
+                    heads: 4,
+                    head_dim: 30,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 16,
+                    embed_dim: 144,
+                    heads: 4,
+                    head_dim: 36,
+                    layers: 3,
+                    mlp_ratio: 2.0,
+                },
+            ],
+            backbone_macs: 600_000_000,
+        }
+    }
+
+    /// LeViT-128s: three stages (128/256/384 wide), 2/3/4 layers, 16-dim attention keys.
+    ///
+    /// LeViT uses a 16-dimensional key space per head (the paper quotes the per-stage
+    /// `n/d` ratios 12.25 / 3 / 1), so the op-count model uses `head_dim = 16`.
+    pub fn levit_128s() -> Self {
+        Self {
+            name: "LeViT-128s",
+            family: ModelFamily::Levit,
+            resolution: 224,
+            stages: vec![
+                StageConfig {
+                    tokens: 196,
+                    embed_dim: 128,
+                    heads: 4,
+                    head_dim: 16,
+                    layers: 2,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 49,
+                    embed_dim: 256,
+                    heads: 6,
+                    head_dim: 16,
+                    layers: 3,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 16,
+                    embed_dim: 384,
+                    heads: 8,
+                    head_dim: 16,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+            ],
+            backbone_macs: 200_000_000,
+        }
+    }
+
+    /// LeViT-128: three stages (128/256/384 wide), 4/4/4 layers, 16-dim attention keys.
+    pub fn levit_128() -> Self {
+        Self {
+            name: "LeViT-128",
+            family: ModelFamily::Levit,
+            resolution: 224,
+            stages: vec![
+                StageConfig {
+                    tokens: 196,
+                    embed_dim: 128,
+                    heads: 4,
+                    head_dim: 16,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 49,
+                    embed_dim: 256,
+                    heads: 8,
+                    head_dim: 16,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+                StageConfig {
+                    tokens: 16,
+                    embed_dim: 384,
+                    heads: 12,
+                    head_dim: 16,
+                    layers: 4,
+                    mlp_ratio: 2.0,
+                },
+            ],
+            backbone_macs: 300_000_000,
+        }
+    }
+
+    /// Every model evaluated in the paper, in the order of Fig. 10 / Fig. 11 / Fig. 12.
+    pub fn all_models() -> Vec<ModelConfig> {
+        vec![
+            Self::deit_tiny(),
+            Self::deit_small(),
+            Self::deit_base(),
+            Self::mobilevit_xxs(),
+            Self::mobilevit_xs(),
+            Self::levit_128s(),
+            Self::levit_128(),
+        ]
+    }
+
+    /// The three models used in Table I / Table II.
+    pub fn table1_models() -> Vec<ModelConfig> {
+        vec![Self::deit_tiny(), Self::mobilevit_xs(), Self::levit_128()]
+    }
+
+    /// Total number of Transformer layers across all stages.
+    pub fn total_layers(&self) -> usize {
+        self.stages.iter().map(|s| s.layers).sum()
+    }
+
+    /// Largest token count of any stage (which dictates attention-buffer sizing).
+    pub fn max_tokens(&self) -> usize {
+        self.stages.iter().map(|s| s.tokens).max().unwrap_or(0)
+    }
+}
+
+/// Configuration of the *trainable* ViT used by the synthetic-data accuracy experiments.
+///
+/// The full ImageNet-scale models cannot be trained inside this reproduction, so the
+/// accuracy study trains a scaled-down ViT whose structure (patch embedding, pre-norm
+/// Transformer blocks, pluggable attention, mean-pooled classification head) matches the
+/// full models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Input image side length in pixels.
+    pub image_size: usize,
+    /// Patch side length in pixels.
+    pub patch_size: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Number of Transformer layers.
+    pub layers: usize,
+    /// MLP expansion ratio.
+    pub mlp_ratio: f32,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl TrainConfig {
+    /// A small configuration that trains in seconds and still separates the attention
+    /// variants clearly (used by unit/integration tests).
+    pub fn tiny() -> Self {
+        Self {
+            image_size: 16,
+            patch_size: 4,
+            embed_dim: 16,
+            heads: 2,
+            layers: 2,
+            mlp_ratio: 2.0,
+            classes: 4,
+        }
+    }
+
+    /// The configuration used by the accuracy experiments (Fig. 10 / 13 / 14 / 15).
+    pub fn experiment() -> Self {
+        Self {
+            image_size: 24,
+            patch_size: 4,
+            embed_dim: 32,
+            heads: 4,
+            layers: 3,
+            mlp_ratio: 2.0,
+            classes: 6,
+        }
+    }
+
+    /// Number of patch tokens.
+    pub fn tokens(&self) -> usize {
+        let per_side = self.image_size / self.patch_size;
+        per_side * per_side
+    }
+
+    /// Per-head feature dimension.
+    pub fn head_dim(&self) -> usize {
+        self.embed_dim / self.heads
+    }
+
+    /// Validates the configuration's divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is not divisible into patches or the embedding dimension is
+    /// not divisible by the head count.
+    pub fn validate(&self) {
+        assert!(
+            self.image_size % self.patch_size == 0,
+            "image size must be divisible by the patch size"
+        );
+        assert!(
+            self.embed_dim % self.heads == 0,
+            "embedding dimension must be divisible by the head count"
+        );
+        assert!(self.layers > 0 && self.classes > 1, "degenerate training configuration");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_tiny_matches_paper_dimensions() {
+        let cfg = ModelConfig::deit_tiny();
+        assert_eq!(cfg.stages.len(), 1);
+        let s = cfg.stages[0];
+        assert_eq!(s.tokens, 197);
+        assert_eq!(s.heads, 3);
+        assert_eq!(s.head_dim, 64);
+        assert_eq!(s.embed_dim, 192);
+        assert_eq!(cfg.total_layers(), 12);
+        assert_eq!(cfg.max_tokens(), 197);
+        // n/d ≈ 3 as quoted in the paper.
+        assert!((s.n_over_d() - 3.08).abs() < 0.05);
+    }
+
+    #[test]
+    fn levit_stage_ratios_match_the_papers_quote() {
+        // "12.25, 3, 1 for the three stages in LeViT-128/128s".
+        let cfg = ModelConfig::levit_128();
+        let ratios: Vec<f64> = cfg.stages.iter().map(StageConfig::n_over_d).collect();
+        assert!((ratios[0] - 12.25).abs() < 1e-9);
+        assert!((ratios[1] - 3.0625).abs() < 0.1);
+        assert!((ratios[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_models_cover_the_papers_figure_order() {
+        let names: Vec<&str> = ModelConfig::all_models().iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DeiT-Tiny",
+                "DeiT-Small",
+                "DeiT-Base",
+                "MobileViT-xxs",
+                "MobileViT-xs",
+                "LeViT-128s",
+                "LeViT-128"
+            ]
+        );
+        assert_eq!(ModelConfig::table1_models().len(), 3);
+    }
+
+    #[test]
+    fn hierarchical_models_shrink_tokens_and_grow_width() {
+        for cfg in [ModelConfig::mobilevit_xs(), ModelConfig::levit_128()] {
+            for pair in cfg.stages.windows(2) {
+                assert!(pair[0].tokens > pair[1].tokens, "{}: tokens must shrink", cfg.name);
+                assert!(
+                    pair[0].embed_dim <= pair[1].embed_dim,
+                    "{}: width must not shrink",
+                    cfg.name
+                );
+            }
+            assert!(cfg.backbone_macs > 0, "{} has a convolutional backbone", cfg.name);
+        }
+    }
+
+    #[test]
+    fn deit_models_grow_monotonically() {
+        let tiny = ModelConfig::deit_tiny().stages[0].embed_dim;
+        let small = ModelConfig::deit_small().stages[0].embed_dim;
+        let base = ModelConfig::deit_base().stages[0].embed_dim;
+        assert!(tiny < small && small < base);
+    }
+
+    #[test]
+    fn train_config_accessors_and_validation() {
+        let cfg = TrainConfig::tiny();
+        cfg.validate();
+        assert_eq!(cfg.tokens(), 16);
+        assert_eq!(cfg.head_dim(), 8);
+        let exp = TrainConfig::experiment();
+        exp.validate();
+        assert_eq!(exp.tokens(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn train_config_rejects_bad_patching() {
+        TrainConfig {
+            image_size: 10,
+            patch_size: 4,
+            ..TrainConfig::tiny()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,30 @@
+//! Vision Transformer model substrate.
+//!
+//! Two different needs are served by this crate:
+//!
+//! 1. **Workload modelling** of the seven ViT models the paper evaluates (DeiT-Tiny /
+//!    Small / Base, MobileViT-xxs / xs, LeViT-128s / 128): per-stage token counts, head
+//!    counts and dimensions ([`config`]), and per-step operation counts for both the
+//!    vanilla attention and the ViTALiTy Taylor attention ([`opcount`]). The accelerator
+//!    simulator and the analytical device models consume these workloads to regenerate
+//!    Fig. 1, Table I, Table II, Fig. 11 and Fig. 12.
+//! 2. **A trainable ViT** ([`model`]) built on `vitality-nn` / `vitality-autograd` with a
+//!    pluggable attention variant, used by the synthetic-data training experiments that
+//!    reproduce the paper's accuracy results (Fig. 10, Fig. 13–15, Table IV).
+//!
+//! The [`probe`] module samples the distribution of attention logits before/after row-mean
+//! centring (Fig. 3).
+
+#![deny(missing_docs)]
+
+pub mod block;
+pub mod config;
+pub mod model;
+pub mod opcount;
+pub mod probe;
+
+pub use block::{AttentionVariant, MultiHeadAttention, TransformerBlock};
+pub use config::{ModelConfig, ModelFamily, StageConfig, TrainConfig};
+pub use model::{VisionTransformer, VitOutput};
+pub use opcount::{attention_step_ops, AttentionStep, ModelWorkload, StageWorkload, StepOps};
+pub use probe::{attention_logit_distribution, DistributionProbe};

@@ -1,0 +1,293 @@
+//! The trainable Vision Transformer used by the accuracy experiments.
+
+use rand::Rng;
+
+use crate::block::{AttentionVariant, TransformerBlock};
+use crate::config::TrainConfig;
+use vitality_autograd::{Graph, Var};
+use vitality_nn::registry::{NamedParameters, ParamRegistry};
+use vitality_nn::{ClassificationHead, PatchEmbed};
+use vitality_tensor::Matrix;
+
+/// Result of an inference pass: the logits plus the final token representations.
+#[derive(Debug, Clone)]
+pub struct VitOutput {
+    /// `1 x classes` classification logits.
+    pub logits: Matrix,
+    /// `n x d` token representations after the final block (before the head's norm).
+    pub tokens: Matrix,
+}
+
+/// A small but structurally complete Vision Transformer: patch embedding, a stack of
+/// pre-norm Transformer blocks with a pluggable attention variant, and a mean-pooled
+/// classification head.
+///
+/// The attention variant can be switched after training, which is exactly how ViTALiTy is
+/// deployed: fine-tune with [`AttentionVariant::Unified`], then switch to
+/// [`AttentionVariant::Taylor`] for inference and drop the sparse component.
+#[derive(Debug, Clone)]
+pub struct VisionTransformer {
+    config: TrainConfig,
+    embed: PatchEmbed,
+    blocks: Vec<TransformerBlock>,
+    head: ClassificationHead,
+    variant: AttentionVariant,
+}
+
+impl VisionTransformer {
+    /// Creates a model with randomly initialised weights and the given attention variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`TrainConfig::validate`].
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: TrainConfig, variant: AttentionVariant) -> Self {
+        config.validate();
+        let embed = PatchEmbed::new(rng, config.patch_size, config.tokens(), config.embed_dim);
+        let blocks = (0..config.layers)
+            .map(|_| TransformerBlock::new(rng, config.embed_dim, config.heads, config.mlp_ratio))
+            .collect();
+        let head = ClassificationHead::new(rng, config.embed_dim, config.classes);
+        Self {
+            config,
+            embed,
+            blocks,
+            head,
+            variant,
+        }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// The currently active attention variant.
+    pub fn variant(&self) -> AttentionVariant {
+        self.variant
+    }
+
+    /// Switches the attention variant (e.g. from training-time Unified to inference-time
+    /// Taylor) without touching the weights.
+    pub fn set_variant(&mut self, variant: AttentionVariant) {
+        self.variant = variant;
+    }
+
+    /// Number of Transformer blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Training forward pass for one image, producing `1 x classes` logits on the tape.
+    pub fn forward_train(&self, graph: &Graph, reg: &mut ParamRegistry, image: &Matrix) -> Var {
+        let mut x = self.embed.forward(graph, reg, "embed", image);
+        for (i, block) in self.blocks.iter().enumerate() {
+            x = block.forward_train(graph, reg, &format!("block{i}"), self.variant, &x);
+        }
+        self.head.forward(graph, reg, "head", &x)
+    }
+
+    /// Inference pass producing logits and the final token representations.
+    pub fn infer(&self, image: &Matrix) -> VitOutput {
+        let mut x = self.embed.infer(image);
+        for block in &self.blocks {
+            x = block.infer(self.variant, &x);
+        }
+        VitOutput {
+            logits: self.head.infer(&x),
+            tokens: x,
+        }
+    }
+
+    /// Predicted class index for one image.
+    pub fn predict(&self, image: &Matrix) -> usize {
+        let logits = self.infer(image).logits;
+        let mut best = 0;
+        for j in 1..logits.cols() {
+            if logits.get(0, j) > logits.get(0, best) {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Top-1 accuracy over a labelled set of images.
+    pub fn accuracy(&self, images: &[Matrix], labels: &[usize]) -> f32 {
+        assert_eq!(images.len(), labels.len(), "one label per image is required");
+        if images.is_empty() {
+            return 0.0;
+        }
+        let correct = images
+            .iter()
+            .zip(labels.iter())
+            .filter(|(img, &label)| self.predict(img) == label)
+            .count();
+        correct as f32 / images.len() as f32
+    }
+
+    /// Mean sparse-component occupancy across blocks for one image (the Fig. 14 probe).
+    pub fn sparse_occupancy(&self, image: &Matrix) -> f32 {
+        let mut x = self.embed.infer(image);
+        let mut total = 0.0;
+        for block in &self.blocks {
+            total += block.attention().sparse_occupancy(self.variant, &x);
+            x = block.infer(self.variant, &x);
+        }
+        total / self.blocks.len().max(1) as f32
+    }
+
+    /// Per-block, per-head attention logits (raw and mean-centred) for one image, consumed
+    /// by the Fig. 3 distribution probe.
+    pub fn collect_head_logits(&self, image: &Matrix) -> Vec<Vec<(Matrix, Matrix)>> {
+        let mut x = self.embed.infer(image);
+        let mut out = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            out.push(block.attention().head_logits(&x));
+            x = block.infer(self.variant, &x);
+        }
+        out
+    }
+}
+
+impl NamedParameters for VisionTransformer {
+    fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
+        let p = |leaf: &str| {
+            if prefix.is_empty() {
+                leaf.to_string()
+            } else {
+                format!("{prefix}.{leaf}")
+            }
+        };
+        self.embed.visit_parameters(&p("embed"), visitor);
+        for (i, block) in self.blocks.iter().enumerate() {
+            block.visit_parameters(&p(&format!("block{i}")), visitor);
+        }
+        self.head.visit_parameters(&p("head"), visitor);
+    }
+
+    fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
+        let p = |leaf: &str| {
+            if prefix.is_empty() {
+                leaf.to_string()
+            } else {
+                format!("{prefix}.{leaf}")
+            }
+        };
+        self.embed.visit_parameters_mut(&p("embed"), visitor);
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            block.visit_parameters_mut(&p(&format!("block{i}")), visitor);
+        }
+        self.head.visit_parameters_mut(&p("head"), visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    fn image(cfg: &TrainConfig, seed: u64) -> Matrix {
+        init::uniform(
+            &mut StdRng::seed_from_u64(seed),
+            cfg.image_size,
+            cfg.image_size,
+            0.0,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn inference_produces_class_logits() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(200);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let out = model.infer(&image(&cfg, 1));
+        assert_eq!(out.logits.shape(), (1, cfg.classes));
+        assert_eq!(out.tokens.shape(), (cfg.tokens(), cfg.embed_dim));
+        assert!(model.predict(&image(&cfg, 1)) < cfg.classes);
+        assert_eq!(model.depth(), cfg.layers);
+        assert_eq!(model.config(), cfg);
+    }
+
+    #[test]
+    fn training_forward_matches_inference_values() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(201);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let img = image(&cfg, 2);
+        let graph = Graph::new();
+        let mut reg = ParamRegistry::new();
+        let logits = model.forward_train(&graph, &mut reg, &img);
+        assert!(logits.value().approx_eq(&model.infer(&img).logits, 1e-3));
+        let grads = graph.backward(&logits.cross_entropy_with_logits(&[0]));
+        // Every registered parameter should receive a gradient.
+        assert!(reg.grad("embed.proj.weight", &grads).is_some());
+        assert!(reg.grad("block0.attn.wq.weight", &grads).is_some());
+        assert!(reg.grad("head.fc.weight", &grads).is_some());
+    }
+
+    #[test]
+    fn switching_variants_preserves_weights_but_changes_outputs() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(202);
+        let mut model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let img = image(&cfg, 3);
+        let softmax_logits = model.infer(&img).logits;
+        model.set_variant(AttentionVariant::Taylor);
+        assert_eq!(model.variant().label(), "taylor");
+        let taylor_logits = model.infer(&img).logits;
+        assert_eq!(softmax_logits.shape(), taylor_logits.shape());
+        assert!(!softmax_logits.approx_eq(&taylor_logits, 1e-6));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(203);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let images: Vec<Matrix> = (0..4).map(|i| image(&cfg, 10 + i)).collect();
+        let predictions: Vec<usize> = images.iter().map(|img| model.predict(img)).collect();
+        assert_eq!(model.accuracy(&images, &predictions), 1.0);
+        let wrong: Vec<usize> = predictions.iter().map(|p| (p + 1) % cfg.classes).collect();
+        assert_eq!(model.accuracy(&images, &wrong), 0.0);
+        assert_eq!(model.accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sparse_occupancy_probe_is_zero_for_dense_variants() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(204);
+        let mut model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let img = image(&cfg, 5);
+        assert_eq!(model.sparse_occupancy(&img), 0.0);
+        model.set_variant(AttentionVariant::Unified { threshold: 0.02 });
+        let occupancy = model.sparse_occupancy(&img);
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+    }
+
+    #[test]
+    fn head_logit_probe_shapes() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(205);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let captured = model.collect_head_logits(&image(&cfg, 6));
+        assert_eq!(captured.len(), cfg.layers);
+        assert_eq!(captured[0].len(), cfg.heads);
+        assert_eq!(captured[0][0].0.shape(), (cfg.tokens(), cfg.tokens()));
+    }
+
+    #[test]
+    fn parameter_names_are_unique() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(206);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Softmax);
+        let mut names = Vec::new();
+        model.visit_parameters("", &mut |n, _| names.push(n.to_string()));
+        let count = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), count, "duplicate parameter names");
+        assert!(model.parameter_count() > 1000);
+    }
+}

@@ -1,0 +1,68 @@
+//! High-resolution scaling study — the motivation from the paper's introduction: many
+//! real-world vision applications (medical imaging, autonomous driving, drone imagery)
+//! need high-resolution inputs, and the number of patches grows quadratically with the
+//! resolution. This example sweeps the input resolution for a DeiT-Tiny-style model and
+//! shows how the vanilla softmax attention's operation count and simulated latency explode
+//! while the ViTALiTy Taylor attention stays linear.
+//!
+//! Run with: `cargo run --example high_resolution_scaling`
+
+use vitality::accel::{AcceleratorConfig, AttentionEngine, VitalityAccelerator};
+use vitality::baselines::{AttentionKind, DeviceModel};
+use vitality::vit::{ModelConfig, ModelFamily, ModelWorkload, StageConfig};
+
+/// Builds a DeiT-Tiny-style configuration for the given input resolution (16x16 patches).
+fn deit_tiny_at_resolution(resolution: usize) -> ModelConfig {
+    let patches = (resolution / 16) * (resolution / 16);
+    ModelConfig {
+        name: "DeiT-Tiny (scaled)",
+        family: ModelFamily::Deit,
+        resolution,
+        stages: vec![StageConfig {
+            tokens: patches + 1,
+            embed_dim: 192,
+            heads: 3,
+            head_dim: 64,
+            layers: 12,
+            mlp_ratio: 4.0,
+        }],
+        backbone_macs: 0,
+    }
+}
+
+fn main() {
+    let accel = VitalityAccelerator::new(AcceleratorConfig::paper());
+    let edge = DeviceModel::jetson_tx2();
+
+    println!("DeiT-Tiny scaled to higher input resolutions (16x16 patches, 12 layers):\n");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>10} {:>16} {:>16}",
+        "resolution", "tokens", "softmax Mul(M)", "taylor Mul(M)", "ratio", "TX2 softmax", "accel taylor"
+    );
+    for resolution in [224usize, 384, 512, 768, 1024] {
+        let config = deit_tiny_at_resolution(resolution);
+        let workload = ModelWorkload::for_model(&config);
+        let vanilla = workload.vanilla_attention_ops();
+        let taylor = workload.taylor_attention_ops();
+        let edge_latency = edge
+            .simulate(&workload, AttentionKind::VanillaSoftmax)
+            .attention_latency_s();
+        let accel_latency = accel
+            .simulate_model_with_engine(&workload, AttentionEngine::Taylor)
+            .attention_latency_s;
+        println!(
+            "{:>10} {:>8} {:>14.1} {:>14.1} {:>9.1}x {:>13.1} ms {:>13.2} ms",
+            format!("{resolution}px"),
+            config.stages[0].tokens,
+            vanilla.mul as f64 / 1e6,
+            taylor.mul as f64 / 1e6,
+            vanilla.mul as f64 / taylor.mul as f64,
+            edge_latency * 1e3,
+            accel_latency * 1e3,
+        );
+    }
+    println!();
+    println!("The operation-count ratio follows Eq. (1): R_mul ~ n/d, so the benefit of the");
+    println!("linear Taylor attention grows quadratically in the resolution — exactly the");
+    println!("regime (medical imaging, driving, surveillance) the paper targets.");
+}

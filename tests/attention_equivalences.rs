@@ -1,0 +1,116 @@
+//! Cross-crate integration tests of the algorithmic identities the paper relies on:
+//! Property 1 (mean-centring invariance), the weak/strong decomposition, the linearisation
+//! identity behind the global context matrix, and the training/inference consistency of
+//! the multi-head attention module.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vitality::attention::{
+    mean_center_keys, AttentionMechanism, SoftmaxAttention, TaylorAttention,
+    UnifiedLowRankSparseAttention,
+};
+use vitality::nn::ParamRegistry;
+use vitality::tensor::{init, Matrix};
+use vitality::vit::{AttentionVariant, MultiHeadAttention};
+
+fn qkv(n: usize, d: usize, scale: f32, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        init::normal(&mut rng, n, d, 0.0, scale),
+        init::normal(&mut rng, n, d, 0.1, scale),
+        init::normal(&mut rng, n, d, 0.0, 1.0),
+    )
+}
+
+#[test]
+fn property1_mean_centering_never_changes_the_softmax_attention() {
+    for seed in 0..5 {
+        let (q, k, v) = qkv(48, 32, 0.7, seed);
+        let vanilla = SoftmaxAttention::new().compute(&q, &k, &v);
+        let centred = SoftmaxAttention::new().compute(&q, &mean_center_keys(&k), &v);
+        assert!(
+            vanilla.approx_eq(&centred, 1e-3),
+            "seed {seed}: max diff {}",
+            vanilla.max_abs_diff(&centred)
+        );
+    }
+}
+
+#[test]
+fn associativity_identity_taylor_score_equals_explicit_map_times_values() {
+    // The whole point of the linear attention: Q (K^T V) computed via the d x d global
+    // context matrix equals the explicit (n x n) first-order map applied to V.
+    for seed in 0..3 {
+        let (q, k, v) = qkv(40, 16, 0.4, 100 + seed);
+        let attention = TaylorAttention::new();
+        let via_context = attention.compute(&q, &k, &v);
+        let via_map = attention.weak_attention_map(&q, &k).matmul(&v);
+        assert!(via_context.approx_eq(&via_map, 1e-3));
+    }
+}
+
+#[test]
+fn unified_attention_with_zero_threshold_reconstructs_softmax_exactly() {
+    let (q, k, v) = qkv(24, 8, 0.9, 200);
+    let unified = UnifiedLowRankSparseAttention::new(0.0).compute(&q, &k, &v);
+    let exact = SoftmaxAttention::new().compute(&q, &k, &v);
+    assert!(unified.approx_eq(&exact, 1e-3));
+}
+
+#[test]
+fn taylor_is_a_good_approximation_exactly_when_logits_are_small() {
+    let error_at_scale = |scale: f32| {
+        let (q, k, v) = qkv(32, 16, scale, 300);
+        SoftmaxAttention::new()
+            .compute(&q, &k, &v)
+            .max_abs_diff(&TaylorAttention::new().compute(&q, &k, &v))
+    };
+    let small = error_at_scale(0.05);
+    let large = error_at_scale(1.2);
+    assert!(small < 0.05, "small-logit error {small}");
+    assert!(large > small, "error must grow with the logit scale");
+}
+
+#[test]
+fn multi_head_attention_training_graph_matches_inference_for_the_vitality_recipe() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let mha = MultiHeadAttention::new(&mut rng, 16, 4);
+    let x = init::normal(&mut rng, 10, 16, 0.0, 0.4);
+    for variant in [
+        AttentionVariant::Softmax,
+        AttentionVariant::Taylor,
+        AttentionVariant::Unified { threshold: 0.5 },
+    ] {
+        let graph = vitality::autograd::Graph::new();
+        let mut reg = ParamRegistry::new();
+        let out = mha.forward_train(&graph, &mut reg, "attn", variant, &graph.constant(x.clone()));
+        let inferred = mha.infer(variant, &x);
+        assert!(
+            out.value().approx_eq(&inferred, 2e-2),
+            "variant {:?} mismatch {}",
+            variant,
+            out.value().max_abs_diff(&inferred)
+        );
+        // Gradients reach all four projection matrices.
+        let grads = graph.backward(&out.mean_all());
+        for name in ["attn.wq.weight", "attn.wk.weight", "attn.wv.weight", "attn.wo.weight"] {
+            assert!(reg.grad(name, &grads).is_some(), "missing gradient for {name}");
+        }
+    }
+}
+
+#[test]
+fn operation_count_crossover_taylor_wins_beyond_n_equals_d() {
+    // Eq. (1): the multiplication ratio is ~n/d, so the Taylor attention wins exactly when
+    // n exceeds d (high-resolution inputs) and loses when n < d.
+    let d = 64;
+    let taylor = TaylorAttention::new();
+    let softmax = SoftmaxAttention::new();
+    let cheaper_at = |n: usize| taylor.op_counts(n, d).mul < softmax.op_counts(n, d).mul;
+    assert!(!cheaper_at(16), "Taylor should not win at n << d");
+    assert!(!cheaper_at(32));
+    assert!(cheaper_at(128), "Taylor should win at n = 2d");
+    assert!(cheaper_at(197));
+    assert!(cheaper_at(576));
+}

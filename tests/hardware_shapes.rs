@@ -1,0 +1,146 @@
+//! Cross-crate integration tests of the hardware results' *shapes*: who wins, by roughly
+//! what factor, and where the ablations point — matching the paper's evaluation section.
+
+use vitality::accel::{AcceleratorConfig, Dataflow, PipelineMode, VitalityAccelerator};
+use vitality::baselines::{AttentionKind, DeviceModel, SangerAccelerator, SangerConfig};
+use vitality::vit::{ModelConfig, ModelWorkload};
+
+fn vitality() -> VitalityAccelerator {
+    VitalityAccelerator::new(AcceleratorConfig::paper())
+}
+
+#[test]
+fn table1_shape_operation_reduction_grows_with_n_over_d() {
+    // DeiT-Tiny ~3x, MobileViT-xs ~6x, LeViT-128 largest (paper: 3.1x / 5.9x / 10.7x).
+    let ratio = |cfg: ModelConfig| {
+        let wl = ModelWorkload::for_model(&cfg);
+        wl.vanilla_attention_ops().mul as f64 / wl.taylor_attention_ops().mul as f64
+    };
+    let deit = ratio(ModelConfig::deit_tiny());
+    let mobile = ratio(ModelConfig::mobilevit_xs());
+    let levit = ratio(ModelConfig::levit_128());
+    assert!((2.5..3.7).contains(&deit), "DeiT-Tiny ratio {deit:.1}");
+    assert!((4.5..8.0).contains(&mobile), "MobileViT-xs ratio {mobile:.1}");
+    assert!(levit > mobile && levit > 6.0, "LeViT-128 ratio {levit:.1}");
+}
+
+#[test]
+fn fig11_shape_vitality_accelerator_wins_everywhere_and_by_the_right_order() {
+    let sanger = SangerAccelerator::new(SangerConfig::paper());
+    let cpu = DeviceModel::xeon_6230();
+    let gpu = DeviceModel::rtx_2080ti();
+    let edge = DeviceModel::jetson_tx2();
+    let mut sanger_speedups = Vec::new();
+    let mut cpu_speedups = Vec::new();
+    let mut gpu_speedups = Vec::new();
+    let mut edge_speedups = Vec::new();
+    for cfg in ModelConfig::all_models() {
+        let wl = ModelWorkload::for_model(&cfg);
+        let ours = vitality().simulate_model(&wl).total_latency_s;
+        sanger_speedups.push(sanger.simulate_model(&wl).total_latency_s / ours);
+        cpu_speedups.push(cpu.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
+        gpu_speedups.push(gpu.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
+        edge_speedups.push(edge.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Every comparison is a win.
+    assert!(sanger_speedups.iter().all(|&s| s > 1.0));
+    assert!(cpu_speedups.iter().all(|&s| s > 1.0));
+    assert!(gpu_speedups.iter().all(|&s| s > 1.0));
+    assert!(edge_speedups.iter().all(|&s| s > 1.0));
+    // Paper averages: ~2x GPU, ~3x Sanger, ~30x EdgeGPU, ~53x CPU. Require the same
+    // ordering and the same order of magnitude.
+    let (gpu_avg, sanger_avg, edge_avg, cpu_avg) = (
+        avg(&gpu_speedups),
+        avg(&sanger_speedups),
+        avg(&edge_speedups),
+        avg(&cpu_speedups),
+    );
+    assert!(gpu_avg < sanger_avg || gpu_avg < 2.0 * sanger_avg, "GPU {gpu_avg:.1} Sanger {sanger_avg:.1}");
+    assert!(sanger_avg < edge_avg, "Sanger {sanger_avg:.1} EdgeGPU {edge_avg:.1}");
+    assert!(edge_avg > 8.0 && cpu_avg > 15.0, "EdgeGPU {edge_avg:.1} CPU {cpu_avg:.1}");
+}
+
+#[test]
+fn fig12_shape_energy_efficiency_ordering() {
+    // Paper averages: ~3x Sanger, ~73x GPU, ~67x EdgeGPU, ~115x CPU.
+    let sanger = SangerAccelerator::new(SangerConfig::paper());
+    let cpu = DeviceModel::xeon_6230();
+    let gpu = DeviceModel::rtx_2080ti();
+    let wl = ModelWorkload::for_model(&ModelConfig::deit_tiny());
+    let ours = vitality().simulate_model(&wl).total_energy_j;
+    let vs_sanger = sanger.simulate_model(&wl).total_energy_j / ours;
+    let vs_cpu = cpu.simulate(&wl, AttentionKind::VanillaSoftmax).energy_j / ours;
+    let vs_gpu = gpu.simulate(&wl, AttentionKind::VanillaSoftmax).energy_j / ours;
+    assert!(vs_sanger > 1.0 && vs_sanger < 20.0, "vs Sanger {vs_sanger:.1}");
+    assert!(vs_cpu > vs_gpu, "CPU should be the least efficient");
+    assert!(vs_cpu > 20.0, "vs CPU {vs_cpu:.1}");
+}
+
+#[test]
+fn table5_shape_down_forward_dataflow_wins_overall_for_every_model() {
+    for cfg in [
+        ModelConfig::deit_base(),
+        ModelConfig::mobilevit_xxs(),
+        ModelConfig::mobilevit_xs(),
+        ModelConfig::levit_128s(),
+        ModelConfig::levit_128(),
+    ] {
+        let wl = ModelWorkload::for_model(&cfg);
+        let ours = vitality().simulate_model(&wl).attention_energy;
+        let gs = vitality()
+            .with_dataflow(Dataflow::GStationary)
+            .simulate_model(&wl)
+            .attention_energy;
+        assert!(ours.data_access_j > gs.data_access_j, "{}: data access", cfg.name);
+        assert!(ours.systolic_array_j < gs.systolic_array_j, "{}: systolic", cfg.name);
+        assert!(ours.total_j() < gs.total_j(), "{}: overall", cfg.name);
+    }
+}
+
+#[test]
+fn pipeline_ablation_improves_attention_throughput_for_every_model() {
+    for cfg in ModelConfig::all_models() {
+        let wl = ModelWorkload::for_model(&cfg);
+        let pipelined = vitality().simulate_model(&wl).attention_cycles;
+        let sequential = vitality()
+            .with_pipeline(PipelineMode::Sequential)
+            .simulate_model(&wl)
+            .attention_cycles;
+        assert!(pipelined < sequential, "{}: {pipelined} vs {sequential}", cfg.name);
+    }
+}
+
+#[test]
+fn fig1_shape_softmax_dominates_and_worsens_on_weaker_devices() {
+    let wl = ModelWorkload::for_model(&ModelConfig::deit_tiny());
+    let softmax_share = |device: DeviceModel| {
+        let report = device.simulate(&wl, AttentionKind::VanillaSoftmax);
+        let softmax = report
+            .attention_steps
+            .iter()
+            .find(|s| s.step == vitality::vit::AttentionStep::SoftmaxAttentionMap)
+            .unwrap()
+            .latency_s;
+        softmax / report.mha_latency_s()
+    };
+    let gpu = softmax_share(DeviceModel::rtx_2080ti());
+    let edge = softmax_share(DeviceModel::jetson_tx2());
+    let phone = softmax_share(DeviceModel::pixel3());
+    assert!(gpu > 0.4 && phone < 0.75);
+    assert!(gpu <= edge && edge <= phone, "{gpu:.2} {edge:.2} {phone:.2}");
+}
+
+#[test]
+fn table2_shape_taylor_attention_does_not_speed_up_on_general_platforms_but_does_on_the_accelerator() {
+    let wl = ModelWorkload::for_model(&ModelConfig::deit_tiny());
+    let edge = DeviceModel::jetson_tx2();
+    let vanilla_edge = edge.simulate(&wl, AttentionKind::VanillaSoftmax).attention_latency_s();
+    let taylor_edge = edge.simulate(&wl, AttentionKind::Taylor).attention_latency_s();
+    // On the edge GPU the Taylor attention gains little or even loses (paper: 14.03 ms vs
+    // 11.65 ms)...
+    assert!(taylor_edge > 0.7 * vanilla_edge);
+    // ...while the dedicated accelerator runs the same workload orders of magnitude faster.
+    let accel_latency = vitality().simulate_model(&wl).attention_latency_s;
+    assert!(vanilla_edge / accel_latency > 50.0);
+}

@@ -1,0 +1,112 @@
+//! End-to-end training integration tests on a miniature version of the accuracy
+//! experiments: the four schemes run, the ViTALiTy recipe is usable after dropping the
+//! sparse component, and the Fig. 14 occupancy probe behaves.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vitality::train::{
+    run_scheme_with_baseline, train_baseline, Adam, DatasetConfig, SchemeContext,
+    SyntheticDataset, TrainOptions, Trainer, TrainingScheme,
+};
+use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+fn context(seed: u64) -> SchemeContext {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SchemeContext {
+        model_config: TrainConfig::tiny(),
+        dataset: SyntheticDataset::generate(&mut rng, DatasetConfig::tiny()),
+        options: TrainOptions {
+            epochs: 3,
+            batch_size: 4,
+            distillation: None,
+            track_sparse_occupancy: false,
+        },
+        learning_rate: 0.01,
+        seed,
+    }
+}
+
+#[test]
+fn baseline_training_learns_something_on_the_synthetic_task() {
+    let ctx = context(1);
+    let (model, history) = train_baseline(&ctx);
+    let chance = 1.0 / ctx.model_config.classes as f32;
+    let accuracy = model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
+    assert!(history.last().unwrap().train_loss < history[0].train_loss);
+    assert!(accuracy >= chance * 0.9, "accuracy {accuracy} vs chance {chance}");
+}
+
+#[test]
+fn every_training_scheme_runs_and_reports_an_accuracy() {
+    let ctx = context(2);
+    let (baseline, _) = train_baseline(&ctx);
+    for scheme in [
+        TrainingScheme::Sparse { threshold: 0.02 },
+        TrainingScheme::LowRankDropIn,
+        TrainingScheme::LowRankSparse {
+            threshold: 0.5,
+            distillation: false,
+        },
+        TrainingScheme::Vitality {
+            threshold: 0.5,
+            distillation: true,
+        },
+    ] {
+        let outcome = run_scheme_with_baseline(scheme, &ctx, Some(&baseline));
+        assert!(
+            (0.0..=1.0).contains(&outcome.final_accuracy),
+            "{}: accuracy {}",
+            scheme.label(),
+            outcome.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn vitality_model_switches_from_unified_training_to_taylor_inference() {
+    // The deployment recipe: fine-tune with the unified attention, then flip the variant to
+    // the pure linear Taylor attention — the weights are untouched and inference still works.
+    let ctx = context(3);
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut model = VisionTransformer::new(
+        &mut rng,
+        ctx.model_config,
+        AttentionVariant::Unified { threshold: 0.5 },
+    );
+    let trainer = Trainer::new(ctx.options);
+    let mut optimizer = Adam::new(ctx.learning_rate, 1e-4);
+    let history = trainer.train(&mut model, &mut optimizer, &ctx.dataset, None);
+    assert_eq!(history.len(), ctx.options.epochs);
+    let unified_accuracy = model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
+    model.set_variant(AttentionVariant::Taylor);
+    let taylor_accuracy = model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
+    assert!((0.0..=1.0).contains(&unified_accuracy));
+    assert!((0.0..=1.0).contains(&taylor_accuracy));
+    // Both run on the same weights; the linear-attention accuracy should be in the same
+    // ballpark (the Fig. 14 claim that the sparse component becomes redundant).
+    assert!((unified_accuracy - taylor_accuracy).abs() <= 0.5);
+}
+
+#[test]
+fn sparse_occupancy_probe_is_tracked_and_bounded_during_unified_training() {
+    let ctx = context(4);
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut model = VisionTransformer::new(
+        &mut rng,
+        ctx.model_config,
+        AttentionVariant::Unified { threshold: 0.5 },
+    );
+    let trainer = Trainer::new(TrainOptions {
+        track_sparse_occupancy: true,
+        ..ctx.options
+    });
+    let mut optimizer = Adam::new(ctx.learning_rate, 1e-4);
+    let history = trainer.train(&mut model, &mut optimizer, &ctx.dataset, None);
+    for stats in &history {
+        assert!((0.0..=1.0).contains(&stats.sparse_occupancy));
+    }
+    // The threshold-0.5 sparse component is already sparse at the start (only strong
+    // predicted connections survive).
+    assert!(history[0].sparse_occupancy < 0.6);
+}
