@@ -77,8 +77,8 @@ impl AcceleratorConfig {
 
     /// Peak multiply–accumulate throughput in MAC/s (both systolic sub-arrays).
     pub fn peak_macs_per_second(&self) -> f64 {
-        let pes = (self.sa_general_rows * self.sa_general_cols + self.sa_diag_rows * self.sa_diag_cols)
-            as f64;
+        let pes = (self.sa_general_rows * self.sa_general_cols
+            + self.sa_diag_rows * self.sa_diag_cols) as f64;
         pes * self.frequency_hz * self.scale_factor
     }
 
@@ -148,8 +148,16 @@ mod tests {
     #[test]
     fn paper_configuration_matches_table3_totals() {
         let cfg = AcceleratorConfig::paper();
-        assert!((cfg.total_area_mm2() - 5.223).abs() < 0.01, "area {}", cfg.total_area_mm2());
-        assert!((cfg.total_power_mw() - 1460.0).abs() < 5.0, "power {}", cfg.total_power_mw());
+        assert!(
+            (cfg.total_area_mm2() - 5.223).abs() < 0.01,
+            "area {}",
+            cfg.total_area_mm2()
+        );
+        assert!(
+            (cfg.total_power_mw() - 1460.0).abs() < 5.0,
+            "power {}",
+            cfg.total_power_mw()
+        );
         assert_eq!(cfg.component_table().len(), 6);
         assert_eq!(cfg.sa_general_rows * cfg.sa_general_cols, 4096);
     }

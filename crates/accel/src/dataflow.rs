@@ -127,7 +127,10 @@ mod tests {
         let df = taylor_head_traffic(197, 64, Dataflow::DownForwardAccumulation);
         assert!(df.sram > gs.sram);
         assert!(df.noc > gs.noc);
-        assert_eq!(df.reg, gs.reg, "PE register traffic is dataflow independent");
+        assert_eq!(
+            df.reg, gs.reg,
+            "PE register traffic is dataflow independent"
+        );
         // The overhead is the G spill plus the Q re-stream.
         assert_eq!(df.sram - gs.sram, 2 * 64 * 64 + 197 * 64);
     }
@@ -136,7 +139,10 @@ mod tests {
     fn g_stationary_pays_a_pe_energy_overhead_instead() {
         assert!(Dataflow::GStationary.pe_energy_overhead() > 1.0);
         assert_eq!(Dataflow::DownForwardAccumulation.pe_energy_overhead(), 1.0);
-        assert_ne!(Dataflow::GStationary.label(), Dataflow::DownForwardAccumulation.label());
+        assert_ne!(
+            Dataflow::GStationary.label(),
+            Dataflow::DownForwardAccumulation.label()
+        );
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl EnergyModel {
 
     /// Energy of the systolic array busy for the given cycles (SA-General and SA-Diag),
     /// scaled by the dataflow's PE-design overhead factor.
-    pub fn systolic_energy_j(&self, sa_general_cycles: u64, sa_diag_cycles: u64, pe_overhead: f64) -> f64 {
+    pub fn systolic_energy_j(
+        &self,
+        sa_general_cycles: u64,
+        sa_diag_cycles: u64,
+        pe_overhead: f64,
+    ) -> f64 {
         let t = self.cycle_time_s();
         (self.systolic_power_w * sa_general_cycles as f64 * t
             + self.sa_diag_power_w * sa_diag_cycles as f64 * t)
@@ -189,7 +194,9 @@ mod tests {
             noc: 0,
             reg: 0,
         };
-        assert!(model.memory_energy_j(&dram_heavy, 0) > 50.0 * model.memory_energy_j(&sram_heavy, 0));
+        assert!(
+            model.memory_energy_j(&dram_heavy, 0) > 50.0 * model.memory_energy_j(&sram_heavy, 0)
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl LayerSchedule {
 ///
 /// Heads are processed back to back on each chunk; the systolic array is partitioned into
 /// SA-General and SA-Diag so that `Q G` and `Q \hat{k}_{sum}^T` proceed in parallel.
-pub fn taylor_layer_schedule(config: &AcceleratorConfig, n: usize, d: usize, heads: usize) -> LayerSchedule {
+pub fn taylor_layer_schedule(
+    config: &AcceleratorConfig,
+    n: usize,
+    d: usize,
+    heads: usize,
+) -> LayerSchedule {
     let accumulator = AccumulatorArray::new(config.accumulator_lanes);
     let adder = AdderArray::new(config.adder_lanes);
     let divider = DividerArray::new(config.divider_lanes);
@@ -83,7 +88,9 @@ pub fn taylor_layer_schedule(config: &AcceleratorConfig, n: usize, d: usize, hea
     let accumulator_cycles = 3 * accumulator.column_sum_cycles(n, d * heads);
     // Step 1 subtraction (n*d), Step 4 additions (n), Step 5 additions (n*d) per head.
     let adder_cycles = h
-        * (adder.elementwise_cycles(n * d) + adder.elementwise_cycles(n) + adder.elementwise_cycles(n * d));
+        * (adder.elementwise_cycles(n * d)
+            + adder.elementwise_cycles(n)
+            + adder.elementwise_cycles(n * d));
     // Step 1 single-divisor mean (d divisions), Step 6 row-wise normalisation (n*d).
     let divider_cycles = h
         * (divider.division_cycles(d, DividerMode::SingleDivisor)
@@ -104,10 +111,8 @@ pub fn taylor_layer_schedule(config: &AcceleratorConfig, n: usize, d: usize, hea
     // Sequential latency: every chunk waits for the previous step; SA-Diag overlaps with
     // SA-General even without the pipeline because they are separate partitions fed by the
     // same broadcast of Q.
-    let sequential_cycles = accumulator_cycles
-        + adder_cycles
-        + divider_cycles
-        + sa_general_cycles.max(sa_diag_cycles);
+    let sequential_cycles =
+        accumulator_cycles + adder_cycles + divider_cycles + sa_general_cycles.max(sa_diag_cycles);
 
     // Pipelined latency: the accumulator/adder/divider work overlaps with the systolic
     // array (mean-centred keys stream into SA-General as they are produced; the
@@ -117,11 +122,8 @@ pub fn taylor_layer_schedule(config: &AcceleratorConfig, n: usize, d: usize, hea
     let processor_cycles = accumulator_cycles + adder_cycles + divider_cycles;
     let fill = accumulator.column_sum_cycles(n, d);
     let drain = divider.division_cycles(d, DividerMode::MultipleDivisors);
-    let pipelined_cycles = sa_general_cycles
-        .max(sa_diag_cycles)
-        .max(processor_cycles)
-        + fill
-        + drain;
+    let pipelined_cycles =
+        sa_general_cycles.max(sa_diag_cycles).max(processor_cycles) + fill + drain;
 
     LayerSchedule {
         accumulator_cycles,
@@ -146,9 +148,19 @@ mod tests {
     fn pipeline_reduces_layer_latency() {
         let s = deit_tiny_layer();
         assert!(s.pipelined_cycles < s.sequential_cycles);
-        assert!(s.pipeline_speedup() > 1.2, "speedup {}", s.pipeline_speedup());
-        assert_eq!(s.latency_cycles(PipelineMode::Sequential), s.sequential_cycles);
-        assert_eq!(s.latency_cycles(PipelineMode::Pipelined), s.pipelined_cycles);
+        assert!(
+            s.pipeline_speedup() > 1.2,
+            "speedup {}",
+            s.pipeline_speedup()
+        );
+        assert_eq!(
+            s.latency_cycles(PipelineMode::Sequential),
+            s.sequential_cycles
+        );
+        assert_eq!(
+            s.latency_cycles(PipelineMode::Pipelined),
+            s.pipelined_cycles
+        );
     }
 
     #[test]

@@ -99,7 +99,12 @@ impl VitalityAccelerator {
     }
 
     /// Schedule of one Taylor-attention layer.
-    pub fn attention_layer_schedule(&self, tokens: usize, head_dim: usize, heads: usize) -> LayerSchedule {
+    pub fn attention_layer_schedule(
+        &self,
+        tokens: usize,
+        head_dim: usize,
+        heads: usize,
+    ) -> LayerSchedule {
         taylor_layer_schedule(&self.config, tokens, head_dim, heads)
     }
 
@@ -124,12 +129,14 @@ impl VitalityAccelerator {
                 stage.stage.head_dim,
                 stage.stage.heads,
             );
-            let layer_cycles =
-                (schedule.latency_cycles(self.pipeline) as f64 / self.config.scale_factor).ceil() as u64;
+            let layer_cycles = (schedule.latency_cycles(self.pipeline) as f64
+                / self.config.scale_factor)
+                .ceil() as u64;
             cycles += layer_cycles * layers;
 
-            let traffic = taylor_head_traffic(stage.stage.tokens, stage.stage.head_dim, self.dataflow)
-                .scaled(stage.stage.heads as u64 * layers);
+            let traffic =
+                taylor_head_traffic(stage.stage.tokens, stage.stage.head_dim, self.dataflow)
+                    .scaled(stage.stage.heads as u64 * layers);
             let layer_breakdown = EnergyBreakdown {
                 data_access_j: energy_model.memory_energy_j(&traffic, layer_cycles * layers),
                 other_processors_j: energy_model.processor_energy_j(
@@ -167,7 +174,8 @@ impl VitalityAccelerator {
             // n² divisions.
             let exp_cycles = hu * ((n * n) as u64).div_ceil(self.config.divider_lanes as u64) * 8;
             let div_cycles = hu * divider.division_cycles(n * n, DividerMode::MultipleDivisors);
-            let layer_cycles = ((sa_cycles + exp_cycles + div_cycles) as f64 / self.config.scale_factor)
+            let layer_cycles = ((sa_cycles + exp_cycles + div_cycles) as f64
+                / self.config.scale_factor)
                 .ceil() as u64;
             cycles += layer_cycles * layers;
 
@@ -180,7 +188,11 @@ impl VitalityAccelerator {
             };
             let layer_breakdown = EnergyBreakdown {
                 data_access_j: energy_model.memory_energy_j(&traffic, layer_cycles * layers),
-                other_processors_j: energy_model.processor_energy_j(0, 0, (exp_cycles + div_cycles) * layers),
+                other_processors_j: energy_model.processor_energy_j(
+                    0,
+                    0,
+                    (exp_cycles + div_cycles) * layers,
+                ),
                 systolic_array_j: energy_model.systolic_energy_j(sa_cycles * layers, 0, 1.0),
             };
             breakdown = breakdown.combine(&layer_breakdown);
@@ -205,9 +217,9 @@ impl VitalityAccelerator {
             cycles += per_layer * layers;
         }
         // The convolutional backbone runs on the systolic array at its peak throughput.
-        let backbone_cycles =
-            (workload.backbone_macs as f64 / self.config.peak_macs_per_second() * self.effective_frequency())
-                .ceil() as u64;
+        let backbone_cycles = (workload.backbone_macs as f64 / self.config.peak_macs_per_second()
+            * self.effective_frequency())
+        .ceil() as u64;
         cycles += backbone_cycles;
         let weight_words = workload.weight_parameter_words();
 
@@ -282,7 +294,9 @@ mod tests {
     fn pipeline_improves_end_to_end_latency() {
         let wl = deit_tiny();
         let pipelined = accel().simulate_model(&wl);
-        let sequential = accel().with_pipeline(PipelineMode::Sequential).simulate_model(&wl);
+        let sequential = accel()
+            .with_pipeline(PipelineMode::Sequential)
+            .simulate_model(&wl);
         assert!(pipelined.attention_cycles < sequential.attention_cycles);
         assert_eq!(pipelined.linear_cycles, sequential.linear_cycles);
     }
@@ -293,7 +307,9 @@ mod tests {
         // larger saving in systolic-array energy.
         let wl = ModelWorkload::for_model(&ModelConfig::deit_base());
         let ours = accel().simulate_model(&wl);
-        let gs = accel().with_dataflow(Dataflow::GStationary).simulate_model(&wl);
+        let gs = accel()
+            .with_dataflow(Dataflow::GStationary)
+            .simulate_model(&wl);
         assert!(ours.attention_energy.data_access_j > gs.attention_energy.data_access_j);
         assert!(ours.attention_energy.systolic_array_j < gs.attention_energy.systolic_array_j);
         assert!(ours.attention_energy_j < gs.attention_energy_j);
@@ -305,10 +321,21 @@ mod tests {
         // tens-to-hundreds of microseconds, orders of magnitude below the edge GPU's
         // milliseconds (Table II).
         let report = accel().simulate_model(&deit_tiny());
-        assert!(report.attention_latency_s > 1e-5, "{}", report.attention_latency_s);
-        assert!(report.attention_latency_s < 1e-3, "{}", report.attention_latency_s);
+        assert!(
+            report.attention_latency_s > 1e-5,
+            "{}",
+            report.attention_latency_s
+        );
+        assert!(
+            report.attention_latency_s < 1e-3,
+            "{}",
+            report.attention_latency_s
+        );
         assert!(report.total_latency_s > report.attention_latency_s);
-        assert_eq!(report.total_cycles, report.attention_cycles + report.linear_cycles);
+        assert_eq!(
+            report.total_cycles,
+            report.attention_cycles + report.linear_cycles
+        );
     }
 
     #[test]
@@ -320,14 +347,19 @@ mod tests {
         assert!(e.systolic_array_j > e.data_access_j);
         assert!(e.systolic_array_j > e.other_processors_j);
         // DeiT-Base Taylor attention total is ~200 uJ in Table V; allow a generous band.
-        assert!(e.total_j() > 2e-5 && e.total_j() < 2e-3, "total {}", e.total_j());
+        assert!(
+            e.total_j() > 2e-5 && e.total_j() < 2e-3,
+            "total {}",
+            e.total_j()
+        );
     }
 
     #[test]
     fn scaling_up_the_accelerator_reduces_latency() {
         let wl = deit_tiny();
         let base = accel().simulate_model(&wl);
-        let scaled = VitalityAccelerator::new(AcceleratorConfig::paper().scaled(8.0)).simulate_model(&wl);
+        let scaled =
+            VitalityAccelerator::new(AcceleratorConfig::paper().scaled(8.0)).simulate_model(&wl);
         assert!(scaled.total_cycles < base.total_cycles);
     }
 

@@ -35,7 +35,10 @@ impl SystolicArray {
     ///
     /// Panics when either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "systolic array dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "systolic array dimensions must be positive"
+        );
         Self { rows, cols }
     }
 
@@ -105,7 +108,10 @@ mod tests {
         let ideal = sa.ideal_cycles(512, 512, 512);
         assert!(cycles >= ideal);
         // For a big multiplication the overhead should stay within ~2.5x of ideal.
-        assert!((cycles as f64) < ideal as f64 * 2.5, "cycles {cycles} ideal {ideal}");
+        assert!(
+            (cycles as f64) < ideal as f64 * 2.5,
+            "cycles {cycles} ideal {ideal}"
+        );
     }
 
     #[test]
@@ -128,9 +134,18 @@ mod tests {
     #[test]
     fn zero_sized_work_costs_nothing() {
         let sa = SystolicArray::new(8, 8);
-        assert_eq!(sa.matmul_cycles(0, 10, 10, SystolicDataflow::InputStationary), 0);
-        assert_eq!(sa.matmul_cycles(10, 0, 10, SystolicDataflow::OutputStationary), 0);
-        assert_eq!(sa.utilisation(0, 0, 0, SystolicDataflow::InputStationary), 1.0);
+        assert_eq!(
+            sa.matmul_cycles(0, 10, 10, SystolicDataflow::InputStationary),
+            0
+        );
+        assert_eq!(
+            sa.matmul_cycles(10, 0, 10, SystolicDataflow::OutputStationary),
+            0
+        );
+        assert_eq!(
+            sa.utilisation(0, 0, 0, SystolicDataflow::InputStationary),
+            1.0
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use linear_kernel::LinearKernelAttention;
 pub use linformer::LinformerAttention;
 pub use opcount::OpCounts;
 pub use performer::PerformerAttention;
-pub use softmax::SoftmaxAttention;
+pub use softmax::{fused_softmax_attention, SoftmaxAttention};
 pub use sparse::{quantize_symmetric, PackedMask, SangerSparseAttention};
 pub use taxonomy::{AttentionFamily, PostProcessorKind, PreProcessorKind, TaxonomyEntry};
 pub use taylor::{mean_center_keys, TaylorAttention, TaylorTrace};
@@ -130,7 +130,11 @@ mod tests {
         for m in &mechanisms {
             let z = m.compute(&q, &k, &v);
             assert_eq!(z.shape(), (n, d), "{} produced a wrong shape", m.name());
-            assert!(z.iter().all(|v| v.is_finite()), "{} produced NaN/inf", m.name());
+            assert!(
+                z.iter().all(|v| v.is_finite()),
+                "{} produced NaN/inf",
+                m.name()
+            );
             let ops = m.op_counts(n, d);
             assert!(ops.total() > 0, "{} reported zero operations", m.name());
             assert!(!m.name().is_empty());

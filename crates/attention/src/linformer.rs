@@ -24,7 +24,10 @@ impl LinformerAttention {
     ///
     /// Panics when `landmarks == 0` or `landmarks > tokens`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, tokens: usize, landmarks: usize) -> Self {
-        assert!(landmarks > 0 && landmarks <= tokens, "landmarks must be in [1, tokens]");
+        assert!(
+            landmarks > 0 && landmarks <= tokens,
+            "landmarks must be in [1, tokens]"
+        );
         Self {
             proj_k: init::normal(rng, landmarks, tokens, 0.0, 1.0 / (tokens as f32).sqrt()),
             proj_v: init::normal(rng, landmarks, tokens, 0.0, 1.0 / (tokens as f32).sqrt()),

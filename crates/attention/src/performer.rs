@@ -72,7 +72,10 @@ fn orthogonalise_rows(m: &mut Matrix) {
     // Re-normalise every row to norm sqrt(d) (the expected norm of a Gaussian vector).
     let target = (d as f32).sqrt();
     for i in 0..m.rows() {
-        let norm: f32 = (0..d).map(|c| m.get(i, c) * m.get(i, c)).sum::<f32>().sqrt();
+        let norm: f32 = (0..d)
+            .map(|c| m.get(i, c) * m.get(i, c))
+            .sum::<f32>()
+            .sqrt();
         if norm > 0.0 {
             for c in 0..d {
                 m.set(i, c, m.get(i, c) / norm * target);
@@ -90,7 +93,7 @@ impl AttentionMechanism for PerformerAttention {
         validate_qkv(q, k, v);
         let q_prime = self.feature_map(q); // n x m
         let k_prime = self.feature_map(k); // n x m
-        // Linear attention: numerator = Q' (K'^T V), denominator = Q' (K'^T 1_n).
+                                           // Linear attention: numerator = Q' (K'^T V), denominator = Q' (K'^T 1_n).
         let context = k_prime.transpose_matmul(v); // m x d
         let numerator = q_prime.matmul(&context); // n x d
         let k_sum = k_prime.col_sum(); // 1 x m
@@ -150,10 +153,21 @@ mod tests {
         let omega = &attn.omega;
         for i in 0..omega.rows() {
             for j in 0..i {
-                let dot: f32 = (0..omega.cols()).map(|c| omega.get(i, c) * omega.get(j, c)).sum();
-                let ni: f32 = (0..omega.cols()).map(|c| omega.get(i, c).powi(2)).sum::<f32>().sqrt();
-                let nj: f32 = (0..omega.cols()).map(|c| omega.get(j, c).powi(2)).sum::<f32>().sqrt();
-                assert!((dot / (ni * nj)).abs() < 1e-3, "rows {i},{j} not orthogonal");
+                let dot: f32 = (0..omega.cols())
+                    .map(|c| omega.get(i, c) * omega.get(j, c))
+                    .sum();
+                let ni: f32 = (0..omega.cols())
+                    .map(|c| omega.get(i, c).powi(2))
+                    .sum::<f32>()
+                    .sqrt();
+                let nj: f32 = (0..omega.cols())
+                    .map(|c| omega.get(j, c).powi(2))
+                    .sum::<f32>()
+                    .sqrt();
+                assert!(
+                    (dot / (ni * nj)).abs() < 1e-3,
+                    "rows {i},{j} not orthogonal"
+                );
             }
         }
     }
@@ -165,7 +179,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(63);
         let performer = PerformerAttention::new(&mut rng, 8, 256).compute(&q, &k, &v);
         // A stochastic kernel estimate: only require a loose agreement.
-        assert!(exact.max_abs_diff(&performer) < 0.35, "diff {}", exact.max_abs_diff(&performer));
+        assert!(
+            exact.max_abs_diff(&performer) < 0.35,
+            "diff {}",
+            exact.max_abs_diff(&performer)
+        );
     }
 
     #[test]

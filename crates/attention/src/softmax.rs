@@ -3,14 +3,72 @@
 use crate::opcount::{vanilla_softmax_ops, OpCounts};
 use crate::taxonomy::AttentionFamily;
 use crate::{validate_qkv, AttentionMechanism};
+use rayon::prelude::*;
 use vitality_autograd::Var;
 use vitality_tensor::Matrix;
+
+/// Query rows per block in the fused kernel — bounds the materialised slice of the
+/// attention map to `Q_BLOCK x n` regardless of the token count.
+const Q_BLOCK: usize = 64;
 
 /// Computes the scaled dot-product similarity `Q K^T / sqrt(d)` — the input to the softmax
 /// in Step 2 of the vanilla attention (Fig. 2 of the paper).
 pub fn scaled_similarity(q: &Matrix, k: &Matrix) -> Matrix {
     let d = q.cols() as f32;
     q.matmul_transpose_b(k).scale(1.0 / d.sqrt())
+}
+
+/// Fused softmax attention: `softmax(Q K^T / sqrt(d)) V` one query block at a time.
+///
+/// The textbook pipeline materialises the full `n x n` attention map, scans it once for
+/// the row maxima, again for the exponentials and normalisation, and a third time for the
+/// `S V` product. This kernel processes [`Q_BLOCK`] query rows per (parallel) work unit:
+/// the logit block comes from the blocked GEMM backend, the scale / row-max / `exp` /
+/// row-sum steps run in a single in-place pass, the *unnormalised* probabilities multiply
+/// `V` through the blocked backend again, and the normalisation folds into one final
+/// scaling pass — so at most `Q_BLOCK x n` of the map ever exists, and the map is read
+/// exactly once.
+///
+/// # Panics
+///
+/// Panics when the `(Q, K, V)` shapes are inconsistent.
+pub fn fused_softmax_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    validate_qkv(q, k, v);
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+    let d_v = v.cols();
+    let mut out = Matrix::zeros(q.rows(), d_v);
+    let n_q = q.rows();
+    out.as_mut_slice()
+        .par_chunks_mut(Q_BLOCK * d_v)
+        .enumerate()
+        .for_each(|(block, out_rows)| {
+            let lo = block * Q_BLOCK;
+            let hi = (lo + Q_BLOCK).min(n_q);
+            let q_block = q.slice_rows(lo, hi);
+            let mut probs = q_block.matmul_transpose_b(k);
+            let mut inv_sums = vec![0.0f32; hi - lo];
+            for (local, inv) in inv_sums.iter_mut().enumerate() {
+                let row = probs.row_mut(local);
+                let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x * scale));
+                let mut sum = 0.0f32;
+                for x in row.iter_mut() {
+                    *x = (*x * scale - max).exp();
+                    sum += *x;
+                }
+                *inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+            }
+            let z = probs.matmul(v);
+            for ((o, zv), &inv) in out_rows
+                .chunks_exact_mut(d_v)
+                .zip((0..hi - lo).map(|r| z.row(r)))
+                .zip(inv_sums.iter())
+            {
+                for (o, &zv) in o.iter_mut().zip(zv) {
+                    *o = zv * inv;
+                }
+            }
+        });
+    out
 }
 
 /// The standard softmax attention `softmax(Q K^T / sqrt(d)) V`.
@@ -49,8 +107,7 @@ impl AttentionMechanism for SoftmaxAttention {
     }
 
     fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
-        validate_qkv(q, k, v);
-        self.attention_map(q, k).matmul(v)
+        fused_softmax_attention(q, k, v)
     }
 
     fn op_counts(&self, n: usize, d: usize) -> OpCounts {
@@ -124,6 +181,25 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_matches_the_unfused_map_pipeline() {
+        let mut rng = StdRng::seed_from_u64(22);
+        // 150 rows straddles two Q_BLOCK work units; 3 exercises the ragged tail.
+        for n in [3usize, 64, 150] {
+            let q = init::normal(&mut rng, n, 16, 0.0, 0.8);
+            let k = init::normal(&mut rng, n, 16, 0.0, 0.8);
+            let v = init::normal(&mut rng, n, 16, 0.0, 1.0);
+            let attn = SoftmaxAttention::new();
+            let fused = fused_softmax_attention(&q, &k, &v);
+            let unfused = attn.attention_map(&q, &k).matmul(&v);
+            assert!(
+                fused.approx_eq(&unfused, 1e-4),
+                "n={n} max diff {}",
+                fused.max_abs_diff(&unfused)
+            );
+        }
+    }
+
+    #[test]
     fn forward_train_matches_inference_and_backpropagates() {
         use vitality_autograd::Graph;
         let mut rng = StdRng::seed_from_u64(21);
@@ -145,7 +221,10 @@ mod tests {
     fn op_counts_are_quadratic_and_include_exponentiations() {
         let ops = SoftmaxAttention::new().op_counts(197, 64);
         assert_eq!(ops.exp, 197 * 197);
-        assert_eq!(SoftmaxAttention::new().family(), AttentionFamily::VanillaSoftmax);
+        assert_eq!(
+            SoftmaxAttention::new().family(),
+            AttentionFamily::VanillaSoftmax
+        );
         assert_eq!(SoftmaxAttention::new().name(), "vanilla-softmax");
     }
 }

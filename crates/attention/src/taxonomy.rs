@@ -86,7 +86,10 @@ pub fn taxonomy() -> Vec<TaxonomyEntry> {
             family: AttentionFamily::LowRankProjection,
             representative: "Linformer",
             detail: "reduce token dimension of K/V",
-            pre_processors: vec![PreProcessorKind::TokenProjection, PreProcessorKind::Exponential],
+            pre_processors: vec![
+                PreProcessorKind::TokenProjection,
+                PreProcessorKind::Exponential,
+            ],
             post_processors: vec![PostProcessorKind::Divider],
         },
         TaxonomyEntry {
@@ -144,9 +147,15 @@ mod tests {
             .iter()
             .find(|r| r.family == AttentionFamily::TaylorBased)
             .unwrap();
-        assert!(!vitality.pre_processors.contains(&PreProcessorKind::Exponential));
-        assert!(vitality.pre_processors.contains(&PreProcessorKind::Accumulator));
-        assert!(vitality.post_processors.contains(&PostProcessorKind::Divider));
+        assert!(!vitality
+            .pre_processors
+            .contains(&PreProcessorKind::Exponential));
+        assert!(vitality
+            .pre_processors
+            .contains(&PreProcessorKind::Accumulator));
+        assert!(vitality
+            .post_processors
+            .contains(&PostProcessorKind::Divider));
         assert!(vitality.post_processors.contains(&PostProcessorKind::Adder));
     }
 

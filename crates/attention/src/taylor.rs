@@ -12,8 +12,12 @@ use crate::opcount::{taylor_attention_ops, OpCounts};
 use crate::softmax::scaled_similarity;
 use crate::taxonomy::AttentionFamily;
 use crate::{validate_qkv, AttentionMechanism};
+use rayon::prelude::*;
 use vitality_autograd::Var;
 use vitality_tensor::Matrix;
+
+/// Rows per parallel work unit in the fused kernel's accumulation and scoring passes.
+const ROW_CHUNK: usize = 128;
 
 /// Mean-centres the keys: returns `\hat{K} = K - 1_n \bar{K}` where `\bar{K}` is the
 /// column (token-wise) mean of `K`.
@@ -106,9 +110,7 @@ impl TaylorAttention {
         let v_sum = v.col_sum();
 
         // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q \hat{k}_{sum}^T (n x 1).
-        let denominator = q
-            .matmul_transpose_b(&k_sum)
-            .add_scalar(n as f32 * sqrt_d);
+        let denominator = q.matmul_transpose_b(&k_sum).add_scalar(n as f32 * sqrt_d);
 
         // Step 5: Taylor numerator T_N = sqrt(d) (1_n v_{sum}) + Q G (n x d).
         let broadcast_vsum = Matrix::from_fn(q.rows(), v_sum.cols(), |_, j| v_sum.get(0, j));
@@ -130,6 +132,116 @@ impl TaylorAttention {
             numerator,
             score,
         }
+    }
+
+    /// Fused inference kernel: Algorithm 1 without its intermediates.
+    ///
+    /// [`TaylorAttention::compute_with_trace`] materialises every step of Algorithm 1 —
+    /// `\hat{K}`, `G`, the broadcast `1_n v_{sum}`, the numerator and the denominator —
+    /// which is what the accelerator simulator replays but wastes memory traffic at
+    /// inference. This kernel produces the identical score in three passes:
+    ///
+    /// 1. one reduction over `K` for `\bar{K}`;
+    /// 2. one parallel sweep over `(K, V)` rows accumulating `G = \hat{K}^T V`,
+    ///    `\hat{k}_{sum}` and `v_{sum}` together (the centred key row lives in a
+    ///    register-sized scratch, never in an `n x d` matrix);
+    /// 3. one parallel sweep over `Q` rows emitting each output row directly as
+    ///    `(sqrt(d) v_{sum} + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)` — Steps 4–6
+    ///    fused, with no `t_D`, `T_N` or broadcast buffers.
+    pub fn compute_fused(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        validate_qkv(q, k, v);
+        let n = k.rows();
+        let d_k = k.cols();
+        let d_v = v.cols();
+        let sqrt_d = (q.cols() as f32).sqrt();
+
+        // Pass 1: \bar{K} (all-zero when centring is ablated, so pass 2 can subtract
+        // unconditionally).
+        let k_bar = if self.mean_center {
+            k.col_mean().into_vec()
+        } else {
+            vec![0.0f32; d_k]
+        };
+
+        // Pass 2: per-chunk partial (G, \hat{k}_{sum}, v_{sum}) accumulators, reduced
+        // after the parallel sweep.
+        let chunks = n.div_ceil(ROW_CHUNK).max(1);
+        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * ROW_CHUNK;
+                let hi = (lo + ROW_CHUNK).min(n);
+                let mut g = vec![0.0f32; d_k * d_v];
+                let mut k_sum = vec![0.0f32; d_k];
+                let mut v_sum = vec![0.0f32; d_v];
+                let mut k_hat_row = vec![0.0f32; d_k];
+                for r in lo..hi {
+                    for ((kh, &kv), (&kb, ks)) in k_hat_row
+                        .iter_mut()
+                        .zip(k.row(r))
+                        .zip(k_bar.iter().zip(k_sum.iter_mut()))
+                    {
+                        *kh = kv - kb;
+                        *ks += *kh;
+                    }
+                    let v_row = v.row(r);
+                    for (vs, &vv) in v_sum.iter_mut().zip(v_row) {
+                        *vs += vv;
+                    }
+                    for (&kh, g_row) in k_hat_row.iter().zip(g.chunks_exact_mut(d_v)) {
+                        for (gv, &vv) in g_row.iter_mut().zip(v_row) {
+                            *gv += kh * vv;
+                        }
+                    }
+                }
+                (g, k_sum, v_sum)
+            })
+            .collect();
+        let mut g = vec![0.0f32; d_k * d_v];
+        let mut k_sum = vec![0.0f32; d_k];
+        let mut v_sum = vec![0.0f32; d_v];
+        for (pg, pk, pv) in &partials {
+            for (acc, &x) in g.iter_mut().zip(pg) {
+                *acc += x;
+            }
+            for (acc, &x) in k_sum.iter_mut().zip(pk) {
+                *acc += x;
+            }
+            for (acc, &x) in v_sum.iter_mut().zip(pv) {
+                *acc += x;
+            }
+        }
+
+        // Pass 3: Steps 4–6 fused per query row.
+        let n_sqrt_d = n as f32 * sqrt_d;
+        let mut score = Matrix::zeros(q.rows(), d_v);
+        score
+            .as_mut_slice()
+            .par_chunks_mut(ROW_CHUNK * d_v)
+            .enumerate()
+            .for_each(|(chunk, out_rows)| {
+                let lo = chunk * ROW_CHUNK;
+                for (local, out_row) in out_rows.chunks_exact_mut(d_v).enumerate() {
+                    let q_row = q.row(lo + local);
+                    let mut denominator = n_sqrt_d;
+                    for (&qv, &ks) in q_row.iter().zip(k_sum.iter()) {
+                        denominator += qv * ks;
+                    }
+                    for (o, &vs) in out_row.iter_mut().zip(v_sum.iter()) {
+                        *o = sqrt_d * vs;
+                    }
+                    for (&qv, g_row) in q_row.iter().zip(g.chunks_exact(d_v)) {
+                        for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                            *o += qv * gv;
+                        }
+                    }
+                    let inv = 1.0 / denominator;
+                    for o in out_row.iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            });
+        score
     }
 
     /// The first-order ("weak") Taylor attention *map* — the explicit `n x n` matrix
@@ -188,9 +300,7 @@ impl TaylorAttention {
         let global_context = k_hat.transpose_matmul(v);
         let k_sum = k_hat.col_sum();
         let v_sum = v.col_sum();
-        let denominator = q
-            .matmul_transpose_b(&k_sum)
-            .add_scalar(n as f32 * sqrt_d);
+        let denominator = q.matmul_transpose_b(&k_sum).add_scalar(n as f32 * sqrt_d);
         let numerator = q
             .matmul(&global_context)
             .add(&v_sum.scale(sqrt_d).broadcast_row_to(q.shape().0));
@@ -208,7 +318,7 @@ impl AttentionMechanism for TaylorAttention {
     }
 
     fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
-        self.compute_with_trace(q, k, v).score
+        self.compute_fused(q, k, v)
     }
 
     fn op_counts(&self, n: usize, d: usize) -> OpCounts {
@@ -243,7 +353,11 @@ mod tests {
         let (q, k, v) = qkv(24, 16, 0.8, 1);
         let vanilla = SoftmaxAttention::new().compute(&q, &k, &v);
         let centred = SoftmaxAttention::new().compute(&q, &mean_center_keys(&k), &v);
-        assert!(vanilla.approx_eq(&centred, 1e-3), "max diff {}", vanilla.max_abs_diff(&centred));
+        assert!(
+            vanilla.approx_eq(&centred, 1e-3),
+            "max diff {}",
+            vanilla.max_abs_diff(&centred)
+        );
     }
 
     #[test]
@@ -254,7 +368,10 @@ mod tests {
         let centred = scaled_similarity(&q, &mean_center_keys(&k));
         let before = fraction_in_interval(&raw, -1.0, 1.0);
         let after = fraction_in_interval(&centred, -1.0, 1.0);
-        assert!(after >= before, "centring reduced in-range fraction: {before} -> {after}");
+        assert!(
+            after >= before,
+            "centring reduced in-range fraction: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -278,7 +395,11 @@ mod tests {
         let attention = TaylorAttention::new();
         let z = attention.compute(&q, &k, &v);
         let explicit = attention.weak_attention_map(&q, &k).matmul(&v);
-        assert!(z.approx_eq(&explicit, 1e-3), "max diff {}", z.max_abs_diff(&explicit));
+        assert!(
+            z.approx_eq(&explicit, 1e-3),
+            "max diff {}",
+            z.max_abs_diff(&explicit)
+        );
     }
 
     #[test]
@@ -336,7 +457,10 @@ mod tests {
         assert!(!with.approx_eq(&without, 1e-3));
         assert!(TaylorAttention::new().mean_centering());
         assert!(!TaylorAttention::without_mean_centering().mean_centering());
-        assert_eq!(TaylorAttention::without_mean_centering().name(), "taylor-no-centering");
+        assert_eq!(
+            TaylorAttention::without_mean_centering().name(),
+            "taylor-no-centering"
+        );
     }
 
     #[test]
@@ -359,6 +483,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_matches_the_unfused_trace() {
+        for (n, d, seed) in [(20, 8, 13), (129, 16, 14), (257, 32, 15)] {
+            let (q, k, v) = qkv(n, d, 0.4, seed);
+            for attention in [
+                TaylorAttention::new(),
+                TaylorAttention::without_mean_centering(),
+            ] {
+                let fused = attention.compute_fused(&q, &k, &v);
+                let traced = attention.compute_with_trace(&q, &k, &v).score;
+                assert!(
+                    fused.approx_eq(&traced, 1e-4),
+                    "n={n} centring={} max diff {}",
+                    attention.mean_centering(),
+                    fused.max_abs_diff(&traced)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn trace_shapes_follow_algorithm_1() {
         let (q, k, v) = qkv(20, 8, 0.5, 12);
         let trace = TaylorAttention::new().compute_with_trace(&q, &k, &v);
@@ -377,6 +521,9 @@ mod tests {
         let ops = TaylorAttention::new().op_counts(197, 64);
         assert_eq!(ops.exp, 0);
         assert!(ops.mul > 0);
-        assert_eq!(TaylorAttention::new().family(), AttentionFamily::TaylorBased);
+        assert_eq!(
+            TaylorAttention::new().family(),
+            AttentionFamily::TaylorBased
+        );
     }
 }

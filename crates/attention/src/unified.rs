@@ -108,8 +108,10 @@ impl AttentionMechanism for UnifiedLowRankSparseAttention {
     fn compute(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
         validate_qkv(q, k, v);
         let low_rank = self.taylor.compute(q, k, v);
-        let residual = self.masked_strong_component(q, k).matmul(v);
-        low_rank.try_add(&residual).expect("unified component shapes")
+        let residual = self.masked_strong_component(q, k).matmul_sparse(v);
+        low_rank
+            .try_add(&residual)
+            .expect("unified component shapes")
     }
 
     fn op_counts(&self, n: usize, d: usize) -> OpCounts {
@@ -148,7 +150,11 @@ mod tests {
         let (q, k, v) = qkv(16, 8, 0.8, 40);
         let unified = UnifiedLowRankSparseAttention::new(0.0).compute(&q, &k, &v);
         let exact = SoftmaxAttention::new().compute(&q, &k, &v);
-        assert!(unified.approx_eq(&exact, 1e-3), "max diff {}", unified.max_abs_diff(&exact));
+        assert!(
+            unified.approx_eq(&exact, 1e-3),
+            "max diff {}",
+            unified.max_abs_diff(&exact)
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         let (q, k, _) = qkv(32, 16, 0.8, 42);
         let low = UnifiedLowRankSparseAttention::new(0.02).sparse_occupancy(&q, &k);
         let high = UnifiedLowRankSparseAttention::new(0.5).sparse_occupancy(&q, &k);
-        assert!(high <= low, "occupancy should not increase with threshold ({low} -> {high})");
+        assert!(
+            high <= low,
+            "occupancy should not increase with threshold ({low} -> {high})"
+        );
     }
 
     #[test]
@@ -197,7 +206,11 @@ mod tests {
         let kv = graph.parameter(k);
         let vv = graph.parameter(v);
         let z = unified.forward_train(&qv, &kv, &vv);
-        assert!(z.value().approx_eq(&reference, 1e-3), "max diff {}", z.value().max_abs_diff(&reference));
+        assert!(
+            z.value().approx_eq(&reference, 1e-3),
+            "max diff {}",
+            z.value().max_abs_diff(&reference)
+        );
         let grads = graph.backward(&z.mean_all());
         assert_eq!(grads.len(), 3);
     }

@@ -140,7 +140,9 @@ mod tests {
         let report = check_gradients(&x, EPS, |g, p| {
             let gamma = g.constant(Matrix::filled(1, 6, 1.2));
             let beta = g.constant(Matrix::filled(1, 6, -0.1));
-            p.layer_norm(&gamma, &beta, 1e-5).hadamard(&p.layer_norm(&gamma, &beta, 1e-5)).sum()
+            p.layer_norm(&gamma, &beta, 1e-5)
+                .hadamard(&p.layer_norm(&gamma, &beta, 1e-5))
+                .sum()
         });
         assert!(report.passed(TOL), "{report:?}");
     }
@@ -167,7 +169,9 @@ mod tests {
     #[test]
     fn cross_entropy_gradcheck() {
         let logits = random(4, 3, 11);
-        let report = check_gradients(&logits, EPS, |_, p| p.cross_entropy_with_logits(&[0, 2, 1, 1]));
+        let report = check_gradients(&logits, EPS, |_, p| {
+            p.cross_entropy_with_logits(&[0, 2, 1, 1])
+        });
         assert!(report.passed(TOL), "{report:?}");
     }
 

@@ -201,7 +201,7 @@ impl Graph {
             if let Some(backward) = &node.backward {
                 let parent_grads = backward(&grad);
                 debug_assert_eq!(parent_grads.len(), node.parents.len());
-                for (&parent, pgrad) in node.parents.iter().zip(parent_grads.into_iter()) {
+                for (&parent, pgrad) in node.parents.iter().zip(parent_grads) {
                     if !nodes[parent].needs_grad {
                         continue;
                     }
@@ -268,7 +268,11 @@ impl Var {
             is_parameter: false,
             needs_grad: needs,
             parents: vec![self.idx],
-            backward: if needs { Some(Box::new(backward)) } else { None },
+            backward: if needs {
+                Some(Box::new(backward))
+            } else {
+                None
+            },
         })
     }
 
@@ -286,7 +290,11 @@ impl Var {
             is_parameter: false,
             needs_grad: needs,
             parents: vec![self.idx, other.idx],
-            backward: if needs { Some(Box::new(backward)) } else { None },
+            backward: if needs {
+                Some(Box::new(backward))
+            } else {
+                None
+            },
         })
     }
 
@@ -318,7 +326,9 @@ impl Var {
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, factor: f32) -> Var {
-        self.unary(self.value().scale(factor), move |grad| vec![grad.scale(factor)])
+        self.unary(self.value().scale(factor), move |grad| {
+            vec![grad.scale(factor)]
+        })
     }
 
     /// Adds a constant to every element.
@@ -380,7 +390,9 @@ impl Var {
     /// Subtracts a `1 x d` row vector from every row.
     pub fn broadcast_sub_row(&self, row: &Var) -> Var {
         let value = self.value().broadcast_sub_row(&row.value());
-        self.binary(row, value, |grad| vec![grad.clone(), grad.col_sum().scale(-1.0)])
+        self.binary(row, value, |grad| {
+            vec![grad.clone(), grad.col_sum().scale(-1.0)]
+        })
     }
 
     /// Divides each row by the matching entry of an `n x 1` column vector
@@ -424,7 +436,9 @@ impl Var {
     pub fn col_mean(&self) -> Var {
         let rows = self.shape().0;
         self.unary(self.value().col_mean(), move |grad| {
-            vec![Matrix::from_fn(rows, grad.cols(), |_, j| grad.get(0, j) / rows as f32)]
+            vec![Matrix::from_fn(rows, grad.cols(), |_, j| {
+                grad.get(0, j) / rows as f32
+            })]
         })
     }
 
@@ -524,12 +538,12 @@ impl Var {
         let d = x.cols();
         let mut normalised = Matrix::zeros(x.rows(), d);
         let mut inv_std = vec![0.0f32; x.rows()];
-        for i in 0..x.rows() {
+        for (i, istd_slot) in inv_std.iter_mut().enumerate() {
             let row = x.row(i);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + eps).sqrt();
-            inv_std[i] = istd;
+            *istd_slot = istd;
             for j in 0..d {
                 normalised.set(i, j, (x.get(i, j) - mean) * istd);
             }
@@ -563,7 +577,7 @@ impl Var {
                     let mut dgamma = Matrix::zeros(1, d);
                     let mut dbeta = Matrix::zeros(1, d);
                     let mut dx = Matrix::zeros(rows, d);
-                    for i in 0..rows {
+                    for (i, &istd) in inv_std.iter().enumerate().take(rows) {
                         // Per-feature parameter gradients.
                         for j in 0..d {
                             dgamma.set(0, j, dgamma.get(0, j) + grad.get(i, j) * xhat.get(i, j));
@@ -580,9 +594,8 @@ impl Var {
                             .map(|(j, v)| v * xhat.get(i, j))
                             .sum::<f32>()
                             / d as f32;
-                        for j in 0..d {
-                            let v = inv_std[i]
-                                * (dxhat[j] - mean_dxhat - xhat.get(i, j) * mean_dxhat_xhat);
+                        for (j, &dxh) in dxhat.iter().enumerate() {
+                            let v = istd * (dxh - mean_dxhat - xhat.get(i, j) * mean_dxhat_xhat);
                             dx.set(i, j, v);
                         }
                     }
@@ -672,7 +685,11 @@ impl Var {
     /// range.
     pub fn cross_entropy_with_logits(&self, targets: &[usize]) -> Var {
         let logits = self.value();
-        assert_eq!(targets.len(), logits.rows(), "one target per row is required");
+        assert_eq!(
+            targets.len(),
+            logits.rows(),
+            "one target per row is required"
+        );
         let probs = logits.softmax_rows();
         let n = logits.rows() as f32;
         let mut loss = 0.0;
@@ -700,7 +717,11 @@ impl Var {
     /// Panics when the shapes of the logits and the soft targets differ.
     pub fn soft_cross_entropy(&self, soft_targets: &Matrix) -> Var {
         let logits = self.value();
-        assert_eq!(logits.shape(), soft_targets.shape(), "soft target shape mismatch");
+        assert_eq!(
+            logits.shape(),
+            soft_targets.shape(),
+            "soft target shape mismatch"
+        );
         let probs = logits.softmax_rows();
         let n = logits.rows() as f32;
         let mut loss = 0.0;
@@ -842,7 +863,10 @@ mod tests {
         assert!((hard_loss.value().get(0, 0) - soft_loss.value().get(0, 0)).abs() < 1e-5);
         let gh = g.backward(&hard_loss);
         let gs = g.backward(&soft_loss);
-        assert!(gh.get(&hard).unwrap().approx_eq(gs.get(&soft).unwrap(), 1e-5));
+        assert!(gh
+            .get(&hard)
+            .unwrap()
+            .approx_eq(gs.get(&soft).unwrap(), 1e-5));
     }
 
     #[test]
@@ -870,7 +894,12 @@ mod tests {
         let v = y.value();
         for i in 0..v.rows() {
             let mean: f32 = v.row(i).iter().sum::<f32>() / 4.0;
-            let var: f32 = v.row(i).iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            let var: f32 = v
+                .row(i)
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-3);
         }
@@ -911,7 +940,10 @@ mod tests {
         assert!(rebuilt.value().approx_eq(&x.value(), 0.0));
         let loss = rebuilt.scale(2.0).sum();
         let grads = g.backward(&loss);
-        assert!(grads.get(&x).unwrap().approx_eq(&Matrix::filled(2, 4, 2.0), 1e-6));
+        assert!(grads
+            .get(&x)
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 4, 2.0), 1e-6));
     }
 
     #[test]
@@ -921,7 +953,10 @@ mod tests {
         let b = g.parameter(mat(&[vec![0.5, -0.5]]));
         let y = x.add_bias(&b).sum();
         let grads = g.backward(&y);
-        assert!(grads.get(&b).unwrap().approx_eq(&Matrix::filled(1, 2, 3.0), 1e-6));
+        assert!(grads
+            .get(&b)
+            .unwrap()
+            .approx_eq(&Matrix::filled(1, 2, 3.0), 1e-6));
 
         let centred = x.broadcast_sub_row(&x.col_mean());
         assert!(centred.value().col_mean().iter().all(|v| v.abs() < 1e-5));
@@ -932,7 +967,10 @@ mod tests {
         let row = g.parameter(mat(&[vec![1.0, 2.0]]));
         let tiled = row.broadcast_row_to(4).sum();
         let grads3 = g.backward(&tiled);
-        assert!(grads3.get(&row).unwrap().approx_eq(&Matrix::filled(1, 2, 4.0), 1e-6));
+        assert!(grads3
+            .get(&row)
+            .unwrap()
+            .approx_eq(&Matrix::filled(1, 2, 4.0), 1e-6));
     }
 
     #[test]
@@ -940,13 +978,19 @@ mod tests {
         let g = Graph::new();
         let x = g.parameter(mat(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
         let grads = g.backward(&x.mean_all());
-        assert!(grads.get(&x).unwrap().approx_eq(&Matrix::filled(2, 2, 0.25), 1e-6));
+        assert!(grads
+            .get(&x)
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 2, 0.25), 1e-6));
         let grads = g.backward(&x.col_sum().sum());
         assert!(grads.get(&x).unwrap().approx_eq(&Matrix::ones(2, 2), 1e-6));
         let grads = g.backward(&x.row_sum().sum());
         assert!(grads.get(&x).unwrap().approx_eq(&Matrix::ones(2, 2), 1e-6));
         let grads = g.backward(&x.col_mean().sum());
-        assert!(grads.get(&x).unwrap().approx_eq(&Matrix::filled(2, 2, 0.5), 1e-6));
+        assert!(grads
+            .get(&x)
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 2, 0.5), 1e-6));
     }
 
     #[test]

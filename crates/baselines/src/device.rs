@@ -161,7 +161,12 @@ impl DeviceModel {
     }
 
     /// Latency of one attention step aggregated over all layers of a stage.
-    fn step_latency(&self, step: AttentionStep, ops: vitality_attention::OpCounts, layers: u64) -> f64 {
+    fn step_latency(
+        &self,
+        step: AttentionStep,
+        ops: vitality_attention::OpCounts,
+        layers: u64,
+    ) -> f64 {
         let gemm_rate = match step {
             AttentionStep::QkvProjection => self.large_gemm_flops,
             AttentionStep::TaylorGlobalContext | AttentionStep::TaylorNumerator => {
@@ -212,8 +217,8 @@ impl DeviceModel {
             projection_latency +=
                 (proj_flops / self.large_gemm_flops + self.kernel_overhead_s) * layers as f64;
             let other_flops = 2.0 * (stage.output_projection_macs + stage.mlp_macs) as f64;
-            other_latency +=
-                (other_flops / self.large_gemm_flops + 2.0 * self.kernel_overhead_s) * layers as f64;
+            other_latency += (other_flops / self.large_gemm_flops + 2.0 * self.kernel_overhead_s)
+                * layers as f64;
             total_ops += (proj_flops + other_flops) * layers as f64;
 
             let steps = match attention {
@@ -315,7 +320,8 @@ mod tests {
     #[test]
     fn edge_gpu_vanilla_attention_latency_matches_table2_scale() {
         // Table II reports 11.65 ms for DeiT-Tiny's vanilla attention on the TX2.
-        let report = DeviceModel::jetson_tx2().simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
+        let report =
+            DeviceModel::jetson_tx2().simulate(&deit_tiny(), AttentionKind::VanillaSoftmax);
         let ms = report.attention_latency_s() * 1e3;
         assert!((6.0..20.0).contains(&ms), "attention latency {ms:.2} ms");
     }

@@ -128,9 +128,11 @@ impl SangerAccelerator {
     pub fn simulate_model(&self, workload: &ModelWorkload) -> SangerReport {
         let mut attention_cycles = 0u64;
         for stage in &workload.stages {
-            attention_cycles += self
-                .attention_layer_cycles(stage.stage.tokens, stage.stage.head_dim, stage.stage.heads)
-                * stage.stage.layers as u64;
+            attention_cycles += self.attention_layer_cycles(
+                stage.stage.tokens,
+                stage.stage.head_dim,
+                stage.stage.heads,
+            ) * stage.stage.layers as u64;
         }
         let linear_cycles = self.linear_cycles(workload);
         let period = 1.0 / self.config.frequency_hz;
@@ -197,14 +199,18 @@ mod tests {
         // The headline claim: ~7x attention speedup and ~3x end-to-end speedup over Sanger
         // under comparable hardware budgets.
         let sanger = SangerAccelerator::new(SangerConfig::paper()).simulate_model(&deit_tiny());
-        let vitality = VitalityAccelerator::new(AcceleratorConfig::paper()).simulate_model(&deit_tiny());
+        let vitality =
+            VitalityAccelerator::new(AcceleratorConfig::paper()).simulate_model(&deit_tiny());
         let attention_speedup = sanger.attention_latency_s / vitality.attention_latency_s;
         let e2e_speedup = sanger.total_latency_s / vitality.total_latency_s;
         assert!(
             attention_speedup > 2.0 && attention_speedup < 20.0,
             "attention speedup {attention_speedup:.1}"
         );
-        assert!(e2e_speedup > 1.5 && e2e_speedup < 8.0, "e2e speedup {e2e_speedup:.1}");
+        assert!(
+            e2e_speedup > 1.5 && e2e_speedup < 8.0,
+            "e2e speedup {e2e_speedup:.1}"
+        );
         assert!(attention_speedup > e2e_speedup);
     }
 
@@ -228,7 +234,10 @@ mod tests {
             ..SangerConfig::paper()
         });
         let wl = deit_tiny();
-        assert!(dense.simulate_model(&wl).attention_cycles > sparse.simulate_model(&wl).attention_cycles);
+        assert!(
+            dense.simulate_model(&wl).attention_cycles
+                > sparse.simulate_model(&wl).attention_cycles
+        );
     }
 
     #[test]
@@ -242,7 +251,10 @@ mod tests {
         let traffic = accel.attention_traffic(197, 64, 3);
         assert!(traffic.total() > 0);
         let breakdown = accel.attention_energy_breakdown(&deit_tiny());
-        assert!((breakdown.total_j() - report.attention_energy_j).abs() / report.attention_energy_j < 0.01);
+        assert!(
+            (breakdown.total_j() - report.attention_energy_j).abs() / report.attention_energy_j
+                < 0.01
+        );
         assert!((SangerConfig::paper().total_area_mm2() - 5.194).abs() < 1e-9);
     }
 

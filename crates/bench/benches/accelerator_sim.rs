@@ -13,9 +13,11 @@ fn bench_vitality_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("vitality_accelerator_simulation");
     for config in ModelConfig::all_models() {
         let workload = ModelWorkload::for_model(&config);
-        group.bench_with_input(BenchmarkId::from_parameter(config.name), &workload, |b, wl| {
-            b.iter(|| black_box(accel.simulate_model(wl)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.name),
+            &workload,
+            |b, wl| b.iter(|| black_box(accel.simulate_model(wl))),
+        );
     }
     group.finish();
 }

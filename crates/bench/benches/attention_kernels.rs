@@ -78,7 +78,9 @@ fn bench_taylor_steps(c: &mut Criterion) {
         b.iter(|| black_box(k_hat.transpose_matmul(&v)))
     });
     let g = k_hat.transpose_matmul(&v);
-    group.bench_function("query_times_context", |b| b.iter(|| black_box(q.matmul(&g))));
+    group.bench_function("query_times_context", |b| {
+        b.iter(|| black_box(q.matmul(&g)))
+    });
     group.bench_function("full_algorithm_1", |b| {
         let attn = TaylorAttention::new();
         b.iter(|| black_box(attn.compute_with_trace(&q, &k, &v)))

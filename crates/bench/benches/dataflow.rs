@@ -12,7 +12,8 @@ fn bench_dataflow_ablation(c: &mut Criterion) {
     for config in [ModelConfig::deit_base(), ModelConfig::levit_128()] {
         let workload = ModelWorkload::for_model(&config);
         for dataflow in [Dataflow::DownForwardAccumulation, Dataflow::GStationary] {
-            let accel = VitalityAccelerator::new(AcceleratorConfig::paper()).with_dataflow(dataflow);
+            let accel =
+                VitalityAccelerator::new(AcceleratorConfig::paper()).with_dataflow(dataflow);
             group.bench_with_input(
                 BenchmarkId::new(dataflow.label(), config.name),
                 &workload,

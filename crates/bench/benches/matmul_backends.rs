@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the dense-GEMM backends: the blocked, register-tiled,
+//! parallel kernel versus the naive scalar reference, across the three access patterns
+//! (`A·B`, `A·Bᵀ`, `Aᵀ·B`) the attention kernels use.
+//!
+//! The expected shape: the blocked backend wins by an order of magnitude at
+//! `512 × 512 × 512` (the acceptance gate for this repo is ≥ 5×), and the gap widens
+//! with size as the naive loop falls out of cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use vitality_tensor::{init, MatmulBackend, Matrix};
+
+fn square(n: usize, seed: u64) -> Matrix {
+    init::uniform(&mut StdRng::seed_from_u64(seed), n, n, -1.0, 1.0)
+}
+
+fn bench_square_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_backends");
+    for &n in &[128usize, 256, 512] {
+        let a = square(n, n as u64);
+        let b = square(n, n as u64 + 1);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_with(MatmulBackend::Blocked, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_with(MatmulBackend::Naive, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose_patterns(c: &mut Criterion) {
+    // The attention access patterns: Q K^T (tall x tall^T, small shared dim) and
+    // K^T V (the d x d global context matrix from tall operands).
+    let (n, d) = (1024, 64);
+    let q = init::uniform(&mut StdRng::seed_from_u64(1), n, d, -1.0, 1.0);
+    let k = init::uniform(&mut StdRng::seed_from_u64(2), n, d, -1.0, 1.0);
+    let v = init::uniform(&mut StdRng::seed_from_u64(3), n, d, -1.0, 1.0);
+    let mut group = c.benchmark_group("attention_access_patterns");
+    group.bench_function("qkt_blocked_1024x64", |bench| {
+        bench.iter(|| black_box(q.matmul_transpose_b_with(MatmulBackend::Blocked, &k)))
+    });
+    group.bench_function("qkt_naive_1024x64", |bench| {
+        bench.iter(|| black_box(q.matmul_transpose_b_with(MatmulBackend::Naive, &k)))
+    });
+    group.bench_function("ktv_blocked_1024x64", |bench| {
+        bench.iter(|| black_box(k.transpose_matmul_with(MatmulBackend::Blocked, &v)))
+    });
+    group.bench_function("ktv_naive_1024x64", |bench| {
+        bench.iter(|| black_box(k.transpose_matmul_with(MatmulBackend::Naive, &v)))
+    });
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_square_matmul, bench_transpose_patterns
+}
+criterion_main!(benches);

@@ -15,8 +15,8 @@ use vitality_attention::{
     PerformerAttention, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
 };
 use vitality_train::{
-    run_scheme_with_baseline, train_baseline, Adam, DatasetConfig, SchemeContext,
-    SyntheticDataset, TrainOptions, Trainer, TrainingScheme,
+    run_scheme_with_baseline, train_baseline, Adam, DatasetConfig, SchemeContext, SyntheticDataset,
+    TrainOptions, Trainer, TrainingScheme,
 };
 use vitality_vit::{AttentionVariant, ModelConfig, ModelWorkload, TrainConfig, VisionTransformer};
 
@@ -67,7 +67,8 @@ pub fn fig10_accuracy(quick: bool) -> String {
             &ctx,
             Some(&baseline_model),
         );
-        let lowrank = run_scheme_with_baseline(TrainingScheme::LowRankDropIn, &ctx, Some(&baseline_model));
+        let lowrank =
+            run_scheme_with_baseline(TrainingScheme::LowRankDropIn, &ctx, Some(&baseline_model));
         let vitality = run_scheme_with_baseline(
             TrainingScheme::Vitality {
                 threshold: 0.5,
@@ -105,7 +106,13 @@ pub fn fig10_accuracy(quick: bool) -> String {
         "Fig. 10 — Accuracy of the four schemes on the synthetic task (paper averages on ImageNet:\nBaseline 77.1%, Sparse 75.7%, LowRank 23.2%, ViTALiTy 76.0%; the reproduced quantity is the ordering)\n\n",
     );
     out.push_str(&render_table(
-        &["model (proxy task seed)", "Baseline", "Sparse", "LowRank", "ViTALiTy"],
+        &[
+            "model (proxy task seed)",
+            "Baseline",
+            "Sparse",
+            "LowRank",
+            "ViTALiTy",
+        ],
         &rows,
     ));
     out
@@ -118,16 +125,16 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
     let head_dim = ctx.model_config.head_dim();
     let heads = ctx.model_config.heads as u64;
     let layers = ctx.model_config.layers as u64;
-    let attention_gflops = |ops: vitality_attention::OpCounts| {
-        ops.scaled(heads * layers).flops() as f64 / 1e9
-    };
+    let attention_gflops =
+        |ops: vitality_attention::OpCounts| ops.scaled(heads * layers).flops() as f64 / 1e9;
     // DeiT-Tiny-scale attention FLOPs for the reference column (the paper's Table IV).
     let deit = ModelWorkload::for_model(&ModelConfig::deit_tiny());
     let deit_vanilla = deit.vanilla_attention_ops().flops() as f64 / 1e9;
     let deit_taylor = deit.taylor_attention_ops().flops() as f64 / 1e9;
 
     let (baseline_model, _) = train_baseline(&ctx);
-    let baseline_acc = baseline_model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
+    let baseline_acc =
+        baseline_model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
     let vitality = run_scheme_with_baseline(
         TrainingScheme::Vitality {
             threshold: 0.5,
@@ -148,14 +155,20 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
             "BASELINE (softmax)".to_string(),
             "Quadratic".to_string(),
             format_percent(baseline_acc as f64),
-            format!("{:.3}", attention_gflops(SoftmaxAttention::new().op_counts(tokens, head_dim))),
+            format!(
+                "{:.3}",
+                attention_gflops(SoftmaxAttention::new().op_counts(tokens, head_dim))
+            ),
             format!("{deit_vanilla:.2} (DeiT-Tiny scale; paper 0.50)"),
         ],
         vec![
             "ViTALiTy (ours)".to_string(),
             "Linear".to_string(),
             format_percent(vitality.final_accuracy as f64),
-            format!("{:.3}", attention_gflops(TaylorAttention::new().op_counts(tokens, head_dim))),
+            format!(
+                "{:.3}",
+                attention_gflops(TaylorAttention::new().op_counts(tokens, head_dim))
+            ),
             format!("{deit_taylor:.2} (DeiT-Tiny scale; paper 0.33)"),
         ],
         vec![
@@ -165,7 +178,8 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
             format!(
                 "{:.3}",
                 attention_gflops(
-                    LinformerAttention::new(&mut rng, tokens, tokens / 4).op_counts(tokens, head_dim)
+                    LinformerAttention::new(&mut rng, tokens, tokens / 4)
+                        .op_counts(tokens, head_dim)
                 )
             ),
             "paper 0.35 / 69.5%".to_string(),
@@ -177,7 +191,8 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
             format!(
                 "{:.3}",
                 attention_gflops(
-                    PerformerAttention::new(&mut rng, head_dim, head_dim).op_counts(tokens, head_dim)
+                    PerformerAttention::new(&mut rng, head_dim, head_dim)
+                        .op_counts(tokens, head_dim)
                 )
             ),
             "paper 0.40 / 68.3%".to_string(),
@@ -186,14 +201,20 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
             "Linear Transformer (elu+1)".to_string(),
             "Linear".to_string(),
             "(not trained; linear baseline)".to_string(),
-            format!("{:.3}", attention_gflops(LinearKernelAttention::new().op_counts(tokens, head_dim))),
+            format!(
+                "{:.3}",
+                attention_gflops(LinearKernelAttention::new().op_counts(tokens, head_dim))
+            ),
             "-".to_string(),
         ],
         vec![
             "Efficient Attention".to_string(),
             "Linear".to_string(),
             "(not trained; linear baseline)".to_string(),
-            format!("{:.3}", attention_gflops(EfficientAttention::new().op_counts(tokens, head_dim))),
+            format!(
+                "{:.3}",
+                attention_gflops(EfficientAttention::new().op_counts(tokens, head_dim))
+            ),
             "-".to_string(),
         ],
         vec![
@@ -211,7 +232,13 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
         "Table IV — Accuracy vs attention FLOPs trade-off (synthetic task; FLOPs also shown at DeiT-Tiny scale)\n\n",
     );
     out.push_str(&render_table(
-        &["method", "type", "accuracy (synthetic)", "attention GFLOPs (this task)", "reference"],
+        &[
+            "method",
+            "type",
+            "accuracy (synthetic)",
+            "attention GFLOPs (this task)",
+            "reference",
+        ],
         &rows,
     ));
     out
@@ -222,7 +249,8 @@ pub fn table4_accuracy_flops(quick: bool) -> String {
 pub fn fig13_training_ablation(quick: bool) -> String {
     let ctx = experiment_context(13, quick);
     let (baseline_model, _) = train_baseline(&ctx);
-    let baseline_acc = baseline_model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
+    let baseline_acc =
+        baseline_model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
     let schemes = vec![
         ("Baseline (softmax)", None, baseline_acc),
         (
@@ -230,7 +258,11 @@ pub fn fig13_training_ablation(quick: bool) -> String {
             Some(TrainingScheme::Sparse { threshold: 0.02 }),
             0.0,
         ),
-        ("LowRank (drop-in Taylor)", Some(TrainingScheme::LowRankDropIn), 0.0),
+        (
+            "LowRank (drop-in Taylor)",
+            Some(TrainingScheme::LowRankDropIn),
+            0.0,
+        ),
         (
             "LR + Sparse (T=0.5)",
             Some(TrainingScheme::LowRankSparse {
@@ -267,9 +299,7 @@ pub fn fig13_training_ablation(quick: bool) -> String {
     let mut rows = Vec::new();
     for (label, scheme, fixed) in schemes {
         let accuracy = match scheme {
-            Some(s) => {
-                run_scheme_with_baseline(s, &ctx, Some(&baseline_model)).final_accuracy
-            }
+            Some(s) => run_scheme_with_baseline(s, &ctx, Some(&baseline_model)).final_accuracy,
             None => fixed,
         };
         rows.push(vec![label.to_string(), format_percent(accuracy as f64)]);
@@ -310,7 +340,10 @@ pub fn fig14_sparse_vanishing(quick: bool) -> String {
     let mut out = String::from(
         "Fig. 14 — Non-zeros in the sparse component of the unified attention over training\n(paper: the sparse component vanishes after ~10 epochs, so it can be dropped at inference)\n\n",
     );
-    out.push_str(&render_table(&["epoch", "sparse non-zeros", "test accuracy"], &rows));
+    out.push_str(&render_table(
+        &["epoch", "sparse non-zeros", "test accuracy"],
+        &rows,
+    ));
     if let (Some(first), Some(last)) = (history.first(), history.last()) {
         out.push_str(&format!(
             "\nOccupancy {} -> {} over {} epochs\n",
@@ -360,7 +393,11 @@ pub fn fig15_threshold_sweep(quick: bool) -> String {
         "Fig. 15 — Sparsity-threshold sweep (paper: optimum at T = 0.5, where ViTALiTy without the\nsparse component matches LR+Sparse+KD at 71.9%)\n\n",
     );
     out.push_str(&render_table(
-        &["threshold T", "LR+Sparse(+KD) accuracy", "ViTALiTy (drop sparse) accuracy"],
+        &[
+            "threshold T",
+            "LR+Sparse(+KD) accuracy",
+            "ViTALiTy (drop sparse) accuracy",
+        ],
         &rows,
     ));
     out

@@ -1,0 +1,137 @@
+//! Emits `BENCH_attention.json`: machine-readable ns/op numbers for the attention
+//! kernels and the matmul backends, so the perf trajectory can be tracked across PRs.
+//!
+//! Measurements:
+//!
+//! * `matmul_512` — blocked vs naive backend on a `512 × 512 × 512` dense GEMM (the
+//!   repo's acceptance gate is a ≥ 5× blocked-over-naive speedup);
+//! * per token count `n ∈ {196, 1024, 4096}` (head dim 64): fused Taylor attention,
+//!   the unfused Algorithm-1 trace path, the fused softmax baseline, and the max
+//!   absolute fused-vs-traced divergence (gate: ≤ 1e-4).
+//!
+//! Usage: `cargo run --release -p vitality-bench --bin bench_attention [-- --quick]`.
+//! `--quick` drops the `n = 4096` point (used by CI to keep the job short). The JSON is
+//! written to `BENCH_attention.json` in the current directory and the same numbers are
+//! printed as a table on stdout.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vitality_attention::{fused_softmax_attention, SoftmaxAttention, TaylorAttention};
+use vitality_tensor::{init, MatmulBackend, Matrix};
+
+/// Median ns/op over enough repetitions to fill ~0.5 s (minimum 3 runs).
+fn measure_ns<F: FnMut() -> Matrix>(mut f: F) -> f64 {
+    let warm = Instant::now();
+    std::hint::black_box(f());
+    let per_iter = warm.elapsed().as_secs_f64();
+    let reps = ((0.5 / per_iter.max(1e-9)) as usize).clamp(3, 1000);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2] * 1e9
+}
+
+struct AttentionPoint {
+    n: usize,
+    d: usize,
+    taylor_fused_ns: f64,
+    taylor_traced_ns: f64,
+    softmax_fused_ns: f64,
+    fused_vs_traced_max_abs_diff: f32,
+}
+
+fn measure_attention(n: usize, d: usize) -> AttentionPoint {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let q = init::normal(&mut rng, n, d, 0.0, 0.3);
+    let k = init::normal(&mut rng, n, d, 0.0, 0.3);
+    let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+    let taylor = TaylorAttention::new();
+    let diff = taylor
+        .compute_fused(&q, &k, &v)
+        .max_abs_diff(&taylor.compute_with_trace(&q, &k, &v).score);
+    // Cross-check the fused softmax against the unfused map pipeline before reporting —
+    // a bench that quietly times a wrong kernel is worse than none. (Skipped at 4096,
+    // where the n x n map would dominate the whole run.)
+    if n <= 1024 {
+        let softmax_diff = fused_softmax_attention(&q, &k, &v)
+            .max_abs_diff(&SoftmaxAttention::new().attention_map(&q, &k).matmul(&v));
+        assert!(
+            softmax_diff <= 1e-4,
+            "fused softmax diverged from the map pipeline at n={n} by {softmax_diff}"
+        );
+    }
+    AttentionPoint {
+        n,
+        d,
+        taylor_fused_ns: measure_ns(|| taylor.compute_fused(&q, &k, &v)),
+        taylor_traced_ns: measure_ns(|| taylor.compute_with_trace(&q, &k, &v).score),
+        softmax_fused_ns: measure_ns(|| fused_softmax_attention(&q, &k, &v)),
+        fused_vs_traced_max_abs_diff: diff,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Matmul backend gate: 512^3 dense GEMM.
+    let size = 512;
+    let a = init::uniform(&mut StdRng::seed_from_u64(7), size, size, -1.0, 1.0);
+    let b = init::uniform(&mut StdRng::seed_from_u64(8), size, size, -1.0, 1.0);
+    let blocked_ns = measure_ns(|| a.matmul_with(MatmulBackend::Blocked, &b));
+    let naive_ns = measure_ns(|| a.matmul_with(MatmulBackend::Naive, &b));
+    let speedup = naive_ns / blocked_ns;
+    println!("matmul 512x512x512: blocked {blocked_ns:.0} ns, naive {naive_ns:.0} ns, speedup {speedup:.1}x");
+
+    let token_counts: &[usize] = if quick {
+        &[196, 1024]
+    } else {
+        &[196, 1024, 4096]
+    };
+    let d = 64;
+    let mut points = Vec::new();
+    for &n in token_counts {
+        let p = measure_attention(n, d);
+        println!(
+            "n={:>4}: taylor fused {:>12.0} ns | taylor traced {:>12.0} ns ({:.2}x) | softmax fused {:>13.0} ns | taylor-vs-softmax {:>6.1}x | fused-vs-traced diff {:.2e}",
+            p.n,
+            p.taylor_fused_ns,
+            p.taylor_traced_ns,
+            p.taylor_traced_ns / p.taylor_fused_ns,
+            p.softmax_fused_ns,
+            p.softmax_fused_ns / p.taylor_fused_ns,
+            p.fused_vs_traced_max_abs_diff,
+        );
+        points.push(p);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"attention_kernels\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"matmul_512\": {{ \"blocked_ns\": {blocked_ns:.1}, \"naive_ns\": {naive_ns:.1}, \"speedup\": {speedup:.2} }},\n"
+    ));
+    json.push_str("  \"attention\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"n\": {}, \"d\": {}, \"taylor_fused_ns\": {:.1}, \"taylor_traced_ns\": {:.1}, \"softmax_fused_ns\": {:.1}, \"taylor_speedup_over_softmax\": {:.2}, \"fused_speedup_over_traced\": {:.2}, \"fused_vs_traced_max_abs_diff\": {:.3e} }}{}\n",
+            p.n,
+            p.d,
+            p.taylor_fused_ns,
+            p.taylor_traced_ns,
+            p.softmax_fused_ns,
+            p.softmax_fused_ns / p.taylor_fused_ns,
+            p.taylor_traced_ns / p.taylor_fused_ns,
+            p.fused_vs_traced_max_abs_diff,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_attention.json", &json).expect("write BENCH_attention.json");
+    println!("wrote BENCH_attention.json");
+}

@@ -2,5 +2,8 @@
 //! Pass `--quick` for a fast, smaller-scale run.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("{}", vitality_bench::accuracy::fig13_training_ablation(quick));
+    println!(
+        "{}",
+        vitality_bench::accuracy::fig13_training_ablation(quick)
+    );
 }

@@ -107,7 +107,7 @@ mod tests {
         assert_eq!(format_energy(1.5e-3), "1.50 mJ");
         assert_eq!(format_energy(1.5e-6), "1.50 uJ");
         assert_eq!(format_energy(1.5e-9), "1.50 nJ");
-        assert_eq!(format_ratio(3.14), "3.1x");
+        assert_eq!(format_ratio(3.12), "3.1x");
         assert_eq!(format_percent(0.525), "52.5%");
     }
 }

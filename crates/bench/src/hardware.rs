@@ -3,7 +3,9 @@
 
 use crate::format::{format_duration, format_ratio, render_table};
 use vitality_accel::{AcceleratorConfig, VitalityAccelerator};
-use vitality_baselines::{AttentionKind, DeviceModel, SaloAccelerator, SangerAccelerator, SangerConfig};
+use vitality_baselines::{
+    AttentionKind, DeviceModel, SaloAccelerator, SangerAccelerator, SangerConfig,
+};
 use vitality_vit::{ModelConfig, ModelWorkload};
 
 /// Latency/energy of every baseline platform and the ViTALiTy accelerator for one model.
@@ -38,7 +40,11 @@ pub fn compare_all_platforms() -> Vec<PlatformComparison> {
             let s = sanger.simulate_model(&workload);
             let device = |d: &DeviceModel| {
                 let report = d.simulate(&workload, AttentionKind::VanillaSoftmax);
-                (report.attention_latency_s(), report.total_latency_s(), report.energy_j)
+                (
+                    report.attention_latency_s(),
+                    report.total_latency_s(),
+                    report.energy_j,
+                )
             };
             PlatformComparison {
                 model: config.name,
@@ -90,7 +96,14 @@ pub fn fig11_latency_speedup() -> String {
         "Fig. 11 — End-to-end latency speedup of the ViTALiTy accelerator\n(paper averages: ~2x GPU, ~3x Sanger, ~30x EdgeGPU, ~53x CPU)\n\n",
     );
     out.push_str(&render_table(
-        &["model", "ViTALiTy latency", "vs GPU", "vs Sanger", "vs EdgeGPU", "vs CPU"],
+        &[
+            "model",
+            "ViTALiTy latency",
+            "vs GPU",
+            "vs Sanger",
+            "vs EdgeGPU",
+            "vs CPU",
+        ],
         &rows,
     ));
     out.push_str("\nAttention-only speedups (paper averages: ~9x GPU, ~7x Sanger, ~239x EdgeGPU, ~236x CPU)\n\n");
@@ -149,7 +162,14 @@ pub fn fig12_energy_efficiency() -> String {
         "Fig. 12 — End-to-end energy-efficiency improvement of the ViTALiTy accelerator\n(paper averages: ~3x Sanger, ~73x GPU, ~67x EdgeGPU, ~115x CPU)\n\n",
     );
     out.push_str(&render_table(
-        &["model", "ViTALiTy energy", "vs Sanger", "vs GPU", "vs EdgeGPU", "vs CPU"],
+        &[
+            "model",
+            "ViTALiTy energy",
+            "vs Sanger",
+            "vs GPU",
+            "vs EdgeGPU",
+            "vs CPU",
+        ],
         &rows,
     ));
     out
@@ -161,7 +181,10 @@ pub fn salo_comparison() -> String {
     let vitality = VitalityAccelerator::new(AcceleratorConfig::paper());
     let salo = SaloAccelerator::matched_budget();
     let mut rows = Vec::new();
-    for (config, paper) in [(ModelConfig::deit_tiny(), 4.7), (ModelConfig::deit_small(), 5.0)] {
+    for (config, paper) in [
+        (ModelConfig::deit_tiny(), 4.7),
+        (ModelConfig::deit_small(), 5.0),
+    ] {
         let workload = ModelWorkload::for_model(&config);
         let vitality_latency = vitality.simulate_model(&workload).attention_latency_s;
         let salo_latency = salo.attention_latency_s(&workload);
@@ -173,9 +196,17 @@ pub fn salo_comparison() -> String {
             format!("{paper}x"),
         ]);
     }
-    let mut out = String::from("Section V-C — Attention speedup over SALO under a matched hardware budget\n\n");
+    let mut out = String::from(
+        "Section V-C — Attention speedup over SALO under a matched hardware budget\n\n",
+    );
     out.push_str(&render_table(
-        &["model", "SALO attention", "ViTALiTy attention", "speedup", "paper"],
+        &[
+            "model",
+            "SALO attention",
+            "ViTALiTy attention",
+            "speedup",
+            "paper",
+        ],
         &rows,
     ));
     out
@@ -222,8 +253,16 @@ mod tests {
         // Amdahl: the attention is where the algorithmic win is, so attention-only
         // speedups are larger than end-to-end ones (236x vs 53x on the CPU in the paper).
         for c in compare_all_platforms() {
-            assert!(c.cpu.0 / c.vitality.0 > c.cpu.1 / c.vitality.1, "{}", c.model);
-            assert!(c.edge_gpu.0 / c.vitality.0 > c.edge_gpu.1 / c.vitality.1, "{}", c.model);
+            assert!(
+                c.cpu.0 / c.vitality.0 > c.cpu.1 / c.vitality.1,
+                "{}",
+                c.model
+            );
+            assert!(
+                c.edge_gpu.0 / c.vitality.0 > c.edge_gpu.1 / c.vitality.1,
+                "{}",
+                c.model
+            );
         }
     }
 

@@ -46,7 +46,13 @@ pub fn fig01_runtime_breakdown() -> String {
         "Fig. 1 — Runtime breakdown of DeiT-Tiny MHA (paper: Step 2 takes 52% / 55% / 58% on\n2080Ti / TX2 / Pixel3)\n\n",
     );
     out.push_str(&render_table(
-        &["device", "Step1 Q,K,V", "Step2 softmax map", "Step3 score", "MHA latency"],
+        &[
+            "device",
+            "Step1 Q,K,V",
+            "Step2 softmax map",
+            "Step3 score",
+            "MHA latency",
+        ],
         &rows,
     ));
     out
@@ -79,7 +85,10 @@ pub fn fig03_attention_distribution() -> String {
     }
     let mean_raw: f32 =
         probes.iter().map(|p| p.raw_in_unit_interval).sum::<f32>() / probes.len().max(1) as f32;
-    let mean_centered: f32 = probes.iter().map(|p| p.centered_in_unit_interval).sum::<f32>()
+    let mean_centered: f32 = probes
+        .iter()
+        .map(|p| p.centered_in_unit_interval)
+        .sum::<f32>()
         / probes.len().max(1) as f32;
     rows.push(vec![
         "mean".to_string(),
@@ -125,7 +134,8 @@ pub fn table1_opcounts() -> String {
                 .unwrap_or_default(),
         ]);
     }
-    let mut out = String::from("Table I — Attention operation counts in millions (measured vs paper)\n\n");
+    let mut out =
+        String::from("Table I — Attention operation counts in millions (measured vs paper)\n\n");
     out.push_str(&render_table(
         &[
             "model",
@@ -214,7 +224,15 @@ pub fn table3_accelerator_config() -> String {
     let mut out = String::from(
         "Table III — Accelerator configurations (paper: ViTALiTy 5.223 mm2 / 1460 mW, Sanger 5.194 mm2 / 1450 mW)\n\n",
     );
-    out.push_str(&render_table(&["ViTALiTy component", "parameter", "area (mm2)", "power (mW)"], &rows));
+    out.push_str(&render_table(
+        &[
+            "ViTALiTy component",
+            "parameter",
+            "area (mm2)",
+            "power (mW)",
+        ],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nSanger baseline budget: {:.3} mm2, {:.0} mW, {}x{} reconfigurable PEs @ {} MHz\n",
         sanger.total_area_mm2(),
@@ -301,7 +319,13 @@ pub fn table6_attention_taxonomy() -> String {
         "Table VI — Attention types and the pre/post-processors they need beyond a matrix-multiplication array\n\n",
     );
     out.push_str(&render_table(
-        &["family", "model", "detail", "pre-processors", "post-processors"],
+        &[
+            "family",
+            "model",
+            "detail",
+            "pre-processors",
+            "post-processors",
+        ],
         &rows,
     ));
     out
@@ -354,7 +378,13 @@ mod tests {
     #[test]
     fn table5_report_lists_five_models() {
         let report = table5_dataflow_energy();
-        for model in ["DeiT-Base", "MobileViT-xxs", "MobileViT-xs", "LeViT-128s", "LeViT-128"] {
+        for model in [
+            "DeiT-Base",
+            "MobileViT-xxs",
+            "MobileViT-xs",
+            "LeViT-128s",
+            "LeViT-128",
+        ] {
             assert!(report.contains(model));
         }
     }

@@ -1,0 +1,262 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates-registry access, so the workspace vendors the
+//! slice of criterion's API its benches use: [`Criterion`] with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! `sample_size` samples, each timing a batch of iterations sized so one sample lasts
+//! roughly `measurement_time / sample_size`. The median per-iteration time is reported
+//! on stdout as `name ... time: [x unit]` — the same headline format as criterion,
+//! minus the statistical machinery (no outlier analysis, no HTML reports).
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for API parity with criterion.
+pub use std::hint::black_box;
+
+/// Identifier of a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Builds an id from the parameter alone (for groups whose name already names the
+    /// function).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    sample_size: usize,
+    sample_time: Duration,
+    /// Median per-iteration duration of the last [`Bencher::iter`] run, in nanoseconds.
+    pub last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also yields a per-iteration estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target_sample_s = self.sample_time.as_secs_f64().max(1e-4);
+        let batch = ((target_sample_s / est_per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            sample_size: self.sample_size,
+            sample_time: Duration::from_secs_f64(
+                self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64,
+            ),
+            last_ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        println!(
+            "{name:<50} time: [{}]",
+            format_time(bencher.last_ns_per_iter)
+        );
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_named(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.group);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group; the input is passed by
+    /// reference to the closure.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.group);
+        self.criterion.run_named(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (cosmetic in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark target functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters) to harness=false targets;
+            // this shim benchmarks everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures_something_positive() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("shim");
+        let mut measured = 0.0;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n as u64).sum::<u64>());
+            measured = b.last_ns_per_iter;
+        });
+        group.finish();
+        assert!(measured.is_finite() && measured > 0.0);
+    }
+
+    #[test]
+    fn formats_cover_the_unit_ladder() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12e3).ends_with("µs"));
+        assert!(format_time(12e6).ends_with("ms"));
+        assert!(format_time(12e9).ends_with('s'));
+    }
+}

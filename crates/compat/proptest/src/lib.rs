@@ -1,0 +1,284 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no crates-registry access, so the workspace vendors the
+//! slice of proptest's API its property tests use: the [`Strategy`] trait with
+//! `prop_map`, numeric-range strategies, `proptest::collection::vec`, the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`) and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream: cases are sampled from a deterministic per-test RNG
+//! (seeded from the test name), and there is **no shrinking** — a failing case reports
+//! its case index and message but is not minimised. That trade-off keeps the shim tiny
+//! while preserving the tests' semantics.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// The pieces a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Error produced by a failed property assertion (a plain message in this shim).
+pub type TestCaseError = String;
+
+/// Per-proptest-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic RNG used to generate test cases (xorshift64*, seeded from the test
+/// name so every property gets an independent, reproducible stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named test.
+    pub fn deterministic(name: &str) -> Self {
+        let mut state: u64 = 0x5851_F42D_4C95_7F2D;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: state.max(1),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! float_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    };
+}
+
+float_strategy!(f32);
+float_strategy!(f64);
+
+macro_rules! int_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "cannot sample from an empty range");
+                self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as $t)
+            }
+        }
+    };
+}
+
+int_strategy!(usize);
+int_strategy!(u64);
+int_strategy!(u32);
+int_strategy!(i32);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of a fixed length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates vectors of exactly `len` elements drawn from `element`.
+    ///
+    /// (Upstream accepts a size *range*; the workspace only uses fixed sizes.)
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case with a
+/// formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bind before negating so clippy's partial-ord lint does not fire on the
+        // caller's comparison expression.
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`",
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..) { body }` becomes
+/// a regular `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(::std::stringify!($name));
+                $( let $arg = $strategy; )+
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&$arg, &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("property {} failed at case {case}: {message}",
+                               ::std::stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f32, f32)> {
+        (0.0f32..1.0).prop_map(|a| (a, 1.0 - a))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -2.5f32..7.5, n in 3usize..9) {
+            prop_assert!((-2.5..7.5).contains(&x), "x out of range: {}", x);
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn mapped_strategies_apply_their_function(p in pair()) {
+            prop_assert!((p.0 + p.1 - 1.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn vec_strategy_produces_fixed_lengths(v in crate::collection::vec(0.0f32..1.0, 17)) {
+            prop_assert_eq!(v.len(), 17);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces_streams() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline facade for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace only *annotates* config/report types with `#[derive(Serialize,
+//! Deserialize)]` — nothing is serialised yet (no `serde_json` in the tree), so this
+//! facade re-exports no-op derive macros plus empty marker traits. The annotated types
+//! compile unchanged, and the day a registry becomes reachable the real `serde` can be
+//! swapped in without touching them.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this offline stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this offline stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace has no crates-registry access, and its `serde` derives are purely
+//! declarative today (nothing is actually serialised — there is no `serde_json`). These
+//! stubs let the annotated types compile unchanged; swap in the real `serde` +
+//! `serde_derive` once a registry is reachable and the derives become load-bearing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

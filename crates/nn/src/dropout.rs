@@ -19,7 +19,10 @@ impl Dropout {
     ///
     /// Panics when `p` is not in `[0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self { p }
     }
 

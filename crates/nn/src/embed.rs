@@ -17,7 +17,7 @@ use vitality_tensor::{init, Matrix};
 pub fn patchify(image: &Matrix, patch: usize) -> Matrix {
     assert!(patch > 0, "patch size must be positive");
     assert!(
-        image.rows() % patch == 0 && image.cols() % patch == 0,
+        image.rows().is_multiple_of(patch) && image.cols().is_multiple_of(patch),
         "image {:?} is not divisible into {patch}x{patch} patches",
         image.shape()
     );
@@ -29,7 +29,11 @@ pub fn patchify(image: &Matrix, patch: usize) -> Matrix {
             let token = pr * cols + pc;
             for i in 0..patch {
                 for j in 0..patch {
-                    out.set(token, i * patch + j, image.get(pr * patch + i, pc * patch + j));
+                    out.set(
+                        token,
+                        i * patch + j,
+                        image.get(pr * patch + i, pc * patch + j),
+                    );
                 }
             }
         }
@@ -79,7 +83,13 @@ impl PatchEmbed {
     /// # Panics
     ///
     /// Panics when the image yields a different number of patches than configured.
-    pub fn forward(&self, graph: &Graph, reg: &mut ParamRegistry, prefix: &str, image: &Matrix) -> Var {
+    pub fn forward(
+        &self,
+        graph: &Graph,
+        reg: &mut ParamRegistry,
+        prefix: &str,
+        image: &Matrix,
+    ) -> Var {
         let patches = patchify(image, self.patch);
         assert_eq!(
             patches.rows(),
@@ -89,7 +99,9 @@ impl PatchEmbed {
             self.num_patches()
         );
         let x = graph.constant(patches);
-        let projected = self.projection.forward(graph, reg, &qualify(prefix, "proj"), &x);
+        let projected = self
+            .projection
+            .forward(graph, reg, &qualify(prefix, "proj"), &x);
         let pos = reg.register(graph, qualify(prefix, "pos"), &self.positional);
         projected.add(&pos)
     }
@@ -106,7 +118,8 @@ impl PatchEmbed {
 
 impl NamedParameters for PatchEmbed {
     fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
-        self.projection.visit_parameters(&qualify(prefix, "proj"), visitor);
+        self.projection
+            .visit_parameters(&qualify(prefix, "proj"), visitor);
         visitor(&qualify(prefix, "pos"), &self.positional);
     }
 

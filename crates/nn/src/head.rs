@@ -40,10 +40,19 @@ impl ClassificationHead {
     }
 
     /// Produces `1 x classes` logits from an `n x d` token matrix on the autograd graph.
-    pub fn forward(&self, graph: &Graph, reg: &mut ParamRegistry, prefix: &str, tokens: &Var) -> Var {
-        let normed = self.norm.forward(graph, reg, &qualify(prefix, "norm"), tokens);
+    pub fn forward(
+        &self,
+        graph: &Graph,
+        reg: &mut ParamRegistry,
+        prefix: &str,
+        tokens: &Var,
+    ) -> Var {
+        let normed = self
+            .norm
+            .forward(graph, reg, &qualify(prefix, "norm"), tokens);
         let pooled = normed.mean_over_rows();
-        self.classifier.forward(graph, reg, &qualify(prefix, "fc"), &pooled)
+        self.classifier
+            .forward(graph, reg, &qualify(prefix, "fc"), &pooled)
     }
 
     /// Pure-inference logits.
@@ -55,12 +64,15 @@ impl ClassificationHead {
 
 impl NamedParameters for ClassificationHead {
     fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
-        self.norm.visit_parameters(&qualify(prefix, "norm"), visitor);
-        self.classifier.visit_parameters(&qualify(prefix, "fc"), visitor);
+        self.norm
+            .visit_parameters(&qualify(prefix, "norm"), visitor);
+        self.classifier
+            .visit_parameters(&qualify(prefix, "fc"), visitor);
     }
 
     fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
-        self.norm.visit_parameters_mut(&qualify(prefix, "norm"), visitor);
+        self.norm
+            .visit_parameters_mut(&qualify(prefix, "norm"), visitor);
         self.classifier
             .visit_parameters_mut(&qualify(prefix, "fc"), visitor);
     }
@@ -95,7 +107,12 @@ mod tests {
         assert!(logits.value().approx_eq(&head.infer(&tokens), 1e-4));
         let loss = logits.cross_entropy_with_logits(&[1]);
         let grads = graph.backward(&loss);
-        for name in ["head.norm.gamma", "head.norm.beta", "head.fc.weight", "head.fc.bias"] {
+        for name in [
+            "head.norm.gamma",
+            "head.norm.beta",
+            "head.fc.weight",
+            "head.fc.bias",
+        ] {
             assert!(reg.grad(name, &grads).is_some(), "missing grad for {name}");
         }
     }

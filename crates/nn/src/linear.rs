@@ -18,7 +18,12 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a linear layer with Xavier-uniform weights and (optionally) a zero bias.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize, bias: bool) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Self {
         Self {
             weight: init::xavier_uniform(rng, in_features, out_features),
             bias: bias.then(|| Matrix::zeros(1, out_features)),
@@ -32,7 +37,11 @@ impl Linear {
     /// Panics when the bias width does not match the weight's output width.
     pub fn from_weights(weight: Matrix, bias: Option<Matrix>) -> Self {
         if let Some(b) = &bias {
-            assert_eq!(b.shape(), (1, weight.cols()), "bias must be 1 x out_features");
+            assert_eq!(
+                b.shape(),
+                (1, weight.cols()),
+                "bias must be 1 x out_features"
+            );
         }
         Self { weight, bias }
     }
@@ -72,12 +81,15 @@ impl Linear {
     }
 
     /// Pure-inference projection that skips the tape entirely.
+    ///
+    /// The product runs on the blocked matmul backend and the bias is folded in with an
+    /// in-place broadcast, so the projection allocates exactly one output buffer.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let y = x.matmul(&self.weight);
-        match &self.bias {
-            Some(b) => y.broadcast_add_row(b),
-            None => y,
+        let mut y = x.matmul(&self.weight);
+        if let Some(b) = &self.bias {
+            y.add_row_inplace(b);
         }
+        y
     }
 
     /// Multiply–accumulate count of one forward pass over `tokens` rows.

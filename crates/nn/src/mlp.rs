@@ -30,7 +30,12 @@ pub struct Mlp {
 
 impl Mlp {
     /// Creates an MLP mapping `features -> hidden -> features`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, features: usize, hidden: usize, activation: Activation) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        features: usize,
+        hidden: usize,
+        activation: Activation,
+    ) -> Self {
         Self {
             fc1: Linear::new(rng, features, hidden, true),
             fc2: Linear::new(rng, hidden, features, true),
@@ -63,13 +68,13 @@ impl Mlp {
         self.fc2.forward(graph, reg, &qualify(prefix, "fc2"), &h)
     }
 
-    /// Pure-inference forward pass.
+    /// Pure-inference forward pass (activation applied in place on the hidden buffer).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let h = self.fc1.infer(x);
-        let h = match self.activation {
-            Activation::Gelu => h.map(gelu),
-            Activation::Relu => h.map(|v| v.max(0.0)),
-        };
+        let mut h = self.fc1.infer(x);
+        match self.activation {
+            Activation::Gelu => h.map_inplace(gelu),
+            Activation::Relu => h.map_inplace(|v| v.max(0.0)),
+        }
         self.fc2.infer(&h)
     }
 
@@ -91,8 +96,10 @@ impl NamedParameters for Mlp {
     }
 
     fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
-        self.fc1.visit_parameters_mut(&qualify(prefix, "fc1"), visitor);
-        self.fc2.visit_parameters_mut(&qualify(prefix, "fc2"), visitor);
+        self.fc1
+            .visit_parameters_mut(&qualify(prefix, "fc1"), visitor);
+        self.fc2
+            .visit_parameters_mut(&qualify(prefix, "fc2"), visitor);
     }
 }
 
@@ -128,7 +135,9 @@ mod tests {
             activation: Activation::Relu,
         };
         let x = Matrix::from_rows(&[vec![-1.0, 2.0]]).unwrap();
-        assert!(mlp.infer(&x).approx_eq(&Matrix::from_rows(&[vec![0.0, 2.0]]).unwrap(), 1e-6));
+        assert!(mlp
+            .infer(&x)
+            .approx_eq(&Matrix::from_rows(&[vec![0.0, 2.0]]).unwrap(), 1e-6));
     }
 
     #[test]
@@ -140,7 +149,12 @@ mod tests {
         let x = graph.constant(init::normal(&mut rng, 3, 4, 0.0, 1.0));
         let loss = mlp.forward(&graph, &mut reg, "mlp", &x).mean_all();
         let grads = graph.backward(&loss);
-        for name in ["mlp.fc1.weight", "mlp.fc1.bias", "mlp.fc2.weight", "mlp.fc2.bias"] {
+        for name in [
+            "mlp.fc1.weight",
+            "mlp.fc1.bias",
+            "mlp.fc2.weight",
+            "mlp.fc2.bias",
+        ] {
             assert!(reg.grad(name, &grads).is_some(), "missing grad for {name}");
         }
     }

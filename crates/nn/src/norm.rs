@@ -61,7 +61,11 @@ impl LayerNorm {
             let inv_std = 1.0 / (var + self.eps).sqrt();
             for j in 0..d {
                 let normalised = (x.get(i, j) - mean) * inv_std;
-                out.set(i, j, normalised * self.gamma.get(0, j) + self.beta.get(0, j));
+                out.set(
+                    i,
+                    j,
+                    normalised * self.gamma.get(0, j) + self.beta.get(0, j),
+                );
             }
         }
         out

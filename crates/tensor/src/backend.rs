@@ -1,0 +1,438 @@
+//! Pluggable dense-GEMM backends: a scalar reference and a cache-blocked, register-tiled,
+//! parallel kernel.
+//!
+//! ViTALiTy's linear Taylor attention turns ViT inference into a stream of small dense
+//! GEMMs (`G = K̂ᵀV` is only `d × d`, projections are `n × d × d`), so the quality of the
+//! software model's matmul decides whether the repo's experiments run in milliseconds or
+//! minutes. This module supplies the hot-path implementation behind every
+//! [`Matrix`](crate::Matrix) product:
+//!
+//! * [`MatmulBackend::Naive`] — the textbook `i j k` scalar triple loop. Kept as the
+//!   differential-testing reference and as the baseline the perf benches compare against.
+//! * [`MatmulBackend::Blocked`] — a BLIS-style kernel: the operands are packed into
+//!   panel buffers (`MC × KC` row panels of A, `KC × NC` column panels of B, zero-padded
+//!   to the register tile), and an `MR × NR = 8 × 8` microkernel accumulates each output
+//!   tile in registers over contiguous packed slices, which the compiler auto-vectorises.
+//!   Row panels of the output are distributed over threads with rayon.
+//!
+//! Both backends serve all three access patterns the attention kernels need — `A·B`,
+//! `A·Bᵀ` ([`Matrix::matmul_transpose_b`](crate::Matrix::matmul_transpose_b)) and `Aᵀ·B`
+//! ([`Matrix::transpose_matmul`](crate::Matrix::transpose_matmul)) — by packing through a
+//! layout accessor instead of materialising the transpose.
+//!
+//! # Backend selection
+//!
+//! The process-wide default is [`MatmulBackend::Blocked`]. It can be overridden with the
+//! `VITALITY_MATMUL_BACKEND` environment variable (`naive` or `blocked`) or at runtime
+//! with [`set_matmul_backend`]. Code that needs a *specific* backend regardless of the
+//! global default (differential tests, benches) should use the explicit `*_with` methods
+//! on [`Matrix`](crate::Matrix).
+//!
+//! # Blocking parameters
+//!
+//! | Constant | Value | Role |
+//! |---|---|---|
+//! | `MR × NR` | 8 × 8  | register tile: 64 scalar accumulators held in SIMD registers |
+//! | `KC`      | 256    | depth of one packed panel (A panel stays in L1/L2) |
+//! | `MC`      | 64     | rows per parallel work unit (one packed A panel per task) |
+//! | `NC`      | 512    | columns per packed B panel (panel stays in L2/L3) |
+//!
+//! Products smaller than [`SMALL_GEMM_LIMIT`] scalar multiply-adds skip packing entirely
+//! and run a cache-friendly `i k j` loop — per-head attention matrices in the unit tests
+//! are a few hundred elements, where panel packing would cost more than it saves.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which dense-GEMM implementation [`Matrix`](crate::Matrix) products run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulBackend {
+    /// Textbook scalar `i j k` triple loop — slow, obviously correct, single-threaded.
+    Naive,
+    /// Cache-blocked, packed, 8×8-register-tiled kernel with rayon parallelism over row
+    /// panels. The default.
+    Blocked,
+}
+
+/// Register tile height (rows of C accumulated per microkernel call).
+pub const MR: usize = 8;
+/// Register tile width (columns of C accumulated per microkernel call).
+pub const NR: usize = 8;
+/// Packed-panel depth: how many of the shared dimension's entries one panel holds.
+pub const KC: usize = 256;
+/// Rows of C per parallel work unit (multiple of [`MR`]).
+pub const MC: usize = 64;
+/// Columns per packed B panel (multiple of [`NR`]).
+pub const NC: usize = 512;
+
+/// Below this many scalar multiply-adds (`m * k * n`) the blocked backend skips packing
+/// and runs a plain `i k j` loop instead.
+pub const SMALL_GEMM_LIMIT: usize = 32 * 1024;
+
+const BACKEND_UNSET: u8 = 0;
+const BACKEND_NAIVE: u8 = 1;
+const BACKEND_BLOCKED: u8 = 2;
+
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// Returns the process-wide backend used by the implicit `Matrix` products.
+///
+/// Resolution order: the last [`set_matmul_backend`] call, else the
+/// `VITALITY_MATMUL_BACKEND` environment variable (`naive` / `blocked`), else
+/// [`MatmulBackend::Blocked`].
+///
+/// # Panics
+///
+/// Panics when `VITALITY_MATMUL_BACKEND` is set to anything other than `naive` or
+/// `blocked` — the variable exists to collect baseline measurements, and silently
+/// falling back on a typo would hand the user blocked-kernel numbers labelled naive.
+pub fn matmul_backend() -> MatmulBackend {
+    match GLOBAL_BACKEND.load(Ordering::Relaxed) {
+        BACKEND_NAIVE => MatmulBackend::Naive,
+        BACKEND_BLOCKED => MatmulBackend::Blocked,
+        _ => {
+            let resolved = match std::env::var("VITALITY_MATMUL_BACKEND") {
+                Ok(value) => match value.as_str() {
+                    "naive" => MatmulBackend::Naive,
+                    "blocked" => MatmulBackend::Blocked,
+                    other => panic!(
+                        "unrecognised VITALITY_MATMUL_BACKEND value {other:?}; \
+                         expected \"naive\" or \"blocked\""
+                    ),
+                },
+                Err(_) => MatmulBackend::Blocked,
+            };
+            set_matmul_backend(resolved);
+            resolved
+        }
+    }
+}
+
+/// Sets the process-wide backend used by the implicit `Matrix` products.
+///
+/// Prefer the explicit `*_with` methods for differential testing — they do not touch
+/// global state and are therefore safe under the parallel test harness.
+pub fn set_matmul_backend(backend: MatmulBackend) {
+    let code = match backend {
+        MatmulBackend::Naive => BACKEND_NAIVE,
+        MatmulBackend::Blocked => BACKEND_BLOCKED,
+    };
+    GLOBAL_BACKEND.store(code, Ordering::Relaxed);
+}
+
+/// How a GEMM operand is laid out relative to the product being computed.
+///
+/// `RowMajor` reads element `(r, c)` at `data[r * stride + c]`; `Transposed` reads it at
+/// `data[c * stride + r]`, i.e. the operand participates as its transpose without being
+/// materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Operand participates as stored.
+    RowMajor,
+    /// Operand participates as its transpose.
+    Transposed,
+}
+
+impl Layout {
+    #[inline(always)]
+    fn at(self, data: &[f32], stride: usize, r: usize, c: usize) -> f32 {
+        match self {
+            Layout::RowMajor => data[r * stride + c],
+            Layout::Transposed => data[c * stride + r],
+        }
+    }
+}
+
+/// One GEMM operand: a flat buffer, its row stride, and how to index it.
+#[derive(Debug, Clone, Copy)]
+pub struct Operand<'a> {
+    data: &'a [f32],
+    stride: usize,
+    layout: Layout,
+}
+
+impl<'a> Operand<'a> {
+    /// A row-major operand with the given row stride (usually its column count).
+    pub fn row_major(data: &'a [f32], stride: usize) -> Self {
+        Self {
+            data,
+            stride,
+            layout: Layout::RowMajor,
+        }
+    }
+
+    /// An operand participating as the transpose of the given row-major buffer.
+    pub fn transposed(data: &'a [f32], stride: usize) -> Self {
+        Self {
+            data,
+            stride,
+            layout: Layout::Transposed,
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.layout.at(self.data, self.stride, r, c)
+    }
+}
+
+impl MatmulBackend {
+    /// Computes the `m × n` product `C = A · B` (with `A` logically `m × k` and `B`
+    /// logically `k × n` after their layouts are applied) into a fresh buffer.
+    pub fn gemm(self, m: usize, k: usize, n: usize, a: Operand<'_>, b: Operand<'_>) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        match self {
+            MatmulBackend::Naive => gemm_naive(&mut out, m, k, n, a, b),
+            MatmulBackend::Blocked => {
+                if m * k * n <= SMALL_GEMM_LIMIT {
+                    gemm_small(&mut out, m, k, n, a, b);
+                } else {
+                    gemm_blocked(&mut out, m, k, n, a, b);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Reference kernel: the textbook scalar triple loop, one dot product per output element.
+fn gemm_naive(out: &mut [f32], m: usize, k: usize, n: usize, a: Operand<'_>, b: Operand<'_>) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.at(i, kk) * b.at(kk, j);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Small-product fast path: `i k j` loop over the output rows, no packing.
+fn gemm_small(out: &mut [f32], m: usize, k: usize, n: usize, a: Operand<'_>, b: Operand<'_>) {
+    for i in 0..m {
+        let row = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let a_ik = a.at(i, kk);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o += a_ik * b.at(kk, j);
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: accumulates an `MR × NR` tile of C over `kc` packed
+/// depth steps. `ap` is k-major (`ap[kk * MR + i]`), `bp` is k-major (`bp[kk * NR + j]`);
+/// both are zero-padded to the full tile, so the loop body is branch-free and the `j`
+/// loop vectorises.
+#[inline(always)]
+fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = a.try_into().expect("packed A tile width");
+        let b: &[f32; NR] = b.try_into().expect("packed B tile width");
+        for i in 0..MR {
+            let a_i = a[i];
+            for j in 0..NR {
+                acc[i][j] += a_i * b[j];
+            }
+        }
+    }
+}
+
+/// Packs `kc` depth steps of `count` consecutive A rows (starting at `r0`) into a
+/// k-major `MR`-wide tile, zero-padding the row edge.
+#[inline]
+fn pack_a_tile(dst: &mut [f32], a: Operand<'_>, kc: usize, k0: usize, r0: usize, count: usize) {
+    for kk in 0..kc {
+        let row = &mut dst[kk * MR..kk * MR + MR];
+        for (i, slot) in row.iter_mut().enumerate().take(count) {
+            *slot = a.at(r0 + i, k0 + kk);
+        }
+    }
+}
+
+/// Packs `kc` depth steps of `count` consecutive B columns (starting at `j0`) into a
+/// k-major `NR`-wide tile, zero-padding the column edge.
+#[inline]
+fn pack_b_tile(dst: &mut [f32], b: Operand<'_>, kc: usize, k0: usize, j0: usize, count: usize) {
+    for kk in 0..kc {
+        let row = &mut dst[kk * NR..kk * NR + NR];
+        for (j, slot) in row.iter_mut().enumerate().take(count) {
+            *slot = b.at(k0 + kk, j0 + j);
+        }
+    }
+}
+
+/// The blocked kernel: BLIS-style `jc → pc → (parallel) ic` loop nest with packed
+/// panels and the 8×8 microkernel.
+fn gemm_blocked(out: &mut [f32], m: usize, k: usize, n: usize, a: Operand<'_>, b: Operand<'_>) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let n_tiles = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+
+            // Pack the B panel once per (jc, pc); every row-panel task reads it.
+            let mut bp = vec![0.0f32; n_tiles * kc * NR];
+            for (t, tile) in bp.chunks_exact_mut(kc * NR).enumerate() {
+                let j0 = jc + t * NR;
+                pack_b_tile(tile, b, kc, pc, j0, NR.min(n - j0));
+            }
+
+            // Row panels of C are independent: distribute them over threads.
+            out.par_chunks_mut(MC * n)
+                .enumerate()
+                .for_each(|(panel, c_rows)| {
+                    let i0 = panel * MC;
+                    let mc = MC.min(m - i0);
+                    let m_tiles = mc.div_ceil(MR);
+
+                    let mut ap = vec![0.0f32; m_tiles * kc * MR];
+                    for (t, tile) in ap.chunks_exact_mut(kc * MR).enumerate() {
+                        let r0 = i0 + t * MR;
+                        pack_a_tile(tile, a, kc, pc, r0, MR.min(m - r0));
+                    }
+
+                    for ti in 0..m_tiles {
+                        let a_tile = &ap[ti * kc * MR..(ti + 1) * kc * MR];
+                        let rows_here = MR.min(mc - ti * MR);
+                        for tj in 0..n_tiles {
+                            let b_tile = &bp[tj * kc * NR..(tj + 1) * kc * NR];
+                            let mut acc = [[0.0f32; NR]; MR];
+                            microkernel(a_tile, b_tile, &mut acc);
+
+                            let j0 = jc + tj * NR;
+                            let cols_here = NR.min(n - j0);
+                            for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+                                let c_row = &mut c_rows[(ti * MR + i) * n + j0..][..cols_here];
+                                for (o, &v) in c_row.iter_mut().zip(acc_row.iter()) {
+                                    *o += v;
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                data[r * cols + c] = f(r, c);
+            }
+        }
+        data
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Pseudo-random but deterministic fill, large enough to exercise every edge path.
+    fn entry(r: usize, c: usize) -> f32 {
+        let h = (r.wrapping_mul(31).wrapping_add(c.wrapping_mul(17))) % 97;
+        h as f32 * 0.03 - 1.4
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_ragged_shapes() {
+        // Shapes straddling every blocking boundary: below MR/NR, non-multiples of the
+        // tile, non-multiples of MC/KC/NC, and above the small-product cutoff.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (9, 7, 10),
+            (33, 65, 17),
+            (70, 70, 70),
+            (65, 300, 19),
+            (128, 64, 130),
+        ] {
+            let a = dense(m, k, entry);
+            let b = dense(k, n, |r, c| entry(c, r));
+            let fast = MatmulBackend::Blocked.gemm(
+                m,
+                k,
+                n,
+                Operand::row_major(&a, k),
+                Operand::row_major(&b, n),
+            );
+            let slow = MatmulBackend::Naive.gemm(
+                m,
+                k,
+                n,
+                Operand::row_major(&a, k),
+                Operand::row_major(&b, n),
+            );
+            let diff = max_abs_diff(&fast, &slow);
+            assert!(diff < 1e-3, "({m},{k},{n}) diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn transposed_layouts_match_materialised_transposes() {
+        let (m, k, n) = (37, 41, 29);
+        let a = dense(m, k, entry); // used as A (m x k)
+        let at = dense(k, m, |r, c| entry(c, r)); // A^T stored row-major
+        let b = dense(k, n, |r, c| entry(r + 3, c));
+        let direct = MatmulBackend::Blocked.gemm(
+            m,
+            k,
+            n,
+            Operand::row_major(&a, k),
+            Operand::row_major(&b, n),
+        );
+        // A supplied as the transpose of A^T.
+        let via_t = MatmulBackend::Blocked.gemm(
+            m,
+            k,
+            n,
+            Operand::transposed(&at, m),
+            Operand::row_major(&b, n),
+        );
+        assert!(max_abs_diff(&direct, &via_t) < 1e-4);
+    }
+
+    #[test]
+    fn empty_dimensions_produce_zero_buffers() {
+        let a: Vec<f32> = vec![];
+        let out = MatmulBackend::Blocked.gemm(
+            0,
+            4,
+            3,
+            Operand::row_major(&a, 4),
+            Operand::row_major(&[0.0; 12], 3),
+        );
+        assert!(out.is_empty());
+        let out = MatmulBackend::Blocked.gemm(
+            2,
+            0,
+            3,
+            Operand::row_major(&a, 0),
+            Operand::row_major(&a, 3),
+        );
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn backend_selection_round_trips() {
+        let before = matmul_backend();
+        set_matmul_backend(MatmulBackend::Naive);
+        assert_eq!(matmul_backend(), MatmulBackend::Naive);
+        set_matmul_backend(MatmulBackend::Blocked);
+        assert_eq!(matmul_backend(), MatmulBackend::Blocked);
+        set_matmul_backend(before);
+    }
+}

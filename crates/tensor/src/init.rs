@@ -25,7 +25,9 @@ pub fn normal<R: Rng + ?Sized>(
     mean: f32,
     std_dev: f32,
 ) -> Matrix {
-    Matrix::from_fn(rows, cols, |_, _| mean + std_dev * sample_standard_normal(rng))
+    Matrix::from_fn(rows, cols, |_, _| {
+        mean + std_dev * sample_standard_normal(rng)
+    })
 }
 
 /// Matrix with i.i.d. uniform entries drawn from `[lo, hi)`.

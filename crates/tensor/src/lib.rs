@@ -7,6 +7,12 @@
 //!
 //! * [`Matrix`] — a row-major dense `f32` matrix with the multiplication, transposition,
 //!   reduction and broadcasting primitives needed by the attention algorithms.
+//! * [`backend`] — the pluggable dense-GEMM backends behind every `Matrix` product: a
+//!   scalar [`MatmulBackend::Naive`] reference and the default cache-blocked,
+//!   register-tiled, rayon-parallel [`MatmulBackend::Blocked`] kernel. See the module
+//!   docs for the blocking parameters and how to select a backend (the
+//!   `VITALITY_MATMUL_BACKEND` environment variable, [`set_matmul_backend`], or the
+//!   explicit `*_with` methods).
 //! * [`Tensor3`] — a batched stack of equally-shaped matrices (batch or head dimension).
 //! * [`stats`] — histogram and interval-occupancy helpers used for the attention
 //!   distribution study (Fig. 3 of the paper).
@@ -26,12 +32,14 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod stats;
 pub mod tensor3;
 
+pub use backend::{matmul_backend, set_matmul_backend, MatmulBackend};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;
 pub use tensor3::Tensor3;

@@ -1,5 +1,6 @@
 //! Row-major dense `f32` matrix with the primitives required by attention kernels.
 
+use crate::backend::{matmul_backend, MatmulBackend, Operand};
 use crate::error::{ShapeError, TensorResult};
 use crate::stats::Summary;
 use std::fmt;
@@ -114,7 +115,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             if r.len() != cols {
-                return Err(ShapeError::new("from_rows", (rows.len(), cols), (1, r.len())));
+                return Err(ShapeError::new(
+                    "from_rows",
+                    (rows.len(), cols),
+                    (1, r.len()),
+                ));
             }
             data.extend_from_slice(r);
         }
@@ -210,7 +215,11 @@ impl Matrix {
     ///
     /// Panics when `row >= rows()`.
     pub fn row(&self, row: usize) -> &[f32] {
-        assert!(row < self.rows, "row index {row} out of bounds ({})", self.rows);
+        assert!(
+            row < self.rows,
+            "row index {row} out of bounds ({})",
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -220,7 +229,11 @@ impl Matrix {
     ///
     /// Panics when `row >= rows()`.
     pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
-        assert!(row < self.rows, "row index {row} out of bounds ({})", self.rows);
+        assert!(
+            row < self.rows,
+            "row index {row} out of bounds ({})",
+            self.rows
+        );
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -230,7 +243,11 @@ impl Matrix {
     ///
     /// Panics when `col >= cols()`.
     pub fn col(&self, col: usize) -> Vec<f32> {
-        assert!(col < self.cols, "col index {col} out of bounds ({})", self.cols);
+        assert!(
+            col < self.cols,
+            "col index {col} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self.get(r, col)).collect()
     }
 
@@ -354,7 +371,7 @@ impl Matrix {
     // Matrix multiplication and transposition
     // ------------------------------------------------------------------
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` on the process-wide [`MatmulBackend`].
     ///
     /// # Errors
     ///
@@ -363,6 +380,64 @@ impl Matrix {
         if self.cols != other.rows {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()));
         }
+        Ok(self.matmul_with(matmul_backend(), other))
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Self {
+        self.try_matmul(other).expect("matmul shape mismatch")
+    }
+
+    /// Matrix product `self * other` on an explicit backend (used by differential tests
+    /// and benches; everyday code should call [`Matrix::matmul`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_with(&self, backend: MatmulBackend, other: &Self) -> Self {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul inner dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = backend.gemm(
+            self.rows,
+            self.cols,
+            other.cols,
+            Operand::row_major(&self.data, self.cols),
+            Operand::row_major(&other.data, other.cols),
+        );
+        Self {
+            rows: self.rows,
+            cols: other.cols,
+            data,
+        }
+    }
+
+    /// Matrix product `self * other` exploiting zeros in `self`.
+    ///
+    /// Skips inner-product work for exactly-zero entries of `self`, which makes it the
+    /// right kernel for *masked* operands — the Sanger-style sparse attention maps whose
+    /// rows are mostly structural zeros. Dense operands should use [`Matrix::matmul`]:
+    /// the per-element branch that pays off at high sparsity penalises dense GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_sparse(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul_sparse inner dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
         let mut out = Self::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -377,16 +452,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
-    }
-
-    /// Matrix product `self * other`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the inner dimensions disagree.
-    pub fn matmul(&self, other: &Self) -> Self {
-        self.try_matmul(other).expect("matmul shape mismatch")
+        out
     }
 
     /// Matrix product `self * other.T` without materialising the transpose.
@@ -398,25 +464,34 @@ impl Matrix {
     ///
     /// Panics when `self.cols() != other.cols()`.
     pub fn matmul_transpose_b(&self, other: &Self) -> Self {
+        self.matmul_transpose_b_with(matmul_backend(), other)
+    }
+
+    /// Matrix product `self * other.T` on an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b_with(&self, backend: MatmulBackend, other: &Self) -> Self {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_transpose_b inner dimension mismatch: {:?} vs {:?}",
             self.shape(),
             other.shape()
         );
-        let mut out = Self::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
+        let data = backend.gemm(
+            self.rows,
+            self.cols,
+            other.rows,
+            Operand::row_major(&self.data, self.cols),
+            Operand::transposed(&other.data, other.cols),
+        );
+        Self {
+            rows: self.rows,
+            cols: other.rows,
+            data,
         }
-        out
     }
 
     /// Matrix product `self.T * other` without materialising the transpose.
@@ -427,27 +502,34 @@ impl Matrix {
     ///
     /// Panics when `self.rows() != other.rows()`.
     pub fn transpose_matmul(&self, other: &Self) -> Self {
+        self.transpose_matmul_with(matmul_backend(), other)
+    }
+
+    /// Matrix product `self.T * other` on an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.rows() != other.rows()`.
+    pub fn transpose_matmul_with(&self, backend: MatmulBackend, other: &Self) -> Self {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "transpose_matmul inner dimension mismatch: {:?} vs {:?}",
             self.shape(),
             other.shape()
         );
-        let mut out = Self::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ki * b_kj;
-                }
-            }
+        let data = backend.gemm(
+            self.cols,
+            self.rows,
+            other.cols,
+            Operand::transposed(&self.data, self.cols),
+            Operand::row_major(&other.data, other.cols),
+        );
+        Self {
+            rows: self.cols,
+            cols: other.cols,
+            data,
         }
-        out
     }
 
     /// Returns the transpose of the matrix.
@@ -580,15 +662,26 @@ impl Matrix {
     ///
     /// Panics when `row.shape() != (1, self.cols())`.
     pub fn broadcast_add_row(&self, row: &Self) -> Self {
-        assert_eq!(row.rows, 1, "broadcast_add_row expects a 1 x d row vector");
-        assert_eq!(row.cols, self.cols, "broadcast_add_row width mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for (v, &m) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+        out.add_row_inplace(row);
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row in place (the allocation-free form of
+    /// [`Matrix::broadcast_add_row`], used by hot inference paths such as the `x W + b`
+    /// projections).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.shape() != (1, self.cols())`.
+    pub fn add_row_inplace(&mut self, row: &Self) {
+        assert_eq!(row.rows, 1, "add_row_inplace expects a 1 x d row vector");
+        assert_eq!(row.cols, self.cols, "add_row_inplace width mismatch");
+        for chunk in self.data.chunks_exact_mut(self.cols) {
+            for (v, &m) in chunk.iter_mut().zip(row.data.iter()) {
                 *v += m;
             }
         }
-        out
     }
 
     /// Divides every row by the corresponding entry of an `n x 1` column vector.
@@ -599,7 +692,10 @@ impl Matrix {
     ///
     /// Panics when `col.shape() != (self.rows(), 1)`.
     pub fn broadcast_div_col(&self, col: &Self) -> Self {
-        assert_eq!(col.cols, 1, "broadcast_div_col expects an n x 1 column vector");
+        assert_eq!(
+            col.cols, 1,
+            "broadcast_div_col expects an n x 1 column vector"
+        );
         assert_eq!(col.rows, self.rows, "broadcast_div_col height mismatch");
         let mut out = self.clone();
         for r in 0..out.rows {
@@ -617,7 +713,10 @@ impl Matrix {
     ///
     /// Panics when `col.shape() != (self.rows(), 1)`.
     pub fn broadcast_mul_col(&self, col: &Self) -> Self {
-        assert_eq!(col.cols, 1, "broadcast_mul_col expects an n x 1 column vector");
+        assert_eq!(
+            col.cols, 1,
+            "broadcast_mul_col expects an n x 1 column vector"
+        );
         assert_eq!(col.rows, self.rows, "broadcast_mul_col height mismatch");
         let mut out = self.clone();
         for r in 0..out.rows {
@@ -815,7 +914,8 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+        self.try_sub(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -832,11 +932,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -908,10 +1004,18 @@ mod tests {
         let a = sample();
         assert_eq!(a.sum(), 21.0);
         assert_eq!(a.mean(), 3.5);
-        assert!(a.row_sum().approx_eq(&Matrix::col_vector(&[6.0, 15.0]), 1e-6));
-        assert!(a.col_sum().approx_eq(&Matrix::row_vector(&[5.0, 7.0, 9.0]), 1e-6));
-        assert!(a.row_mean().approx_eq(&Matrix::col_vector(&[2.0, 5.0]), 1e-6));
-        assert!(a.col_mean().approx_eq(&Matrix::row_vector(&[2.5, 3.5, 4.5]), 1e-6));
+        assert!(a
+            .row_sum()
+            .approx_eq(&Matrix::col_vector(&[6.0, 15.0]), 1e-6));
+        assert!(a
+            .col_sum()
+            .approx_eq(&Matrix::row_vector(&[5.0, 7.0, 9.0]), 1e-6));
+        assert!(a
+            .row_mean()
+            .approx_eq(&Matrix::col_vector(&[2.0, 5.0]), 1e-6));
+        assert!(a
+            .col_mean()
+            .approx_eq(&Matrix::row_vector(&[2.5, 3.5, 4.5]), 1e-6));
         assert_eq!(a.max(), 6.0);
         assert_eq!(a.min(), 1.0);
     }

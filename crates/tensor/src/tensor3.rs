@@ -49,7 +49,11 @@ impl Tensor3 {
         let (rows, cols) = first.shape();
         for m in &mats {
             if m.shape() != (rows, cols) {
-                return Err(ShapeError::new("tensor3_from_matrices", (rows, cols), m.shape()));
+                return Err(ShapeError::new(
+                    "tensor3_from_matrices",
+                    (rows, cols),
+                    m.shape(),
+                ));
             }
         }
         Ok(Self { mats, rows, cols })
@@ -103,8 +107,8 @@ impl Tensor3 {
     /// # Panics
     ///
     /// Panics when `f` returns matrices of differing shapes.
-    pub fn map<F: FnMut(&Matrix) -> Matrix>(&self, mut f: F) -> Self {
-        let mats: Vec<Matrix> = self.mats.iter().map(|m| f(m)).collect();
+    pub fn map<F: FnMut(&Matrix) -> Matrix>(&self, f: F) -> Self {
+        let mats: Vec<Matrix> = self.mats.iter().map(f).collect();
         Self::from_matrices(mats).expect("map closure returned inconsistent shapes")
     }
 
@@ -154,8 +158,12 @@ impl Tensor3 {
     ///
     /// Returns a [`ShapeError`] when the column count is not divisible by `heads`.
     pub fn split_cols(matrix: &Matrix, heads: usize) -> TensorResult<Self> {
-        if heads == 0 || matrix.cols() % heads != 0 {
-            return Err(ShapeError::new("tensor3_split_cols", matrix.shape(), (heads, 0)));
+        if heads == 0 || !matrix.cols().is_multiple_of(heads) {
+            return Err(ShapeError::new(
+                "tensor3_split_cols",
+                matrix.shape(),
+                (heads, 0),
+            ));
         }
         let head_dim = matrix.cols() / heads;
         let mats = (0..heads)

@@ -68,7 +68,10 @@ impl SyntheticDataset {
     ///
     /// Panics when the configuration has fewer than two classes or a zero image size.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: DatasetConfig) -> Self {
-        assert!(config.classes >= 2, "a classification task needs at least two classes");
+        assert!(
+            config.classes >= 2,
+            "a classification task needs at least two classes"
+        );
         assert!(config.image_size >= 8, "images must be at least 8x8 pixels");
         let mut train_images = Vec::new();
         let mut train_labels = Vec::new();

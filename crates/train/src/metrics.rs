@@ -21,7 +21,10 @@ pub fn confusion_matrix(
     let classes = model.config().classes;
     let mut counts = vec![vec![0usize; classes]; classes];
     for (image, &label) in images.iter().zip(labels.iter()) {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         counts[label][model.predict(image)] += 1;
     }
     counts

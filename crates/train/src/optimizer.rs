@@ -107,7 +107,10 @@ impl Sgd {
     /// Panics when the learning rate is not positive or momentum is outside `[0, 1)`.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "momentum must lie in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must lie in [0, 1)"
+        );
         Self {
             lr,
             momentum,

@@ -76,8 +76,14 @@ impl TrainingScheme {
         matches!(
             self,
             TrainingScheme::LowRankDropIn
-                | TrainingScheme::LowRankSparse { distillation: true, .. }
-                | TrainingScheme::Vitality { distillation: true, .. }
+                | TrainingScheme::LowRankSparse {
+                    distillation: true,
+                    ..
+                }
+                | TrainingScheme::Vitality {
+                    distillation: true,
+                    ..
+                }
         )
     }
 }
@@ -148,7 +154,8 @@ pub fn run_scheme_with_baseline(
             let (model, history) = train_baseline(ctx);
             SchemeOutcome {
                 scheme,
-                final_accuracy: model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
+                final_accuracy: model
+                    .accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
                 history,
             }
         }
@@ -157,7 +164,8 @@ pub fn run_scheme_with_baseline(
             let (model, history) = train_variant(ctx, variant, None);
             SchemeOutcome {
                 scheme,
-                final_accuracy: model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
+                final_accuracy: model
+                    .accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
                 history,
             }
         }
@@ -167,7 +175,8 @@ pub fn run_scheme_with_baseline(
             model.set_variant(AttentionVariant::Taylor);
             SchemeOutcome {
                 scheme,
-                final_accuracy: model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
+                final_accuracy: model
+                    .accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
                 history: Vec::new(),
             }
         }
@@ -180,7 +189,8 @@ pub fn run_scheme_with_baseline(
                 train_variant(ctx, AttentionVariant::Unified { threshold }, teacher);
             SchemeOutcome {
                 scheme,
-                final_accuracy: model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
+                final_accuracy: model
+                    .accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
                 history,
             }
         }
@@ -195,7 +205,8 @@ pub fn run_scheme_with_baseline(
             model.set_variant(AttentionVariant::Taylor);
             SchemeOutcome {
                 scheme,
-                final_accuracy: model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
+                final_accuracy: model
+                    .accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels()),
                 history,
             }
         }
@@ -254,7 +265,9 @@ mod tests {
     fn labels_match_the_papers_terminology() {
         assert_eq!(TrainingScheme::Baseline.label(), "Baseline");
         assert_eq!(TrainingScheme::LowRankDropIn.label(), "LowRank");
-        assert!(TrainingScheme::Sparse { threshold: 0.02 }.label().starts_with("Sparse"));
+        assert!(TrainingScheme::Sparse { threshold: 0.02 }
+            .label()
+            .starts_with("Sparse"));
         assert!(TrainingScheme::Vitality {
             threshold: 0.5,
             distillation: true

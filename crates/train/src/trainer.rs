@@ -157,12 +157,15 @@ impl Trainer {
         let loss = match (self.options.distillation, teacher) {
             (Some(distill), Some(teacher)) => {
                 let teacher_logits = teacher.infer(image).logits;
-                let soft_targets = teacher_logits.scale(1.0 / distill.temperature).softmax_rows();
+                let soft_targets = teacher_logits
+                    .scale(1.0 / distill.temperature)
+                    .softmax_rows();
                 let soft = logits
                     .scale(1.0 / distill.temperature)
                     .soft_cross_entropy(&soft_targets)
                     .scale(distill.temperature * distill.temperature);
-                hard.scale(1.0 - distill.alpha).add(&soft.scale(distill.alpha))
+                hard.scale(1.0 - distill.alpha)
+                    .add(&soft.scale(distill.alpha))
             }
             _ => hard,
         };
@@ -177,7 +180,11 @@ impl Trainer {
         if probe.is_empty() {
             return 0.0;
         }
-        probe.iter().map(|img| model.sparse_occupancy(img)).sum::<f32>() / probe.len() as f32
+        probe
+            .iter()
+            .map(|img| model.sparse_occupancy(img))
+            .sum::<f32>()
+            / probe.len() as f32
     }
 }
 

@@ -1,10 +1,11 @@
 //! Multi-head attention and the Transformer block with a pluggable attention variant.
 
 use rand::Rng;
+use rayon::prelude::*;
 
 use vitality_attention::{
-    mean_center_keys, AttentionMechanism, SangerSparseAttention, SoftmaxAttention,
-    TaylorAttention, UnifiedLowRankSparseAttention,
+    mean_center_keys, AttentionMechanism, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
+    UnifiedLowRankSparseAttention,
 };
 use vitality_autograd::{Graph, Var};
 use vitality_nn::registry::{NamedParameters, ParamRegistry};
@@ -83,12 +84,10 @@ impl AttentionVariant {
             AttentionVariant::Unified { threshold } => {
                 UnifiedLowRankSparseAttention::new(threshold).sparse_occupancy(q, k)
             }
-            AttentionVariant::Sparse { threshold } => {
-                SangerSparseAttention::new(threshold)
-                    .prediction_mask(q, &mean_center_keys(k))
-                    .sparsity()
-                    .mul_add(-1.0, 1.0)
-            }
+            AttentionVariant::Sparse { threshold } => SangerSparseAttention::new(threshold)
+                .prediction_mask(q, &mean_center_keys(k))
+                .sparsity()
+                .mul_add(-1.0, 1.0),
             _ => 0.0,
         }
     }
@@ -127,7 +126,10 @@ impl MultiHeadAttention {
     ///
     /// Panics when `embed_dim` is not divisible by `heads`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, embed_dim: usize, heads: usize) -> Self {
-        assert!(heads > 0 && embed_dim % heads == 0, "embed_dim must divide evenly into heads");
+        assert!(
+            heads > 0 && embed_dim.is_multiple_of(heads),
+            "embed_dim must divide evenly into heads"
+        );
         Self {
             wq: Linear::new(rng, embed_dim, embed_dim, true),
             wk: Linear::new(rng, embed_dim, embed_dim, true),
@@ -169,21 +171,35 @@ impl MultiHeadAttention {
             head_outputs.push(variant.forward_train(&qh, &kh, &vh));
         }
         let merged = Var::concat_cols(&head_outputs);
-        self.wo.forward(graph, reg, &format!("{prefix}.wo"), &merged)
+        self.wo
+            .forward(graph, reg, &format!("{prefix}.wo"), &merged)
     }
 
     /// Inference forward pass with the given attention variant.
+    ///
+    /// Heads are data-independent, so the per-head attention computations fan out over
+    /// rayon worker threads and the head outputs are merged back in column order.
     pub fn infer(&self, variant: AttentionVariant, x: &Matrix) -> Matrix {
         let q = self.wq.infer(x);
         let k = self.wk.infer(x);
         let v = self.wv.infer(x);
         let hd = self.head_dim();
+        let head_outputs: Vec<Matrix> = (0..self.heads)
+            .into_par_iter()
+            .map(|h| {
+                let (lo, hi) = (h * hd, (h + 1) * hd);
+                variant.infer(
+                    &q.slice_cols(lo, hi),
+                    &k.slice_cols(lo, hi),
+                    &v.slice_cols(lo, hi),
+                )
+            })
+            .collect();
         let mut merged = Matrix::zeros(x.rows(), self.heads * hd);
-        for h in 0..self.heads {
-            let (lo, hi) = (h * hd, (h + 1) * hd);
-            let z = variant.infer(&q.slice_cols(lo, hi), &k.slice_cols(lo, hi), &v.slice_cols(lo, hi));
+        for (h, z) in head_outputs.iter().enumerate() {
+            let lo = h * hd;
             for r in 0..z.rows() {
-                merged.row_mut(r)[lo..hi].copy_from_slice(z.row(r));
+                merged.row_mut(r)[lo..lo + hd].copy_from_slice(z.row(r));
             }
         }
         self.wo.infer(&merged)
@@ -231,10 +247,14 @@ impl NamedParameters for MultiHeadAttention {
     }
 
     fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
-        self.wq.visit_parameters_mut(&format!("{prefix}.wq"), visitor);
-        self.wk.visit_parameters_mut(&format!("{prefix}.wk"), visitor);
-        self.wv.visit_parameters_mut(&format!("{prefix}.wv"), visitor);
-        self.wo.visit_parameters_mut(&format!("{prefix}.wo"), visitor);
+        self.wq
+            .visit_parameters_mut(&format!("{prefix}.wq"), visitor);
+        self.wk
+            .visit_parameters_mut(&format!("{prefix}.wk"), visitor);
+        self.wv
+            .visit_parameters_mut(&format!("{prefix}.wv"), visitor);
+        self.wo
+            .visit_parameters_mut(&format!("{prefix}.wo"), visitor);
     }
 }
 
@@ -250,7 +270,12 @@ pub struct TransformerBlock {
 impl TransformerBlock {
     /// Creates a block over `embed_dim` features with `heads` heads and the given MLP
     /// expansion ratio.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, embed_dim: usize, heads: usize, mlp_ratio: f32) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        embed_dim: usize,
+        heads: usize,
+        mlp_ratio: f32,
+    ) -> Self {
         let hidden = ((embed_dim as f32) * mlp_ratio).round().max(1.0) as usize;
         Self {
             norm1: LayerNorm::new(embed_dim),
@@ -274,13 +299,19 @@ impl TransformerBlock {
         variant: AttentionVariant,
         x: &Var,
     ) -> Var {
-        let normed = self.norm1.forward(graph, reg, &format!("{prefix}.norm1"), x);
-        let attended = self
-            .attn
-            .forward_train(graph, reg, &format!("{prefix}.attn"), variant, &normed);
+        let normed = self
+            .norm1
+            .forward(graph, reg, &format!("{prefix}.norm1"), x);
+        let attended =
+            self.attn
+                .forward_train(graph, reg, &format!("{prefix}.attn"), variant, &normed);
         let x = x.add(&attended);
-        let normed = self.norm2.forward(graph, reg, &format!("{prefix}.norm2"), &x);
-        let expanded = self.mlp.forward(graph, reg, &format!("{prefix}.mlp"), &normed);
+        let normed = self
+            .norm2
+            .forward(graph, reg, &format!("{prefix}.norm2"), &x);
+        let expanded = self
+            .mlp
+            .forward(graph, reg, &format!("{prefix}.mlp"), &normed);
         x.add(&expanded)
     }
 
@@ -295,17 +326,24 @@ impl TransformerBlock {
 
 impl NamedParameters for TransformerBlock {
     fn visit_parameters(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Matrix)) {
-        self.norm1.visit_parameters(&format!("{prefix}.norm1"), visitor);
-        self.attn.visit_parameters(&format!("{prefix}.attn"), visitor);
-        self.norm2.visit_parameters(&format!("{prefix}.norm2"), visitor);
+        self.norm1
+            .visit_parameters(&format!("{prefix}.norm1"), visitor);
+        self.attn
+            .visit_parameters(&format!("{prefix}.attn"), visitor);
+        self.norm2
+            .visit_parameters(&format!("{prefix}.norm2"), visitor);
         self.mlp.visit_parameters(&format!("{prefix}.mlp"), visitor);
     }
 
     fn visit_parameters_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Matrix)) {
-        self.norm1.visit_parameters_mut(&format!("{prefix}.norm1"), visitor);
-        self.attn.visit_parameters_mut(&format!("{prefix}.attn"), visitor);
-        self.norm2.visit_parameters_mut(&format!("{prefix}.norm2"), visitor);
-        self.mlp.visit_parameters_mut(&format!("{prefix}.mlp"), visitor);
+        self.norm1
+            .visit_parameters_mut(&format!("{prefix}.norm1"), visitor);
+        self.attn
+            .visit_parameters_mut(&format!("{prefix}.attn"), visitor);
+        self.norm2
+            .visit_parameters_mut(&format!("{prefix}.norm2"), visitor);
+        self.mlp
+            .visit_parameters_mut(&format!("{prefix}.mlp"), visitor);
     }
 }
 
@@ -374,7 +412,12 @@ mod tests {
         let x = graph.constant(tokens(5, 8, 3));
         let y = mha.forward_train(&graph, &mut reg, "attn", AttentionVariant::Taylor, &x);
         let grads = graph.backward(&y.mean_all());
-        for name in ["attn.wq.weight", "attn.wk.weight", "attn.wv.weight", "attn.wo.weight"] {
+        for name in [
+            "attn.wq.weight",
+            "attn.wk.weight",
+            "attn.wv.weight",
+            "attn.wo.weight",
+        ] {
             assert!(reg.grad(name, &grads).is_some(), "missing {name}");
         }
     }
@@ -407,7 +450,9 @@ mod tests {
             AttentionVariant::Softmax,
             &graph.constant(x.clone()),
         );
-        assert!(y.value().approx_eq(&block.infer(AttentionVariant::Softmax, &x), 1e-3));
+        assert!(y
+            .value()
+            .approx_eq(&block.infer(AttentionVariant::Softmax, &x), 1e-3));
         assert!(block.parameter_count() > 0);
         assert_eq!(block.attention().heads(), 2);
     }
@@ -416,8 +461,17 @@ mod tests {
     fn variant_labels_are_stable() {
         assert_eq!(AttentionVariant::Softmax.label(), "softmax");
         assert_eq!(AttentionVariant::Taylor.label(), "taylor");
-        assert_eq!(AttentionVariant::Sparse { threshold: 0.1 }.label(), "sparse");
-        assert_eq!(AttentionVariant::Unified { threshold: 0.1 }.label(), "unified");
-        assert_eq!(AttentionVariant::TaylorNoCentering.label(), "taylor-no-centering");
+        assert_eq!(
+            AttentionVariant::Sparse { threshold: 0.1 }.label(),
+            "sparse"
+        );
+        assert_eq!(
+            AttentionVariant::Unified { threshold: 0.1 }.label(),
+            "unified"
+        );
+        assert_eq!(
+            AttentionVariant::TaylorNoCentering.label(),
+            "taylor-no-centering"
+        );
     }
 }

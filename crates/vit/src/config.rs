@@ -363,14 +363,17 @@ impl TrainConfig {
     /// not divisible by the head count.
     pub fn validate(&self) {
         assert!(
-            self.image_size % self.patch_size == 0,
+            self.image_size.is_multiple_of(self.patch_size),
             "image size must be divisible by the patch size"
         );
         assert!(
-            self.embed_dim % self.heads == 0,
+            self.embed_dim.is_multiple_of(self.heads),
             "embedding dimension must be divisible by the head count"
         );
-        assert!(self.layers > 0 && self.classes > 1, "degenerate training configuration");
+        assert!(
+            self.layers > 0 && self.classes > 1,
+            "degenerate training configuration"
+        );
     }
 }
 
@@ -425,14 +428,22 @@ mod tests {
     fn hierarchical_models_shrink_tokens_and_grow_width() {
         for cfg in [ModelConfig::mobilevit_xs(), ModelConfig::levit_128()] {
             for pair in cfg.stages.windows(2) {
-                assert!(pair[0].tokens > pair[1].tokens, "{}: tokens must shrink", cfg.name);
+                assert!(
+                    pair[0].tokens > pair[1].tokens,
+                    "{}: tokens must shrink",
+                    cfg.name
+                );
                 assert!(
                     pair[0].embed_dim <= pair[1].embed_dim,
                     "{}: width must not shrink",
                     cfg.name
                 );
             }
-            assert!(cfg.backbone_macs > 0, "{} has a convolutional backbone", cfg.name);
+            assert!(
+                cfg.backbone_macs > 0,
+                "{} has a convolutional backbone",
+                cfg.name
+            );
         }
     }
 

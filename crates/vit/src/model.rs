@@ -1,6 +1,7 @@
 //! The trainable Vision Transformer used by the accuracy experiments.
 
 use rand::Rng;
+use rayon::prelude::*;
 
 use crate::block::{AttentionVariant, TransformerBlock};
 use crate::config::TrainConfig;
@@ -40,7 +41,11 @@ impl VisionTransformer {
     /// # Panics
     ///
     /// Panics when the configuration fails [`TrainConfig::validate`].
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: TrainConfig, variant: AttentionVariant) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        config: TrainConfig,
+        variant: AttentionVariant,
+    ) -> Self {
         config.validate();
         let embed = PatchEmbed::new(rng, config.patch_size, config.tokens(), config.embed_dim);
         let blocks = (0..config.layers)
@@ -98,6 +103,15 @@ impl VisionTransformer {
         }
     }
 
+    /// Inference over a batch of images, one rayon work unit per image.
+    ///
+    /// The per-image token matrices are completely independent, so this is the
+    /// model-level parallel axis that complements the per-head fan-out inside each
+    /// block; outputs come back in input order.
+    pub fn infer_batch(&self, images: &[Matrix]) -> Vec<VitOutput> {
+        images.par_iter().map(|image| self.infer(image)).collect()
+    }
+
     /// Predicted class index for one image.
     pub fn predict(&self, image: &Matrix) -> usize {
         let logits = self.infer(image).logits;
@@ -110,16 +124,26 @@ impl VisionTransformer {
         best
     }
 
-    /// Top-1 accuracy over a labelled set of images.
+    /// Predicted class indices for a batch of images (parallel over images).
+    pub fn predict_batch(&self, images: &[Matrix]) -> Vec<usize> {
+        images.par_iter().map(|image| self.predict(image)).collect()
+    }
+
+    /// Top-1 accuracy over a labelled set of images (parallel over images).
     pub fn accuracy(&self, images: &[Matrix], labels: &[usize]) -> f32 {
-        assert_eq!(images.len(), labels.len(), "one label per image is required");
+        assert_eq!(
+            images.len(),
+            labels.len(),
+            "one label per image is required"
+        );
         if images.is_empty() {
             return 0.0;
         }
-        let correct = images
+        let correct = self
+            .predict_batch(images)
             .iter()
             .zip(labels.iter())
-            .filter(|(img, &label)| self.predict(img) == label)
+            .filter(|(predicted, label)| predicted == label)
             .count();
         correct as f32 / images.len() as f32
     }
@@ -225,6 +249,24 @@ mod tests {
         assert!(reg.grad("embed.proj.weight", &grads).is_some());
         assert!(reg.grad("block0.attn.wq.weight", &grads).is_some());
         assert!(reg.grad("head.fc.weight", &grads).is_some());
+    }
+
+    #[test]
+    fn infer_batch_matches_sequential_inference() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(210);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let images: Vec<Matrix> = (0..3).map(|i| image(&cfg, 30 + i)).collect();
+        let batched = model.infer_batch(&images);
+        assert_eq!(batched.len(), images.len());
+        for (out, img) in batched.iter().zip(images.iter()) {
+            let single = model.infer(img);
+            assert!(out.logits.approx_eq(&single.logits, 1e-6));
+            assert!(out.tokens.approx_eq(&single.tokens, 1e-6));
+        }
+        let preds = model.predict_batch(&images);
+        let sequential: Vec<usize> = images.iter().map(|img| model.predict(img)).collect();
+        assert_eq!(preds, sequential);
     }
 
     #[test]

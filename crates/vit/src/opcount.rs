@@ -39,7 +39,10 @@ pub enum AttentionStep {
 impl AttentionStep {
     /// The vanilla-attention steps in execution order (excluding the shared projections).
     pub fn vanilla_steps() -> [AttentionStep; 2] {
-        [AttentionStep::SoftmaxAttentionMap, AttentionStep::AttentionScore]
+        [
+            AttentionStep::SoftmaxAttentionMap,
+            AttentionStep::AttentionScore,
+        ]
     }
 
     /// The Taylor-attention steps in execution order (excluding the shared projections).
@@ -87,13 +90,17 @@ pub fn attention_step_ops(step: AttentionStep, n: usize, d: usize, h: usize) -> 
     match step {
         // The projections are shared by both attentions; counted at the stage level using
         // the embedding dimension, so here we only account the per-head part.
-        AttentionStep::QkvProjection => OpCounts::new(3 * nu * du * du * hu, 3 * nu * du * du * hu, 0, 0),
+        AttentionStep::QkvProjection => {
+            OpCounts::new(3 * nu * du * du * hu, 3 * nu * du * du * hu, 0, 0)
+        }
         AttentionStep::SoftmaxAttentionMap => {
             OpCounts::new(nu * nu * du, nu * nu * du + nu * nu, nu * nu, nu * nu).scaled(hu)
         }
         AttentionStep::AttentionScore => OpCounts::new(nu * nu * du, nu * nu * du, 0, 0).scaled(hu),
         AttentionStep::TaylorMeanCenter => OpCounts::new(0, 2 * nu * du, du, 0).scaled(hu),
-        AttentionStep::TaylorGlobalContext => OpCounts::new(nu * du * du, nu * du * du, 0, 0).scaled(hu),
+        AttentionStep::TaylorGlobalContext => {
+            OpCounts::new(nu * du * du, nu * du * du, 0, 0).scaled(hu)
+        }
         AttentionStep::TaylorColumnSums => OpCounts::new(0, 2 * nu * du, 0, 0).scaled(hu),
         AttentionStep::TaylorDenominator => OpCounts::new(nu * du, nu * du + nu, 0, 0).scaled(hu),
         AttentionStep::TaylorNumerator => {
@@ -194,19 +201,30 @@ impl ModelWorkload {
     pub fn for_model(config: &ModelConfig) -> Self {
         Self {
             name: config.name,
-            stages: config.stages.iter().copied().map(StageWorkload::from_stage).collect(),
+            stages: config
+                .stages
+                .iter()
+                .copied()
+                .map(StageWorkload::from_stage)
+                .collect(),
             backbone_macs: config.backbone_macs,
         }
     }
 
     /// Total vanilla softmax attention operations across all stages and layers.
     pub fn vanilla_attention_ops(&self) -> OpCounts {
-        self.stages.iter().map(StageWorkload::vanilla_attention_ops).sum()
+        self.stages
+            .iter()
+            .map(StageWorkload::vanilla_attention_ops)
+            .sum()
     }
 
     /// Total Taylor attention operations across all stages and layers.
     pub fn taylor_attention_ops(&self) -> OpCounts {
-        self.stages.iter().map(StageWorkload::taylor_attention_ops).sum()
+        self.stages
+            .iter()
+            .map(StageWorkload::taylor_attention_ops)
+            .sum()
     }
 
     /// Total linear (projection + MLP) multiply–accumulates across all stages.
@@ -291,7 +309,10 @@ mod tests {
         let wl = ModelWorkload::for_model(&ModelConfig::mobilevit_xs());
         let vanilla = wl.vanilla_attention_ops().mul as f64 / 1e6;
         let taylor = wl.taylor_attention_ops().mul as f64 / 1e6;
-        assert!((vanilla - 28.4).abs() / 28.4 < 0.10, "vanilla {vanilla:.1}M");
+        assert!(
+            (vanilla - 28.4).abs() / 28.4 < 0.10,
+            "vanilla {vanilla:.1}M"
+        );
         assert!((taylor - 4.8).abs() / 4.8 < 0.15, "taylor {taylor:.1}M");
         let ratio = vanilla / taylor;
         assert!(ratio > 4.5 && ratio < 7.5, "ratio {ratio:.1}");
@@ -308,7 +329,10 @@ mod tests {
         let deit = ratio(&ModelConfig::deit_tiny());
         let mobile = ratio(&ModelConfig::mobilevit_xs());
         let levit = ratio(&ModelConfig::levit_128());
-        assert!(deit < mobile && mobile < levit, "{deit:.1} {mobile:.1} {levit:.1}");
+        assert!(
+            deit < mobile && mobile < levit,
+            "{deit:.1} {mobile:.1} {levit:.1}"
+        );
         assert!(levit > 6.0, "LeViT ratio {levit:.1}");
     }
 

@@ -121,9 +121,13 @@ mod tests {
             .map(|_| init::uniform(&mut rng, cfg.image_size, cfg.image_size, 0.0, 1.0))
             .collect();
         let probes = attention_logit_distribution(&model, &images);
-        let raw: f32 = probes.iter().map(|p| p.raw_in_unit_interval).sum::<f32>() / probes.len() as f32;
-        let centered: f32 =
-            probes.iter().map(|p| p.centered_in_unit_interval).sum::<f32>() / probes.len() as f32;
+        let raw: f32 =
+            probes.iter().map(|p| p.raw_in_unit_interval).sum::<f32>() / probes.len() as f32;
+        let centered: f32 = probes
+            .iter()
+            .map(|p| p.centered_in_unit_interval)
+            .sum::<f32>()
+            / probes.len() as f32;
         assert!(centered >= raw - 0.02, "raw {raw} centred {centered}");
     }
 

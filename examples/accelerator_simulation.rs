@@ -16,14 +16,32 @@ fn main() {
     let stage = deit.stages[0];
     let schedule = accel.attention_layer_schedule(stage.tokens, stage.head_dim, stage.heads);
     println!("One DeiT-Tiny Taylor-attention layer on the ViTALiTy accelerator:");
-    println!("  accumulator array : {:>8} cycles", schedule.accumulator_cycles);
+    println!(
+        "  accumulator array : {:>8} cycles",
+        schedule.accumulator_cycles
+    );
     println!("  adder array       : {:>8} cycles", schedule.adder_cycles);
-    println!("  divider array     : {:>8} cycles", schedule.divider_cycles);
-    println!("  SA-General        : {:>8} cycles", schedule.sa_general_cycles);
-    println!("  SA-Diag           : {:>8} cycles", schedule.sa_diag_cycles);
-    println!("  sequential layer  : {:>8} cycles", schedule.sequential_cycles);
-    println!("  pipelined layer   : {:>8} cycles  ({:.2}x from the intra-layer pipeline)",
-        schedule.pipelined_cycles, schedule.pipeline_speedup());
+    println!(
+        "  divider array     : {:>8} cycles",
+        schedule.divider_cycles
+    );
+    println!(
+        "  SA-General        : {:>8} cycles",
+        schedule.sa_general_cycles
+    );
+    println!(
+        "  SA-Diag           : {:>8} cycles",
+        schedule.sa_diag_cycles
+    );
+    println!(
+        "  sequential layer  : {:>8} cycles",
+        schedule.sequential_cycles
+    );
+    println!(
+        "  pipelined layer   : {:>8} cycles  ({:.2}x from the intra-layer pipeline)",
+        schedule.pipelined_cycles,
+        schedule.pipeline_speedup()
+    );
 
     // Dataflow ablation (Table V) and pipeline ablation.
     let workload = ModelWorkload::for_model(&ModelConfig::deit_base());

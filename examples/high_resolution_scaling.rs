@@ -37,7 +37,13 @@ fn main() {
     println!("DeiT-Tiny scaled to higher input resolutions (16x16 patches, 12 layers):\n");
     println!(
         "{:>10} {:>8} {:>14} {:>14} {:>10} {:>16} {:>16}",
-        "resolution", "tokens", "softmax Mul(M)", "taylor Mul(M)", "ratio", "TX2 softmax", "accel taylor"
+        "resolution",
+        "tokens",
+        "softmax Mul(M)",
+        "taylor Mul(M)",
+        "ratio",
+        "TX2 softmax",
+        "accel taylor"
     );
     for resolution in [224usize, 384, 512, 768, 1024] {
         let config = deit_tiny_at_resolution(resolution);

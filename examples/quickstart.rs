@@ -24,7 +24,10 @@ fn main() {
     let exact = softmax.compute(&q, &k, &v);
     let approx = taylor.compute(&q, &k, &v);
     println!("ViTALiTy linear Taylor attention vs vanilla softmax attention (n={n}, d={d})");
-    println!("  max |Z_taylor - Z_softmax|  = {:.4}", exact.max_abs_diff(&approx));
+    println!(
+        "  max |Z_taylor - Z_softmax|  = {:.4}",
+        exact.max_abs_diff(&approx)
+    );
 
     let vanilla_ops = softmax.op_counts(n, d);
     let taylor_ops = taylor.op_counts(n, d);
@@ -52,7 +55,16 @@ fn main() {
     let workload = ModelWorkload::for_model(&ModelConfig::deit_tiny());
     let report = accel.simulate_model(&workload);
     println!("\nViTALiTy accelerator (64x64 systolic array + pre/post-processors @ 500 MHz) on DeiT-Tiny:");
-    println!("  attention latency : {:.1} us", report.attention_latency_s * 1e6);
-    println!("  end-to-end latency: {:.2} ms", report.total_latency_s * 1e3);
-    println!("  end-to-end energy : {:.2} mJ", report.total_energy_j * 1e3);
+    println!(
+        "  attention latency : {:.1} us",
+        report.attention_latency_s * 1e6
+    );
+    println!(
+        "  end-to-end latency: {:.2} ms",
+        report.total_latency_s * 1e3
+    );
+    println!(
+        "  end-to-end energy : {:.2} mJ",
+        report.total_energy_j * 1e3
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
 
     println!("\nDrop-in Taylor attention without fine-tuning (the paper's LOWRANK row)...");
     let lowrank = run_scheme_with_baseline(TrainingScheme::LowRankDropIn, &ctx, Some(&baseline));
-    println!("  LowRank drop-in accuracy: {:.1}%", lowrank.final_accuracy * 100.0);
+    println!(
+        "  LowRank drop-in accuracy: {:.1}%",
+        lowrank.final_accuracy * 100.0
+    );
 
     println!("\nFine-tuning with the unified low-rank + sparse attention (T = 0.5, with KD)...");
     let vitality = run_scheme_with_baseline(
@@ -56,7 +59,8 @@ fn main() {
     );
 
     println!("\nSummary (the paper's qualitative claim):");
-    println!("  Baseline {:.1}%  >=  ViTALiTy {:.1}%  >>  LowRank drop-in {:.1}%",
+    println!(
+        "  Baseline {:.1}%  >=  ViTALiTy {:.1}%  >>  LowRank drop-in {:.1}%",
         baseline_acc * 100.0,
         vitality.final_accuracy * 100.0,
         lowrank.final_accuracy * 100.0

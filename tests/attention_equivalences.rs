@@ -84,7 +84,13 @@ fn multi_head_attention_training_graph_matches_inference_for_the_vitality_recipe
     ] {
         let graph = vitality::autograd::Graph::new();
         let mut reg = ParamRegistry::new();
-        let out = mha.forward_train(&graph, &mut reg, "attn", variant, &graph.constant(x.clone()));
+        let out = mha.forward_train(
+            &graph,
+            &mut reg,
+            "attn",
+            variant,
+            &graph.constant(x.clone()),
+        );
         let inferred = mha.infer(variant, &x);
         assert!(
             out.value().approx_eq(&inferred, 2e-2),
@@ -94,8 +100,16 @@ fn multi_head_attention_training_graph_matches_inference_for_the_vitality_recipe
         );
         // Gradients reach all four projection matrices.
         let grads = graph.backward(&out.mean_all());
-        for name in ["attn.wq.weight", "attn.wk.weight", "attn.wv.weight", "attn.wo.weight"] {
-            assert!(reg.grad(name, &grads).is_some(), "missing gradient for {name}");
+        for name in [
+            "attn.wq.weight",
+            "attn.wk.weight",
+            "attn.wv.weight",
+            "attn.wo.weight",
+        ] {
+            assert!(
+                reg.grad(name, &grads).is_some(),
+                "missing gradient for {name}"
+            );
         }
     }
 }

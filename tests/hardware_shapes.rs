@@ -20,7 +20,10 @@ fn table1_shape_operation_reduction_grows_with_n_over_d() {
     let mobile = ratio(ModelConfig::mobilevit_xs());
     let levit = ratio(ModelConfig::levit_128());
     assert!((2.5..3.7).contains(&deit), "DeiT-Tiny ratio {deit:.1}");
-    assert!((4.5..8.0).contains(&mobile), "MobileViT-xs ratio {mobile:.1}");
+    assert!(
+        (4.5..8.0).contains(&mobile),
+        "MobileViT-xs ratio {mobile:.1}"
+    );
     assert!(levit > mobile && levit > 6.0, "LeViT-128 ratio {levit:.1}");
 }
 
@@ -38,9 +41,21 @@ fn fig11_shape_vitality_accelerator_wins_everywhere_and_by_the_right_order() {
         let wl = ModelWorkload::for_model(&cfg);
         let ours = vitality().simulate_model(&wl).total_latency_s;
         sanger_speedups.push(sanger.simulate_model(&wl).total_latency_s / ours);
-        cpu_speedups.push(cpu.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
-        gpu_speedups.push(gpu.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
-        edge_speedups.push(edge.simulate(&wl, AttentionKind::VanillaSoftmax).total_latency_s() / ours);
+        cpu_speedups.push(
+            cpu.simulate(&wl, AttentionKind::VanillaSoftmax)
+                .total_latency_s()
+                / ours,
+        );
+        gpu_speedups.push(
+            gpu.simulate(&wl, AttentionKind::VanillaSoftmax)
+                .total_latency_s()
+                / ours,
+        );
+        edge_speedups.push(
+            edge.simulate(&wl, AttentionKind::VanillaSoftmax)
+                .total_latency_s()
+                / ours,
+        );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     // Every comparison is a win.
@@ -56,9 +71,18 @@ fn fig11_shape_vitality_accelerator_wins_everywhere_and_by_the_right_order() {
         avg(&edge_speedups),
         avg(&cpu_speedups),
     );
-    assert!(gpu_avg < sanger_avg || gpu_avg < 2.0 * sanger_avg, "GPU {gpu_avg:.1} Sanger {sanger_avg:.1}");
-    assert!(sanger_avg < edge_avg, "Sanger {sanger_avg:.1} EdgeGPU {edge_avg:.1}");
-    assert!(edge_avg > 8.0 && cpu_avg > 15.0, "EdgeGPU {edge_avg:.1} CPU {cpu_avg:.1}");
+    assert!(
+        gpu_avg < sanger_avg || gpu_avg < 2.0 * sanger_avg,
+        "GPU {gpu_avg:.1} Sanger {sanger_avg:.1}"
+    );
+    assert!(
+        sanger_avg < edge_avg,
+        "Sanger {sanger_avg:.1} EdgeGPU {edge_avg:.1}"
+    );
+    assert!(
+        edge_avg > 8.0 && cpu_avg > 15.0,
+        "EdgeGPU {edge_avg:.1} CPU {cpu_avg:.1}"
+    );
 }
 
 #[test]
@@ -72,7 +96,10 @@ fn fig12_shape_energy_efficiency_ordering() {
     let vs_sanger = sanger.simulate_model(&wl).total_energy_j / ours;
     let vs_cpu = cpu.simulate(&wl, AttentionKind::VanillaSoftmax).energy_j / ours;
     let vs_gpu = gpu.simulate(&wl, AttentionKind::VanillaSoftmax).energy_j / ours;
-    assert!(vs_sanger > 1.0 && vs_sanger < 20.0, "vs Sanger {vs_sanger:.1}");
+    assert!(
+        vs_sanger > 1.0 && vs_sanger < 20.0,
+        "vs Sanger {vs_sanger:.1}"
+    );
     assert!(vs_cpu > vs_gpu, "CPU should be the least efficient");
     assert!(vs_cpu > 20.0, "vs CPU {vs_cpu:.1}");
 }
@@ -92,8 +119,16 @@ fn table5_shape_down_forward_dataflow_wins_overall_for_every_model() {
             .with_dataflow(Dataflow::GStationary)
             .simulate_model(&wl)
             .attention_energy;
-        assert!(ours.data_access_j > gs.data_access_j, "{}: data access", cfg.name);
-        assert!(ours.systolic_array_j < gs.systolic_array_j, "{}: systolic", cfg.name);
+        assert!(
+            ours.data_access_j > gs.data_access_j,
+            "{}: data access",
+            cfg.name
+        );
+        assert!(
+            ours.systolic_array_j < gs.systolic_array_j,
+            "{}: systolic",
+            cfg.name
+        );
         assert!(ours.total_j() < gs.total_j(), "{}: overall", cfg.name);
     }
 }
@@ -107,7 +142,11 @@ fn pipeline_ablation_improves_attention_throughput_for_every_model() {
             .with_pipeline(PipelineMode::Sequential)
             .simulate_model(&wl)
             .attention_cycles;
-        assert!(pipelined < sequential, "{}: {pipelined} vs {sequential}", cfg.name);
+        assert!(
+            pipelined < sequential,
+            "{}: {pipelined} vs {sequential}",
+            cfg.name
+        );
     }
 }
 
@@ -128,15 +167,23 @@ fn fig1_shape_softmax_dominates_and_worsens_on_weaker_devices() {
     let edge = softmax_share(DeviceModel::jetson_tx2());
     let phone = softmax_share(DeviceModel::pixel3());
     assert!(gpu > 0.4 && phone < 0.75);
-    assert!(gpu <= edge && edge <= phone, "{gpu:.2} {edge:.2} {phone:.2}");
+    assert!(
+        gpu <= edge && edge <= phone,
+        "{gpu:.2} {edge:.2} {phone:.2}"
+    );
 }
 
 #[test]
-fn table2_shape_taylor_attention_does_not_speed_up_on_general_platforms_but_does_on_the_accelerator() {
+fn table2_shape_taylor_attention_does_not_speed_up_on_general_platforms_but_does_on_the_accelerator(
+) {
     let wl = ModelWorkload::for_model(&ModelConfig::deit_tiny());
     let edge = DeviceModel::jetson_tx2();
-    let vanilla_edge = edge.simulate(&wl, AttentionKind::VanillaSoftmax).attention_latency_s();
-    let taylor_edge = edge.simulate(&wl, AttentionKind::Taylor).attention_latency_s();
+    let vanilla_edge = edge
+        .simulate(&wl, AttentionKind::VanillaSoftmax)
+        .attention_latency_s();
+    let taylor_edge = edge
+        .simulate(&wl, AttentionKind::Taylor)
+        .attention_latency_s();
     // On the edge GPU the Taylor attention gains little or even loses (paper: 14.03 ms vs
     // 11.65 ms)...
     assert!(taylor_edge > 0.7 * vanilla_edge);

@@ -3,13 +3,15 @@
 //! the linear-algebra identities the accelerator relies on.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use vitality::attention::{
-    mean_center_keys, quantize_symmetric, AttentionMechanism, SangerSparseAttention,
-    SoftmaxAttention, TaylorAttention,
-};
 use vitality::attention::opcount::{taylor_attention_ops, vanilla_softmax_ops};
-use vitality::tensor::Matrix;
+use vitality::attention::{
+    fused_softmax_attention, mean_center_keys, quantize_symmetric, AttentionMechanism,
+    SangerSparseAttention, SoftmaxAttention, TaylorAttention,
+};
+use vitality::tensor::{init, MatmulBackend, Matrix};
 
 /// Strategy producing a matrix with the given shape and bounded entries.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -147,6 +149,94 @@ proptest! {
     }
 
     #[test]
+    fn blocked_backend_matches_the_naive_reference_on_random_ragged_shapes(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..70,
+        seed in 0u64..1_000_000,
+    ) {
+        // Shapes land on both sides of the small-product cutoff and rarely divide the
+        // 8x8 register tile, so the packing/edge-padding paths are all exercised.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, m, k, -1.0, 1.0);
+        let b = init::uniform(&mut rng, k, n, -1.0, 1.0);
+        let fast = a.matmul_with(MatmulBackend::Blocked, &b);
+        let slow = a.matmul_with(MatmulBackend::Naive, &b);
+        prop_assert!(
+            fast.approx_eq(&slow, 1e-4),
+            "matmul {}x{}x{} diverged by {}", m, k, n, fast.max_abs_diff(&slow)
+        );
+    }
+
+    #[test]
+    fn blocked_transpose_products_match_the_naive_reference(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A (m x k) * B^T (with B n x k), then A^T (k wide) * C (m x n).
+        let a = init::uniform(&mut rng, m, k, -1.0, 1.0);
+        let b = init::uniform(&mut rng, n, k, -1.0, 1.0);
+        let c = init::uniform(&mut rng, m, n, -1.0, 1.0);
+        let fast_bt = a.matmul_transpose_b_with(MatmulBackend::Blocked, &b);
+        let slow_bt = a.matmul_transpose_b_with(MatmulBackend::Naive, &b);
+        prop_assert!(
+            fast_bt.approx_eq(&slow_bt, 1e-4),
+            "matmul_transpose_b {}x{}x{} diverged by {}",
+            m, k, n, fast_bt.max_abs_diff(&slow_bt)
+        );
+        let fast_at = a.transpose_matmul_with(MatmulBackend::Blocked, &c);
+        let slow_at = a.transpose_matmul_with(MatmulBackend::Naive, &c);
+        prop_assert!(
+            fast_at.approx_eq(&slow_at, 1e-4),
+            "transpose_matmul {}x{}x{} diverged by {}",
+            m, k, n, fast_at.max_abs_diff(&slow_at)
+        );
+    }
+
+    #[test]
+    fn fused_taylor_kernel_always_matches_the_algorithm_1_trace(
+        n in 2usize..90,
+        d in 2usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = init::normal(&mut rng, n, d, 0.0, 0.5);
+        let k = init::normal(&mut rng, n, d, 0.2, 0.5);
+        let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+        let attention = TaylorAttention::new();
+        let trace = attention.compute_with_trace(&q, &k, &v);
+        let fused = attention.compute_fused(&q, &k, &v);
+        prop_assert!(
+            fused.approx_eq(&trace.score, 1e-4),
+            "fused diverged from trace by {}", fused.max_abs_diff(&trace.score)
+        );
+        // The trace's own Step 6 identity must also hold.
+        let rebuilt = trace.numerator.broadcast_div_col(&trace.denominator);
+        prop_assert!(rebuilt.approx_eq(&trace.score, 1e-5));
+    }
+
+    #[test]
+    fn fused_softmax_kernel_always_matches_the_map_pipeline(
+        n in 2usize..90,
+        d in 2usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = init::normal(&mut rng, n, d, 0.0, 0.8);
+        let k = init::normal(&mut rng, n, d, 0.0, 0.8);
+        let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+        let fused = fused_softmax_attention(&q, &k, &v);
+        let unfused = SoftmaxAttention::new().attention_map(&q, &k).matmul(&v);
+        prop_assert!(
+            fused.approx_eq(&unfused, 1e-4),
+            "fused diverged from map pipeline by {}", fused.max_abs_diff(&unfused)
+        );
+    }
+
+    #[test]
     fn taylor_attention_of_identical_value_rows_returns_those_rows(
         q in matrix(6, 5),
         k in matrix(6, 5),
@@ -156,8 +246,8 @@ proptest! {
         let v = Matrix::from_fn(6, 5, |_, j| row[j]);
         let z = TaylorAttention::new().compute(&q, &k, &v);
         for i in 0..z.rows() {
-            for j in 0..z.cols() {
-                prop_assert!((z.get(i, j) - row[j]).abs() < 1e-3);
+            for (zv, rv) in z.row(i).iter().zip(row.iter()) {
+                prop_assert!((zv - rv).abs() < 1e-3);
             }
         }
     }

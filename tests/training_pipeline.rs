@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vitality::train::{
-    run_scheme_with_baseline, train_baseline, Adam, DatasetConfig, SchemeContext,
-    SyntheticDataset, TrainOptions, Trainer, TrainingScheme,
+    run_scheme_with_baseline, train_baseline, Adam, DatasetConfig, SchemeContext, SyntheticDataset,
+    TrainOptions, Trainer, TrainingScheme,
 };
 use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer};
 
@@ -34,7 +34,10 @@ fn baseline_training_learns_something_on_the_synthetic_task() {
     let chance = 1.0 / ctx.model_config.classes as f32;
     let accuracy = model.accuracy(ctx.dataset.test_images(), ctx.dataset.test_labels());
     assert!(history.last().unwrap().train_loss < history[0].train_loss);
-    assert!(accuracy >= chance * 0.9, "accuracy {accuracy} vs chance {chance}");
+    assert!(
+        accuracy >= chance * 0.9,
+        "accuracy {accuracy} vs chance {chance}"
+    );
 }
 
 #[test]
