@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::json::JsonValue;
 use vitality_attention::{fused_softmax_attention, SoftmaxAttention, TaylorAttention};
 use vitality_tensor::{init, MatmulBackend, Matrix};
 
@@ -110,28 +111,41 @@ fn main() {
         points.push(p);
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"attention_kernels\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!(
-        "  \"matmul_512\": {{ \"blocked_ns\": {blocked_ns:.1}, \"naive_ns\": {naive_ns:.1}, \"speedup\": {speedup:.2} }},\n"
-    ));
-    json.push_str("  \"attention\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"n\": {}, \"d\": {}, \"taylor_fused_ns\": {:.1}, \"taylor_traced_ns\": {:.1}, \"softmax_fused_ns\": {:.1}, \"taylor_speedup_over_softmax\": {:.2}, \"fused_speedup_over_traced\": {:.2}, \"fused_vs_traced_max_abs_diff\": {:.3e} }}{}\n",
-            p.n,
-            p.d,
-            p.taylor_fused_ns,
-            p.taylor_traced_ns,
-            p.softmax_fused_ns,
-            p.softmax_fused_ns / p.taylor_fused_ns,
-            p.taylor_traced_ns / p.taylor_fused_ns,
-            p.fused_vs_traced_max_abs_diff,
-            if i + 1 < points.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_attention.json", &json).expect("write BENCH_attention.json");
+    let mut matmul = JsonValue::object();
+    matmul
+        .set("blocked_ns", blocked_ns)
+        .set("naive_ns", naive_ns)
+        .set("speedup", speedup);
+    let attention: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            let mut o = JsonValue::object();
+            o.set("n", p.n)
+                .set("d", p.d)
+                .set("taylor_fused_ns", p.taylor_fused_ns)
+                .set("taylor_traced_ns", p.taylor_traced_ns)
+                .set("softmax_fused_ns", p.softmax_fused_ns)
+                .set(
+                    "taylor_speedup_over_softmax",
+                    p.softmax_fused_ns / p.taylor_fused_ns,
+                )
+                .set(
+                    "fused_speedup_over_traced",
+                    p.taylor_traced_ns / p.taylor_fused_ns,
+                )
+                .set(
+                    "fused_vs_traced_max_abs_diff",
+                    p.fused_vs_traced_max_abs_diff,
+                );
+            o
+        })
+        .collect();
+    let mut root = JsonValue::object();
+    root.set("benchmark", "attention_kernels")
+        .set("quick", quick)
+        .set("matmul_512", matmul)
+        .set("attention", attention);
+    std::fs::write("BENCH_attention.json", root.to_json_pretty())
+        .expect("write BENCH_attention.json");
     println!("wrote BENCH_attention.json");
 }

@@ -205,6 +205,17 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
 }
 
 /// Declares property tests: each `#[test] fn name(arg in strategy, ..) { body }` becomes

@@ -1,12 +1,18 @@
 //! Offline facade for the [`serde`](https://crates.io/crates/serde) crate.
 //!
-//! The workspace only *annotates* config/report types with `#[derive(Serialize,
-//! Deserialize)]` — nothing is serialised yet (no `serde_json` in the tree), so this
-//! facade re-exports no-op derive macros plus empty marker traits. The annotated types
-//! compile unchanged, and the day a registry becomes reachable the real `serde` can be
-//! swapped in without touching them.
+//! The workspace *annotates* config/report types with `#[derive(Serialize,
+//! Deserialize)]`; this facade re-exports no-op derive macros plus empty marker traits
+//! so the annotated types compile unchanged, and the day a registry becomes reachable
+//! the real `serde` can be swapped in without touching them.
+//!
+//! What *is* real here is [`json`]: a full `JsonValue` document model with a strict
+//! parser and serializer, standing in for `serde_json`. The serving wire protocol
+//! (`vitality-serve`) and the bench emitters (`BENCH_*.json`) all go through it, so the
+//! workspace has exactly one JSON implementation.
 
 #![deny(missing_docs)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -1,0 +1,468 @@
+//! The dynamic batcher: a bounded admission queue that coalesces concurrent
+//! single-image requests into per-model batches.
+//!
+//! # Coalescing policy
+//!
+//! A worker calling [`Batcher::next_batch`] blocks until the queue is non-empty, then
+//! flushes a batch when the first of three things happens:
+//!
+//! 1. **max-size flush** — the queue holds [`BatchPolicy::max_batch`] requests for any
+//!    single model (not only the head's: a complete batch never waits behind another
+//!    model's deadline);
+//! 2. **deadline flush** — the head (oldest) request has waited
+//!    [`BatchPolicy::max_delay`] since submission;
+//! 3. **shutdown drain** — [`Batcher::shutdown`] was called; everything already queued
+//!    is still flushed (in batches) so no admitted request goes unanswered, and
+//!    `next_batch` returns `None` only once the queue is empty.
+//!
+//! Batches are homogeneous in model: a flush takes up to `max_batch` requests with one
+//! registry key (the full model's on a max-size flush, the head request's on a
+//! deadline flush), preserving arrival order, and leaves requests for other models
+//! queued (their own head keeps its original deadline, so mixed traffic cannot starve
+//! a model). This is what turns the paper's linear-attention win into
+//! server throughput — `infer_batch` over a coalesced batch amortises per-request
+//! overhead while the O(n) Taylor kernels keep per-image cost flat.
+//!
+//! # Backpressure
+//!
+//! The queue is bounded by [`BatchPolicy::queue_capacity`]. [`Batcher::submit`] never
+//! blocks: beyond capacity it sheds the request with [`ServeError::Overloaded`], which
+//! the wire layer reports as HTTP 503. Shedding at admission (instead of queueing
+//! unboundedly) keeps tail latency bounded under overload.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::registry::ModelEntry;
+use vitality_tensor::Matrix;
+
+/// Tunables of the coalescing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch handed to a worker.
+    pub max_batch: usize,
+    /// Longest a request may wait in the queue before its batch is flushed anyway.
+    pub max_delay: Duration,
+    /// Admission-queue bound; requests beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch` is zero or the queue cannot hold one full batch.
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(
+            self.queue_capacity >= self.max_batch,
+            "queue_capacity ({}) must hold at least one full batch ({})",
+            self.queue_capacity,
+            self.max_batch
+        );
+    }
+}
+
+/// The result a worker produces for one request, delivered over the request's private
+/// response channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// Registry key of the model that served the request.
+    pub model: String,
+    /// Argmax class index.
+    pub prediction: usize,
+    /// The full logit row.
+    pub logits: Vec<f32>,
+    /// Number of requests in the batch this one was served in.
+    pub batch_size: usize,
+    /// Microseconds the request spent queued before its batch formed.
+    pub queue_us: u64,
+}
+
+/// A queued inference request: the image, the model to run it on, and the channel the
+/// worker answers on.
+#[derive(Debug)]
+pub struct PendingRequest {
+    /// The model entry resolved at admission time.
+    pub entry: Arc<ModelEntry>,
+    /// The `n x n` input image.
+    pub image: Matrix,
+    /// When the request entered the queue (starts the coalescing deadline).
+    pub submitted: Instant,
+    /// Where the worker sends the result.
+    pub reply_tx: mpsc::Sender<Result<InferReply, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<PendingRequest>,
+    shutdown: bool,
+}
+
+/// The shared admission queue + coalescing logic (see the module docs for the policy).
+pub struct Batcher {
+    policy: BatchPolicy,
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+    metrics: Arc<Metrics>,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy fails [`BatchPolicy::validate`].
+    pub fn new(policy: BatchPolicy, metrics: Arc<Metrics>) -> Self {
+        policy.validate();
+        Self {
+            policy,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            nonempty: Condvar::new(),
+            metrics,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Current queue depth (diagnostic; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("batcher lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Admits a request, or sheds it without enqueueing.
+    ///
+    /// Never blocks: returns [`ServeError::ShuttingDown`] once [`Batcher::shutdown`]
+    /// has been called and [`ServeError::Overloaded`] when the queue is at capacity.
+    pub fn submit(&self, request: PendingRequest) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("batcher lock poisoned");
+        if state.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.policy.queue_capacity {
+            self.metrics
+                .shed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                queue_depth: state.queue.len(),
+                capacity: self.policy.queue_capacity,
+            });
+        }
+        state.queue.push_back(request);
+        self.metrics
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // One new request can complete at most one waiting worker's batch.
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a batch is due under the coalescing policy and returns it, or
+    /// returns `None` once the batcher is shut down *and* drained.
+    pub fn next_batch(&self) -> Option<Vec<PendingRequest>> {
+        let mut state = self.state.lock().expect("batcher lock poisoned");
+        loop {
+            let Some(head) = state.queue.front() else {
+                if state.shutdown {
+                    return None;
+                }
+                state = self.nonempty.wait(state).expect("batcher lock poisoned");
+                continue;
+            };
+            let head_key = head.entry.key().to_string();
+            let deadline = head.submitted + self.policy.max_delay;
+            // Max-size flushes consider every model, not just the head's: a full
+            // batch for model B must not wait out the lone head request of model A
+            // (its deadline keeps running — A flushes on its own schedule).
+            let full_key = Self::first_full_key(&state.queue, self.policy.max_batch);
+            let now = Instant::now();
+            if state.shutdown || full_key.is_some() || now >= deadline {
+                let flush_key = full_key.unwrap_or(head_key);
+                let batch =
+                    Self::take_matching(&mut state.queue, &flush_key, self.policy.max_batch);
+                // Requests for other models may now be at the front with an already
+                // expired deadline; wake another worker to check rather than leaving
+                // them to wait for the next submit.
+                if !state.queue.is_empty() {
+                    self.nonempty.notify_one();
+                }
+                drop(state);
+                self.metrics.record_batch(batch.len());
+                return Some(batch);
+            }
+            let (next, _timeout) = self
+                .nonempty
+                .wait_timeout(state, deadline - now)
+                .expect("batcher lock poisoned");
+            state = next;
+        }
+    }
+
+    /// The first model key (in arrival order) that already has a full batch queued,
+    /// if any.
+    fn first_full_key(queue: &VecDeque<PendingRequest>, max_batch: usize) -> Option<String> {
+        // Counting via a tiny Vec keeps the hot path allocation-light: the number of
+        // distinct models queued at once is small (bounded by the registry).
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for request in queue {
+            let key = request.entry.key();
+            match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => {
+                    *n += 1;
+                    if *n >= max_batch {
+                        return Some(key.to_string());
+                    }
+                }
+                None => {
+                    if max_batch == 1 {
+                        return Some(key.to_string());
+                    }
+                    counts.push((key, 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes up to `max` requests with the given key, preserving arrival order and
+    /// leaving everything else queued.
+    fn take_matching(
+        queue: &mut VecDeque<PendingRequest>,
+        key: &str,
+        max: usize,
+    ) -> Vec<PendingRequest> {
+        let mut batch = Vec::new();
+        let mut index = 0;
+        while index < queue.len() && batch.len() < max {
+            if queue[index].entry.key() == key {
+                batch.push(queue.remove(index).expect("index bounded by len"));
+            } else {
+                index += 1;
+            }
+        }
+        batch
+    }
+
+    /// Starts the drain: no new admissions; queued requests are still batched and
+    /// handed out until the queue is empty, after which `next_batch` returns `None`.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("batcher lock poisoned");
+        state.shutdown = true;
+        self.nonempty.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("policy", &self.policy)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+    fn entry(variant: AttentionVariant) -> Arc<ModelEntry> {
+        let mut reg = ModelRegistry::new();
+        let key = reg.register(
+            "m",
+            VisionTransformer::new(&mut StdRng::seed_from_u64(0), TrainConfig::tiny(), variant),
+        );
+        reg.get(&key).unwrap()
+    }
+
+    fn request(
+        entry: &Arc<ModelEntry>,
+    ) -> (
+        PendingRequest,
+        mpsc::Receiver<Result<InferReply, ServeError>>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let cfg = entry.config();
+        (
+            PendingRequest {
+                entry: Arc::clone(entry),
+                image: Matrix::zeros(cfg.image_size, cfg.image_size),
+                submitted: Instant::now(),
+                reply_tx: tx,
+            },
+            rx,
+        )
+    }
+
+    fn batcher(max_batch: usize, max_delay: Duration, capacity: usize) -> Batcher {
+        Batcher::new(
+            BatchPolicy {
+                max_batch,
+                max_delay,
+                queue_capacity: capacity,
+            },
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    #[test]
+    fn max_size_flush_is_immediate() {
+        let b = batcher(4, Duration::from_secs(3600), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let _rxs: Vec<_> = (0..6)
+            .map(|_| {
+                let (req, rx) = request(&e);
+                b.submit(req).unwrap();
+                rx
+            })
+            .collect();
+        // A full batch must flush long before the (hour-long) deadline.
+        let start = Instant::now();
+        let batch = b.next_batch().expect("batch due");
+        assert_eq!(batch.len(), 4);
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert_eq!(b.depth(), 2, "remainder stays queued");
+    }
+
+    #[test]
+    fn deadline_flush_releases_a_partial_batch() {
+        let b = batcher(8, Duration::from_millis(30), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let mut rxs = Vec::new();
+        for _ in 0..3 {
+            let (req, rx) = request(&e);
+            b.submit(req).unwrap();
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        let batch = b.next_batch().expect("batch due");
+        let waited = start.elapsed();
+        assert_eq!(batch.len(), 3, "partial batch flushed at the deadline");
+        assert!(
+            waited >= Duration::from_millis(20),
+            "flushed after only {waited:?} despite a 30ms deadline"
+        );
+        assert_eq!(b.depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_then_ends() {
+        let b = batcher(4, Duration::from_secs(3600), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let _rxs: Vec<_> = (0..5)
+            .map(|_| {
+                let (req, rx) = request(&e);
+                b.submit(req).unwrap();
+                rx
+            })
+            .collect();
+        b.shutdown();
+        // Everything admitted before shutdown is still flushed, in batches.
+        assert_eq!(b.next_batch().expect("drain batch 1").len(), 4);
+        assert_eq!(b.next_batch().expect("drain batch 2").len(), 1);
+        assert!(b.next_batch().is_none(), "drained batcher ends the stream");
+        // New admissions are refused.
+        let (req, _rx) = request(&e);
+        assert_eq!(b.submit(req).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_error() {
+        let b = batcher(2, Duration::from_secs(3600), 2);
+        let e = entry(AttentionVariant::Taylor);
+        let (r1, _rx1) = request(&e);
+        let (r2, _rx2) = request(&e);
+        let (r3, _rx3) = request(&e);
+        b.submit(r1).unwrap();
+        b.submit(r2).unwrap();
+        match b.submit(r3).unwrap_err() {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => {
+                assert_eq!(queue_depth, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batches_are_homogeneous_per_model() {
+        let b = batcher(8, Duration::from_millis(10), 64);
+        let taylor = entry(AttentionVariant::Taylor);
+        let softmax = entry(AttentionVariant::Softmax);
+        let mut rxs = Vec::new();
+        // Interleave the two models.
+        for i in 0..6 {
+            let (req, rx) = request(if i % 2 == 0 { &taylor } else { &softmax });
+            b.submit(req).unwrap();
+            rxs.push(rx);
+        }
+        let first = b.next_batch().expect("first model batch");
+        let second = b.next_batch().expect("second model batch");
+        assert_eq!(first.len(), 3);
+        assert_eq!(second.len(), 3);
+        assert!(first.iter().all(|r| r.entry.key() == "m:taylor"));
+        assert!(second.iter().all(|r| r.entry.key() == "m:softmax"));
+        assert_eq!(b.depth(), 0);
+    }
+
+    #[test]
+    fn a_full_batch_for_another_model_does_not_wait_behind_the_head() {
+        let b = batcher(3, Duration::from_secs(3600), 64);
+        let taylor = entry(AttentionVariant::Taylor);
+        let softmax = entry(AttentionVariant::Softmax);
+        // Lone head request for one model with an hour of deadline left...
+        let (head, _head_rx) = request(&taylor);
+        b.submit(head).unwrap();
+        // ...then a complete batch for the other model arrives behind it.
+        let _rxs: Vec<_> = (0..3)
+            .map(|_| {
+                let (req, rx) = request(&softmax);
+                b.submit(req).unwrap();
+                rx
+            })
+            .collect();
+        let start = Instant::now();
+        let batch = b.next_batch().expect("full batch due");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|r| r.entry.key() == "m:softmax"));
+        assert_eq!(b.depth(), 1, "the head request keeps its own deadline");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_capacity")]
+    fn policies_that_cannot_hold_a_batch_are_rejected() {
+        batcher(16, Duration::from_millis(1), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! A small blocking keep-alive client for the serving wire protocol, used by the
+//! examples, the integration tests and the `bench_serve` load generator.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::json::JsonValue;
+
+use crate::batcher::InferReply;
+use crate::http::{write_request, MessageReader};
+use crate::protocol;
+use vitality_tensor::Matrix;
+
+/// Largest response body the client accepts.
+const MAX_RESPONSE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer answered, but not with the expected shape.
+    Protocol(String),
+    /// The server answered with a typed error body.
+    Server {
+        /// HTTP status of the error response.
+        status: u16,
+        /// Machine-readable error code (`overloaded`, `bad_request`, ...).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server {
+                status,
+                code,
+                message,
+            } => write!(f, "server error {status} ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One keep-alive connection to a serving engine.
+///
+/// Requests are strictly sequential per connection (send one, read its response);
+/// drive concurrency by opening one client per thread, which is exactly what the load
+/// generator does.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: MessageReader,
+    addr: SocketAddr,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            reader: MessageReader::new(),
+            addr,
+        })
+    }
+
+    /// The address this client is connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets (or clears) the per-read socket timeout.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Runs one inference round trip against `POST /v1/infer`.
+    pub fn infer(&mut self, model: &str, image: &Matrix) -> Result<InferReply, ClientError> {
+        let body = protocol::infer_request_json(model, image).to_json();
+        let (status, json) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
+        if status != 200 {
+            return Err(self.server_error(status, &json));
+        }
+        protocol::parse_infer_reply(&json).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Issues a body-less `GET` (for `/healthz` and `/metrics`) and returns the parsed
+    /// JSON body with its status.
+    pub fn get(&mut self, path: &str) -> Result<(u16, JsonValue), ClientError> {
+        self.round_trip("GET", path, b"")
+    }
+
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, JsonValue), ClientError> {
+        write_request(&mut self.stream, method, path, body)?;
+        // `stop` always says yes: with no socket timeout configured reads block until
+        // data arrives and the callback is never consulted, and with one configured
+        // (set_timeout) the first expiry terminates the round trip instead of
+        // retrying forever — that is what makes the timeout API actually bound reads.
+        let response = self
+            .reader
+            .read_message(&mut self.stream, MAX_RESPONSE_BYTES, &|| true)?
+            .ok_or_else(|| {
+                ClientError::Protocol(
+                    "connection closed or read timed out before a response arrived".into(),
+                )
+            })?;
+        let status = response
+            .status_code()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
+        let json = serde::json::parse(text)
+            .map_err(|e| ClientError::Protocol(format!("invalid response JSON: {e}")))?;
+        Ok((status, json))
+    }
+
+    fn server_error(&self, status: u16, body: &JsonValue) -> ClientError {
+        match protocol::parse_error(body) {
+            Some((code, message)) => ClientError::Server {
+                status,
+                code,
+                message,
+            },
+            None => ClientError::Protocol(format!("status {status} without an error body")),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Typed serving errors and their mapping onto the wire protocol.
+
+use std::fmt;
+
+/// Everything that can go wrong between a request arriving and a response leaving.
+///
+/// The variants are deliberately coarse: each one maps to a distinct HTTP status and a
+/// stable machine-readable `code`, so clients (and the load generator) can distinguish
+/// "back off" ([`ServeError::Overloaded`], [`ServeError::ShuttingDown`]) from "fix your
+/// request" ([`ServeError::BadRequest`], [`ServeError::ModelNotFound`]) from "page
+/// someone" ([`ServeError::Internal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request body was not a valid inference request.
+    BadRequest(String),
+    /// The requested `name:variant` key is not in the model registry.
+    ModelNotFound(String),
+    /// The admission queue is full; the request was shed without being enqueued.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is draining; no new requests are admitted.
+    ShuttingDown,
+    /// An invariant broke server-side (worker died, response channel dropped).
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable error code carried in the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::ModelNotFound(_) => "model_not_found",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// The HTTP status the wire layer reports this error with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::ModelNotFound(_) => 404,
+            ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+            ServeError::Internal(_) => 500,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::ModelNotFound(key) => write!(f, "model {key:?} is not registered"),
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "request shed: admission queue at {queue_depth}/{capacity}"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_statuses_are_stable() {
+        let cases: Vec<(ServeError, &str, u16)> = vec![
+            (ServeError::BadRequest("x".into()), "bad_request", 400),
+            (
+                ServeError::ModelNotFound("m".into()),
+                "model_not_found",
+                404,
+            ),
+            (
+                ServeError::Overloaded {
+                    queue_depth: 9,
+                    capacity: 8,
+                },
+                "overloaded",
+                503,
+            ),
+            (ServeError::ShuttingDown, "shutting_down", 503),
+            (ServeError::Internal("x".into()), "internal", 500),
+        ];
+        for (err, code, status) in cases {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.http_status(), status);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`: enough to carry the JSON wire
+//! protocol (request line / status line, headers, `Content-Length` bodies, keep-alive)
+//! and nothing more. Shared by the server and the [`ServeClient`](crate::ServeClient)
+//! so both ends frame messages identically.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted head (start line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP message (request or response — the start line is kept verbatim).
+#[derive(Debug, Clone)]
+pub struct HttpMessage {
+    /// The request line (`POST /v1/infer HTTP/1.1`) or status line (`HTTP/1.1 200 OK`).
+    pub start_line: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when there was no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpMessage {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this message.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Splits a request start line into `(method, path)`.
+    pub fn request_parts(&self) -> io::Result<(&str, &str)> {
+        let mut parts = self.start_line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some(method), Some(path)) => Ok((method, path)),
+            _ => Err(bad_data("malformed request line")),
+        }
+    }
+
+    /// Parses the status code out of a response status line.
+    pub fn status_code(&self) -> io::Result<u16> {
+        self.start_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| bad_data("malformed status line"))
+    }
+}
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Incremental reader for a sequence of HTTP messages on one connection.
+///
+/// Keeps a rollover buffer across calls so keep-alive pipelining cannot lose bytes, and
+/// treats read timeouts as polls of the `stop` callback — a server sets a short read
+/// timeout on the socket and passes its shutdown flag as `stop`, so idle keep-alive
+/// connections notice a drain promptly without racing partial reads.
+#[derive(Debug, Default)]
+pub struct MessageReader {
+    buffer: Vec<u8>,
+}
+
+impl MessageReader {
+    /// Creates a reader with an empty rollover buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the next complete message.
+    ///
+    /// Returns `Ok(None)` on clean end-of-stream (EOF between messages) or when `stop`
+    /// reports the owner is shutting down while the connection is idle between
+    /// messages. EOF in the middle of a message is an error.
+    pub fn read_message(
+        &mut self,
+        stream: &mut TcpStream,
+        max_body: usize,
+        stop: &dyn Fn() -> bool,
+    ) -> io::Result<Option<HttpMessage>> {
+        // Accumulate until the head terminator appears.
+        let head_end = loop {
+            if let Some(pos) = find_terminator(&self.buffer) {
+                break pos;
+            }
+            if self.buffer.len() > MAX_HEAD_BYTES {
+                return Err(bad_data("HTTP head exceeds 64 KiB"));
+            }
+            match self.fill(stream)? {
+                FillOutcome::Data => {}
+                FillOutcome::Eof => {
+                    if self.buffer.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside HTTP head",
+                    ));
+                }
+                FillOutcome::Timeout => {
+                    // Idle or half-sent either way: a request whose head has not
+                    // arrived was never admitted, so a shutdown may abandon it —
+                    // blocking the drain on a stalled client would hang the process.
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+            }
+        };
+
+        let head = std::str::from_utf8(&self.buffer[..head_end])
+            .map_err(|_| bad_data("non-UTF-8 HTTP head"))?;
+        let mut lines = head.split("\r\n");
+        let start_line = lines
+            .next()
+            .filter(|l| !l.is_empty())
+            .ok_or_else(|| bad_data("empty start line"))?
+            .to_string();
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad_data("malformed header line"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| bad_data("malformed Content-Length"))?,
+            None => 0,
+        };
+        if body_len > max_body {
+            return Err(bad_data("body exceeds the configured maximum"));
+        }
+
+        // Drop the head (+ terminator) and read the body, keeping any pipelined bytes
+        // beyond it in the buffer for the next call.
+        self.buffer.drain(..head_end + 4);
+        while self.buffer.len() < body_len {
+            match self.fill(stream)? {
+                FillOutcome::Data => {}
+                FillOutcome::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside HTTP body",
+                    ));
+                }
+                FillOutcome::Timeout => {
+                    // A request without its full body was never admitted to the
+                    // batcher, so a shutdown may abandon it rather than wait on a
+                    // stalled client forever.
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        let body = self.buffer.drain(..body_len).collect();
+        Ok(Some(HttpMessage {
+            start_line,
+            headers,
+            body,
+        }))
+    }
+
+    fn fill(&mut self, stream: &mut TcpStream) -> io::Result<FillOutcome> {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => Ok(FillOutcome::Eof),
+            Ok(n) => {
+                self.buffer.extend_from_slice(&chunk[..n]);
+                Ok(FillOutcome::Data)
+            }
+            Err(err) if is_timeout(&err) => Ok(FillOutcome::Timeout),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => Ok(FillOutcome::Timeout),
+            Err(err) => Err(err),
+        }
+    }
+}
+
+enum FillOutcome {
+    Data,
+    Eof,
+    Timeout,
+}
+
+fn find_terminator(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one JSON response with the given status.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes one JSON request (keep-alive).
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: vitality-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(payload: &[Vec<u8>]) -> Vec<HttpMessage> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<Vec<u8>> = payload.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for chunk in &payload {
+                stream.write_all(chunk).unwrap();
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut reader = MessageReader::new();
+        let mut messages = Vec::new();
+        while let Some(msg) = reader
+            .read_message(&mut stream, 1 << 20, &|| false)
+            .unwrap()
+        {
+            messages.push(msg);
+        }
+        writer.join().unwrap();
+        messages
+    }
+
+    #[test]
+    fn parses_pipelined_messages_across_arbitrary_chunk_boundaries() {
+        let wire = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 5\r\nX-A: b\r\n\r\nhelloGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec();
+        // Split the wire bytes into pathological 3-byte chunks.
+        let chunks: Vec<Vec<u8>> = wire.chunks(3).map(<[u8]>::to_vec).collect();
+        let messages = roundtrip(&chunks);
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].request_parts().unwrap(), ("POST", "/v1/infer"));
+        assert_eq!(messages[0].body, b"hello");
+        assert_eq!(messages[0].header("x-a"), Some("b"));
+        assert!(!messages[0].wants_close());
+        assert_eq!(messages[1].request_parts().unwrap(), ("GET", "/healthz"));
+        assert!(messages[1].body.is_empty());
+        assert!(messages[1].wants_close());
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+                .unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = MessageReader::new()
+            .read_message(&mut stream, 1024, &|| false)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn status_lines_parse() {
+        let msg = HttpMessage {
+            start_line: "HTTP/1.1 503 Service Unavailable".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(msg.status_code().unwrap(), 503);
+        assert!(HttpMessage {
+            start_line: "garbage".into(),
+            headers: vec![],
+            body: vec![],
+        }
+        .status_code()
+        .is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # `vitality-serve` — batched, multi-worker inference serving
+//!
+//! ViTALiTy's linear Taylor attention makes per-image ViT inference O(n); this crate is
+//! the layer that turns that kernel win into *served throughput*. It is a thread-based
+//! serving engine built entirely on `std::net` / `std::thread` (no third-party runtime;
+//! JSON comes from the workspace's `serde` shim), with five pieces:
+//!
+//! 1. **[`ModelRegistry`]** — warm, shareable [`VisionTransformer`]
+//!    (vitality_vit::VisionTransformer) instances keyed by `name:variant`
+//!    (`"deit:taylor"`, `"deit:softmax"`), handed out as `Arc`s so every thread serves
+//!    the same weights.
+//! 2. **[`Batcher`]** — a bounded admission queue that coalesces concurrent
+//!    single-image requests into per-model batches under a max-batch-size /
+//!    max-queue-delay policy ([`BatchPolicy`]), shedding with a typed
+//!    [`ServeError::Overloaded`] when full.
+//! 3. **[`WorkerPool`]** — threads pulling formed batches into
+//!    `VisionTransformer::infer_batch`, answering each request over its private
+//!    channel, with drain-then-exit shutdown semantics.
+//! 4. **Wire protocol** — a minimal HTTP/1.1 + JSON surface: `POST /v1/infer`,
+//!    `GET /healthz`, `GET /metrics` (see [`protocol`] for the exact shapes), plus
+//!    [`ServeClient`] as the matching blocking client.
+//! 5. **[`Metrics`]** — lock-free latency histograms (p50/p95/p99), throughput
+//!    counters and the batch-size distribution, exported on `/metrics`.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vitality_serve::{ModelRegistry, ServeClient, Server, ServerConfig};
+//! use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = TrainConfig::tiny();
+//! let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+//!
+//! let mut registry = ModelRegistry::new();
+//! let key = registry.register("demo", model.clone());
+//! let server = Server::start(ServerConfig::default(), registry).unwrap();
+//!
+//! let image = vitality_tensor::init::uniform(&mut rng, cfg.image_size, cfg.image_size, 0.0, 1.0);
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! let reply = client.infer(&key, &image).unwrap();
+//! assert_eq!(reply.prediction, model.predict(&image));
+//!
+//! drop(client);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod worker;
+
+pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest};
+pub use client::{ClientError, ServeClient};
+pub use error::ServeError;
+pub use metrics::{LatencyHistogram, Metrics};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{Server, ServerConfig};
+pub use worker::WorkerPool;

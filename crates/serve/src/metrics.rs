@@ -1,0 +1,275 @@
+//! Lock-free serving metrics: latency histograms, throughput counters and the
+//! batch-size distribution, exposed as a JSON snapshot on `GET /metrics`.
+
+use serde::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Largest batch size tracked exactly by the batch-size distribution; bigger batches
+/// land in the final (overflow) bucket.
+pub const MAX_TRACKED_BATCH: usize = 64;
+
+/// Number of geometric latency buckets (1 µs doubling up to ~17 minutes, plus overflow
+/// inside the last bucket).
+const LATENCY_BUCKETS: usize = 31;
+
+/// A fixed-bucket geometric latency histogram recording microsecond values.
+///
+/// Bucket `i` counts samples in `(2^(i-1), 2^i]` µs (`i = 0` counts `<= 1 µs`); the
+/// last bucket absorbs everything larger. Quantiles are read as the upper bound of the
+/// bucket containing the target rank — a conservative estimate whose error is bounded
+/// by the 2× bucket ratio, which is plenty for p50/p95/p99 trend tracking.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS],
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        let us = us.max(1);
+        ((64 - us.leading_zeros() as usize) - 1 + usize::from(!us.is_power_of_two()))
+            .min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.counts[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, bucket) in self.counts.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All counters and histograms one server instance maintains. Every field is atomic, so
+/// the hot path never takes a lock to record.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests admitted into the batching queue.
+    pub submitted: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests shed at admission (queue full).
+    pub shed: AtomicU64,
+    /// Requests answered with a non-shed error.
+    pub failed: AtomicU64,
+    /// Batches handed to workers.
+    pub batches: AtomicU64,
+    /// Total images across all formed batches (mean batch = images / batches).
+    pub batched_images: AtomicU64,
+    /// End-to-end latency: submit → response ready.
+    pub latency: LatencyHistogram,
+    /// Queue wait: submit → batch formed.
+    pub queue_wait: LatencyHistogram,
+    batch_sizes: [AtomicU64; MAX_TRACKED_BATCH + 1],
+    started: Instant,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block; `started` anchors the throughput window.
+    pub fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_images: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one formed batch of `size` images.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_images
+            .fetch_add(size as u64, Ordering::Relaxed);
+        let idx = size.clamp(1, MAX_TRACKED_BATCH + 1) - 1;
+        self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Largest batch size observed so far (0 when no batch has formed).
+    pub fn max_batch(&self) -> usize {
+        for i in (0..=MAX_TRACKED_BATCH).rev() {
+            if self.batch_sizes[i].load(Ordering::Relaxed) > 0 {
+                return i + 1;
+            }
+        }
+        0
+    }
+
+    /// Mean images per formed batch (0 when no batch has formed).
+    pub fn mean_batch(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_images.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+
+    /// Completed requests per second since the server started.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed.load(Ordering::Relaxed) as f64 / secs
+        }
+    }
+
+    /// A point-in-time JSON snapshot, the body of `GET /metrics`.
+    pub fn snapshot_json(&self) -> JsonValue {
+        let mut latency = JsonValue::object();
+        latency
+            .set("count", self.latency.count())
+            .set("mean_us", self.latency.mean_us())
+            .set("p50_us", self.latency.quantile_us(0.50))
+            .set("p95_us", self.latency.quantile_us(0.95))
+            .set("p99_us", self.latency.quantile_us(0.99));
+        let mut queue_wait = JsonValue::object();
+        queue_wait
+            .set("mean_us", self.queue_wait.mean_us())
+            .set("p50_us", self.queue_wait.quantile_us(0.50))
+            .set("p99_us", self.queue_wait.quantile_us(0.99));
+        let mut dist = JsonValue::object();
+        for (i, bucket) in self.batch_sizes.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                let label = if i < MAX_TRACKED_BATCH {
+                    format!("{}", i + 1)
+                } else {
+                    format!(">{MAX_TRACKED_BATCH}")
+                };
+                dist.set(&label, count);
+            }
+        }
+        let mut batching = JsonValue::object();
+        batching
+            .set("batches", self.batches.load(Ordering::Relaxed))
+            .set("mean_batch", self.mean_batch())
+            .set("max_batch", self.max_batch())
+            .set("size_distribution", dist);
+        let mut root = JsonValue::object();
+        root.set("uptime_s", self.started.elapsed().as_secs_f64())
+            .set("submitted", self.submitted.load(Ordering::Relaxed))
+            .set("completed", self.completed.load(Ordering::Relaxed))
+            .set("shed", self.shed.load(Ordering::Relaxed))
+            .set("failed", self.failed.load(Ordering::Relaxed))
+            .set("throughput_rps", self.throughput_rps())
+            .set("latency", latency)
+            .set("queue_wait", queue_wait)
+            .set("batching", batching);
+        root
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_geometric_and_inclusive() {
+        assert_eq!(LatencyHistogram::bucket_for(0), 0);
+        assert_eq!(LatencyHistogram::bucket_for(1), 0);
+        assert_eq!(LatencyHistogram::bucket_for(2), 1);
+        assert_eq!(LatencyHistogram::bucket_for(3), 2);
+        assert_eq!(LatencyHistogram::bucket_for(4), 2);
+        assert_eq!(LatencyHistogram::bucket_for(5), 3);
+        assert_eq!(LatencyHistogram::bucket_for(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_for(1025), 11);
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_recorded_samples() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 100, 200, 400, 800, 1000, 4000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        // The p50 bucket upper bound must be >= the true median (100) and within one
+        // doubling of it.
+        let p50 = h.quantile_us(0.50);
+        assert!((100..=256).contains(&p50), "p50 bucket bound {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 4000, "p99 bucket bound {p99}");
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn batch_distribution_tracks_max_and_mean() {
+        let m = Metrics::new();
+        assert_eq!(m.max_batch(), 0);
+        m.record_batch(1);
+        m.record_batch(7);
+        m.record_batch(7);
+        m.record_batch(MAX_TRACKED_BATCH + 10); // overflow bucket
+        assert_eq!(m.max_batch(), MAX_TRACKED_BATCH + 1);
+        assert!((m.mean_batch() - (1.0 + 7.0 + 7.0 + 74.0) / 4.0).abs() < 1e-9);
+        let snap = m.snapshot_json();
+        let dist = snap
+            .get("batching")
+            .and_then(|b| b.get("size_distribution"))
+            .expect("distribution present");
+        assert_eq!(dist.get("7").and_then(JsonValue::as_usize), Some(2));
+        assert_eq!(dist.get(">64").and_then(JsonValue::as_usize), Some(1));
+    }
+}

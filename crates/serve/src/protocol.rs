@@ -1,0 +1,201 @@
+//! The JSON wire protocol: one place where inference requests, replies and errors are
+//! built and parsed, shared by the server and [`ServeClient`](crate::ServeClient) so
+//! the two ends cannot drift.
+//!
+//! Shapes:
+//!
+//! * request — `{"model": "name:variant", "image": [[f32, ...], ...]}`
+//! * reply — `{"model": ..., "prediction": k, "logits": [...], "batch_size": b,
+//!   "queue_us": t}`
+//! * error — `{"error": {"code": "overloaded", "message": "..."}}`
+
+use serde::json::JsonValue;
+
+use crate::batcher::InferReply;
+use crate::error::ServeError;
+use vitality_tensor::Matrix;
+
+/// Builds the body of a `POST /v1/infer` request.
+pub fn infer_request_json(model: &str, image: &Matrix) -> JsonValue {
+    let rows: Vec<JsonValue> = (0..image.rows())
+        .map(|r| JsonValue::from(image.row(r).to_vec()))
+        .collect();
+    let mut body = JsonValue::object();
+    body.set("model", model).set("image", rows);
+    body
+}
+
+/// Parses a `POST /v1/infer` body into its model key and image.
+pub fn parse_infer_request(body: &JsonValue) -> Result<(String, Matrix), ServeError> {
+    let model = body
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field \"model\"".into()))?
+        .to_string();
+    let rows = body
+        .get("image")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ServeError::BadRequest("missing array field \"image\"".into()))?;
+    if rows.is_empty() {
+        return Err(ServeError::BadRequest("\"image\" must be non-empty".into()));
+    }
+    let mut data: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| ServeError::BadRequest(format!("image row {r} is not an array")))?;
+        let mut out = Vec::with_capacity(cells.len());
+        for (c, cell) in cells.iter().enumerate() {
+            let v = cell.as_f64().ok_or_else(|| {
+                ServeError::BadRequest(format!("image[{r}][{c}] is not a number"))
+            })?;
+            // Validate after narrowing: a finite f64 beyond f32 range would become
+            // an infinite pixel and poison the whole batch with NaN logits.
+            let v = v as f32;
+            if !v.is_finite() {
+                return Err(ServeError::BadRequest(format!(
+                    "image[{r}][{c}] is not finite in f32"
+                )));
+            }
+            out.push(v);
+        }
+        data.push(out);
+    }
+    let image = Matrix::from_rows(&data)
+        .map_err(|e| ServeError::BadRequest(format!("ragged image: {e}")))?;
+    Ok((model, image))
+}
+
+/// Builds the success body for an answered inference request.
+pub fn infer_reply_json(reply: &InferReply) -> JsonValue {
+    let mut body = JsonValue::object();
+    body.set("model", reply.model.as_str())
+        .set("prediction", reply.prediction)
+        .set("logits", reply.logits.clone())
+        .set("batch_size", reply.batch_size)
+        .set("queue_us", reply.queue_us);
+    body
+}
+
+/// Parses a success body back into an [`InferReply`] (the client half).
+pub fn parse_infer_reply(body: &JsonValue) -> Result<InferReply, String> {
+    let model = body
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .ok_or("reply missing \"model\"")?
+        .to_string();
+    let prediction = body
+        .get("prediction")
+        .and_then(JsonValue::as_usize)
+        .ok_or("reply missing \"prediction\"")?;
+    let logits = body
+        .get("logits")
+        .and_then(JsonValue::as_array)
+        .ok_or("reply missing \"logits\"")?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as f32).ok_or("non-numeric logit"))
+        .collect::<Result<Vec<f32>, &str>>()?;
+    let batch_size = body
+        .get("batch_size")
+        .and_then(JsonValue::as_usize)
+        .ok_or("reply missing \"batch_size\"")?;
+    let queue_us = body
+        .get("queue_us")
+        .and_then(JsonValue::as_usize)
+        .ok_or("reply missing \"queue_us\"")? as u64;
+    Ok(InferReply {
+        model,
+        prediction,
+        logits,
+        batch_size,
+        queue_us,
+    })
+}
+
+/// Builds an error body from a raw code/message pair (for wire-layer failures such as
+/// unknown routes that have no [`ServeError`] variant).
+pub fn error_body(code: &str, message: &str) -> JsonValue {
+    let mut inner = JsonValue::object();
+    inner.set("code", code).set("message", message);
+    let mut body = JsonValue::object();
+    body.set("error", inner);
+    body
+}
+
+/// Builds the error body for a failed request.
+pub fn error_json(error: &ServeError) -> JsonValue {
+    error_body(error.code(), &error.to_string())
+}
+
+/// Extracts `(code, message)` from an error body, if it is one.
+pub fn parse_error(body: &JsonValue) -> Option<(String, String)> {
+    let inner = body.get("error")?;
+    Some((
+        inner.get("code")?.as_str()?.to_string(),
+        inner.get("message")?.as_str()?.to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_exactly() {
+        let image = Matrix::from_rows(&[
+            vec![0.25, -1.5, 3.0],
+            vec![0.0, 0.125, -0.0625],
+            vec![9.0, 8.0, 7.0],
+        ])
+        .unwrap();
+        let body = infer_request_json("m:taylor", &image);
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        let (model, back) = parse_infer_request(&parsed).unwrap();
+        assert_eq!(model, "m:taylor");
+        assert_eq!(back, image, "f32 images survive the JSON trip bit-exactly");
+    }
+
+    #[test]
+    fn replies_round_trip_exactly() {
+        let reply = InferReply {
+            model: "m:softmax".into(),
+            prediction: 3,
+            logits: vec![0.1, -0.2, 0.0, 1.5],
+            batch_size: 7,
+            queue_us: 1234,
+        };
+        let body = infer_reply_json(&reply);
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        assert_eq!(parse_infer_reply(&parsed).unwrap(), reply);
+    }
+
+    #[test]
+    fn malformed_requests_become_bad_request_errors() {
+        for (json, needle) in [
+            (r#"{}"#, "model"),
+            (r#"{"model": "m"}"#, "image"),
+            (r#"{"model": "m", "image": []}"#, "non-empty"),
+            (r#"{"model": "m", "image": [1]}"#, "not an array"),
+            (r#"{"model": "m", "image": [["x"]]}"#, "not a number"),
+            (r#"{"model": "m", "image": [[1, 2], [3]]}"#, "ragged"),
+        ] {
+            let parsed = serde::json::parse(json).unwrap();
+            match parse_infer_request(&parsed) {
+                Err(ServeError::BadRequest(msg)) => {
+                    assert!(msg.contains(needle), "{json} → {msg}")
+                }
+                other => panic!("{json} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_serialize_with_code_and_message() {
+        let body = error_json(&ServeError::ShuttingDown);
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        let (code, message) = parse_error(&parsed).unwrap();
+        assert_eq!(code, "shutting_down");
+        assert!(message.contains("shutting down"));
+        assert!(parse_error(&serde::json::parse("{}").unwrap()).is_none());
+    }
+}

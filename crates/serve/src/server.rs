@@ -1,0 +1,298 @@
+//! The serving engine: TCP accept loop, per-connection handlers, the dynamic batcher
+//! and the worker pool, assembled behind [`Server::start`] / [`Server::shutdown`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::json::JsonValue;
+
+use crate::batcher::{BatchPolicy, Batcher, PendingRequest};
+use crate::error::ServeError;
+use crate::http::{write_response, MessageReader};
+use crate::metrics::Metrics;
+use crate::protocol;
+use crate::registry::ModelRegistry;
+use crate::worker::WorkerPool;
+
+/// Server tunables; `Default` is a sane local configuration on an ephemeral port.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads running inference (0 = one per available core).
+    pub workers: usize,
+    /// The batching/backpressure policy.
+    pub policy: BatchPolicy,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout; doubles as the shutdown poll interval for idle keep-alive
+    /// connections.
+    pub poll_interval: Duration,
+    /// How long a connection handler waits for the worker pool to answer one request
+    /// before reporting an internal error (a backstop for worker crashes, not a
+    /// queueing deadline).
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            policy: BatchPolicy::default(),
+            max_body_bytes: 16 * 1024 * 1024,
+            poll_interval: Duration::from_millis(50),
+            reply_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    batcher: Arc<Batcher>,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running serving engine.
+///
+/// ```text
+/// accept loop ──► connection threads ──► Batcher (bounded queue, coalescing)
+///                       ▲                     │ formed batches
+///                       │ per-request         ▼
+///                       └─── mpsc reply ── WorkerPool ──► VisionTransformer::infer_batch
+/// ```
+///
+/// Start with [`Server::start`]; stop with [`Server::shutdown`], which drains in
+/// order: accept loop first, then the batcher (already-admitted requests are still
+/// answered), then workers, then connection handlers.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Option<WorkerPool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the accept loop, and returns the
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error. An empty registry is accepted (every inference request
+    /// then answers 404), since a metrics/health endpoint without models is still a
+    /// valid (if useless) deployment.
+    pub fn start(config: ServerConfig, registry: ModelRegistry) -> io::Result<Server> {
+        config.policy.validate();
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            batcher: Arc::new(Batcher::new(config.policy, Arc::clone(&metrics))),
+            registry,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers = WorkerPool::start(
+            worker_count,
+            Arc::clone(&shared.batcher),
+            Arc::clone(&shared.metrics),
+        );
+
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let accept_handle = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let handle = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, conn_shared))
+                        .expect("spawn connection handler");
+                    let mut handles = accept_connections.lock().expect("connection list poisoned");
+                    // Reap finished handlers as connections churn, so a long-lived
+                    // server does not accumulate one dead JoinHandle per connection
+                    // it ever served.
+                    handles.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    handles.push(handle);
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            workers: Some(workers),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics block (shared with workers and handlers).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, drain the admitted queue through the
+    /// workers, answer in-flight requests, then join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Drain the batcher: admitted requests are still answered, new submissions
+        // are refused with ShuttingDown.
+        self.shared.batcher.shutdown();
+        if let Some(workers) = self.workers.take() {
+            workers.join();
+        }
+        // Connection handlers observe the shutdown flag at the next poll tick (idle)
+        // or right after writing their in-flight response.
+        let handles =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("models", &self.shared.registry.keys())
+            .finish()
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut reader = MessageReader::new();
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        let message = match reader.read_message(&mut stream, shared.config.max_body_bytes, &stop) {
+            Ok(Some(message)) => message,
+            Ok(None) => return, // clean EOF or idle shutdown
+            Err(_) => return,   // framing error / peer reset: nothing sane to answer
+        };
+        let wants_close = message.wants_close();
+        let (status, body) = route(&message, &shared);
+        let keep_alive = !wants_close && !stop();
+        if write_response(&mut stream, status, body.to_json().as_bytes(), keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> (u16, JsonValue) {
+    let Ok((method, path)) = message.request_parts() else {
+        return error_response(&ServeError::BadRequest("malformed request line".into()));
+    };
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let mut body = JsonValue::object();
+            body.set("status", "ok")
+                .set("models", shared.registry.keys())
+                .set("queue_depth", shared.batcher.depth());
+            (200, body)
+        }
+        ("GET", "/metrics") => (200, shared.metrics.snapshot_json()),
+        ("POST", "/v1/infer") => match handle_infer(message, shared) {
+            Ok(reply) => (200, protocol::infer_reply_json(&reply)),
+            Err(err) => {
+                // `failed` counts non-shed errors only: shed requests are already
+                // tallied in `shed` by the batcher, and a shutdown refusal is part of
+                // a drain, not a failure — double-counting either would make
+                // ordinary backpressure look like an incident on a dashboard.
+                if !matches!(
+                    err,
+                    ServeError::Overloaded { .. } | ServeError::ShuttingDown
+                ) {
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                error_response(&err)
+            }
+        },
+        ("POST" | "GET", _) => (
+            404,
+            protocol::error_body("not_found", &format!("no route for {method} {path}")),
+        ),
+        _ => (
+            405,
+            protocol::error_body(
+                "method_not_allowed",
+                &format!("unsupported method {method}"),
+            ),
+        ),
+    }
+}
+
+fn error_response(error: &ServeError) -> (u16, JsonValue) {
+    (error.http_status(), protocol::error_json(error))
+}
+
+fn handle_infer(
+    message: &crate::http::HttpMessage,
+    shared: &Arc<Shared>,
+) -> Result<crate::batcher::InferReply, ServeError> {
+    let text = std::str::from_utf8(&message.body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
+    let parsed = serde::json::parse(text)
+        .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))?;
+    let (model_key, image) = protocol::parse_infer_request(&parsed)?;
+    let entry = shared.registry.get(&model_key)?;
+    let expected = entry.config().image_size;
+    if image.shape() != (expected, expected) {
+        return Err(ServeError::BadRequest(format!(
+            "model {model_key} expects a {expected}x{expected} image, got {}x{}",
+            image.rows(),
+            image.cols()
+        )));
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    shared.batcher.submit(PendingRequest {
+        entry,
+        image,
+        submitted: Instant::now(),
+        reply_tx,
+    })?;
+    match reply_rx.recv_timeout(shared.config.reply_timeout) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Internal(
+            "worker did not answer within the reply timeout".into(),
+        )),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Internal(
+            "worker dropped the reply channel".into(),
+        )),
+    }
+}

@@ -1,0 +1,186 @@
+//! The worker pool: threads that pull formed batches from the [`Batcher`] and run
+//! them through the shared models.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::batcher::{Batcher, InferReply, PendingRequest};
+use crate::metrics::Metrics;
+
+/// A fixed pool of inference worker threads.
+///
+/// Each worker loops on [`Batcher::next_batch`], runs the batch through the entry's
+/// [`infer_batch`](vitality_vit::VisionTransformer::infer_batch) (which fans the images
+/// out over rayon) and answers every request on its private channel. Workers exit when
+/// the batcher reports drained shutdown, so [`WorkerPool::join`] after
+/// [`Batcher::shutdown`](crate::Batcher::shutdown) guarantees every admitted request
+/// has been answered.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) pulling from `batcher`.
+    pub fn start(workers: usize, batcher: Arc<Batcher>, metrics: Arc<Metrics>) -> Self {
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let batcher = Arc::clone(&batcher);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = batcher.next_batch() {
+                            run_batch(batch, &metrics);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no threads (never true for a started pool).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to exit (call after the batcher's shutdown).
+    pub fn join(self) {
+        for handle in self.handles {
+            handle.join().expect("serve worker panicked");
+        }
+    }
+}
+
+/// Runs one formed (model-homogeneous) batch and answers every request in it.
+fn run_batch(batch: Vec<PendingRequest>, metrics: &Metrics) {
+    debug_assert!(!batch.is_empty(), "batcher never yields empty batches");
+    let formed = Instant::now();
+    let entry = Arc::clone(&batch[0].entry);
+    let batch_size = batch.len();
+    let mut images = Vec::with_capacity(batch_size);
+    let mut meta = Vec::with_capacity(batch_size);
+    for request in batch {
+        debug_assert_eq!(request.entry.key(), entry.key(), "homogeneous batch");
+        images.push(request.image);
+        meta.push((request.submitted, request.reply_tx));
+    }
+    let outputs = entry.model().infer_batch(&images);
+    for (output, (submitted, reply_tx)) in outputs.into_iter().zip(meta) {
+        let logits = output.logits.row(0).to_vec();
+        let prediction = argmax(&logits);
+        let queue_us = formed.duration_since(submitted).as_micros() as u64;
+        metrics.queue_wait.record_us(queue_us);
+        metrics
+            .latency
+            .record_us(submitted.elapsed().as_micros() as u64);
+        metrics.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped receiver means the client disconnected mid-flight; the work is
+        // done either way, so the send result is deliberately ignored.
+        let _ = reply_tx.send(Ok(InferReply {
+            model: entry.key().to_string(),
+            prediction,
+            logits,
+            batch_size,
+            queue_us,
+        }));
+    }
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use crate::registry::ModelRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::mpsc;
+    use std::time::Duration;
+    use vitality_tensor::init;
+    use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+    #[test]
+    fn workers_answer_every_request_with_the_direct_result() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let mut reg = ModelRegistry::new();
+        let key = reg.register("m", model.clone());
+        let entry = reg.get(&key).unwrap();
+
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(Batcher::new(
+            BatchPolicy {
+                max_batch: 4,
+                max_delay: Duration::from_millis(5),
+                queue_capacity: 64,
+            },
+            Arc::clone(&metrics),
+        ));
+        let pool = WorkerPool::start(2, Arc::clone(&batcher), Arc::clone(&metrics));
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+
+        let images: Vec<_> = (0..9)
+            .map(|i| {
+                init::uniform(
+                    &mut StdRng::seed_from_u64(100 + i),
+                    cfg.image_size,
+                    cfg.image_size,
+                    0.0,
+                    1.0,
+                )
+            })
+            .collect();
+        let receivers: Vec<mpsc::Receiver<_>> = images
+            .iter()
+            .map(|image| {
+                let (tx, rx) = mpsc::channel();
+                batcher
+                    .submit(crate::batcher::PendingRequest {
+                        entry: Arc::clone(&entry),
+                        image: image.clone(),
+                        submitted: Instant::now(),
+                        reply_tx: tx,
+                    })
+                    .unwrap();
+                rx
+            })
+            .collect();
+
+        for (image, rx) in images.iter().zip(receivers) {
+            let reply = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("worker answered")
+                .expect("inference succeeded");
+            let direct = model.infer(image);
+            assert_eq!(reply.model, "m:taylor");
+            assert_eq!(reply.prediction, model.predict(image));
+            assert_eq!(reply.logits, direct.logits.row(0).to_vec());
+            assert!(reply.batch_size >= 1);
+        }
+
+        batcher.shutdown();
+        pool.join();
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 9);
+        assert!(metrics.latency.count() == 9 && metrics.queue_wait.count() == 9);
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end tests of the serving engine over real sockets: correctness vs direct
+//! inference, the health/metrics endpoints, typed error responses and graceful
+//! shutdown under concurrent clients.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::json::JsonValue;
+use vitality_serve::{BatchPolicy, ClientError, ModelRegistry, ServeClient, Server, ServerConfig};
+use vitality_tensor::{init, Matrix};
+use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+fn boot(policy: BatchPolicy) -> (Server, VisionTransformer, TrainConfig) {
+    let cfg = TrainConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+    let mut softmax = model.clone();
+    softmax.set_variant(AttentionVariant::Softmax);
+    let mut registry = ModelRegistry::new();
+    registry.register("vit", model.clone());
+    registry.register("vit", softmax);
+    let server = Server::start(
+        ServerConfig {
+            policy,
+            workers: 2,
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("bind ephemeral port");
+    (server, model, cfg)
+}
+
+fn image(cfg: &TrainConfig, seed: u64) -> Matrix {
+    init::uniform(
+        &mut StdRng::seed_from_u64(seed),
+        cfg.image_size,
+        cfg.image_size,
+        0.0,
+        1.0,
+    )
+}
+
+#[test]
+fn concurrent_clients_get_exact_direct_inference_results() {
+    let (server, model, cfg) = boot(BatchPolicy::default());
+    let addr = server.local_addr();
+    let clients = 6;
+    let per_client = 5;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let model = &model;
+            let cfg = &cfg;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let img = image(cfg, 1000 + (c * per_client + i) as u64);
+                    let reply = client.infer("vit:taylor", &img).expect("inference");
+                    let direct = model.infer(&img);
+                    assert_eq!(reply.model, "vit:taylor");
+                    assert_eq!(reply.prediction, model.predict(&img));
+                    assert_eq!(
+                        reply.logits,
+                        direct.logits.row(0).to_vec(),
+                        "served logits must equal direct inference bit-for-bit"
+                    );
+                    assert!(reply.batch_size >= 1);
+                }
+            });
+        }
+    });
+    let metrics = server.metrics();
+    server.shutdown();
+    assert_eq!(
+        metrics.completed.load(std::sync::atomic::Ordering::Relaxed),
+        (clients * per_client) as u64
+    );
+    assert_eq!(metrics.shed.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
+
+#[test]
+fn both_variants_serve_and_disagree() {
+    let (server, model, cfg) = boot(BatchPolicy::default());
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let img = image(&cfg, 7);
+    let taylor = client.infer("vit:taylor", &img).expect("taylor");
+    let softmax = client.infer("vit:softmax", &img).expect("softmax");
+    assert_eq!(taylor.logits, model.infer(&img).logits.row(0).to_vec());
+    assert_ne!(
+        taylor.logits, softmax.logits,
+        "the two variants share weights but not outputs"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn health_and_metrics_endpoints_report_state() {
+    let (server, model, cfg) = boot(BatchPolicy::default());
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let (status, health) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(JsonValue::as_str), Some("ok"));
+    let models: Vec<&str> = health
+        .get("models")
+        .and_then(JsonValue::as_array)
+        .expect("model list")
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(models, vec!["vit:softmax", "vit:taylor"]);
+
+    let img = image(&cfg, 9);
+    let reply = client.infer("vit:taylor", &img).expect("inference");
+    assert_eq!(reply.prediction, model.predict(&img));
+
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        metrics.get("completed").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+    let batching = metrics.get("batching").expect("batching block");
+    assert_eq!(
+        batching.get("batches").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+    assert!(metrics
+        .get("latency")
+        .and_then(|l| l.get("p50_us"))
+        .is_some());
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_typed_error_responses() {
+    let (server, _model, cfg) = boot(BatchPolicy::default());
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let img = image(&cfg, 11);
+
+    match client.infer("missing:taylor", &img) {
+        Err(ClientError::Server { status, code, .. }) => {
+            assert_eq!(status, 404);
+            assert_eq!(code, "model_not_found");
+        }
+        other => panic!("expected 404, got {other:?}"),
+    }
+
+    let wrong_size = Matrix::zeros(cfg.image_size + 1, cfg.image_size + 1);
+    match client.infer("vit:taylor", &wrong_size) {
+        Err(ClientError::Server { status, code, .. }) => {
+            assert_eq!(status, 400);
+            assert_eq!(code, "bad_request");
+        }
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    let (status, body) = client.get("/nope").expect("unknown route still answers");
+    assert_eq!(status, 404);
+    assert_eq!(
+        body.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str),
+        Some("not_found")
+    );
+
+    // The connection survives all of the above (keep-alive across errors).
+    assert!(client.get("/healthz").expect("healthz").0 == 200);
+    drop(client);
+
+    // Unsupported methods get 405 (raw framing; ServeClient only speaks GET/POST).
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+    vitality_serve::http::write_request(&mut stream, "DELETE", "/v1/infer", b"")
+        .expect("write raw request");
+    let response = vitality_serve::http::MessageReader::new()
+        .read_message(&mut stream, 1 << 20, &|| false)
+        .expect("read raw response")
+        .expect("response present");
+    assert_eq!(response.status_code().unwrap(), 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_answers_in_flight_requests_then_refuses_new_connections() {
+    let (server, model, cfg) = boot(BatchPolicy {
+        // A long delay with a big batch bound: requests sit in the queue until the
+        // shutdown drain flushes them, proving drained requests are still answered.
+        max_batch: 64,
+        max_delay: Duration::from_secs(5),
+        queue_capacity: 64,
+    });
+    let addr = server.local_addr();
+    let imgs: Vec<Matrix> = (0..4).map(|i| image(&cfg, 300 + i)).collect();
+    let expectations: Vec<usize> = imgs.iter().map(|img| model.predict(img)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = imgs
+            .iter()
+            .map(|img| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    client.infer("vit:taylor", img)
+                })
+            })
+            .collect();
+        // Give the clients time to enqueue, then shut down while they wait on the
+        // 5-second coalescing deadline: the drain must flush and answer them all.
+        std::thread::sleep(Duration::from_millis(300));
+        server.shutdown();
+        for (handle, expected) in handles.into_iter().zip(expectations) {
+            let reply = handle
+                .join()
+                .expect("client thread")
+                .expect("drained request answered");
+            assert_eq!(reply.prediction, expected);
+            assert!(reply.batch_size >= 1);
+        }
+    });
+    // The listener is gone: connecting now fails or is immediately closed.
+    match ServeClient::connect(addr) {
+        Err(_) => {}
+        Ok(mut client) => {
+            client
+                .set_timeout(Some(Duration::from_millis(500)))
+                .expect("set timeout");
+            assert!(
+                client.get("/healthz").is_err(),
+                "a post-shutdown connection must not be served"
+            );
+        }
+    }
+}

@@ -81,11 +81,12 @@ static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
 /// `VITALITY_MATMUL_BACKEND` environment variable (`naive` / `blocked`), else
 /// [`MatmulBackend::Blocked`].
 ///
-/// # Panics
-///
-/// Panics when `VITALITY_MATMUL_BACKEND` is set to anything other than `naive` or
-/// `blocked` — the variable exists to collect baseline measurements, and silently
-/// falling back on a typo would hand the user blocked-kernel numbers labelled naive.
+/// An unrecognised `VITALITY_MATMUL_BACKEND` value does **not** abort the process: it
+/// logs a warning to stderr (once) and falls back to the default backend. Long-lived
+/// serving processes resolve the backend lazily on the first product of a request, and
+/// a typo in a deployment environment must degrade to the default kernel, not kill the
+/// server. Benchmark harnesses that care about the distinction should assert on
+/// [`matmul_backend`]'s return value instead of trusting the variable.
 pub fn matmul_backend() -> MatmulBackend {
     match GLOBAL_BACKEND.load(Ordering::Relaxed) {
         BACKEND_NAIVE => MatmulBackend::Naive,
@@ -95,10 +96,14 @@ pub fn matmul_backend() -> MatmulBackend {
                 Ok(value) => match value.as_str() {
                     "naive" => MatmulBackend::Naive,
                     "blocked" => MatmulBackend::Blocked,
-                    other => panic!(
-                        "unrecognised VITALITY_MATMUL_BACKEND value {other:?}; \
-                         expected \"naive\" or \"blocked\""
-                    ),
+                    other => {
+                        eprintln!(
+                            "warning: unrecognised VITALITY_MATMUL_BACKEND value {other:?} \
+                             (expected \"naive\" or \"blocked\"); falling back to the \
+                             default blocked backend"
+                        );
+                        MatmulBackend::Blocked
+                    }
                 },
                 Err(_) => MatmulBackend::Blocked,
             };

@@ -61,6 +61,17 @@ impl VisionTransformer {
         }
     }
 
+    /// Compile-time proof that the model is `Send + Sync` — the property that lets the
+    /// serving engine share one warm model (behind an `Arc`) across its registry,
+    /// batcher and worker threads without cloning weights. Calling it is free; it
+    /// exists so a change that introduces interior mutability or a non-`Send` member
+    /// fails to build here, next to the model, instead of deep inside
+    /// `vitality-serve`.
+    pub fn assert_send_sync() {
+        fn assert<T: Send + Sync>() {}
+        assert::<Self>();
+    }
+
     /// The training configuration.
     pub fn config(&self) -> TrainConfig {
         self.config
@@ -317,6 +328,35 @@ mod tests {
         assert_eq!(captured.len(), cfg.layers);
         assert_eq!(captured[0].len(), cfg.heads);
         assert_eq!(captured[0][0].0.shape(), (cfg.tokens(), cfg.tokens()));
+    }
+
+    #[test]
+    fn shared_models_serve_from_multiple_threads() {
+        VisionTransformer::assert_send_sync();
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(220);
+        let model = std::sync::Arc::new(VisionTransformer::new(
+            &mut rng,
+            cfg,
+            AttentionVariant::Taylor,
+        ));
+        let img = image(&cfg, 40);
+        let expected = model.infer(&img).logits;
+        let outputs: Vec<Matrix> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let model = std::sync::Arc::clone(&model);
+                    let img = img.clone();
+                    scope.spawn(move || model.infer(&img).logits)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("inference thread panicked"))
+                .collect()
+        });
+        for logits in outputs {
+            assert_eq!(logits, expected, "shared inference must be deterministic");
+        }
     }
 
     #[test]

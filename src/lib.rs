@@ -13,6 +13,8 @@
 //! * [`train`] — the synthetic task, optimisers and the paper's training schemes.
 //! * [`accel`] — the cycle-level ViTALiTy accelerator simulator.
 //! * [`baselines`] — Sanger / SALO / CPU / GPU / edge-GPU baseline models.
+//! * [`serve`] — the batched, multi-worker HTTP inference serving engine with dynamic
+//!   request coalescing (see `examples/serve.rs`).
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use vitality_attention as attention;
 pub use vitality_autograd as autograd;
 pub use vitality_baselines as baselines;
 pub use vitality_nn as nn;
+pub use vitality_serve as serve;
 pub use vitality_tensor as tensor;
 pub use vitality_train as train;
 pub use vitality_vit as vit;

@@ -1,0 +1,65 @@
+//! Batching-semantics guarantees the serving engine depends on: `infer_batch` /
+//! `predict_batch` must be *element-wise identical* to per-image `infer` / `predict`
+//! for ragged batch sizes — a coalesced batch may never change a response.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vitality::tensor::{init, Matrix};
+use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+/// The ragged sizes the batcher actually produces: singleton flushes, tiny deadline
+/// flushes, a prime mid-size and one crossing the default max-batch boundary.
+const RAGGED_SIZES: [usize; 4] = [1, 2, 7, 33];
+
+fn images(cfg: &TrainConfig, seed: u64, count: usize) -> Vec<Matrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| init::uniform(&mut rng, cfg.image_size, cfg.image_size, -1.0, 1.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn infer_batch_is_elementwise_identical_to_sequential_infer(
+        model_seed in 0u64..1_000_000,
+        image_seed in 0u64..1_000_000,
+    ) {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(model_seed);
+        let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        for size in RAGGED_SIZES {
+            let batch = images(&cfg, image_seed, size);
+            let batched = model.infer_batch(&batch);
+            prop_assert_eq!(batched.len(), size);
+            for (out, img) in batched.iter().zip(batch.iter()) {
+                let single = model.infer(img);
+                // Bit-exact, not approximate: the parallel batch path must run the
+                // same arithmetic as the sequential path.
+                prop_assert_eq!(&out.logits, &single.logits, "size {}", size);
+                prop_assert_eq!(&out.tokens, &single.tokens, "size {}", size);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predict_for_both_variants(
+        model_seed in 0u64..1_000_000,
+        image_seed in 0u64..1_000_000,
+    ) {
+        let cfg = TrainConfig::tiny();
+        for variant in [AttentionVariant::Taylor, AttentionVariant::Softmax] {
+            let mut rng = StdRng::seed_from_u64(model_seed);
+            let model = VisionTransformer::new(&mut rng, cfg, variant);
+            for size in RAGGED_SIZES {
+                let batch = images(&cfg, image_seed, size);
+                let batched = model.predict_batch(&batch);
+                let sequential: Vec<usize> = batch.iter().map(|img| model.predict(img)).collect();
+                prop_assert_eq!(batched, sequential, "variant {} size {}", variant.label(), size);
+            }
+        }
+    }
+}
