@@ -15,7 +15,11 @@
 //!
 //! Every mechanism exposes the same [`AttentionMechanism`] interface (a per-head
 //! `n x d -> n x d` map plus an operation-count model), so the ViT substrate, the training
-//! schemes and the accelerator simulators can swap mechanisms freely.
+//! schemes and the accelerator simulators can swap mechanisms freely. The *served*
+//! variants additionally implement [`AttentionKernel`] (see the [`kernel`] module) — the
+//! allocation-free `compute_into` interface the ViT inference hot path and the serving
+//! engine run on, including the fused [`UnifiedAttentionKernel`] for the low-rank +
+//! sparse path.
 //!
 //! # Example: the Taylor attention approximates the softmax attention
 //!
@@ -38,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod efficient;
+pub mod kernel;
 pub mod linear_kernel;
 pub mod linformer;
 pub mod opcount;
@@ -49,12 +54,13 @@ pub mod taylor;
 pub mod unified;
 
 pub use efficient::EfficientAttention;
+pub use kernel::{AttentionKernel, UnifiedAttentionKernel};
 pub use linear_kernel::LinearKernelAttention;
 pub use linformer::LinformerAttention;
 pub use opcount::OpCounts;
 pub use performer::PerformerAttention;
 pub use softmax::{fused_softmax_attention, SoftmaxAttention};
-pub use sparse::{quantize_symmetric, PackedMask, SangerSparseAttention};
+pub use sparse::{quantize_symmetric, quantize_symmetric_into, PackedMask, SangerSparseAttention};
 pub use taxonomy::{AttentionFamily, PostProcessorKind, PreProcessorKind, TaxonomyEntry};
 pub use taylor::{mean_center_keys, TaylorAttention, TaylorTrace};
 pub use unified::UnifiedLowRankSparseAttention;

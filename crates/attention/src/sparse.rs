@@ -12,6 +12,7 @@ use crate::opcount::{vanilla_softmax_ops, OpCounts};
 use crate::softmax::scaled_similarity;
 use crate::taxonomy::AttentionFamily;
 use crate::{validate_qkv, AttentionMechanism};
+use vitality_autograd::Var;
 use vitality_tensor::Matrix;
 
 /// Default sparsity threshold used by the SPARSE baseline (Sanger's published default).
@@ -23,17 +24,38 @@ pub const DEFAULT_SPARSITY_THRESHOLD: f32 = 0.02;
 /// Sanger's prediction path runs at 4-bit precision; the reproduction keeps the bit-width
 /// configurable for the quantization-sensitivity tests.
 pub fn quantize_symmetric(m: &Matrix, bits: u32) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    quantize_symmetric_into(m, bits, &mut out);
+    out
+}
+
+/// Allocation-free form of [`quantize_symmetric`]: writes the de-quantized
+/// approximation into an equally-shaped `out` matrix (used by the fused unified kernel
+/// so the prediction path stays off the heap).
+///
+/// # Panics
+///
+/// Panics when the bit-width is outside `[2, 16]` or the shapes differ.
+pub fn quantize_symmetric_into(m: &Matrix, bits: u32, out: &mut Matrix) {
     assert!(
         (2..=16).contains(&bits),
         "quantization bits must be in [2, 16]"
     );
+    assert_eq!(
+        m.shape(),
+        out.shape(),
+        "quantize_symmetric_into shape mismatch"
+    );
     let max_abs = m.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
     if max_abs == 0.0 {
-        return m.clone();
+        out.copy_from(m);
+        return;
     }
     let levels = ((1u32 << (bits - 1)) - 1) as f32;
     let scale = max_abs / levels;
-    m.map(|v| (v / scale).round() * scale)
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(m.iter()) {
+        *o = (v / scale).round() * scale;
+    }
 }
 
 /// A binary attention mask packed into row-blocks, with the per-block occupancy metadata
@@ -92,6 +114,22 @@ impl PackedMask {
     /// Total number of surviving attention entries.
     pub fn total_nnz(&self) -> usize {
         self.row_nnz.iter().sum()
+    }
+
+    /// Column indices of the surviving entries in `row`, in ascending order.
+    ///
+    /// This is the access pattern the fused unified kernel's SDDMM-style correction
+    /// consumes: the strong residual is evaluated only at these positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= mask.rows()`.
+    pub fn row_indices(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        self.mask
+            .row(row)
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &v)| (v != 0.0).then_some(j))
     }
 
     /// Overall attention density (`nnz / n²`).
@@ -198,6 +236,23 @@ impl SangerSparseAttention {
     /// Packs the prediction mask into row-blocks for the Sanger accelerator model.
     pub fn pack_and_split(&self, q: &Matrix, k: &Matrix, block_rows: usize) -> PackedMask {
         PackedMask::new(self.prediction_mask(q, k), block_rows)
+    }
+
+    /// Differentiable Sanger-style sparse attention on the autograd tape.
+    ///
+    /// The mask comes from the quantized prediction (treated as a constant), the
+    /// surviving probabilities are renormalised per row, and gradients flow through the
+    /// full-precision path only — exactly Sanger's straight-through training recipe.
+    pub fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        let d = q.shape().1 as f32;
+        let mask = self.prediction_mask(&q.value(), &k.value());
+        let probs = q
+            .matmul_transpose_b(k)
+            .scale(1.0 / d.sqrt())
+            .softmax_rows()
+            .apply_mask(&mask);
+        let renormalised = probs.broadcast_div_col(&probs.row_sum().add_scalar(1e-9));
+        renormalised.matmul(v)
     }
 
     /// The exact sparse softmax attention map: full-precision logits, masked positions set

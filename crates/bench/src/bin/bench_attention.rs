@@ -7,23 +7,31 @@
 //!   repo's acceptance gate is a ≥ 5× blocked-over-naive speedup);
 //! * per token count `n ∈ {196, 1024, 4096}` (head dim 64): fused Taylor attention,
 //!   the unfused Algorithm-1 trace path, the fused softmax baseline, and the max
-//!   absolute fused-vs-traced divergence (gate: ≤ 1e-4).
+//!   absolute fused-vs-traced divergence (gate: ≤ 1e-4);
+//! * per token count `n ∈ {196, 1024}`: the fused unified low-rank + sparse kernel
+//!   ([`UnifiedAttentionKernel`]) vs the traced
+//!   [`UnifiedLowRankSparseAttention::compute`] reference, with the same ≤ 1e-4
+//!   divergence gate and a fused-beats-traced gate.
 //!
 //! Usage: `cargo run --release -p vitality-bench --bin bench_attention [-- --quick]`.
-//! `--quick` drops the `n = 4096` point (used by CI to keep the job short). The JSON is
-//! written to `BENCH_attention.json` in the current directory and the same numbers are
-//! printed as a table on stdout.
+//! `--quick` drops the `n = 4096` Taylor point (used by CI to keep the job short); the
+//! unified series is measured in both modes. The JSON is written to
+//! `BENCH_attention.json` in the current directory and the same numbers are printed as
+//! a table on stdout.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::json::JsonValue;
-use vitality_attention::{fused_softmax_attention, SoftmaxAttention, TaylorAttention};
-use vitality_tensor::{init, MatmulBackend, Matrix};
+use vitality_attention::{
+    fused_softmax_attention, AttentionKernel, AttentionMechanism, SoftmaxAttention,
+    TaylorAttention, UnifiedAttentionKernel,
+};
+use vitality_tensor::{init, MatmulBackend, Matrix, Workspace};
 
 /// Median ns/op over enough repetitions to fill ~0.5 s (minimum 3 runs).
-fn measure_ns<F: FnMut() -> Matrix>(mut f: F) -> f64 {
+fn measure_ns<R, F: FnMut() -> R>(mut f: F) -> f64 {
     let warm = Instant::now();
     std::hint::black_box(f());
     let per_iter = warm.elapsed().as_secs_f64();
@@ -77,6 +85,40 @@ fn measure_attention(n: usize, d: usize) -> AttentionPoint {
     }
 }
 
+/// The unified series threshold: Sanger's published default, which keeps the mask
+/// meaningfully sparse-but-nonempty at serving token counts.
+const UNIFIED_THRESHOLD: f32 = 0.02;
+
+struct UnifiedPoint {
+    n: usize,
+    d: usize,
+    fused_ns: f64,
+    traced_ns: f64,
+    fused_vs_traced_max_abs_diff: f32,
+}
+
+fn measure_unified(n: usize, d: usize) -> UnifiedPoint {
+    let mut rng = StdRng::seed_from_u64(7000 + n as u64);
+    let q = init::normal(&mut rng, n, d, 0.0, 0.3);
+    let k = init::normal(&mut rng, n, d, 0.0, 0.3);
+    let v = init::normal(&mut rng, n, d, 0.0, 1.0);
+    let kernel = UnifiedAttentionKernel::new(UNIFIED_THRESHOLD);
+    let reference = kernel.reference();
+    let diff = AttentionKernel::compute(&kernel, &q, &k, &v)
+        .max_abs_diff(&AttentionMechanism::compute(&reference, &q, &k, &v));
+    // Time the fused kernel the way the serving path runs it: into reused output
+    // storage on a warm workspace.
+    let mut ws = Workspace::new();
+    let mut out = Matrix::zeros(n, d);
+    UnifiedPoint {
+        n,
+        d,
+        fused_ns: measure_ns(|| kernel.compute_into(&q, &k, &v, &mut ws, &mut out)),
+        traced_ns: measure_ns(|| AttentionMechanism::compute(&reference, &q, &k, &v)),
+        fused_vs_traced_max_abs_diff: diff,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
@@ -111,6 +153,28 @@ fn main() {
         points.push(p);
     }
 
+    // Unified low-rank + sparse series: fused kernel vs traced reference.
+    let unified_counts: &[usize] = &[196, 1024];
+    let mut unified_points = Vec::new();
+    for &n in unified_counts {
+        let p = measure_unified(n, d);
+        println!(
+            "n={:>4}: unified fused {:>12.0} ns | unified traced {:>12.0} ns ({:.2}x) | fused-vs-traced diff {:.2e}",
+            p.n,
+            p.fused_ns,
+            p.traced_ns,
+            p.traced_ns / p.fused_ns,
+            p.fused_vs_traced_max_abs_diff,
+        );
+        assert!(
+            p.fused_vs_traced_max_abs_diff <= 1e-4,
+            "fused unified kernel diverged from the traced reference at n={} by {}",
+            p.n,
+            p.fused_vs_traced_max_abs_diff
+        );
+        unified_points.push(p);
+    }
+
     let mut matmul = JsonValue::object();
     matmul
         .set("blocked_ns", blocked_ns)
@@ -140,11 +204,29 @@ fn main() {
             o
         })
         .collect();
+    let unified: Vec<JsonValue> = unified_points
+        .iter()
+        .map(|p| {
+            let mut o = JsonValue::object();
+            o.set("n", p.n)
+                .set("d", p.d)
+                .set("threshold", UNIFIED_THRESHOLD)
+                .set("unified_fused_ns", p.fused_ns)
+                .set("unified_traced_ns", p.traced_ns)
+                .set("fused_speedup_over_traced", p.traced_ns / p.fused_ns)
+                .set(
+                    "fused_vs_traced_max_abs_diff",
+                    p.fused_vs_traced_max_abs_diff,
+                );
+            o
+        })
+        .collect();
     let mut root = JsonValue::object();
     root.set("benchmark", "attention_kernels")
         .set("quick", quick)
         .set("matmul_512", matmul)
-        .set("attention", attention);
+        .set("attention", attention)
+        .set("unified", unified);
     std::fs::write("BENCH_attention.json", root.to_json_pretty())
         .expect("write BENCH_attention.json");
     println!("wrote BENCH_attention.json");

@@ -1,16 +1,19 @@
 //! Load generator for the `vitality-serve` engine: boots a server on an ephemeral
 //! port, drives it with concurrent keep-alive clients at concurrency ∈ {1, 8, 64} for
-//! the Taylor and softmax attention variants at n = 196 tokens, checks every response
-//! against direct inference, and writes `BENCH_serve.json`.
+//! the Taylor, softmax and unified (low-rank + sparse) attention variants at n = 196
+//! tokens, checks every response against direct inference, and writes
+//! `BENCH_serve.json`.
 //!
 //! Usage: `cargo run --release -p vitality-bench --bin bench_serve [-- --quick]`.
 //! `--quick` shrinks the request count per point (the CI smoke path); the measured
 //! shape (both variants, all three concurrency levels) is identical.
 //!
 //! The bin exits non-zero when any response is dropped, erroneous or does not match
-//! direct inference, when no batch larger than one forms at concurrency 64, or when
-//! the Taylor variant fails to match softmax throughput — these are the serving
-//! engine's acceptance gates, mirrored by the CI check on the JSON.
+//! direct inference (for any of the three variants), when no batch larger than one
+//! forms at concurrency 64, when the Taylor variant fails to match softmax
+//! throughput, or when the `/metrics` snapshot is missing a per-variant counter block
+//! — these are the serving engine's acceptance gates, mirrored by the CI check on the
+//! JSON.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -149,6 +152,8 @@ fn main() {
     let taylor = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
     let mut softmax = taylor.clone();
     softmax.set_variant(AttentionVariant::Softmax);
+    let mut unified = taylor.clone();
+    unified.set_variant(AttentionVariant::Unified { threshold: 0.5 });
 
     // Precompute direct-inference expectations for the shared image pool.
     let images: Vec<Matrix> = (0..24)
@@ -164,10 +169,12 @@ fn main() {
         .collect();
     let expected_taylor: Vec<usize> = taylor.predict_batch(&images);
     let expected_softmax: Vec<usize> = softmax.predict_batch(&images);
+    let expected_unified: Vec<usize> = unified.predict_batch(&images);
 
     let mut registry = ModelRegistry::new();
-    let taylor_key = registry.register("vit196", taylor);
-    let softmax_key = registry.register("vit196", softmax);
+    let taylor_key = registry.register("vit196", taylor).expect("valid name");
+    let softmax_key = registry.register("vit196", softmax).expect("valid name");
+    let unified_key = registry.register("vit196", unified).expect("valid name");
     let server = Server::start(
         ServerConfig {
             policy: BatchPolicy {
@@ -189,6 +196,7 @@ fn main() {
     for (model_key, expected) in [
         (taylor_key.as_str(), &expected_taylor),
         (softmax_key.as_str(), &expected_softmax),
+        (unified_key.as_str(), &expected_unified),
     ] {
         for &concurrency in &concurrencies {
             let per_client = (budget / concurrency).max(2);
@@ -237,6 +245,7 @@ fn main() {
     };
     let c64_batched = at(&taylor_key, 64).max_batch_seen > 1
         || at(&softmax_key, 64).max_batch_seen > 1
+        || at(&unified_key, 64).max_batch_seen > 1
         || server_max_batch > 1;
     if !c64_batched {
         failures.push("no batch larger than 1 formed at concurrency 64".to_string());
@@ -255,10 +264,31 @@ fn main() {
     };
     let taylor_peak = peak(&taylor_key);
     let softmax_peak = peak(&softmax_key);
+    let unified_peak = peak(&unified_key);
     if taylor_peak < softmax_peak {
         failures.push(format!(
             "taylor peak throughput {taylor_peak:.1} req/s below softmax {softmax_peak:.1} req/s at n=196"
         ));
+    }
+    // The unified variant pays the full prediction + exact-softmax path on top of the
+    // linear attention, so it has no throughput gate — only the observability one: its
+    // per-variant counter block must appear on /metrics with every request accounted.
+    for label in ["taylor", "softmax", "unified"] {
+        let counted = server_metrics
+            .get("variants")
+            .and_then(|v| v.get(label))
+            .and_then(|b| b.get("requests"))
+            .and_then(serde::json::JsonValue::as_usize);
+        let expected: usize = points
+            .iter()
+            .filter(|p| p.model.ends_with(&format!(":{label}")))
+            .map(|p| p.requests - p.errors)
+            .sum();
+        if counted != Some(expected) {
+            failures.push(format!(
+                "/metrics variants.{label}.requests = {counted:?}, expected {expected}"
+            ));
+        }
     }
 
     // ---- BENCH_serve.json -------------------------------------------------
@@ -304,6 +334,7 @@ fn main() {
         )
         .set("taylor_peak_rps", taylor_peak)
         .set("softmax_peak_rps", softmax_peak)
+        .set("unified_peak_rps", unified_peak)
         .set(
             "taylor_over_softmax_peak",
             taylor_peak / softmax_peak.max(1e-9),

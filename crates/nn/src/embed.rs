@@ -5,7 +5,7 @@ use rand::Rng;
 use crate::linear::Linear;
 use crate::registry::{qualify, NamedParameters, ParamRegistry};
 use vitality_autograd::{Graph, Var};
-use vitality_tensor::{init, Matrix};
+use vitality_tensor::{init, Matrix, Workspace};
 
 /// Splits a single-channel `H x W` image into non-overlapping `patch x patch` patches and
 /// flattens each patch into one row of the returned `n x patch²` matrix (row-major patch
@@ -24,6 +24,30 @@ pub fn patchify(image: &Matrix, patch: usize) -> Matrix {
     let rows = image.rows() / patch;
     let cols = image.cols() / patch;
     let mut out = Matrix::zeros(rows * cols, patch * patch);
+    patchify_into(image, patch, &mut out);
+    out
+}
+
+/// Allocation-free form of [`patchify`]: writes the flattened patches into a
+/// caller-provided `n x patch²` matrix.
+///
+/// # Panics
+///
+/// Panics when the image is not divisible into patches or `out` has the wrong shape.
+pub fn patchify_into(image: &Matrix, patch: usize, out: &mut Matrix) {
+    assert!(patch > 0, "patch size must be positive");
+    assert!(
+        image.rows().is_multiple_of(patch) && image.cols().is_multiple_of(patch),
+        "image {:?} is not divisible into {patch}x{patch} patches",
+        image.shape()
+    );
+    let rows = image.rows() / patch;
+    let cols = image.cols() / patch;
+    assert_eq!(
+        out.shape(),
+        (rows * cols, patch * patch),
+        "patchify_into output shape mismatch"
+    );
     for pr in 0..rows {
         for pc in 0..cols {
             let token = pr * cols + pc;
@@ -38,7 +62,6 @@ pub fn patchify(image: &Matrix, patch: usize) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Linear patch embedding with a learned positional embedding.
@@ -113,6 +136,20 @@ impl PatchEmbed {
             .infer(&patches)
             .try_add(&self.positional)
             .expect("positional embedding shape")
+    }
+
+    /// Allocation-free embedding into `num_patches x dim` output storage; the patch
+    /// buffer is checked out of (and recycled back into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image or output shapes are inconsistent with the configuration.
+    pub fn infer_into(&self, image: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        let mut patches = ws.take(self.num_patches(), self.patch * self.patch);
+        patchify_into(image, self.patch, &mut patches);
+        self.projection.infer_into(&patches, out);
+        out.add_assign(&self.positional);
+        ws.recycle(patches);
     }
 }
 

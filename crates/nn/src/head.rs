@@ -6,7 +6,7 @@ use crate::linear::Linear;
 use crate::norm::LayerNorm;
 use crate::registry::{qualify, NamedParameters, ParamRegistry};
 use vitality_autograd::{Graph, Var};
-use vitality_tensor::Matrix;
+use vitality_tensor::{Matrix, Workspace};
 
 /// Final classification head.
 ///
@@ -59,6 +59,22 @@ impl ClassificationHead {
     pub fn infer(&self, tokens: &Matrix) -> Matrix {
         let normed = self.norm.infer(tokens);
         self.classifier.infer(&normed.col_mean())
+    }
+
+    /// Allocation-free logits into `1 x classes` output storage; the normalised-token
+    /// and pooled buffers are checked out of (and recycled back into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes are inconsistent.
+    pub fn infer_into(&self, tokens: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        let mut normed = ws.take(tokens.rows(), tokens.cols());
+        self.norm.infer_into(tokens, &mut normed);
+        let mut pooled = ws.take(1, tokens.cols());
+        normed.col_mean_into(&mut pooled);
+        self.classifier.infer_into(&pooled, out);
+        ws.recycle(normed);
+        ws.recycle(pooled);
     }
 }
 

@@ -92,6 +92,20 @@ impl Linear {
         y
     }
 
+    /// Allocation-free projection into a caller-provided `x.rows() x out_features`
+    /// matrix (the [`Workspace`](vitality_tensor::Workspace)-era form of
+    /// [`Linear::infer`], used by the serving hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes are inconsistent.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight, out);
+        if let Some(b) = &self.bias {
+            out.add_row_inplace(b);
+        }
+    }
+
     /// Multiply–accumulate count of one forward pass over `tokens` rows.
     pub fn macs(&self, tokens: usize) -> usize {
         tokens * self.in_features() * self.out_features()

@@ -5,7 +5,7 @@ use rand::Rng;
 use crate::linear::Linear;
 use crate::registry::{qualify, NamedParameters, ParamRegistry};
 use vitality_autograd::{Graph, Var};
-use vitality_tensor::Matrix;
+use vitality_tensor::{Matrix, Workspace};
 
 /// Activation used between the two MLP projections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +76,23 @@ impl Mlp {
             Activation::Relu => h.map_inplace(|v| v.max(0.0)),
         }
         self.fc2.infer(&h)
+    }
+
+    /// Allocation-free forward pass into `x.rows() x features` output storage; the
+    /// hidden activation buffer is checked out of (and recycled back into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes are inconsistent.
+    pub fn infer_into(&self, x: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        let mut h = ws.take(x.rows(), self.hidden());
+        self.fc1.infer_into(x, &mut h);
+        match self.activation {
+            Activation::Gelu => h.map_inplace(gelu),
+            Activation::Relu => h.map_inplace(|v| v.max(0.0)),
+        }
+        self.fc2.infer_into(&h, out);
+        ws.recycle(h);
     }
 
     /// Multiply–accumulate count of one forward pass over `tokens` rows.

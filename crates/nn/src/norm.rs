@@ -52,23 +52,29 @@ impl LayerNorm {
 
     /// Pure-inference layer normalisation without the tape.
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free layer normalisation into an equally-shaped `out` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.shape() != x.shape()`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(out.shape(), x.shape(), "layer norm output shape mismatch");
         let d = x.cols();
-        let mut out = x.clone();
         for i in 0..x.rows() {
             let row = x.row(i);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            for j in 0..d {
-                let normalised = (x.get(i, j) - mean) * inv_std;
-                out.set(
-                    i,
-                    j,
-                    normalised * self.gamma.get(0, j) + self.beta.get(0, j),
-                );
+            for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+                let normalised = (row[j] - mean) * inv_std;
+                *o = normalised * self.gamma.get(0, j) + self.beta.get(0, j);
             }
         }
-        out
     }
 }
 

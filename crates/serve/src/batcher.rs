@@ -296,10 +296,12 @@ mod tests {
 
     fn entry(variant: AttentionVariant) -> Arc<ModelEntry> {
         let mut reg = ModelRegistry::new();
-        let key = reg.register(
-            "m",
-            VisionTransformer::new(&mut StdRng::seed_from_u64(0), TrainConfig::tiny(), variant),
-        );
+        let key = reg
+            .register(
+                "m",
+                VisionTransformer::new(&mut StdRng::seed_from_u64(0), TrainConfig::tiny(), variant),
+            )
+            .expect("valid model name");
         reg.get(&key).unwrap()
     }
 

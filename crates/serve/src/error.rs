@@ -13,6 +13,8 @@ use std::fmt;
 pub enum ServeError {
     /// The request body was not a valid inference request.
     BadRequest(String),
+    /// A model was registered under a name containing the reserved `:` separator.
+    InvalidModelName(String),
     /// The requested `name:variant` key is not in the model registry.
     ModelNotFound(String),
     /// The admission queue is full; the request was shed without being enqueued.
@@ -33,6 +35,7 @@ impl ServeError {
     pub fn code(&self) -> &'static str {
         match self {
             ServeError::BadRequest(_) => "bad_request",
+            ServeError::InvalidModelName(_) => "invalid_model_name",
             ServeError::ModelNotFound(_) => "model_not_found",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::ShuttingDown => "shutting_down",
@@ -43,7 +46,7 @@ impl ServeError {
     /// The HTTP status the wire layer reports this error with.
     pub fn http_status(&self) -> u16 {
         match self {
-            ServeError::BadRequest(_) => 400,
+            ServeError::BadRequest(_) | ServeError::InvalidModelName(_) => 400,
             ServeError::ModelNotFound(_) => 404,
             ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
             ServeError::Internal(_) => 500,
@@ -55,6 +58,10 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::InvalidModelName(name) => write!(
+                f,
+                "model name {name:?} must not contain ':' (reserved as the name/variant separator)"
+            ),
             ServeError::ModelNotFound(key) => write!(f, "model {key:?} is not registered"),
             ServeError::Overloaded {
                 queue_depth,
@@ -79,6 +86,11 @@ mod tests {
     fn codes_and_statuses_are_stable() {
         let cases: Vec<(ServeError, &str, u16)> = vec![
             (ServeError::BadRequest("x".into()), "bad_request", 400),
+            (
+                ServeError::InvalidModelName("a:b".into()),
+                "invalid_model_name",
+                400,
+            ),
             (
                 ServeError::ModelNotFound("m".into()),
                 "model_not_found",

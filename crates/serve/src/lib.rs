@@ -34,7 +34,7 @@
 //! let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
 //!
 //! let mut registry = ModelRegistry::new();
-//! let key = registry.register("demo", model.clone());
+//! let key = registry.register("demo", model.clone()).unwrap();
 //! let server = Server::start(ServerConfig::default(), registry).unwrap();
 //!
 //! let image = vitality_tensor::init::uniform(&mut rng, cfg.image_size, cfg.image_size, 0.0, 1.0);
@@ -61,7 +61,7 @@ pub mod worker;
 pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest};
 pub use client::{ClientError, ServeClient};
 pub use error::ServeError;
-pub use metrics::{LatencyHistogram, Metrics};
+pub use metrics::{LatencyHistogram, Metrics, VariantStats};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig};
 pub use worker::WorkerPool;

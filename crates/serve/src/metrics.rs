@@ -2,7 +2,9 @@
 //! batch-size distribution, exposed as a JSON snapshot on `GET /metrics`.
 
 use serde::json::JsonValue;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Largest batch size tracked exactly by the batch-size distribution; bigger batches
@@ -88,8 +90,20 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// All counters and histograms one server instance maintains. Every field is atomic, so
-/// the hot path never takes a lock to record.
+/// Per-attention-variant serving counters: how many requests each variant answered and
+/// its end-to-end latency histogram, so the taylor/softmax/unified comparison is
+/// readable straight off `/metrics` without the bench harness.
+#[derive(Debug, Default)]
+pub struct VariantStats {
+    /// Requests answered by this variant.
+    pub requests: AtomicU64,
+    /// End-to-end latency of this variant's requests.
+    pub latency: LatencyHistogram,
+}
+
+/// All counters and histograms one server instance maintains. Every per-request field
+/// is atomic, so the hot path never takes a lock to record; the per-variant map is
+/// resolved once per *batch* (not per request) under a short-lived mutex.
 #[derive(Debug)]
 pub struct Metrics {
     /// Requests admitted into the batching queue.
@@ -109,6 +123,7 @@ pub struct Metrics {
     /// Queue wait: submit → batch formed.
     pub queue_wait: LatencyHistogram,
     batch_sizes: [AtomicU64; MAX_TRACKED_BATCH + 1],
+    variants: Mutex<BTreeMap<&'static str, Arc<VariantStats>>>,
     started: Instant,
 }
 
@@ -125,8 +140,24 @@ impl Metrics {
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            variants: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
         }
+    }
+
+    /// The per-variant counter block for `label`, created on first use.
+    ///
+    /// Workers resolve this once per formed batch and then record through the returned
+    /// `Arc` lock-free; variant labels are `'static` (they come from
+    /// `AttentionVariant::label`), so the map stays tiny and allocation-stable.
+    pub fn variant(&self, label: &'static str) -> Arc<VariantStats> {
+        Arc::clone(
+            self.variants
+                .lock()
+                .expect("variant metrics lock poisoned")
+                .entry(label)
+                .or_default(),
+        )
     }
 
     /// Records one formed batch of `size` images.
@@ -200,6 +231,21 @@ impl Metrics {
             .set("mean_batch", self.mean_batch())
             .set("max_batch", self.max_batch())
             .set("size_distribution", dist);
+        let mut variants = JsonValue::object();
+        for (label, stats) in self
+            .variants
+            .lock()
+            .expect("variant metrics lock poisoned")
+            .iter()
+        {
+            let mut v = JsonValue::object();
+            v.set("requests", stats.requests.load(Ordering::Relaxed))
+                .set("mean_us", stats.latency.mean_us())
+                .set("p50_us", stats.latency.quantile_us(0.50))
+                .set("p95_us", stats.latency.quantile_us(0.95))
+                .set("p99_us", stats.latency.quantile_us(0.99));
+            variants.set(label, v);
+        }
         let mut root = JsonValue::object();
         root.set("uptime_s", self.started.elapsed().as_secs_f64())
             .set("submitted", self.submitted.load(Ordering::Relaxed))
@@ -209,7 +255,8 @@ impl Metrics {
             .set("throughput_rps", self.throughput_rps())
             .set("latency", latency)
             .set("queue_wait", queue_wait)
-            .set("batching", batching);
+            .set("batching", batching)
+            .set("variants", variants);
         root
     }
 }
@@ -252,6 +299,30 @@ mod tests {
         assert!(p99 >= 4000, "p99 bucket bound {p99}");
         assert!(h.mean_us() > 0.0);
         assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn per_variant_counters_appear_in_the_snapshot() {
+        let m = Metrics::new();
+        let taylor = m.variant("taylor");
+        taylor.requests.fetch_add(3, Ordering::Relaxed);
+        taylor.latency.record_us(120);
+        taylor.latency.record_us(340);
+        taylor.latency.record_us(90);
+        let unified = m.variant("unified");
+        unified.requests.fetch_add(1, Ordering::Relaxed);
+        unified.latency.record_us(500);
+        // Re-resolving a label returns the same counter block.
+        m.variant("taylor").requests.fetch_add(1, Ordering::Relaxed);
+
+        let snap = m.snapshot_json();
+        let variants = snap.get("variants").expect("variants object");
+        let t = variants.get("taylor").expect("taylor block");
+        assert_eq!(t.get("requests").and_then(JsonValue::as_usize), Some(4));
+        assert!(t.get("p50_us").and_then(JsonValue::as_usize).unwrap() >= 120);
+        let u = variants.get("unified").expect("unified block");
+        assert_eq!(u.get("requests").and_then(JsonValue::as_usize), Some(1));
+        assert_eq!(u.get("p99_us").and_then(JsonValue::as_usize), Some(512));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use vitality_vit::{TrainConfig, VisionTransformer};
 pub struct ModelEntry {
     key: String,
     name: String,
+    variant_label: &'static str,
     model: VisionTransformer,
 }
 
@@ -28,6 +29,12 @@ impl ModelEntry {
     /// The caller-chosen model name (the part of the key before the variant).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The attention-variant label (the part of the key after the `:`), used to tag
+    /// the per-variant `/metrics` counters.
+    pub fn variant_label(&self) -> &'static str {
+        self.variant_label
     }
 
     /// The model itself.
@@ -62,24 +69,28 @@ impl ModelRegistry {
     /// Registers `model` under `name`, deriving the full key from the model's active
     /// attention variant. Returns the key. Re-registering a key replaces the entry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `name` contains `:` (reserved as the name/variant separator).
-    pub fn register(&mut self, name: &str, model: VisionTransformer) -> String {
-        assert!(
-            !name.contains(':'),
-            "model name {name:?} must not contain ':'"
-        );
-        let key = format!("{name}:{}", model.variant().label());
+    /// Returns [`ServeError::InvalidModelName`] (HTTP 400) when `name` contains `:`
+    /// (reserved as the name/variant separator) — a typed error rather than a panic,
+    /// so a boot sequence driven by external configuration can surface the bad name
+    /// instead of killing the process.
+    pub fn register(&mut self, name: &str, model: VisionTransformer) -> Result<String, ServeError> {
+        if name.contains(':') {
+            return Err(ServeError::InvalidModelName(name.to_string()));
+        }
+        let variant_label = model.variant().label();
+        let key = format!("{name}:{variant_label}");
         self.entries.insert(
             key.clone(),
             Arc::new(ModelEntry {
                 key: key.clone(),
                 name: name.to_string(),
+                variant_label,
                 model,
             }),
         );
-        key
+        Ok(key)
     }
 
     /// Looks up a model by its full `name:variant` key.
@@ -124,16 +135,32 @@ mod tests {
     #[test]
     fn keys_combine_name_and_variant() {
         let mut reg = ModelRegistry::new();
-        let k1 = reg.register("deit", tiny(AttentionVariant::Taylor, 1));
-        let k2 = reg.register("deit", tiny(AttentionVariant::Softmax, 1));
+        let k1 = reg
+            .register("deit", tiny(AttentionVariant::Taylor, 1))
+            .unwrap();
+        let k2 = reg
+            .register("deit", tiny(AttentionVariant::Softmax, 1))
+            .unwrap();
+        let k3 = reg
+            .register(
+                "deit",
+                tiny(AttentionVariant::Unified { threshold: 0.5 }, 1),
+            )
+            .unwrap();
         assert_eq!(k1, "deit:taylor");
         assert_eq!(k2, "deit:softmax");
-        assert_eq!(reg.len(), 2);
-        assert_eq!(reg.keys(), vec!["deit:softmax", "deit:taylor"]);
+        assert_eq!(k3, "deit:unified");
+        assert_eq!(reg.len(), 3);
+        assert_eq!(
+            reg.keys(),
+            vec!["deit:softmax", "deit:taylor", "deit:unified"]
+        );
         let entry = reg.get("deit:taylor").unwrap();
         assert_eq!(entry.name(), "deit");
         assert_eq!(entry.key(), "deit:taylor");
+        assert_eq!(entry.variant_label(), "taylor");
         assert_eq!(entry.config(), TrainConfig::tiny());
+        assert_eq!(reg.get("deit:unified").unwrap().variant_label(), "unified");
     }
 
     #[test]
@@ -147,8 +174,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not contain")]
-    fn names_with_the_separator_are_rejected() {
-        ModelRegistry::new().register("a:b", tiny(AttentionVariant::Taylor, 2));
+    fn names_with_the_separator_are_rejected_with_a_typed_error() {
+        let err = ModelRegistry::new()
+            .register("a:b", tiny(AttentionVariant::Taylor, 2))
+            .unwrap_err();
+        assert_eq!(err, ServeError::InvalidModelName("a:b".into()));
+        assert_eq!(err.http_status(), 400);
+        assert_eq!(err.code(), "invalid_model_name");
     }
 }

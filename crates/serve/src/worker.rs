@@ -8,13 +8,17 @@ use std::time::Instant;
 
 use crate::batcher::{Batcher, InferReply, PendingRequest};
 use crate::metrics::Metrics;
+use vitality_tensor::Workspace;
+use vitality_vit::VitOutput;
 
 /// A fixed pool of inference worker threads.
 ///
-/// Each worker loops on [`Batcher::next_batch`], runs the batch through the entry's
-/// [`infer_batch`](vitality_vit::VisionTransformer::infer_batch) (which fans the images
-/// out over rayon) and answers every request on its private channel. Workers exit when
-/// the batcher reports drained shutdown, so [`WorkerPool::join`] after
+/// Each worker loops on [`Batcher::next_batch`] and runs the batch through the entry's
+/// [`infer_batch_into`](vitality_vit::VisionTransformer::infer_batch_into) on its own
+/// long-lived [`Workspace`] and output vector — the allocation-free steady-state loop
+/// (parallelism comes from the pool itself, one warm workspace per worker, rather than
+/// per-image fan-out inside a batch). Workers exit when the batcher reports drained
+/// shutdown, so [`WorkerPool::join`] after
 /// [`Batcher::shutdown`](crate::Batcher::shutdown) guarantees every admitted request
 /// has been answered.
 #[derive(Debug)]
@@ -32,8 +36,12 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || {
+                        // Per-worker scratch, warm for the lifetime of the thread:
+                        // after the first batch, inference itself allocates nothing.
+                        let mut ws = Workspace::new();
+                        let mut outputs: Vec<VitOutput> = Vec::new();
                         while let Some(batch) = batcher.next_batch() {
-                            run_batch(batch, &metrics);
+                            run_batch(batch, &metrics, &mut ws, &mut outputs);
                         }
                     })
                     .expect("spawn serve worker")
@@ -60,8 +68,16 @@ impl WorkerPool {
     }
 }
 
-/// Runs one formed (model-homogeneous) batch and answers every request in it.
-fn run_batch(batch: Vec<PendingRequest>, metrics: &Metrics) {
+/// Runs one formed (model-homogeneous) batch on the worker's warm workspace and
+/// answers every request in it. `outputs` carries the previous batch's results back in
+/// so their buffers are recycled before inference (see
+/// `VisionTransformer::infer_batch_into`).
+fn run_batch(
+    batch: Vec<PendingRequest>,
+    metrics: &Metrics,
+    ws: &mut Workspace,
+    outputs: &mut Vec<VitOutput>,
+) {
     debug_assert!(!batch.is_empty(), "batcher never yields empty batches");
     let formed = Instant::now();
     let entry = Arc::clone(&batch[0].entry);
@@ -73,16 +89,19 @@ fn run_batch(batch: Vec<PendingRequest>, metrics: &Metrics) {
         images.push(request.image);
         meta.push((request.submitted, request.reply_tx));
     }
-    let outputs = entry.model().infer_batch(&images);
-    for (output, (submitted, reply_tx)) in outputs.into_iter().zip(meta) {
+    entry.model().infer_batch_into(&images, outputs, ws);
+    // Resolved once per batch; recording through it is lock-free.
+    let variant_stats = metrics.variant(entry.variant_label());
+    for (output, (submitted, reply_tx)) in outputs.iter().zip(meta) {
         let logits = output.logits.row(0).to_vec();
         let prediction = argmax(&logits);
         let queue_us = formed.duration_since(submitted).as_micros() as u64;
         metrics.queue_wait.record_us(queue_us);
-        metrics
-            .latency
-            .record_us(submitted.elapsed().as_micros() as u64);
+        let latency_us = submitted.elapsed().as_micros() as u64;
+        metrics.latency.record_us(latency_us);
         metrics.completed.fetch_add(1, Ordering::Relaxed);
+        variant_stats.requests.fetch_add(1, Ordering::Relaxed);
+        variant_stats.latency.record_us(latency_us);
         // A dropped receiver means the client disconnected mid-flight; the work is
         // done either way, so the send result is deliberately ignored.
         let _ = reply_tx.send(Ok(InferReply {
@@ -123,7 +142,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
         let mut reg = ModelRegistry::new();
-        let key = reg.register("m", model.clone());
+        let key = reg.register("m", model.clone()).expect("valid model name");
         let entry = reg.get(&key).unwrap();
 
         let metrics = Arc::new(Metrics::new());

@@ -17,9 +17,12 @@ fn boot(policy: BatchPolicy) -> (Server, VisionTransformer, TrainConfig) {
     let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
     let mut softmax = model.clone();
     softmax.set_variant(AttentionVariant::Softmax);
+    let mut unified = model.clone();
+    unified.set_variant(AttentionVariant::Unified { threshold: 0.5 });
     let mut registry = ModelRegistry::new();
-    registry.register("vit", model.clone());
-    registry.register("vit", softmax);
+    registry.register("vit", model.clone()).unwrap();
+    registry.register("vit", softmax).unwrap();
+    registry.register("vit", unified).unwrap();
     let server = Server::start(
         ServerConfig {
             policy,
@@ -81,17 +84,42 @@ fn concurrent_clients_get_exact_direct_inference_results() {
 }
 
 #[test]
-fn both_variants_serve_and_disagree() {
+fn all_three_variants_serve_and_disagree() {
     let (server, model, cfg) = boot(BatchPolicy::default());
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
     let img = image(&cfg, 7);
     let taylor = client.infer("vit:taylor", &img).expect("taylor");
     let softmax = client.infer("vit:softmax", &img).expect("softmax");
+    let unified = client.infer("vit:unified", &img).expect("unified");
     assert_eq!(taylor.logits, model.infer(&img).logits.row(0).to_vec());
     assert_ne!(
         taylor.logits, softmax.logits,
-        "the two variants share weights but not outputs"
+        "the variants share weights but not outputs"
     );
+    assert_ne!(unified.logits, taylor.logits);
+    // The unified serving path must equal direct inference with the unified variant.
+    let mut direct = model.clone();
+    direct.set_variant(AttentionVariant::Unified { threshold: 0.5 });
+    assert_eq!(
+        unified.logits,
+        direct.infer(&img).logits.row(0).to_vec(),
+        "served unified logits must equal direct inference bit-for-bit"
+    );
+
+    // Per-variant counters are observable on /metrics.
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let variants = metrics.get("variants").expect("variants block");
+    for label in ["taylor", "softmax", "unified"] {
+        let block = variants
+            .get(label)
+            .unwrap_or_else(|| panic!("missing /metrics variants.{label}"));
+        assert_eq!(
+            block.get("requests").and_then(JsonValue::as_usize),
+            Some(1),
+            "variant {label} request count"
+        );
+    }
     drop(client);
     server.shutdown();
 }
@@ -111,7 +139,7 @@ fn health_and_metrics_endpoints_report_state() {
         .iter()
         .filter_map(JsonValue::as_str)
         .collect();
-    assert_eq!(models, vec!["vit:softmax", "vit:taylor"]);
+    assert_eq!(models, vec!["vit:softmax", "vit:taylor", "vit:unified"]);
 
     let img = image(&cfg, 9);
     let reply = client.infer("vit:taylor", &img).expect("inference");

@@ -186,20 +186,53 @@ impl MatmulBackend {
     /// logically `k × n` after their layouts are applied) into a fresh buffer.
     pub fn gemm(self, m: usize, k: usize, n: usize, a: Operand<'_>, b: Operand<'_>) -> Vec<f32> {
         let mut out = vec![0.0f32; m * n];
+        self.dispatch(&mut out, m, k, n, a, b);
+        out
+    }
+
+    /// Computes the same product into a caller-provided buffer (the allocation-free
+    /// entry point behind the `Matrix::*_into` methods and the [`crate::Workspace`]
+    /// hot paths). The buffer is overwritten, not accumulated into.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n`.
+    pub fn gemm_into(
+        self,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b: Operand<'_>,
+    ) {
+        assert_eq!(out.len(), m * n, "gemm_into output buffer length");
+        out.fill(0.0);
+        self.dispatch(out, m, k, n, a, b);
+    }
+
+    fn dispatch(
+        self,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b: Operand<'_>,
+    ) {
         if m == 0 || n == 0 || k == 0 {
-            return out;
+            return;
         }
         match self {
-            MatmulBackend::Naive => gemm_naive(&mut out, m, k, n, a, b),
+            MatmulBackend::Naive => gemm_naive(out, m, k, n, a, b),
             MatmulBackend::Blocked => {
                 if m * k * n <= SMALL_GEMM_LIMIT {
-                    gemm_small(&mut out, m, k, n, a, b);
+                    gemm_small(out, m, k, n, a, b);
                 } else {
-                    gemm_blocked(&mut out, m, k, n, a, b);
+                    gemm_blocked(out, m, k, n, a, b);
                 }
             }
         }
-        out
     }
 }
 

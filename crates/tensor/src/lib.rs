@@ -13,6 +13,9 @@
 //!   docs for the blocking parameters and how to select a backend (the
 //!   `VITALITY_MATMUL_BACKEND` environment variable, [`set_matmul_backend`], or the
 //!   explicit `*_with` methods).
+//! * [`Workspace`] — a checkout/recycle scratch-buffer arena behind the allocation-free
+//!   `*_into` forms of the `Matrix` products, giving serving hot paths a zero-allocation
+//!   steady state (one workspace per thread; see [`with_thread_workspace`]).
 //! * [`Tensor3`] — a batched stack of equally-shaped matrices (batch or head dimension).
 //! * [`stats`] — histogram and interval-occupancy helpers used for the attention
 //!   distribution study (Fig. 3 of the paper).
@@ -38,11 +41,13 @@ pub mod init;
 pub mod matrix;
 pub mod stats;
 pub mod tensor3;
+pub mod workspace;
 
 pub use backend::{matmul_backend, set_matmul_backend, MatmulBackend};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;
 pub use tensor3::Tensor3;
+pub use workspace::{with_thread_workspace, Workspace};
 
 /// Numerical tolerance used by the approximate-equality helpers in this workspace.
 pub const DEFAULT_TOLERANCE: f32 = 1e-4;

@@ -362,6 +362,29 @@ impl Matrix {
         self.map(|v| v * factor)
     }
 
+    /// Adds `other` elementwise in place (the allocation-free residual-connection form
+    /// of [`Matrix::try_add`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Overwrites `self` with the contents of an equally-shaped `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Adds `value` to every element.
     pub fn add_scalar(&self, value: f32) -> Self {
         self.map(|v| v + value)
@@ -418,6 +441,92 @@ impl Matrix {
             cols: other.cols,
             data,
         }
+    }
+
+    /// Matrix product `self * other` written into `out` (the allocation-free form of
+    /// [`Matrix::matmul`], used by the [`crate::Workspace`]-threaded inference hot
+    /// paths). `out` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree or `out` is not `rows x other.cols`.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul_into inner dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        matmul_backend().gemm_into(
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            Operand::row_major(&self.data, self.cols),
+            Operand::row_major(&other.data, other.cols),
+        );
+    }
+
+    /// Matrix product `self * other.T` written into `out` (see [`Matrix::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols() != other.cols()` or `out` is not `rows x other.rows`.
+    pub fn matmul_transpose_b_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_transpose_b_into inner dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transpose_b_into output shape mismatch"
+        );
+        matmul_backend().gemm_into(
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+            Operand::row_major(&self.data, self.cols),
+            Operand::transposed(&other.data, other.cols),
+        );
+    }
+
+    /// Matrix product `self.T * other` written into `out` (see [`Matrix::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.rows() != other.rows()` or `out` is not `cols x other.cols`.
+    pub fn transpose_matmul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "transpose_matmul_into inner dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "transpose_matmul_into output shape mismatch"
+        );
+        matmul_backend().gemm_into(
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+            Operand::transposed(&self.data, self.cols),
+            Operand::row_major(&other.data, other.cols),
+        );
     }
 
     /// Matrix product `self * other` exploiting zeros in `self`.
@@ -598,7 +707,33 @@ impl Matrix {
 
     /// Column means as a `1 x d` row vector (`\bar{K}` in the paper).
     pub fn col_mean(&self) -> Self {
-        self.col_sum().scale(1.0 / self.rows.max(1) as f32)
+        let mut out = Self::zeros(1, self.cols);
+        self.col_mean_into(&mut out);
+        out
+    }
+
+    /// Column means written into a caller-provided `1 x cols` row vector (the
+    /// allocation-free form of [`Matrix::col_mean`], used by mean-pooling hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.shape() != (1, cols)`.
+    pub fn col_mean_into(&self, out: &mut Self) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "col_mean_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        for r in 0..self.rows {
+            for (acc, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *acc += v;
+            }
+        }
+        let inv_n = 1.0 / self.rows.max(1) as f32;
+        for acc in out.data.iter_mut() {
+            *acc *= inv_n;
+        }
     }
 
     /// Largest element; `f32::NEG_INFINITY` for an empty matrix.
@@ -835,10 +970,48 @@ impl Matrix {
     pub fn slice_cols(&self, start: usize, end: usize) -> Self {
         assert!(start <= end && end <= self.cols, "slice_cols out of bounds");
         let mut out = Self::zeros(self.rows, end - start);
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// Copies columns `start..end` into a caller-provided `rows x (end - start)` matrix
+    /// (the allocation-free form of [`Matrix::slice_cols`], used to split per-head
+    /// slices out of the fused Q/K/V projections).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or `out` has the wrong shape.
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Self) {
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols_into out of bounds"
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, end - start),
+            "slice_cols_into output shape mismatch"
+        );
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
-        out
+    }
+
+    /// Writes this matrix into columns `start..start + cols()` of a wider `out` matrix
+    /// with the same row count (the inverse of [`Matrix::slice_cols_into`], used to
+    /// merge per-head attention outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row counts differ or the column range does not fit.
+    pub fn place_cols_into(&self, start: usize, out: &mut Self) {
+        assert_eq!(self.rows, out.rows, "place_cols_into row count mismatch");
+        assert!(
+            start + self.cols <= out.cols,
+            "place_cols_into column range out of bounds"
+        );
+        for r in 0..self.rows {
+            out.row_mut(r)[start..start + self.cols].copy_from_slice(self.row(r));
+        }
     }
 
     /// Horizontally concatenates `self` with `other`.
@@ -1095,6 +1268,44 @@ mod tests {
         assert!(diff.approx_eq(&a, 1e-6));
         let scaled = &a * 3.0;
         assert!(scaled.approx_eq(&a.scale(3.0), 1e-6));
+    }
+
+    #[test]
+    fn into_products_match_their_allocating_forms() {
+        let a = sample();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let mut out = Matrix::filled(2, 2, f32::NAN); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert!(out.approx_eq(&a.matmul(&b), 0.0));
+
+        let bt = Matrix::from_rows(&[vec![1.0, 0.5, -1.0], vec![2.0, -2.0, 0.0]]).unwrap();
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_transpose_b_into(&bt, &mut out);
+        assert!(out.approx_eq(&a.matmul_transpose_b(&bt), 0.0));
+
+        let c = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut out = Matrix::zeros(3, 2);
+        a.transpose_matmul_into(&c, &mut out);
+        assert!(out.approx_eq(&a.transpose_matmul(&c), 0.0));
+    }
+
+    #[test]
+    fn inplace_add_copy_and_column_placement() {
+        let a = sample();
+        let mut acc = a.clone();
+        acc.add_assign(&a);
+        assert!(acc.approx_eq(&a.scale(2.0), 1e-6));
+        acc.copy_from(&a);
+        assert!(acc.approx_eq(&a, 0.0));
+
+        let mut head = Matrix::zeros(2, 2);
+        a.slice_cols_into(1, 3, &mut head);
+        assert!(head.approx_eq(&a.slice_cols(1, 3), 0.0));
+        let mut merged = Matrix::zeros(2, 4);
+        head.place_cols_into(2, &mut merged);
+        assert_eq!(merged.get(0, 2), a.get(0, 1));
+        assert_eq!(merged.get(1, 3), a.get(1, 2));
+        assert_eq!(merged.get(0, 0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! A reusable scratch-buffer arena for allocation-lean inference hot paths.
+//!
+//! Every layer of a ViT forward pass needs short-lived intermediates — projected
+//! queries/keys/values, per-head slices, attention scores, MLP hidden activations. The
+//! naive implementation allocates a fresh [`Matrix`] for each of them at every layer of
+//! every head of every image, which turns a served inference workload into a steady
+//! stream of heap traffic. A [`Workspace`] breaks that pattern: buffers are *checked
+//! out* for the duration of one computation and *recycled* back into the pool, so after
+//! a warmup pass the steady state performs **zero** hot-path allocations (verified by
+//! the counting-allocator regression test in `tests/alloc_regression.rs`).
+//!
+//! # Ownership discipline
+//!
+//! A `Workspace` is a plain owned value — thread it down the call chain as `&mut
+//! Workspace`. It is deliberately **not** `Sync`: every thread of a parallel region
+//! owns its own workspace (see [`with_thread_workspace`] for the thread-local form the
+//! batched inference path uses). Checkout and recycle must be balanced by the caller;
+//! an unrecycled buffer is not leaked (it is just an ordinary `Matrix`/`Vec`), but it
+//! costs one pool miss — and therefore one allocation — on the next checkout.
+//!
+//! # Example
+//!
+//! ```
+//! use vitality_tensor::{Matrix, Workspace};
+//!
+//! let a = Matrix::from_fn(8, 4, |i, j| (i + j) as f32);
+//! let b = Matrix::from_fn(4, 6, |i, j| (i * j) as f32 * 0.1);
+//!
+//! let mut ws = Workspace::new();
+//! let mut out = ws.take(8, 6);          // first checkout allocates...
+//! a.matmul_into(&b, &mut out);
+//! assert_eq!(out.shape(), (8, 6));
+//! ws.recycle(out);
+//!
+//! let out = ws.take(8, 6);              // ...the second one reuses the same buffer
+//! assert_eq!(ws.pool_hits(), 1);
+//! ws.recycle(out);
+//! ```
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+
+/// Upper bound on pooled buffers per kind; checkouts beyond a balanced pattern drop the
+/// smallest buffer instead of growing the pool without bound.
+const MAX_POOLED: usize = 64;
+
+/// A pool of reusable `f32` and index buffers backing [`Matrix`] and `Vec` checkouts.
+///
+/// See the [module documentation](self) for the ownership discipline and an example,
+/// and [`crate::Matrix::matmul_into`] for the `*_into` operations designed to pair
+/// with it.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    f32_pool: Vec<Vec<f32>>,
+    idx_pool: Vec<Vec<usize>>,
+    checkouts: u64,
+    hits: u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a zeroed `rows x cols` matrix, reusing a pooled buffer when one with
+    /// sufficient capacity exists (best fit).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let data = self.take_vec(rows * cols);
+        Matrix::from_vec(rows, cols, data).expect("workspace buffer length")
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.recycle_vec(m.into_vec());
+    }
+
+    /// Checks out a zeroed `f32` buffer of exactly `len` elements.
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        self.checkouts += 1;
+        match best_fit(&self.f32_pool, len, Vec::capacity) {
+            Some(i) => {
+                self.hits += 1;
+                let mut v = self.f32_pool.swap_remove(i);
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            // Nothing fits: grow the *largest* pooled buffer (one realloc, and it
+            // serves this size from the pool afterwards) rather than sacrificing a
+            // small size class that would then miss on its own next checkout.
+            None => match take_largest(&mut self.f32_pool) {
+                Some(mut v) => {
+                    v.clear();
+                    v.resize(len, 0.0);
+                    v
+                }
+                None => vec![0.0; len],
+            },
+        }
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        if self.f32_pool.len() >= MAX_POOLED {
+            drop_smallest(&mut self.f32_pool, Vec::capacity);
+        }
+        self.f32_pool.push(v);
+    }
+
+    /// Checks out an **empty** index buffer (capacity reused from the pool); callers
+    /// push into it and hand it back with [`Workspace::recycle_indices`].
+    pub fn take_indices(&mut self) -> Vec<usize> {
+        self.checkouts += 1;
+        match self.idx_pool.pop() {
+            Some(mut v) => {
+                self.hits += 1;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns an index buffer to the pool.
+    pub fn recycle_indices(&mut self, v: Vec<usize>) {
+        if self.idx_pool.len() >= MAX_POOLED {
+            drop_smallest(&mut self.idx_pool, Vec::capacity);
+        }
+        self.idx_pool.push(v);
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.f32_pool.len() + self.idx_pool.len()
+    }
+
+    /// Total bytes currently parked in the pool.
+    pub fn pooled_bytes(&self) -> usize {
+        self.f32_pool
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<f32>())
+            .sum::<usize>()
+            + self
+                .idx_pool
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Total checkouts since creation.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Checkouts served from the pool (no allocation). `checkouts - pool_hits` bounds
+    /// the number of allocations the workspace performed.
+    pub fn pool_hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// Index of the pooled buffer with the smallest capacity that still fits `len`.
+fn best_fit<T>(pool: &[T], len: usize, cap: impl Fn(&T) -> usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, buf) in pool.iter().enumerate() {
+        let c = cap(buf);
+        if c >= len && best.is_none_or(|(_, bc)| c < bc) {
+            best = Some((i, c));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Removes and returns the largest-capacity pooled buffer, if any.
+fn take_largest(pool: &mut Vec<Vec<f32>>) -> Option<Vec<f32>> {
+    let (i, _) = pool
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.capacity()))
+        .max_by_key(|&(_, c)| c)?;
+    Some(pool.swap_remove(i))
+}
+
+/// Drops the smallest-capacity buffer to keep the pool bounded.
+fn drop_smallest<T>(pool: &mut Vec<T>, cap: impl Fn(&T) -> usize) {
+    if let Some((i, _)) = pool
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, cap(v)))
+        .min_by_key(|&(_, c)| c)
+    {
+        pool.swap_remove(i);
+    }
+}
+
+std::thread_local! {
+    static THREAD_WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with this thread's workspace.
+///
+/// The workspace lives for the thread's lifetime, so repeated calls on the same thread
+/// (a serving worker answering request after request) reuse the same warm pool. Do not
+/// call [`with_thread_workspace`] re-entrantly from inside `f` — the inner call would
+/// panic on the already-borrowed `RefCell`; pass the outer `&mut Workspace` down
+/// instead.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_returns_zeroed_buffers_of_the_requested_shape() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.iter().all(|&v| v == 0.0));
+        m.set(1, 1, 5.0);
+        ws.recycle(m);
+        // The recycled (dirty) buffer comes back zeroed.
+        let m = ws.take(3, 4);
+        assert!(m.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.checkouts(), 2);
+        assert_eq!(ws.pool_hits(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(10, 10);
+        let small = ws.take(2, 2);
+        ws.recycle(big);
+        ws.recycle(small);
+        let hits_before = ws.pool_hits();
+        let m = ws.take(2, 2);
+        assert_eq!(ws.pool_hits(), hits_before + 1);
+        ws.recycle(m);
+        // Both buffers are still pooled: the 2x2 checkout must not have consumed the
+        // 10x10 buffer.
+        assert_eq!(ws.pooled_buffers(), 2);
+        assert!(ws.pooled_bytes() >= (100 + 4) * 4);
+    }
+
+    #[test]
+    fn steady_state_checkouts_always_hit_the_pool() {
+        let mut ws = Workspace::new();
+        // Warm up with the shapes of a fake per-layer pattern.
+        for _ in 0..2 {
+            let a = ws.take(16, 16);
+            let b = ws.take(16, 32);
+            let c = ws.take(1, 16);
+            ws.recycle(a);
+            ws.recycle(b);
+            ws.recycle(c);
+        }
+        let (checkouts, hits) = (ws.checkouts(), ws.pool_hits());
+        for _ in 0..10 {
+            let a = ws.take(16, 16);
+            let b = ws.take(16, 32);
+            let c = ws.take(1, 16);
+            ws.recycle(a);
+            ws.recycle(b);
+            ws.recycle(c);
+        }
+        assert_eq!(
+            ws.checkouts() - checkouts,
+            ws.pool_hits() - hits,
+            "steady-state checkouts must all be pool hits"
+        );
+    }
+
+    #[test]
+    fn index_buffers_reuse_capacity() {
+        let mut ws = Workspace::new();
+        let mut idx = ws.take_indices();
+        idx.extend(0..100);
+        ws.recycle_indices(idx);
+        let idx = ws.take_indices();
+        assert!(idx.is_empty());
+        assert!(idx.capacity() >= 100);
+        ws.recycle_indices(idx);
+    }
+
+    #[test]
+    fn pool_stays_bounded() {
+        let mut ws = Workspace::new();
+        let buffers: Vec<Matrix> = (1..=2 * MAX_POOLED).map(|i| ws.take(1, i)).collect();
+        for b in buffers {
+            ws.recycle(b);
+        }
+        assert!(ws.pooled_buffers() <= MAX_POOLED + 1);
+    }
+
+    #[test]
+    fn thread_workspace_persists_across_calls() {
+        let first = with_thread_workspace(|ws| {
+            let m = ws.take(4, 4);
+            ws.recycle(m);
+            ws.checkouts()
+        });
+        let second = with_thread_workspace(|ws| {
+            let m = ws.take(4, 4);
+            ws.recycle(m);
+            ws.checkouts()
+        });
+        assert!(second > first, "thread workspace must accumulate state");
+    }
+}

@@ -1,16 +1,26 @@
-//! Multi-head attention and the Transformer block with a pluggable attention variant.
+//! Multi-head attention and the Transformer block with a pluggable attention kernel.
+//!
+//! [`AttentionVariant`] is the *configuration* — a small copyable enum naming which
+//! attention a model runs and its hyper-parameters. The *implementation* is an
+//! [`AttentionKernel`] built **once** per model by [`AttentionVariant::kernel`] and held
+//! behind an `Arc` inside every [`MultiHeadAttention`]; the inference hot path never
+//! constructs an attention object, never matches on the variant, and draws every
+//! intermediate (projections, per-head slices, head merges) from the caller's
+//! [`Workspace`]. Adding a served variant therefore means implementing
+//! `AttentionKernel` in `vitality-attention` and adding one arm to
+//! [`AttentionVariant::kernel`] — nothing in this module's data flow changes.
 
 use rand::Rng;
-use rayon::prelude::*;
+use std::sync::Arc;
 
 use vitality_attention::{
-    mean_center_keys, AttentionMechanism, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
-    UnifiedLowRankSparseAttention,
+    AttentionKernel, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
+    UnifiedAttentionKernel,
 };
 use vitality_autograd::{Graph, Var};
 use vitality_nn::registry::{NamedParameters, ParamRegistry};
 use vitality_nn::{Activation, LayerNorm, Linear, Mlp};
-use vitality_tensor::Matrix;
+use vitality_tensor::{Matrix, Workspace};
 
 /// Which attention mechanism a model uses, covering every training scheme of the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,7 +36,8 @@ pub enum AttentionVariant {
         /// Sparsity threshold applied to the predicted attention.
         threshold: f32,
     },
-    /// Unified low-rank + sparse attention with the given threshold (ViTALiTy training).
+    /// Unified low-rank + sparse attention with the given threshold (ViTALiTy training,
+    /// served by the fused low-rank + SDDMM kernel).
     Unified {
         /// Sparsity threshold of the sparse component.
         threshold: f32,
@@ -34,7 +45,9 @@ pub enum AttentionVariant {
 }
 
 impl AttentionVariant {
-    /// Short label used in experiment output.
+    /// Short label used in experiment output and as the `variant` half of serving
+    /// registry keys; always equal to the built kernel's
+    /// [`label`](AttentionKernel::label).
     pub fn label(&self) -> &'static str {
         match self {
             AttentionVariant::Softmax => "softmax",
@@ -45,71 +58,31 @@ impl AttentionVariant {
         }
     }
 
-    /// Per-head inference computation.
-    pub fn infer(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    /// Builds the attention kernel this variant is served by.
+    ///
+    /// This is the single construction point: models call it once (at construction or
+    /// on [`MultiHeadAttention::set_variant`]) and share the result across layers,
+    /// heads, threads and requests.
+    pub fn kernel(&self) -> Arc<dyn AttentionKernel> {
         match *self {
-            AttentionVariant::Softmax => SoftmaxAttention::new().compute(q, k, v),
-            AttentionVariant::Taylor => TaylorAttention::new().compute(q, k, v),
+            AttentionVariant::Softmax => Arc::new(SoftmaxAttention::new()),
+            AttentionVariant::Taylor => Arc::new(TaylorAttention::new()),
             AttentionVariant::TaylorNoCentering => {
-                TaylorAttention::without_mean_centering().compute(q, k, v)
+                Arc::new(TaylorAttention::without_mean_centering())
             }
             AttentionVariant::Sparse { threshold } => {
-                SangerSparseAttention::new(threshold).compute(q, k, v)
+                Arc::new(SangerSparseAttention::new(threshold))
             }
             AttentionVariant::Unified { threshold } => {
-                UnifiedLowRankSparseAttention::new(threshold).compute(q, k, v)
+                Arc::new(UnifiedAttentionKernel::new(threshold))
             }
-        }
-    }
-
-    /// Per-head training computation on the autograd tape.
-    pub fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
-        match *self {
-            AttentionVariant::Softmax => SoftmaxAttention::new().forward_train(q, k, v),
-            AttentionVariant::Taylor => TaylorAttention::new().forward_train(q, k, v),
-            AttentionVariant::TaylorNoCentering => {
-                TaylorAttention::without_mean_centering().forward_train(q, k, v)
-            }
-            AttentionVariant::Sparse { threshold } => sparse_forward_train(threshold, q, k, v),
-            AttentionVariant::Unified { threshold } => {
-                UnifiedLowRankSparseAttention::new(threshold).forward_train(q, k, v)
-            }
-        }
-    }
-
-    /// Fraction of non-zero entries in the training-time sparse component (Fig. 14);
-    /// zero for variants without a sparse component.
-    pub fn sparse_occupancy(&self, q: &Matrix, k: &Matrix) -> f32 {
-        match *self {
-            AttentionVariant::Unified { threshold } => {
-                UnifiedLowRankSparseAttention::new(threshold).sparse_occupancy(q, k)
-            }
-            AttentionVariant::Sparse { threshold } => SangerSparseAttention::new(threshold)
-                .prediction_mask(q, &mean_center_keys(k))
-                .sparsity()
-                .mul_add(-1.0, 1.0),
-            _ => 0.0,
         }
     }
 }
 
-/// Differentiable Sanger-style sparse attention: the mask comes from the quantized
-/// prediction (treated as a constant), the surviving probabilities are renormalised per
-/// row, gradients flow through the full-precision path only.
-fn sparse_forward_train(threshold: f32, q: &Var, k: &Var, v: &Var) -> Var {
-    let d = q.shape().1 as f32;
-    let mask = SangerSparseAttention::new(threshold).prediction_mask(&q.value(), &k.value());
-    let probs = q
-        .matmul_transpose_b(k)
-        .scale(1.0 / d.sqrt())
-        .softmax_rows()
-        .apply_mask(&mask);
-    let renormalised = probs.broadcast_div_col(&probs.row_sum().add_scalar(1e-9));
-    renormalised.matmul(v)
-}
-
-/// Multi-head attention module: Q/K/V projections, per-head attention, head merge and the
-/// output projection.
+/// Multi-head attention module: Q/K/V projections, per-head attention through a kernel
+/// built once from the configured [`AttentionVariant`], head merge and the output
+/// projection.
 #[derive(Debug, Clone)]
 pub struct MultiHeadAttention {
     wq: Linear,
@@ -117,15 +90,23 @@ pub struct MultiHeadAttention {
     wv: Linear,
     wo: Linear,
     heads: usize,
+    variant: AttentionVariant,
+    kernel: Arc<dyn AttentionKernel>,
 }
 
 impl MultiHeadAttention {
-    /// Creates a multi-head attention over `embed_dim` features with `heads` heads.
+    /// Creates a multi-head attention over `embed_dim` features with `heads` heads
+    /// running the given attention variant.
     ///
     /// # Panics
     ///
     /// Panics when `embed_dim` is not divisible by `heads`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, embed_dim: usize, heads: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        embed_dim: usize,
+        heads: usize,
+        variant: AttentionVariant,
+    ) -> Self {
         assert!(
             heads > 0 && embed_dim.is_multiple_of(heads),
             "embed_dim must divide evenly into heads"
@@ -136,6 +117,8 @@ impl MultiHeadAttention {
             wv: Linear::new(rng, embed_dim, embed_dim, true),
             wo: Linear::new(rng, embed_dim, embed_dim, true),
             heads,
+            variant,
+            kernel: variant.kernel(),
         }
     }
 
@@ -149,13 +132,28 @@ impl MultiHeadAttention {
         self.wq.out_features() / self.heads
     }
 
-    /// Training forward pass with the given attention variant.
+    /// The configured attention variant.
+    pub fn variant(&self) -> AttentionVariant {
+        self.variant
+    }
+
+    /// The kernel every head runs (shared, built once per variant switch).
+    pub fn kernel(&self) -> &dyn AttentionKernel {
+        self.kernel.as_ref()
+    }
+
+    /// Switches the attention variant, rebuilding the kernel exactly once.
+    pub fn set_variant(&mut self, variant: AttentionVariant) {
+        self.variant = variant;
+        self.kernel = variant.kernel();
+    }
+
+    /// Training forward pass on the autograd tape (per-head kernel `forward_train`).
     pub fn forward_train(
         &self,
         graph: &Graph,
         reg: &mut ParamRegistry,
         prefix: &str,
-        variant: AttentionVariant,
         x: &Var,
     ) -> Var {
         let q = self.wq.forward(graph, reg, &format!("{prefix}.wq"), x);
@@ -168,41 +166,64 @@ impl MultiHeadAttention {
             let qh = q.slice_cols(lo, hi);
             let kh = k.slice_cols(lo, hi);
             let vh = v.slice_cols(lo, hi);
-            head_outputs.push(variant.forward_train(&qh, &kh, &vh));
+            head_outputs.push(self.kernel.forward_train(&qh, &kh, &vh));
         }
         let merged = Var::concat_cols(&head_outputs);
         self.wo
             .forward(graph, reg, &format!("{prefix}.wo"), &merged)
     }
 
-    /// Inference forward pass with the given attention variant.
+    /// Inference forward pass (convenience wrapper over a throwaway workspace).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(x.rows(), self.wo.out_features());
+        self.infer_into(x, &mut ws, &mut out);
+        out
+    }
+
+    /// Allocation-free inference forward pass into `x.rows() x embed_dim` output
+    /// storage.
     ///
-    /// Heads are data-independent, so the per-head attention computations fan out over
-    /// rayon worker threads and the head outputs are merged back in column order.
-    pub fn infer(&self, variant: AttentionVariant, x: &Matrix) -> Matrix {
-        let q = self.wq.infer(x);
-        let k = self.wk.infer(x);
-        let v = self.wv.infer(x);
+    /// Projections, per-head slices, head outputs and the merge buffer all come from
+    /// `ws`; heads run sequentially through the shared kernel (parallelism belongs to
+    /// the per-image axis in `VisionTransformer::infer_batch`, which gives every worker
+    /// thread its own workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes are inconsistent.
+    pub fn infer_into(&self, x: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        let n = x.rows();
+        let e = self.wq.out_features();
         let hd = self.head_dim();
-        let head_outputs: Vec<Matrix> = (0..self.heads)
-            .into_par_iter()
-            .map(|h| {
-                let (lo, hi) = (h * hd, (h + 1) * hd);
-                variant.infer(
-                    &q.slice_cols(lo, hi),
-                    &k.slice_cols(lo, hi),
-                    &v.slice_cols(lo, hi),
-                )
-            })
-            .collect();
-        let mut merged = Matrix::zeros(x.rows(), self.heads * hd);
-        for (h, z) in head_outputs.iter().enumerate() {
-            let lo = h * hd;
-            for r in 0..z.rows() {
-                merged.row_mut(r)[lo..lo + hd].copy_from_slice(z.row(r));
-            }
+        let mut q = ws.take(n, e);
+        let mut k = ws.take(n, e);
+        let mut v = ws.take(n, e);
+        self.wq.infer_into(x, &mut q);
+        self.wk.infer_into(x, &mut k);
+        self.wv.infer_into(x, &mut v);
+        let mut merged = ws.take(n, e);
+        let mut qh = ws.take(n, hd);
+        let mut kh = ws.take(n, hd);
+        let mut vh = ws.take(n, hd);
+        let mut zh = ws.take(n, hd);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * hd, (h + 1) * hd);
+            q.slice_cols_into(lo, hi, &mut qh);
+            k.slice_cols_into(lo, hi, &mut kh);
+            v.slice_cols_into(lo, hi, &mut vh);
+            self.kernel.compute_into(&qh, &kh, &vh, ws, &mut zh);
+            zh.place_cols_into(lo, &mut merged);
         }
-        self.wo.infer(&merged)
+        self.wo.infer_into(&merged, out);
+        ws.recycle(q);
+        ws.recycle(k);
+        ws.recycle(v);
+        ws.recycle(merged);
+        ws.recycle(qh);
+        ws.recycle(kh);
+        ws.recycle(vh);
+        ws.recycle(zh);
     }
 
     /// Per-head scaled attention logits (raw and mean-centred), used by the Fig. 3
@@ -217,22 +238,27 @@ impl MultiHeadAttention {
                 let qh = q.slice_cols(lo, hi);
                 let kh = k.slice_cols(lo, hi);
                 let raw = vitality_attention::softmax::scaled_similarity(&qh, &kh);
-                let centred =
-                    vitality_attention::softmax::scaled_similarity(&qh, &mean_center_keys(&kh));
+                let centred = vitality_attention::softmax::scaled_similarity(
+                    &qh,
+                    &vitality_attention::mean_center_keys(&kh),
+                );
                 (raw, centred)
             })
             .collect()
     }
 
-    /// Mean sparse-component occupancy across heads (Fig. 14 probe).
-    pub fn sparse_occupancy(&self, variant: AttentionVariant, x: &Matrix) -> f32 {
+    /// Mean sparse-component occupancy across heads (Fig. 14 probe); zero for kernels
+    /// without a sparse component.
+    pub fn sparse_occupancy(&self, x: &Matrix) -> f32 {
         let q = self.wq.infer(x);
         let k = self.wk.infer(x);
         let hd = self.head_dim();
         let mut total = 0.0;
         for h in 0..self.heads {
             let (lo, hi) = (h * hd, (h + 1) * hd);
-            total += variant.sparse_occupancy(&q.slice_cols(lo, hi), &k.slice_cols(lo, hi));
+            total += self
+                .kernel
+                .sparse_occupancy(&q.slice_cols(lo, hi), &k.slice_cols(lo, hi));
         }
         total / self.heads as f32
     }
@@ -268,18 +294,19 @@ pub struct TransformerBlock {
 }
 
 impl TransformerBlock {
-    /// Creates a block over `embed_dim` features with `heads` heads and the given MLP
-    /// expansion ratio.
+    /// Creates a block over `embed_dim` features with `heads` heads, the given MLP
+    /// expansion ratio and attention variant.
     pub fn new<R: Rng + ?Sized>(
         rng: &mut R,
         embed_dim: usize,
         heads: usize,
         mlp_ratio: f32,
+        variant: AttentionVariant,
     ) -> Self {
         let hidden = ((embed_dim as f32) * mlp_ratio).round().max(1.0) as usize;
         Self {
             norm1: LayerNorm::new(embed_dim),
-            attn: MultiHeadAttention::new(rng, embed_dim, heads),
+            attn: MultiHeadAttention::new(rng, embed_dim, heads, variant),
             norm2: LayerNorm::new(embed_dim),
             mlp: Mlp::new(rng, embed_dim, hidden, Activation::Gelu),
         }
@@ -290,21 +317,25 @@ impl TransformerBlock {
         &self.attn
     }
 
+    /// Switches the attention variant (rebuilds the attention kernel once).
+    pub fn set_variant(&mut self, variant: AttentionVariant) {
+        self.attn.set_variant(variant);
+    }
+
     /// Training forward pass.
     pub fn forward_train(
         &self,
         graph: &Graph,
         reg: &mut ParamRegistry,
         prefix: &str,
-        variant: AttentionVariant,
         x: &Var,
     ) -> Var {
         let normed = self
             .norm1
             .forward(graph, reg, &format!("{prefix}.norm1"), x);
-        let attended =
-            self.attn
-                .forward_train(graph, reg, &format!("{prefix}.attn"), variant, &normed);
+        let attended = self
+            .attn
+            .forward_train(graph, reg, &format!("{prefix}.attn"), &normed);
         let x = x.add(&attended);
         let normed = self
             .norm2
@@ -315,12 +346,30 @@ impl TransformerBlock {
         x.add(&expanded)
     }
 
-    /// Inference forward pass.
-    pub fn infer(&self, variant: AttentionVariant, x: &Matrix) -> Matrix {
-        let attended = self.attn.infer(variant, &self.norm1.infer(x));
-        let x = x.try_add(&attended).expect("residual shapes");
-        let expanded = self.mlp.infer(&self.norm2.infer(&x));
-        x.try_add(&expanded).expect("residual shapes")
+    /// Inference forward pass (convenience wrapper over a throwaway workspace).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        let mut ws = Workspace::new();
+        self.infer_inplace(&mut out, &mut ws);
+        out
+    }
+
+    /// Allocation-free inference forward pass, updating the token matrix in place.
+    ///
+    /// The two normalisation buffers and the residual-delta buffer come from `ws`; the
+    /// attention sub-module draws its own intermediates from the same workspace.
+    pub fn infer_inplace(&self, x: &mut Matrix, ws: &mut Workspace) {
+        let (n, e) = x.shape();
+        let mut normed = ws.take(n, e);
+        let mut delta = ws.take(n, e);
+        self.norm1.infer_into(x, &mut normed);
+        self.attn.infer_into(&normed, ws, &mut delta);
+        x.add_assign(&delta);
+        self.norm2.infer_into(x, &mut normed);
+        self.mlp.infer_into(&normed, ws, &mut delta);
+        x.add_assign(&delta);
+        ws.recycle(normed);
+        ws.recycle(delta);
     }
 }
 
@@ -361,12 +410,14 @@ mod tests {
     #[test]
     fn mha_output_shape_and_parameters() {
         let mut rng = StdRng::seed_from_u64(100);
-        let mha = MultiHeadAttention::new(&mut rng, 16, 4);
+        let mha = MultiHeadAttention::new(&mut rng, 16, 4, AttentionVariant::Softmax);
         assert_eq!(mha.heads(), 4);
         assert_eq!(mha.head_dim(), 4);
         assert_eq!(mha.parameter_count(), 4 * (16 * 16 + 16));
+        assert_eq!(mha.variant(), AttentionVariant::Softmax);
+        assert_eq!(mha.kernel().label(), "softmax");
         let x = tokens(9, 16, 1);
-        let y = mha.infer(AttentionVariant::Softmax, &x);
+        let y = mha.infer(&x);
         assert_eq!(y.shape(), (9, 16));
     }
 
@@ -374,13 +425,13 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn mha_rejects_indivisible_heads() {
         let mut rng = StdRng::seed_from_u64(101);
-        let _ = MultiHeadAttention::new(&mut rng, 10, 3);
+        let _ = MultiHeadAttention::new(&mut rng, 10, 3, AttentionVariant::Softmax);
     }
 
     #[test]
     fn forward_train_matches_infer_for_every_variant() {
         let mut rng = StdRng::seed_from_u64(102);
-        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2, AttentionVariant::Softmax);
         let x = tokens(6, 8, 2);
         for variant in [
             AttentionVariant::Softmax,
@@ -389,11 +440,13 @@ mod tests {
             AttentionVariant::Sparse { threshold: 0.05 },
             AttentionVariant::Unified { threshold: 0.1 },
         ] {
+            mha.set_variant(variant);
+            assert_eq!(mha.kernel().label(), variant.label());
             let graph = Graph::new();
             let mut reg = ParamRegistry::new();
             let xv = graph.constant(x.clone());
-            let trained = mha.forward_train(&graph, &mut reg, "attn", variant, &xv);
-            let inferred = mha.infer(variant, &x);
+            let trained = mha.forward_train(&graph, &mut reg, "attn", &xv);
+            let inferred = mha.infer(&x);
             assert!(
                 trained.value().approx_eq(&inferred, 2e-2),
                 "variant {} diverges: {}",
@@ -404,13 +457,32 @@ mod tests {
     }
 
     #[test]
+    fn infer_into_reuses_a_warm_workspace_without_allocating() {
+        let mut rng = StdRng::seed_from_u64(106);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2, AttentionVariant::Taylor);
+        let x = tokens(6, 8, 6);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(6, 8);
+        mha.infer_into(&x, &mut ws, &mut out);
+        let first = out.clone();
+        let (checkouts, hits) = (ws.checkouts(), ws.pool_hits());
+        mha.infer_into(&x, &mut ws, &mut out);
+        assert_eq!(out, first, "workspace reuse must be bit-exact");
+        assert_eq!(
+            ws.checkouts() - checkouts,
+            ws.pool_hits() - hits,
+            "warm workspace must serve every checkout from the pool"
+        );
+    }
+
+    #[test]
     fn gradients_flow_through_all_projections() {
         let mut rng = StdRng::seed_from_u64(103);
-        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let mha = MultiHeadAttention::new(&mut rng, 8, 2, AttentionVariant::Taylor);
         let graph = Graph::new();
         let mut reg = ParamRegistry::new();
         let x = graph.constant(tokens(5, 8, 3));
-        let y = mha.forward_train(&graph, &mut reg, "attn", AttentionVariant::Taylor, &x);
+        let y = mha.forward_train(&graph, &mut reg, "attn", &x);
         let grads = graph.backward(&y.mean_all());
         for name in [
             "attn.wq.weight",
@@ -425,50 +497,45 @@ mod tests {
     #[test]
     fn head_logits_and_sparse_occupancy_probe() {
         let mut rng = StdRng::seed_from_u64(104);
-        let mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2, AttentionVariant::Softmax);
         let x = tokens(7, 8, 4);
         let logits = mha.head_logits(&x);
         assert_eq!(logits.len(), 2);
         assert_eq!(logits[0].0.shape(), (7, 7));
         assert_eq!(logits[0].1.shape(), (7, 7));
-        let occupancy = mha.sparse_occupancy(AttentionVariant::Unified { threshold: 0.5 }, &x);
+        mha.set_variant(AttentionVariant::Unified { threshold: 0.5 });
+        let occupancy = mha.sparse_occupancy(&x);
         assert!((0.0..=1.0).contains(&occupancy));
-        assert_eq!(mha.sparse_occupancy(AttentionVariant::Taylor, &x), 0.0);
+        mha.set_variant(AttentionVariant::Taylor);
+        assert_eq!(mha.sparse_occupancy(&x), 0.0);
     }
 
     #[test]
     fn transformer_block_train_matches_infer() {
         let mut rng = StdRng::seed_from_u64(105);
-        let block = TransformerBlock::new(&mut rng, 8, 2, 2.0);
+        let block = TransformerBlock::new(&mut rng, 8, 2, 2.0, AttentionVariant::Softmax);
         let x = tokens(6, 8, 5);
         let graph = Graph::new();
         let mut reg = ParamRegistry::new();
-        let y = block.forward_train(
-            &graph,
-            &mut reg,
-            "block0",
-            AttentionVariant::Softmax,
-            &graph.constant(x.clone()),
-        );
-        assert!(y
-            .value()
-            .approx_eq(&block.infer(AttentionVariant::Softmax, &x), 1e-3));
+        let y = block.forward_train(&graph, &mut reg, "block0", &graph.constant(x.clone()));
+        assert!(y.value().approx_eq(&block.infer(&x), 1e-3));
         assert!(block.parameter_count() > 0);
         assert_eq!(block.attention().heads(), 2);
     }
 
     #[test]
-    fn variant_labels_are_stable() {
+    fn variant_labels_match_their_kernels() {
+        for variant in [
+            AttentionVariant::Softmax,
+            AttentionVariant::Taylor,
+            AttentionVariant::TaylorNoCentering,
+            AttentionVariant::Sparse { threshold: 0.1 },
+            AttentionVariant::Unified { threshold: 0.1 },
+        ] {
+            assert_eq!(variant.kernel().label(), variant.label());
+        }
         assert_eq!(AttentionVariant::Softmax.label(), "softmax");
         assert_eq!(AttentionVariant::Taylor.label(), "taylor");
-        assert_eq!(
-            AttentionVariant::Sparse { threshold: 0.1 }.label(),
-            "sparse"
-        );
-        assert_eq!(
-            AttentionVariant::Unified { threshold: 0.1 }.label(),
-            "unified"
-        );
         assert_eq!(
             AttentionVariant::TaylorNoCentering.label(),
             "taylor-no-centering"

@@ -8,7 +8,7 @@ use crate::config::TrainConfig;
 use vitality_autograd::{Graph, Var};
 use vitality_nn::registry::{NamedParameters, ParamRegistry};
 use vitality_nn::{ClassificationHead, PatchEmbed};
-use vitality_tensor::Matrix;
+use vitality_tensor::{with_thread_workspace, Matrix, Workspace};
 
 /// Result of an inference pass: the logits plus the final token representations.
 #[derive(Debug, Clone)]
@@ -49,7 +49,15 @@ impl VisionTransformer {
         config.validate();
         let embed = PatchEmbed::new(rng, config.patch_size, config.tokens(), config.embed_dim);
         let blocks = (0..config.layers)
-            .map(|_| TransformerBlock::new(rng, config.embed_dim, config.heads, config.mlp_ratio))
+            .map(|_| {
+                TransformerBlock::new(
+                    rng,
+                    config.embed_dim,
+                    config.heads,
+                    config.mlp_ratio,
+                    variant,
+                )
+            })
             .collect();
         let head = ClassificationHead::new(rng, config.embed_dim, config.classes);
         Self {
@@ -83,9 +91,13 @@ impl VisionTransformer {
     }
 
     /// Switches the attention variant (e.g. from training-time Unified to inference-time
-    /// Taylor) without touching the weights.
+    /// Taylor) without touching the weights. Every block's attention kernel is rebuilt
+    /// exactly once here — never on the inference path.
     pub fn set_variant(&mut self, variant: AttentionVariant) {
         self.variant = variant;
+        for block in &mut self.blocks {
+            block.set_variant(variant);
+        }
     }
 
     /// Number of Transformer blocks.
@@ -97,30 +109,67 @@ impl VisionTransformer {
     pub fn forward_train(&self, graph: &Graph, reg: &mut ParamRegistry, image: &Matrix) -> Var {
         let mut x = self.embed.forward(graph, reg, "embed", image);
         for (i, block) in self.blocks.iter().enumerate() {
-            x = block.forward_train(graph, reg, &format!("block{i}"), self.variant, &x);
+            x = block.forward_train(graph, reg, &format!("block{i}"), &x);
         }
         self.head.forward(graph, reg, "head", &x)
     }
 
     /// Inference pass producing logits and the final token representations.
+    ///
+    /// Runs on the calling thread's persistent [`Workspace`], so repeated calls from
+    /// the same thread (a serving worker) reuse warm scratch buffers.
     pub fn infer(&self, image: &Matrix) -> VitOutput {
-        let mut x = self.embed.infer(image);
+        with_thread_workspace(|ws| self.infer_with(image, ws))
+    }
+
+    /// Inference pass drawing every intermediate from the caller's workspace.
+    ///
+    /// The returned [`VitOutput`] matrices are themselves workspace checkouts: recycle
+    /// them back (as [`VisionTransformer::infer_batch_into`] does between rounds) and
+    /// the steady state performs zero hot-path allocations.
+    pub fn infer_with(&self, image: &Matrix, ws: &mut Workspace) -> VitOutput {
+        let mut x = ws.take(self.config.tokens(), self.config.embed_dim);
+        self.embed.infer_into(image, ws, &mut x);
         for block in &self.blocks {
-            x = block.infer(self.variant, &x);
+            block.infer_inplace(&mut x, ws);
         }
-        VitOutput {
-            logits: self.head.infer(&x),
-            tokens: x,
-        }
+        let mut logits = ws.take(1, self.config.classes);
+        self.head.infer_into(&x, ws, &mut logits);
+        VitOutput { logits, tokens: x }
     }
 
     /// Inference over a batch of images, one rayon work unit per image.
     ///
     /// The per-image token matrices are completely independent, so this is the
-    /// model-level parallel axis that complements the per-head fan-out inside each
-    /// block; outputs come back in input order.
+    /// model-level parallel axis; each worker thread runs on its own persistent
+    /// workspace. Outputs come back in input order.
     pub fn infer_batch(&self, images: &[Matrix]) -> Vec<VitOutput> {
         images.par_iter().map(|image| self.infer(image)).collect()
+    }
+
+    /// Steady-state batched inference: refills `outputs` with one [`VitOutput`] per
+    /// image, recycling the previous round's outputs into `ws` first.
+    ///
+    /// This is the allocation-free serving loop: after a warmup round every buffer —
+    /// projections, attention scratch, token matrices, logits — is a workspace pool
+    /// hit, which the counting-allocator regression test (`tests/alloc_regression.rs`)
+    /// asserts is exactly zero heap traffic. Images are processed sequentially on the
+    /// calling thread; use [`VisionTransformer::infer_batch`] when parallel fan-out
+    /// matters more than allocation discipline.
+    pub fn infer_batch_into(
+        &self,
+        images: &[Matrix],
+        outputs: &mut Vec<VitOutput>,
+        ws: &mut Workspace,
+    ) {
+        for output in outputs.drain(..) {
+            ws.recycle(output.logits);
+            ws.recycle(output.tokens);
+        }
+        outputs.reserve(images.len());
+        for image in images {
+            outputs.push(self.infer_with(image, ws));
+        }
     }
 
     /// Predicted class index for one image.
@@ -162,10 +211,11 @@ impl VisionTransformer {
     /// Mean sparse-component occupancy across blocks for one image (the Fig. 14 probe).
     pub fn sparse_occupancy(&self, image: &Matrix) -> f32 {
         let mut x = self.embed.infer(image);
+        let mut ws = Workspace::new();
         let mut total = 0.0;
         for block in &self.blocks {
-            total += block.attention().sparse_occupancy(self.variant, &x);
-            x = block.infer(self.variant, &x);
+            total += block.attention().sparse_occupancy(&x);
+            block.infer_inplace(&mut x, &mut ws);
         }
         total / self.blocks.len().max(1) as f32
     }
@@ -174,10 +224,11 @@ impl VisionTransformer {
     /// by the Fig. 3 distribution probe.
     pub fn collect_head_logits(&self, image: &Matrix) -> Vec<Vec<(Matrix, Matrix)>> {
         let mut x = self.embed.infer(image);
+        let mut ws = Workspace::new();
         let mut out = Vec::with_capacity(self.blocks.len());
         for block in &self.blocks {
             out.push(block.attention().head_logits(&x));
-            x = block.infer(self.variant, &x);
+            block.infer_inplace(&mut x, &mut ws);
         }
         out
     }

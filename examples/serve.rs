@@ -29,8 +29,10 @@ fn main() {
     softmax.set_variant(AttentionVariant::Softmax);
 
     let mut registry = ModelRegistry::new();
-    let taylor_key = registry.register("demo", taylor.clone());
-    let softmax_key = registry.register("demo", softmax);
+    let taylor_key = registry
+        .register("demo", taylor.clone())
+        .expect("valid name");
+    let softmax_key = registry.register("demo", softmax).expect("valid name");
 
     // 2. Boot the engine on an ephemeral port.
     let server = Server::start(

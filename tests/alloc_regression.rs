@@ -1,0 +1,109 @@
+//! Allocation regression gate: a counting global allocator proves that the
+//! workspace-threaded `VisionTransformer::infer_batch_into` serving loop performs
+//! **zero** heap allocations at steady state.
+//!
+//! The test binary contains exactly one test so no concurrently-running test can touch
+//! the global allocation counter between the snapshot and the check. The batched
+//! inference path under test is strictly sequential (parallel fan-out lives in
+//! `infer_batch`, which spawns threads and therefore allocates by design), so the
+//! count is deterministic regardless of the host's core count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vitality::tensor::{init, Matrix, Workspace};
+use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer, VitOutput};
+
+/// Wraps the system allocator and counts every allocation-producing call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_infer_batch_into_performs_zero_allocations() {
+    let cfg = TrainConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+    let images: Vec<Matrix> = (0..3)
+        .map(|i| {
+            init::uniform(
+                &mut StdRng::seed_from_u64(500 + i),
+                cfg.image_size,
+                cfg.image_size,
+                0.0,
+                1.0,
+            )
+        })
+        .collect();
+
+    // Every served variant must reach an allocation-free steady state: taylor is the
+    // paper's inference configuration, softmax the baseline arm, unified the fused
+    // low-rank + sparse path.
+    for variant in [
+        AttentionVariant::Taylor,
+        AttentionVariant::Softmax,
+        AttentionVariant::Unified { threshold: 0.5 },
+    ] {
+        model.set_variant(variant);
+        let mut ws = Workspace::new();
+        let mut outputs: Vec<VitOutput> = Vec::new();
+
+        // Warmup: the pool learns every buffer shape of the per-layer pattern and the
+        // output vector reaches its final capacity.
+        for _ in 0..3 {
+            model.infer_batch_into(&images, &mut outputs, &mut ws);
+        }
+        let reference: Vec<Matrix> = outputs.iter().map(|o| o.logits.clone()).collect();
+
+        let before = allocations();
+        for _ in 0..5 {
+            model.infer_batch_into(&images, &mut outputs, &mut ws);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state infer_batch_into allocated {delta} times for variant {:?}",
+            variant
+        );
+
+        // The allocation-free rounds still produce bit-identical results.
+        assert_eq!(outputs.len(), images.len());
+        for (output, expected) in outputs.iter().zip(&reference) {
+            assert_eq!(
+                output.logits, *expected,
+                "workspace-recycled inference drifted for {:?}",
+                variant
+            );
+        }
+    }
+}

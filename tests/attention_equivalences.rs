@@ -75,7 +75,7 @@ fn taylor_is_a_good_approximation_exactly_when_logits_are_small() {
 #[test]
 fn multi_head_attention_training_graph_matches_inference_for_the_vitality_recipe() {
     let mut rng = StdRng::seed_from_u64(400);
-    let mha = MultiHeadAttention::new(&mut rng, 16, 4);
+    let mut mha = MultiHeadAttention::new(&mut rng, 16, 4, AttentionVariant::Softmax);
     let x = init::normal(&mut rng, 10, 16, 0.0, 0.4);
     for variant in [
         AttentionVariant::Softmax,
@@ -84,14 +84,9 @@ fn multi_head_attention_training_graph_matches_inference_for_the_vitality_recipe
     ] {
         let graph = vitality::autograd::Graph::new();
         let mut reg = ParamRegistry::new();
-        let out = mha.forward_train(
-            &graph,
-            &mut reg,
-            "attn",
-            variant,
-            &graph.constant(x.clone()),
-        );
-        let inferred = mha.infer(variant, &x);
+        mha.set_variant(variant);
+        let out = mha.forward_train(&graph, &mut reg, "attn", &graph.constant(x.clone()));
+        let inferred = mha.infer(&x);
         assert!(
             out.value().approx_eq(&inferred, 2e-2),
             "variant {:?} mismatch {}",

@@ -8,10 +8,11 @@ use rand::SeedableRng;
 
 use vitality::attention::opcount::{taylor_attention_ops, vanilla_softmax_ops};
 use vitality::attention::{
-    fused_softmax_attention, mean_center_keys, quantize_symmetric, AttentionMechanism,
-    SangerSparseAttention, SoftmaxAttention, TaylorAttention,
+    fused_softmax_attention, mean_center_keys, quantize_symmetric, AttentionKernel,
+    AttentionMechanism, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
+    UnifiedAttentionKernel,
 };
-use vitality::tensor::{init, MatmulBackend, Matrix};
+use vitality::tensor::{init, MatmulBackend, Matrix, Workspace};
 
 /// Strategy producing a matrix with the given shape and bounded entries.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -52,8 +53,9 @@ proptest! {
         k in matrix(6, 4),
         v in matrix(6, 4),
     ) {
-        let vanilla = SoftmaxAttention::new().compute(&q, &k, &v);
-        let centred = SoftmaxAttention::new().compute(&q, &mean_center_keys(&k), &v);
+        let softmax = SoftmaxAttention::new();
+        let vanilla = AttentionMechanism::compute(&softmax, &q, &k, &v);
+        let centred = AttentionMechanism::compute(&softmax, &q, &mean_center_keys(&k), &v);
         prop_assert!(vanilla.approx_eq(&centred, 2e-3));
     }
 
@@ -72,7 +74,7 @@ proptest! {
         k in matrix(9, 8),
         v in matrix(9, 8),
     ) {
-        let z = TaylorAttention::new().compute(&q, &k, &v);
+        let z = AttentionMechanism::compute(&TaylorAttention::new(), &q, &k, &v);
         prop_assert_eq!(z.shape(), (9, 8));
         prop_assert!(z.iter().all(|x| x.is_finite()));
     }
@@ -244,11 +246,81 @@ proptest! {
     ) {
         // If every value row is identical, any row-normalised attention returns that row.
         let v = Matrix::from_fn(6, 5, |_, j| row[j]);
-        let z = TaylorAttention::new().compute(&q, &k, &v);
+        let z = AttentionMechanism::compute(&TaylorAttention::new(), &q, &k, &v);
         for i in 0..z.rows() {
             for (zv, rv) in z.row(i).iter().zip(row.iter()) {
                 prop_assert!((zv - rv).abs() < 1e-3);
             }
+        }
+    }
+
+    #[test]
+    fn fused_unified_kernel_always_tracks_the_traced_reference(
+        q in matrix(9, 6),
+        k in matrix(9, 6),
+        v in matrix(9, 6),
+        threshold in 0.0f32..0.8,
+    ) {
+        let kernel = UnifiedAttentionKernel::new(threshold);
+        let fused = AttentionKernel::compute(&kernel, &q, &k, &v);
+        let traced = AttentionMechanism::compute(&kernel.reference(), &q, &k, &v);
+        prop_assert!(
+            fused.max_abs_diff(&traced) <= 1e-4,
+            "fused unified kernel diverged by {} at threshold {}",
+            fused.max_abs_diff(&traced),
+            threshold
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_exact_against_fresh_allocation(
+        q in matrix(8, 6),
+        k in matrix(8, 6),
+        v in matrix(8, 6),
+        threshold in 0.0f32..0.8,
+    ) {
+        let kernels: Vec<Box<dyn AttentionKernel>> = vec![
+            Box::new(SoftmaxAttention::new()),
+            Box::new(TaylorAttention::new()),
+            Box::new(UnifiedAttentionKernel::new(threshold)),
+        ];
+        for kernel in &kernels {
+            // Fresh allocation on every call...
+            let fresh = kernel.compute(&q, &k, &v);
+            // ...vs a warm workspace reused across calls (second call runs entirely
+            // on recycled, dirty buffers).
+            let mut ws = Workspace::new();
+            let mut out = Matrix::filled(8, 6, f32::NAN);
+            kernel.compute_into(&q, &k, &v, &mut ws, &mut out);
+            kernel.compute_into(&q, &k, &v, &mut ws, &mut out);
+            prop_assert!(
+                out == fresh,
+                "{} workspace reuse is not bit-exact",
+                kernel.label()
+            );
+        }
+    }
+}
+
+/// The ISSUE-mandated deterministic grid: the fused unified kernel stays within `1e-4`
+/// of the traced `UnifiedLowRankSparseAttention::compute` reference across token
+/// counts spanning one token to the serving workload and the paper's threshold range.
+#[test]
+fn fused_unified_kernel_grid_against_the_traced_reference() {
+    for &n in &[1usize, 7, 64, 196] {
+        for &threshold in &[0.0f32, 0.1, 0.5] {
+            let mut rng = StdRng::seed_from_u64(8000 + n as u64);
+            let q = init::normal(&mut rng, n, 16, 0.0, 0.6);
+            let k = init::normal(&mut rng, n, 16, 0.1, 0.6);
+            let v = init::normal(&mut rng, n, 16, 0.0, 1.0);
+            let kernel = UnifiedAttentionKernel::new(threshold);
+            let fused = AttentionKernel::compute(&kernel, &q, &k, &v);
+            let traced = AttentionMechanism::compute(&kernel.reference(), &q, &k, &v);
+            let diff = fused.max_abs_diff(&traced);
+            assert!(
+                diff <= 1e-4,
+                "fused unified kernel diverged at n={n} threshold={threshold}: {diff}"
+            );
         }
     }
 }
