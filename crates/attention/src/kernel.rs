@@ -12,8 +12,21 @@
 //! # How to add a variant
 //!
 //! Implement the trait for your mechanism, then add one arm to
-//! `AttentionVariant::kernel()` in `vitality-vit` (and, to serve it, nothing else — the
-//! registry keys models by `name:<label>` automatically):
+//! `AttentionVariant::kernel()` in `vitality-vit` **and one entry to
+//! `AttentionVariant::all()`** (and, to serve it, nothing else — the registry keys
+//! models by `name:<label>` automatically). The `all()` entry is what puts the new
+//! kernel under the **kernel conformance suite** (`tests/kernel_conformance.rs`), the
+//! acceptance gate every variant must pass — CI runs it as a named step. It asserts,
+//! with zero per-variant test code:
+//!
+//! * `compute_into` matches the variant's traced/unfused reference within its
+//!   documented tolerance;
+//! * `label()` is unique and `:`-free (it becomes the registry key half and the
+//!   `/metrics` tag);
+//! * workspace reuse is bit-exact and allocation-free on a warm pool;
+//! * outputs stay finite on adversarial inputs (all-zero Q/K/V, large-magnitude
+//!   logits, `n = 1`);
+//! * `forward_train` agrees with `compute` through the multi-head module.
 //!
 //! ```
 //! use vitality_attention::kernel::AttentionKernel;
@@ -125,7 +138,7 @@ pub trait AttentionKernel: Send + Sync + fmt::Debug {
 }
 
 /// Asserts the `(Q, K, V, out)` shape contract shared by every kernel.
-fn validate_out(q: &Matrix, k: &Matrix, v: &Matrix, out: &Matrix) {
+pub(crate) fn validate_out(q: &Matrix, k: &Matrix, v: &Matrix, out: &Matrix) {
     validate_qkv(q, k, v);
     assert_eq!(
         out.shape(),
@@ -142,7 +155,7 @@ fn validate_out(q: &Matrix, k: &Matrix, v: &Matrix, out: &Matrix) {
 
 /// Pass 1: fills `k_bar` with the column (token-wise) mean of `K`, or zeroes when
 /// centring is disabled so pass 2 can subtract unconditionally.
-fn fill_k_bar(k: &Matrix, mean_center: bool, k_bar: &mut [f32]) {
+pub(crate) fn fill_k_bar(k: &Matrix, mean_center: bool, k_bar: &mut [f32]) {
     k_bar.fill(0.0);
     let n = k.rows();
     if !mean_center || n == 0 {
@@ -197,7 +210,7 @@ fn accumulate_taylor_aggregates(
 /// `out = (sqrt(d) v_sum + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)`.
 /// Returns the Taylor denominator `t_D = n sqrt(d) + q_i \hat{k}_{sum}^T` so the
 /// unified kernel can reuse it for the weak map's normaliser.
-fn low_rank_output_row(
+pub(crate) fn low_rank_output_row(
     q_row: &[f32],
     g: &[f32],
     k_sum: &[f32],
@@ -224,6 +237,54 @@ fn low_rank_output_row(
         *o *= inv;
     }
     denominator
+}
+
+/// Applies the Sanger mask rule to one row of raw quantized prediction logits:
+/// scale by `1/sqrt(d)`, softmax in place, threshold the normalised probabilities, and
+/// fall back to the argmax when nothing survives — the same rule
+/// [`SangerSparseAttention::prediction_mask`] applies densely, shared by the fused
+/// unified kernel and its int8 sibling so their surviving sets cannot drift apart.
+///
+/// `p_row` is left holding the (unnormalised) exponentials; `surviving` is cleared and
+/// refilled with the surviving column indices in ascending order.
+pub(crate) fn sanger_row_survivors(
+    p_row: &mut [f32],
+    inv_sqrt_d: f32,
+    threshold: f32,
+    surviving: &mut Vec<usize>,
+) {
+    surviving.clear();
+    let mut p_max = f32::NEG_INFINITY;
+    for p in p_row.iter_mut() {
+        *p *= inv_sqrt_d;
+        p_max = p_max.max(*p);
+    }
+    let mut p_sum = 0.0f32;
+    for p in p_row.iter_mut() {
+        *p = (*p - p_max).exp();
+        p_sum += *p;
+    }
+    if p_sum > 0.0 {
+        for (j, p) in p_row.iter().enumerate() {
+            if *p / p_sum >= threshold {
+                surviving.push(j);
+            }
+        }
+    }
+    if surviving.is_empty() && !p_row.is_empty() {
+        // Argmax fallback over the *normalised* probabilities, first strict maximum —
+        // quantized logits produce exact probability ties after rounding, so this must
+        // replicate `prediction_mask`'s tie-breaking bit for bit.
+        let (mut best_j, mut best) = (0, f32::NEG_INFINITY);
+        for (j, p) in p_row.iter().enumerate() {
+            let prob = if p_sum > 0.0 { *p / p_sum } else { *p };
+            if prob > best {
+                best = prob;
+                best_j = j;
+            }
+        }
+        surviving.push(best_j);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -555,39 +616,7 @@ impl AttentionKernel for UnifiedAttentionKernel {
 
                 // Sanger mask for this row: softmax of the quantized logits, threshold,
                 // argmax fallback — the same rule `prediction_mask` applies densely.
-                surviving.clear();
-                let mut p_max = f32::NEG_INFINITY;
-                for p in p_row.iter_mut() {
-                    *p *= inv_sqrt_d;
-                    p_max = p_max.max(*p);
-                }
-                let mut p_sum = 0.0f32;
-                for p in p_row.iter_mut() {
-                    *p = (*p - p_max).exp();
-                    p_sum += *p;
-                }
-                if p_sum > 0.0 {
-                    for (j, p) in p_row.iter().enumerate() {
-                        if *p / p_sum >= threshold {
-                            surviving.push(j);
-                        }
-                    }
-                }
-                if surviving.is_empty() && n > 0 {
-                    // Argmax fallback over the *normalised* probabilities, first
-                    // strict maximum — quantized logits produce exact probability
-                    // ties after rounding, so this must replicate
-                    // `prediction_mask`'s tie-breaking bit for bit.
-                    let (mut best_j, mut best) = (0, f32::NEG_INFINITY);
-                    for (j, p) in p_row.iter().enumerate() {
-                        let prob = if p_sum > 0.0 { *p / p_sum } else { *p };
-                        if prob > best {
-                            best = prob;
-                            best_j = j;
-                        }
-                    }
-                    surviving.push(best_j);
-                }
+                sanger_row_survivors(p_row, inv_sqrt_d, threshold, &mut surviving);
 
                 // Exact (mean-centred) softmax row statistics.
                 let mut l_max = f32::NEG_INFINITY;

@@ -19,7 +19,9 @@
 //! variants additionally implement [`AttentionKernel`] (see the [`kernel`] module) — the
 //! allocation-free `compute_into` interface the ViT inference hot path and the serving
 //! engine run on, including the fused [`UnifiedAttentionKernel`] for the low-rank +
-//! sparse path.
+//! sparse path and the int8-quantized [`QuantizedTaylorKernel`] /
+//! [`QuantizedUnifiedKernel`] pair (see the [`quantized`] module) that reproduce the
+//! accelerator's integer deployment path.
 //!
 //! # Example: the Taylor attention approximates the softmax attention
 //!
@@ -47,6 +49,7 @@ pub mod linear_kernel;
 pub mod linformer;
 pub mod opcount;
 pub mod performer;
+pub mod quantized;
 pub mod softmax;
 pub mod sparse;
 pub mod taxonomy;
@@ -59,6 +62,10 @@ pub use linear_kernel::LinearKernelAttention;
 pub use linformer::LinformerAttention;
 pub use opcount::OpCounts;
 pub use performer::PerformerAttention;
+pub use quantized::{
+    Int8Calibration, QuantizedTaylorKernel, QuantizedUnifiedKernel, INT8_TAYLOR_TOLERANCE,
+    INT8_UNIFIED_TOLERANCE,
+};
 pub use softmax::{fused_softmax_attention, SoftmaxAttention};
 pub use sparse::{quantize_symmetric, quantize_symmetric_into, PackedMask, SangerSparseAttention};
 pub use taxonomy::{AttentionFamily, PostProcessorKind, PreProcessorKind, TaxonomyEntry};

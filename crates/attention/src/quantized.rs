@@ -1,0 +1,722 @@
+//! Int8-quantized attention kernels: the ViTALiTy accelerator's integer arithmetic
+//! pushed through the [`AttentionKernel`] serving interface.
+//!
+//! The ViTALiTy accelerator runs its low-rank Taylor path (and the Sanger-style sparse
+//! correction) on quantized arithmetic; Sanger itself quantizes its prediction pass to
+//! 4 bits to make masking cheap. This module reproduces that deployment path in the
+//! software model:
+//!
+//! * [`QuantizedTaylorKernel`] (label `int8`) — the linear Taylor attention with
+//!   `Q`/`K̂`/`V` quantized **per head** to symmetric int8, the fused Algorithm-1
+//!   accumulation (`G = K̂ᵀV`, `k̂_sum`, `v_sum`) running exactly on `i32` integer
+//!   accumulators through the integer GEMM, and `f32` dequantization only at the
+//!   output stage (one `O(d²)` scale sweep over the finished aggregates, then the
+//!   fused Steps-4–6 output loop shared with the f32 kernel).
+//! * [`QuantizedUnifiedKernel`] (label `int8-unified`) — the unified low-rank + sparse
+//!   path with the same integer low-rank half, reusing the existing quantized-logit
+//!   Sanger prediction mask (the 4-bit [`quantize_symmetric_into`] grid, the same
+//!   threshold/argmax rule as [`SangerSparseAttention::prediction_mask`]) to select
+//!   where the strong residual is evaluated.
+//!
+//! # Calibration
+//!
+//! Quantization scales are per head and symmetric (`scale = absmax / 127`).
+//! [`Int8Calibration::Dynamic`] measures the absmax of each head's `Q`, centred `K̂`
+//! and `V` at every call — self-calibrating, at the cost of one extra sweep per
+//! operand. [`Int8Calibration::Fixed`] freezes absmax ranges measured on calibration
+//! data (see `VisionTransformer::calibrate_int8` in `vitality-vit`, the model-level
+//! calibration hook); activations beyond the calibrated range saturate at ±127, which
+//! is exactly the accelerator's behaviour.
+//!
+//! # Accuracy contract
+//!
+//! Both kernels are differentially gated against their f32 references by the kernel
+//! conformance suite (`tests/kernel_conformance.rs`): [`INT8_TAYLOR_TOLERANCE`] vs the
+//! f32 Taylor trace and [`INT8_UNIFIED_TOLERANCE`] vs the traced unified reference, at
+//! the suite's input scales. The error budget is the symmetric-quantization step
+//! (`absmax/127` per operand, three quantized operands, normalised output), not a
+//! numerical-stability artefact: halving the input magnitude halves the divergence.
+//!
+//! Training always runs in f32 — `forward_train` falls back to the f32 kernels, which
+//! mirrors the paper's deployment (quantization is an inference/accelerator concern,
+//! not a training scheme).
+
+use crate::kernel::{fill_k_bar, sanger_row_survivors, validate_out, AttentionKernel};
+use crate::opcount::OpCounts;
+use crate::sparse::quantize_symmetric_into;
+#[cfg(doc)]
+use crate::sparse::SangerSparseAttention;
+use crate::taylor::TaylorAttention;
+use crate::unified::UnifiedLowRankSparseAttention;
+use crate::AttentionMechanism;
+use vitality_autograd::Var;
+use vitality_tensor::backend::Operand;
+use vitality_tensor::{matmul_backend, Matrix, Workspace};
+
+/// Query rows per block in the quantized unified kernel's residual pass (matches the
+/// fused unified kernel's blocking so the two share scratch-size classes).
+const ROW_BLOCK: usize = 64;
+
+/// Documented conformance tolerance of [`QuantizedTaylorKernel`] against the f32
+/// Taylor trace at the conformance suite's input scales (|entries| ≲ 1.5).
+pub const INT8_TAYLOR_TOLERANCE: f32 = 0.05;
+
+/// Documented conformance tolerance of [`QuantizedUnifiedKernel`] against the traced
+/// f32 unified reference at the conformance suite's input scales (|entries| ≲ 1.5).
+pub const INT8_UNIFIED_TOLERANCE: f32 = 0.08;
+
+/// How an int8 kernel derives its per-head quantization scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Int8Calibration {
+    /// Measure the absmax of each head's `Q` / centred `K̂` / `V` at every call.
+    Dynamic,
+    /// Freeze absmax ranges measured on calibration data at model construction;
+    /// out-of-range activations saturate at ±127.
+    Fixed {
+        /// Calibrated absmax of the per-head query activations.
+        q_absmax: f32,
+        /// Calibrated absmax of the per-head *mean-centred* key activations.
+        k_absmax: f32,
+        /// Calibrated absmax of the per-head value activations.
+        v_absmax: f32,
+    },
+}
+
+impl Int8Calibration {
+    /// Resolves the `(Q, K̂, V)` absmax triple, preferring the calibrated ranges.
+    fn resolve(&self, q_dyn: f32, k_dyn: f32, v_dyn: f32) -> (f32, f32, f32) {
+        match *self {
+            Int8Calibration::Dynamic => (q_dyn, k_dyn, v_dyn),
+            Int8Calibration::Fixed {
+                q_absmax,
+                k_absmax,
+                v_absmax,
+            } => (q_absmax, k_absmax, v_absmax),
+        }
+    }
+
+    /// Whether the absmax sweeps can be skipped (fixed ranges need no measurement).
+    fn is_fixed(&self) -> bool {
+        matches!(self, Int8Calibration::Fixed { .. })
+    }
+}
+
+/// Largest absolute entry of a slice.
+///
+/// Eight independent lane accumulators instead of a single `fold`: an ordered
+/// `max`-fold is a sequential dependency chain LLVM must keep scalar, while the
+/// lane-parallel form vectorises (measured ~8× faster on the calibration sweeps).
+fn absmax(xs: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let chunks = xs.chunks_exact(8);
+    let remainder = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = lane.max(v.abs());
+        }
+    }
+    let mut acc = remainder.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    for &lane in &lanes {
+        acc = acc.max(lane);
+    }
+    acc
+}
+
+/// Quantizes `src` onto the symmetric int8 grid defined by `absmax` (saturating at
+/// ±127), writing **both** representations in one sweep: `dst` holds the canonical
+/// int8 operand (what an int8 deployment stores — the 4× memory-compression point of
+/// the variant), `lattice` the same values widened to `f32` (the register form the
+/// SIMD integer-exact GEMM consumes). Returns the dequantization scale (`0` when the
+/// range is degenerate, which zeroes every contribution downstream).
+///
+/// Rounding is to-nearest-even via the `1.5 · 2²³` magic constant: after the add, `y +
+/// MAGIC` lands in `[2²³, 2²⁴)` where one ulp is exactly 1, so the rounded value falls
+/// out of a subtraction and the integer is read straight off the mantissa bits. Both
+/// `f32::round` (a scalar `roundf` call on baseline x86-64) and the saturating
+/// `f32 as i8` cast defeat vectorisation of this sweep; this form is measured 6×
+/// faster and bit-identical on the clamped range.
+fn quantize_slice(src: &[f32], absmax: f32, dst: &mut [i8], lattice: &mut [f32]) -> f32 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    const MAGIC_BITS: i32 = MAGIC.to_bits() as i32;
+    debug_assert_eq!(src.len(), dst.len());
+    debug_assert_eq!(src.len(), lattice.len());
+    if absmax <= 0.0 {
+        dst.fill(0);
+        lattice.fill(0.0);
+        return 0.0;
+    }
+    let scale = absmax / 127.0;
+    let inv = 127.0 / absmax;
+    for ((d, lat), &s) in dst.iter_mut().zip(lattice.iter_mut()).zip(src) {
+        let shifted = (s * inv).clamp(-127.0, 127.0) + MAGIC;
+        *lat = shifted - MAGIC;
+        *d = (shifted.to_bits() as i32).wrapping_sub(MAGIC_BITS) as i8;
+    }
+    scale
+}
+
+/// [`quantize_slice`] without the int8 store, for the query operand: every downstream
+/// consumer of Q (the f32 output sweep over the scale-folded aggregates) reads the
+/// lattice view, so materialising a query `Vec<i8>` would be a write nothing reads.
+/// Same rounding, saturation and degenerate-range behaviour.
+fn quantize_lattice(src: &[f32], absmax: f32, lattice: &mut [f32]) -> f32 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    debug_assert_eq!(src.len(), lattice.len());
+    if absmax <= 0.0 {
+        lattice.fill(0.0);
+        return 0.0;
+    }
+    let scale = absmax / 127.0;
+    let inv = 127.0 / absmax;
+    for (lat, &s) in lattice.iter_mut().zip(src) {
+        *lat = ((s * inv).clamp(-127.0, 127.0) + MAGIC) - MAGIC;
+    }
+    scale
+}
+
+/// The state of one quantized Algorithm-1 accumulation.
+///
+/// `K̂` and `V` are quantized into canonical int8 operands (the storage form an int8
+/// deployment holds; both are consumed here — by the integer column sums — and live
+/// only inside [`Int8LowRank::accumulate`]) plus their widened f32 "lattice" views,
+/// the register form the SIMD integer-exact GEMM consumes. The query is quantized to
+/// its lattice view only: its sole consumer is the f32 output sweep, so an int8 query
+/// store would be write-only work. The `(G, k̂_sum, v_sum)` aggregates are accumulated
+/// **exactly** in integer arithmetic (`G` through
+/// [`MatmulBackend::gemm_lattice_exact_into`]'s chunked-exact kernel, the sums in
+/// `i32` over the int8 operands) and then dequantized once per head with the query
+/// scale folded in — `g = s_q s_k s_v · G`, `k_sum = s_q s_k · k̂_sum`,
+/// `v_sum = s_v · v_sum` — so the per-query output sweep is *identical* to the f32
+/// Taylor kernel's fused Steps-4–6 loop over the unscaled query lattice. That one
+/// `O(d²)` scale sweep is the entire f32 dequantization of the kernel.
+/// Every buffer is a workspace checkout; [`Int8LowRank::recycle`] hands them all back.
+struct Int8LowRank {
+    q_lat: Vec<f32>,
+    g: Vec<f32>,
+    k_sum: Vec<f32>,
+    v_sum: Vec<f32>,
+}
+
+impl Int8LowRank {
+    /// Quantizes `(Q, K̂, V)` per head and runs the fused Algorithm-1 accumulation on
+    /// exact integer arithmetic: `G = K̂_q ᵀ V_q` through the chunked-exact integer
+    /// GEMM, `k̂_sum` and `v_sum` as `i32` column sums of the int8 operands.
+    ///
+    /// `k_hat` is the **already mean-centred** key buffer (`n × d_k` row-major) —
+    /// centring happens before quantization to keep the logits small (the point of
+    /// the Taylor expansion), and both callers already have the centred keys in hand.
+    fn accumulate(
+        q: &Matrix,
+        k_hat: &[f32],
+        v: &Matrix,
+        calibration: Int8Calibration,
+        ws: &mut Workspace,
+    ) -> Self {
+        let n = v.rows();
+        let d_k = q.cols();
+        let d_v = v.cols();
+        let n_q = q.rows();
+        debug_assert_eq!(k_hat.len(), n * d_k);
+
+        let (q_max, k_max, v_max) = if calibration.is_fixed() {
+            calibration.resolve(0.0, 0.0, 0.0)
+        } else {
+            calibration.resolve(absmax(q.as_slice()), absmax(k_hat), absmax(v.as_slice()))
+        };
+
+        let mut q_lat = ws.take_vec(n_q * d_k);
+        let s_q = quantize_lattice(q.as_slice(), q_max, &mut q_lat);
+        let mut k_q = ws.take_i8_vec(n * d_k);
+        let mut k_lat = ws.take_vec(n * d_k);
+        let s_k = quantize_slice(k_hat, k_max, &mut k_q, &mut k_lat);
+        let mut v_q = ws.take_i8_vec(n * d_v);
+        let mut v_lat = ws.take_vec(n * d_v);
+        let s_v = quantize_slice(v.as_slice(), v_max, &mut v_q, &mut v_lat);
+
+        // G = K̂_qᵀ V_q: exact integer accumulation through the SIMD lattice kernel
+        // (bit-identical to the scalar i32 reference; scratch from the workspace
+        // keeps the path allocation-free).
+        let mut g_i = ws.take_i32_vec(d_k * d_v);
+        let mut c_f = ws.take_vec(d_k * d_v);
+        matmul_backend().gemm_lattice_exact_into(
+            &mut g_i,
+            d_k,
+            n,
+            d_v,
+            Operand::transposed(&k_lat, d_k),
+            Operand::row_major(&v_lat, d_v),
+            &mut c_f,
+        );
+        ws.recycle_vec(c_f);
+        ws.recycle_vec(k_lat);
+        ws.recycle_vec(v_lat);
+        // Exact integer column sums in i32 over the canonical int8 operands.
+        let mut k_sum_i = ws.take_i32_vec(d_k);
+        for row in k_q.chunks_exact(d_k) {
+            for (acc, &kv) in k_sum_i.iter_mut().zip(row) {
+                *acc += i32::from(kv);
+            }
+        }
+        let mut v_sum_i = ws.take_i32_vec(d_v);
+        for row in v_q.chunks_exact(d_v) {
+            for (acc, &vv) in v_sum_i.iter_mut().zip(row) {
+                *acc += i32::from(vv);
+            }
+        }
+        ws.recycle_i8_vec(k_q);
+        ws.recycle_i8_vec(v_q);
+
+        // Dequantize the exact integer aggregates once per head, folding in the query
+        // scale — O(d²) multiplications against the O(nd²) accumulation they conclude.
+        let s_qkv = s_q * s_k * s_v;
+        let s_qk = s_q * s_k;
+        let mut g = ws.take_vec(d_k * d_v);
+        for (f, &i) in g.iter_mut().zip(g_i.iter()) {
+            *f = i as f32 * s_qkv;
+        }
+        let mut k_sum = ws.take_vec(d_k);
+        for (f, &i) in k_sum.iter_mut().zip(k_sum_i.iter()) {
+            *f = i as f32 * s_qk;
+        }
+        let mut v_sum = ws.take_vec(d_v);
+        for (f, &i) in v_sum.iter_mut().zip(v_sum_i.iter()) {
+            *f = i as f32 * s_v;
+        }
+        ws.recycle_i32_vec(g_i);
+        ws.recycle_i32_vec(k_sum_i);
+        ws.recycle_i32_vec(v_sum_i);
+
+        Self {
+            q_lat,
+            g,
+            k_sum,
+            v_sum,
+        }
+    }
+
+    /// Emits one output row — the same fused Steps-4–6 loop as the f32 Taylor kernel,
+    /// driven by the query's integer lattice row over the scale-folded aggregates:
+    /// `out = (sqrt(d) v_sum + q G) / (n sqrt(d) + q k̂_sum)` with every operand on
+    /// the int8 grid. Returns the Taylor denominator `t_D` for the unified kernel's
+    /// weak normaliser.
+    fn output_row(&self, i: usize, sqrt_d: f32, n_sqrt_d: f32, out_row: &mut [f32]) -> f32 {
+        let d_k = self.k_sum.len();
+        crate::kernel::low_rank_output_row(
+            &self.q_lat[i * d_k..(i + 1) * d_k],
+            &self.g,
+            &self.k_sum,
+            &self.v_sum,
+            sqrt_d,
+            n_sqrt_d,
+            out_row,
+        )
+    }
+
+    /// Returns every buffer to the workspace.
+    fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_vec(self.q_lat);
+        ws.recycle_vec(self.g);
+        ws.recycle_vec(self.k_sum);
+        ws.recycle_vec(self.v_sum);
+    }
+}
+
+/// The int8-quantized linear Taylor attention (serving label `int8`).
+///
+/// See the [module documentation](self) for the quantization scheme, the calibration
+/// modes and the accuracy contract. The f32 reference this kernel is differentially
+/// tested against is [`TaylorAttention::new`] (mean-centring on — the ViTALiTy
+/// inference configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedTaylorKernel {
+    calibration: Int8Calibration,
+    reference: TaylorAttention,
+}
+
+impl QuantizedTaylorKernel {
+    /// Creates the kernel with the given calibration mode.
+    pub fn new(calibration: Int8Calibration) -> Self {
+        Self {
+            calibration,
+            reference: TaylorAttention::new(),
+        }
+    }
+
+    /// The configured calibration mode.
+    pub fn calibration(&self) -> Int8Calibration {
+        self.calibration
+    }
+
+    /// The f32 reference this kernel approximates (and its conformance baseline).
+    pub fn reference(&self) -> TaylorAttention {
+        self.reference
+    }
+}
+
+impl AttentionKernel for QuantizedTaylorKernel {
+    fn label(&self) -> &'static str {
+        "int8"
+    }
+
+    fn compute_into(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        ws: &mut Workspace,
+        out: &mut Matrix,
+    ) {
+        validate_out(q, k, v, out);
+        let n = k.rows();
+        let d_k = k.cols();
+        let sqrt_d = (q.cols() as f32).sqrt();
+        let mut k_bar = ws.take_vec(d_k);
+        fill_k_bar(k, true, &mut k_bar);
+        let mut k_hat = ws.take_vec(n * d_k);
+        for (r, row) in k_hat.chunks_exact_mut(d_k).enumerate() {
+            for ((kh, &kv), &kb) in row.iter_mut().zip(k.row(r)).zip(&k_bar) {
+                *kh = kv - kb;
+            }
+        }
+        let lr = Int8LowRank::accumulate(q, &k_hat, v, self.calibration, ws);
+        let n_sqrt_d = n as f32 * sqrt_d;
+        for r in 0..q.rows() {
+            lr.output_row(r, sqrt_d, n_sqrt_d, out.row_mut(r));
+        }
+        ws.recycle_vec(k_bar);
+        ws.recycle_vec(k_hat);
+        lr.recycle(ws);
+    }
+
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts {
+        // Same operation structure as the f32 Taylor path; the quantize/dequantize
+        // sweeps are O(nd) and vanish against the O(nd²) accumulation the count models.
+        AttentionMechanism::op_counts(&self.reference, n, d)
+    }
+
+    fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        // Training runs in f32 (quantization is an inference concern); the fallback is
+        // the exact f32 Taylor forward pass this kernel approximates.
+        self.reference.forward_train(q, k, v)
+    }
+}
+
+/// The int8-quantized unified low-rank + sparse attention (serving label
+/// `int8-unified`).
+///
+/// The low-rank half is the integer Algorithm-1 accumulation of
+/// [`QuantizedTaylorKernel`]; the sparse half reuses the existing quantized-logit
+/// prediction mask — the 4-bit [`quantize_symmetric_into`] grid with
+/// [`SangerSparseAttention::prediction_mask`]'s threshold/argmax rule, shared with the
+/// f32 unified kernel through one mask-rule implementation — to pick the positions
+/// where the strong residual `softmax_ij − weak_ij` corrects the integer low-rank row.
+/// The residual itself is evaluated in f32 (it is the correction term; quantizing it
+/// would defeat its purpose), normalised by the *integer* row's Taylor denominator so
+/// the correction matches what the low-rank half actually produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedUnifiedKernel {
+    reference: UnifiedLowRankSparseAttention,
+    calibration: Int8Calibration,
+}
+
+impl QuantizedUnifiedKernel {
+    /// Creates the kernel with the given sparsity threshold and calibration mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is outside `[0, 1]`.
+    pub fn new(threshold: f32, calibration: Int8Calibration) -> Self {
+        Self {
+            reference: UnifiedLowRankSparseAttention::new(threshold),
+            calibration,
+        }
+    }
+
+    /// The sparsity threshold of the sparse component.
+    pub fn threshold(&self) -> f32 {
+        self.reference.threshold()
+    }
+
+    /// The configured calibration mode.
+    pub fn calibration(&self) -> Int8Calibration {
+        self.calibration
+    }
+
+    /// The traced f32 reference this kernel is differentially tested against.
+    pub fn reference(&self) -> UnifiedLowRankSparseAttention {
+        self.reference
+    }
+}
+
+impl AttentionKernel for QuantizedUnifiedKernel {
+    fn label(&self) -> &'static str {
+        "int8-unified"
+    }
+
+    fn compute_into(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        ws: &mut Workspace,
+        out: &mut Matrix,
+    ) {
+        validate_out(q, k, v, out);
+        let n = k.rows();
+        let d_k = k.cols();
+        let n_q = q.rows();
+        let sqrt_d = (q.cols() as f32).sqrt();
+        let inv_sqrt_d = 1.0 / sqrt_d;
+        let threshold = self.threshold();
+        let bits = self.reference.sparse().quant_bits();
+        let backend = matmul_backend();
+
+        // Mean-centred keys (f32, for the exact residual logits) and the 4-bit
+        // quantized prediction operands — identical to the f32 unified kernel.
+        let mut k_bar = ws.take_vec(d_k);
+        fill_k_bar(k, true, &mut k_bar);
+        let mut k_hat = ws.take(n, d_k);
+        for r in 0..n {
+            for ((kh, &kv), &kb) in k_hat.row_mut(r).iter_mut().zip(k.row(r)).zip(&k_bar) {
+                *kh = kv - kb;
+            }
+        }
+        let mut q_p = ws.take(n_q, d_k);
+        quantize_symmetric_into(q, bits, &mut q_p);
+        let mut k_p = ws.take(n, d_k);
+        quantize_symmetric_into(&k_hat, bits, &mut k_p);
+
+        // Integer low-rank aggregates (the int8 Taylor accumulation), reusing the
+        // centred keys already materialised for the exact residual logits.
+        let lr = Int8LowRank::accumulate(q, k_hat.as_slice(), v, self.calibration, ws);
+
+        let bs_max = ROW_BLOCK.min(n_q.max(1));
+        let mut exact = ws.take_vec(bs_max * n);
+        let mut pred = ws.take_vec(bs_max * n);
+        let mut surviving = ws.take_indices();
+        let n_sqrt_d = n as f32 * sqrt_d;
+
+        for lo in (0..n_q).step_by(ROW_BLOCK) {
+            let hi = (lo + ROW_BLOCK).min(n_q);
+            let bs = hi - lo;
+            backend.gemm_into(
+                &mut exact[..bs * n],
+                bs,
+                d_k,
+                n,
+                Operand::row_major(&q.as_slice()[lo * d_k..hi * d_k], d_k),
+                Operand::transposed(k_hat.as_slice(), d_k),
+            );
+            backend.gemm_into(
+                &mut pred[..bs * n],
+                bs,
+                d_k,
+                n,
+                Operand::row_major(&q_p.as_slice()[lo * d_k..hi * d_k], d_k),
+                Operand::transposed(k_p.as_slice(), d_k),
+            );
+            for local in 0..bs {
+                let i = lo + local;
+                let l_row = &mut exact[local * n..(local + 1) * n];
+                let p_row = &mut pred[local * n..(local + 1) * n];
+                sanger_row_survivors(p_row, inv_sqrt_d, threshold, &mut surviving);
+
+                // Exact (mean-centred) softmax row statistics for the residual.
+                let mut l_max = f32::NEG_INFINITY;
+                for l in l_row.iter_mut() {
+                    *l *= inv_sqrt_d;
+                    l_max = l_max.max(*l);
+                }
+                let mut z_sum = 0.0f32;
+                for &l in l_row.iter() {
+                    z_sum += (l - l_max).exp();
+                }
+
+                // Integer low-rank row, then the SDDMM correction at the surviving
+                // positions, normalised by the integer row's own denominator.
+                let out_row = out.row_mut(i);
+                let denominator = lr.output_row(i, sqrt_d, n_sqrt_d, out_row);
+                let t_i = denominator * inv_sqrt_d;
+                let inv_z = if z_sum > 0.0 { 1.0 / z_sum } else { 0.0 };
+                let inv_t = 1.0 / t_i;
+                for &j in surviving.iter() {
+                    let exact_ij = (l_row[j] - l_max).exp() * inv_z;
+                    let weak_ij = (1.0 + l_row[j]) * inv_t;
+                    let strong = exact_ij - weak_ij;
+                    for (o, &vv) in out_row.iter_mut().zip(v.row(j)) {
+                        *o += strong * vv;
+                    }
+                }
+            }
+        }
+
+        ws.recycle_vec(k_bar);
+        ws.recycle(k_hat);
+        ws.recycle(q_p);
+        ws.recycle(k_p);
+        ws.recycle_vec(exact);
+        ws.recycle_vec(pred);
+        ws.recycle_indices(surviving);
+        lr.recycle(ws);
+    }
+
+    fn op_counts(&self, n: usize, d: usize) -> OpCounts {
+        AttentionMechanism::op_counts(&self.reference, n, d)
+    }
+
+    fn forward_train(&self, q: &Var, k: &Var, v: &Var) -> Var {
+        self.reference.forward_train(q, k, v)
+    }
+
+    fn sparse_occupancy(&self, q: &Matrix, k: &Matrix) -> f32 {
+        self.reference.sparse_occupancy(q, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vitality_tensor::init;
+
+    fn qkv(n: usize, d: usize, scale: f32, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            init::normal(&mut rng, n, d, 0.0, scale),
+            init::normal(&mut rng, n, d, 0.1, scale),
+            init::normal(&mut rng, n, d, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn quantize_slice_round_trips_within_one_step() {
+        let src = [-1.0f32, -0.4, 0.0, 0.33, 0.999];
+        let mut dst = [0i8; 5];
+        let mut lat = [0.0f32; 5];
+        let scale = quantize_slice(&src, 1.0, &mut dst, &mut lat);
+        assert!((scale - 1.0 / 127.0).abs() < 1e-9);
+        for ((&s, &d), &l) in src.iter().zip(&dst).zip(&lat) {
+            assert!((s - f32::from(d) * scale).abs() <= 0.5 * scale + 1e-6);
+            // The lattice view is exactly the widened int8 value.
+            assert_eq!(l, f32::from(d), "lattice and i8 views diverged");
+        }
+        // Out-of-range values saturate instead of wrapping.
+        let mut sat = [0i8; 2];
+        let mut sat_lat = [0.0f32; 2];
+        quantize_slice(&[9.0, -9.0], 1.0, &mut sat, &mut sat_lat);
+        assert_eq!(sat, [127, -127]);
+        assert_eq!(sat_lat, [127.0, -127.0]);
+        // Degenerate range zeroes everything and reports scale 0.
+        let mut zero = [3i8; 2];
+        let mut zero_lat = [3.0f32; 2];
+        assert_eq!(
+            quantize_slice(&[0.5, -0.5], 0.0, &mut zero, &mut zero_lat),
+            0.0
+        );
+        assert_eq!(zero, [0, 0]);
+        assert_eq!(zero_lat, [0.0, 0.0]);
+        // The magic-constant rounding matches f32::round away from exact .5 ties and
+        // lands on the nearest even integer at ties (both within half a step).
+        let ties = [0.5f32, -0.5, 1.5, 2.5];
+        let mut tie_dst = [0i8; 4];
+        let mut tie_lat = [0.0f32; 4];
+        quantize_slice(&ties, 127.0, &mut tie_dst, &mut tie_lat);
+        assert_eq!(tie_dst, [0, 0, 2, 2], "round-half-even at exact ties");
+    }
+
+    #[test]
+    fn int8_taylor_tracks_the_f32_taylor_within_the_documented_tolerance() {
+        for &n in &[1usize, 7, 64, 196] {
+            let (q, k, v) = qkv(n, 16, 0.6, 80 + n as u64);
+            let kernel = QuantizedTaylorKernel::new(Int8Calibration::Dynamic);
+            let int8 = kernel.compute(&q, &k, &v);
+            let f32_ref = kernel.reference().compute_with_trace(&q, &k, &v).score;
+            let diff = int8.max_abs_diff(&f32_ref);
+            assert!(
+                diff <= INT8_TAYLOR_TOLERANCE,
+                "int8 taylor diverged at n={n}: {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_error_shrinks_with_the_input_magnitude() {
+        let err_at = |scale: f32| {
+            let (q, k, v) = qkv(48, 16, scale, 81);
+            let kernel = QuantizedTaylorKernel::new(Int8Calibration::Dynamic);
+            kernel
+                .compute(&q, &k, &v)
+                .max_abs_diff(&kernel.reference().compute_fused(&q, &k, &v))
+        };
+        // The quantization step scales with absmax, so the divergence must too.
+        assert!(err_at(0.1) < err_at(1.0));
+    }
+
+    #[test]
+    fn fixed_calibration_matches_dynamic_when_ranges_agree() {
+        let (q, k, v) = qkv(32, 8, 0.5, 82);
+        let k_hat = crate::taylor::mean_center_keys(&k);
+        let fixed = QuantizedTaylorKernel::new(Int8Calibration::Fixed {
+            q_absmax: absmax(q.as_slice()),
+            k_absmax: absmax(k_hat.as_slice()),
+            v_absmax: absmax(v.as_slice()),
+        });
+        let dynamic = QuantizedTaylorKernel::new(Int8Calibration::Dynamic);
+        assert_eq!(fixed.compute(&q, &k, &v), dynamic.compute(&q, &k, &v));
+        // Undersized calibrated ranges saturate but stay finite.
+        let clipped = QuantizedTaylorKernel::new(Int8Calibration::Fixed {
+            q_absmax: 0.1,
+            k_absmax: 0.1,
+            v_absmax: 0.1,
+        });
+        assert!(clipped.compute(&q, &k, &v).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn int8_unified_tracks_the_traced_f32_reference() {
+        for &n in &[1usize, 7, 64, 196] {
+            for &threshold in &[0.0f32, 0.1, 0.5] {
+                let (q, k, v) = qkv(n, 16, 0.6, 90 + n as u64);
+                let kernel = QuantizedUnifiedKernel::new(threshold, Int8Calibration::Dynamic);
+                let int8 = kernel.compute(&q, &k, &v);
+                let traced = kernel.reference().compute(&q, &k, &v);
+                let diff = int8.max_abs_diff(&traced);
+                assert!(
+                    diff <= INT8_UNIFIED_TOLERANCE,
+                    "int8 unified diverged at n={n} threshold={threshold}: {diff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_delegated_hooks() {
+        let taylor = QuantizedTaylorKernel::new(Int8Calibration::Dynamic);
+        assert_eq!(taylor.label(), "int8");
+        assert_eq!(taylor.calibration(), Int8Calibration::Dynamic);
+        assert_eq!(
+            AttentionKernel::op_counts(&taylor, 64, 16).total(),
+            AttentionMechanism::op_counts(&TaylorAttention::new(), 64, 16).total()
+        );
+        let unified = QuantizedUnifiedKernel::new(0.5, Int8Calibration::Dynamic);
+        assert_eq!(unified.label(), "int8-unified");
+        assert_eq!(unified.threshold(), 0.5);
+        let (q, k, _) = qkv(16, 8, 0.8, 95);
+        assert_eq!(AttentionKernel::sparse_occupancy(&taylor, &q, &k), 0.0);
+        assert!(AttentionKernel::sparse_occupancy(&unified, &q, &k) > 0.0);
+    }
+
+    #[test]
+    fn zero_inputs_produce_zero_finite_outputs() {
+        let z = Matrix::zeros(5, 4);
+        for kernel in [
+            Box::new(QuantizedTaylorKernel::new(Int8Calibration::Dynamic))
+                as Box<dyn AttentionKernel>,
+            Box::new(QuantizedUnifiedKernel::new(0.1, Int8Calibration::Dynamic)),
+        ] {
+            let out = kernel.compute(&z, &z, &z);
+            assert!(out.iter().all(|&v| v == 0.0), "{} not zero", kernel.label());
+        }
+    }
+}

@@ -1,15 +1,15 @@
 //! Load generator for the `vitality-serve` engine: boots a server on an ephemeral
 //! port, drives it with concurrent keep-alive clients at concurrency ∈ {1, 8, 64} for
-//! the Taylor, softmax and unified (low-rank + sparse) attention variants at n = 196
-//! tokens, checks every response against direct inference, and writes
-//! `BENCH_serve.json`.
+//! the Taylor, softmax, unified (low-rank + sparse) and int8-quantized attention
+//! variants at n = 196 tokens, checks every response against direct inference, and
+//! writes `BENCH_serve.json`.
 //!
 //! Usage: `cargo run --release -p vitality-bench --bin bench_serve [-- --quick]`.
 //! `--quick` shrinks the request count per point (the CI smoke path); the measured
-//! shape (both variants, all three concurrency levels) is identical.
+//! shape (all variants, all three concurrency levels) is identical.
 //!
 //! The bin exits non-zero when any response is dropped, erroneous or does not match
-//! direct inference (for any of the three variants), when no batch larger than one
+//! direct inference (for any of the four variants), when no batch larger than one
 //! forms at concurrency 64, when the Taylor variant fails to match softmax
 //! throughput, or when the `/metrics` snapshot is missing a per-variant counter block
 //! — these are the serving engine's acceptance gates, mirrored by the CI check on the
@@ -167,14 +167,24 @@ fn main() {
             )
         })
         .collect();
+    // The int8 arm runs the calibrated quantized kernel: fixed scales measured on the
+    // image pool via the model-construction calibration hook.
+    let mut int8 = taylor.clone();
+    int8.calibrate_int8(&images[..8]);
     let expected_taylor: Vec<usize> = taylor.predict_batch(&images);
     let expected_softmax: Vec<usize> = softmax.predict_batch(&images);
     let expected_unified: Vec<usize> = unified.predict_batch(&images);
+    let expected_int8: Vec<usize> = int8.predict_batch(&images);
 
     let mut registry = ModelRegistry::new();
     let taylor_key = registry.register("vit196", taylor).expect("valid name");
     let softmax_key = registry.register("vit196", softmax).expect("valid name");
     let unified_key = registry.register("vit196", unified).expect("valid name");
+    let int8_key = registry.register("vit196", int8).expect("valid name");
+    assert_eq!(
+        int8_key, "vit196:int8",
+        "int8 label drives the registry key"
+    );
     let server = Server::start(
         ServerConfig {
             policy: BatchPolicy {
@@ -197,6 +207,7 @@ fn main() {
         (taylor_key.as_str(), &expected_taylor),
         (softmax_key.as_str(), &expected_softmax),
         (unified_key.as_str(), &expected_unified),
+        (int8_key.as_str(), &expected_int8),
     ] {
         for &concurrency in &concurrencies {
             let per_client = (budget / concurrency).max(2);
@@ -246,6 +257,7 @@ fn main() {
     let c64_batched = at(&taylor_key, 64).max_batch_seen > 1
         || at(&softmax_key, 64).max_batch_seen > 1
         || at(&unified_key, 64).max_batch_seen > 1
+        || at(&int8_key, 64).max_batch_seen > 1
         || server_max_batch > 1;
     if !c64_batched {
         failures.push("no batch larger than 1 formed at concurrency 64".to_string());
@@ -265,6 +277,7 @@ fn main() {
     let taylor_peak = peak(&taylor_key);
     let softmax_peak = peak(&softmax_key);
     let unified_peak = peak(&unified_key);
+    let int8_peak = peak(&int8_key);
     if taylor_peak < softmax_peak {
         failures.push(format!(
             "taylor peak throughput {taylor_peak:.1} req/s below softmax {softmax_peak:.1} req/s at n=196"
@@ -273,7 +286,10 @@ fn main() {
     // The unified variant pays the full prediction + exact-softmax path on top of the
     // linear attention, so it has no throughput gate — only the observability one: its
     // per-variant counter block must appear on /metrics with every request accounted.
-    for label in ["taylor", "softmax", "unified"] {
+    // The int8 arm's throughput gate lives in bench_attention (kernel-level, where the
+    // quantize/dequantize overhead is measurable in isolation); here it shares the
+    // correctness and observability gates.
+    for label in ["taylor", "softmax", "unified", "int8"] {
         let counted = server_metrics
             .get("variants")
             .and_then(|v| v.get(label))
@@ -335,6 +351,7 @@ fn main() {
         .set("taylor_peak_rps", taylor_peak)
         .set("softmax_peak_rps", softmax_peak)
         .set("unified_peak_rps", unified_peak)
+        .set("int8_peak_rps", int8_peak)
         .set(
             "taylor_over_softmax_peak",
             taylor_peak / softmax_peak.max(1e-9),

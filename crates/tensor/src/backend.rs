@@ -69,6 +69,11 @@ pub const NC: usize = 512;
 /// and runs a plain `i k j` loop instead.
 pub const SMALL_GEMM_LIMIT: usize = 32 * 1024;
 
+/// Reduction-chunk bound of [`MatmulBackend::gemm_i8_exact_into`]: the largest number
+/// of `i8 × i8` partial products whose sum is guaranteed below `2²⁴`
+/// (`1024 · 127² = 16 516 096 < 16 777 216`), i.e. exactly representable in `f32`.
+pub const I8_EXACT_CHUNK: usize = 1024;
+
 const BACKEND_UNSET: u8 = 0;
 const BACKEND_NAIVE: u8 = 1;
 const BACKEND_BLOCKED: u8 = 2;
@@ -181,6 +186,43 @@ impl<'a> Operand<'a> {
     }
 }
 
+/// One integer GEMM operand: a flat `i8` buffer, its row stride, and how to index it —
+/// the quantized sibling of [`Operand`], consumed by [`MatmulBackend::gemm_i8_into`].
+#[derive(Debug, Clone, Copy)]
+pub struct IntOperand<'a> {
+    data: &'a [i8],
+    stride: usize,
+    layout: Layout,
+}
+
+impl<'a> IntOperand<'a> {
+    /// A row-major `i8` operand with the given row stride (usually its column count).
+    pub fn row_major(data: &'a [i8], stride: usize) -> Self {
+        Self {
+            data,
+            stride,
+            layout: Layout::RowMajor,
+        }
+    }
+
+    /// An `i8` operand participating as the transpose of the given row-major buffer.
+    pub fn transposed(data: &'a [i8], stride: usize) -> Self {
+        Self {
+            data,
+            stride,
+            layout: Layout::Transposed,
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> i8 {
+        match self.layout {
+            Layout::RowMajor => self.data[r * self.stride + c],
+            Layout::Transposed => self.data[c * self.stride + r],
+        }
+    }
+}
+
 impl MatmulBackend {
     /// Computes the `m × n` product `C = A · B` (with `A` logically `m × k` and `B`
     /// logically `k × n` after their layouts are applied) into a fresh buffer.
@@ -209,6 +251,182 @@ impl MatmulBackend {
         assert_eq!(out.len(), m * n, "gemm_into output buffer length");
         out.fill(0.0);
         self.dispatch(out, m, k, n, a, b);
+    }
+
+    /// Integer GEMM **reference**: the `m × n` product of two quantized `i8` operands
+    /// accumulated exactly into `i32` output elements (overwritten, not accumulated
+    /// into) by a scalar widening `i k j` loop.
+    ///
+    /// Every partial product fits in `|a·b| ≤ 127² = 16129`, so the `i32` accumulator
+    /// is exact for any shared dimension up to `k ≤ 2³¹ / 16129 ≈ 1.3·10⁵` — far
+    /// beyond any token count this workspace serves; the bound is asserted. This form
+    /// is kept as the obviously-correct differential baseline; hot paths should call
+    /// [`MatmulBackend::gemm_i8_exact_into`], which produces bit-identical results
+    /// through the packed f32 microkernel at a multiple of the throughput (baseline
+    /// x86-64 has no vector `i8 → i32` widening multiply, so this loop stays scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n` or `k` exceeds the exactness bound.
+    pub fn gemm_i8_into(
+        self,
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: IntOperand<'_>,
+        b: IntOperand<'_>,
+    ) {
+        assert_eq!(out.len(), m * n, "gemm_i8_into output buffer length");
+        assert!(
+            k <= (i32::MAX / (127 * 127)) as usize,
+            "gemm_i8_into shared dimension {k} would overflow the i32 accumulator"
+        );
+        out.fill(0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for i in 0..m {
+            let row = &mut out[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let a_ik = i32::from(a.at(i, kk));
+                if a_ik == 0 {
+                    continue;
+                }
+                match b.layout {
+                    // The hot case (the attention kernels feed row-major B): a
+                    // contiguous slice zip, which auto-vectorises the widening
+                    // multiply-add; the accessor-per-element form does not.
+                    Layout::RowMajor => {
+                        let b_row = &b.data[kk * b.stride..kk * b.stride + n];
+                        for (o, &bv) in row.iter_mut().zip(b_row) {
+                            *o += a_ik * i32::from(bv);
+                        }
+                    }
+                    Layout::Transposed => {
+                        for (j, o) in row.iter_mut().enumerate() {
+                            *o += a_ik * i32::from(b.data[j * b.stride + kk]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fast exact integer GEMM: bit-identical to [`MatmulBackend::gemm_i8_into`], run
+    /// through the packed f32 microkernel.
+    ///
+    /// The `i8` operands are widened into caller-provided `f32` scratch and multiplied
+    /// with the ordinary (vectorised, register-tiled) float kernel. Every operand
+    /// value is an integer with magnitude ≤ 127 and every partial sum over one
+    /// reduction chunk is bounded by [`I8_EXACT_CHUNK`]` · 127² < 2²⁴`, so each f32
+    /// operation lands on an exactly-representable integer — the float pipeline *is*
+    /// an integer accumulator here, just one with SIMD lanes. Reductions longer than
+    /// one chunk are split and the exact per-chunk integer results accumulated in
+    /// `i32`. Differentially tested against the scalar reference.
+    ///
+    /// Scratch requirements (all overwritten): `a_f ≥ a.data.len()`,
+    /// `b_f ≥ b.data.len()`, `c_f ≥ m · n`. Hot paths draw them from a
+    /// [`crate::Workspace`], keeping the quantized kernels allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n` or a scratch slice is too small.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_i8_exact_into(
+        self,
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: IntOperand<'_>,
+        b: IntOperand<'_>,
+        a_f: &mut [f32],
+        b_f: &mut [f32],
+        c_f: &mut [f32],
+    ) {
+        assert_eq!(out.len(), m * n, "gemm_i8_exact_into output buffer length");
+        assert!(
+            a_f.len() >= a.data.len() && b_f.len() >= b.data.len() && c_f.len() >= m * n,
+            "gemm_i8_exact_into scratch too small"
+        );
+        for (f, &iv) in a_f.iter_mut().zip(a.data) {
+            *f = f32::from(iv);
+        }
+        for (f, &iv) in b_f.iter_mut().zip(b.data) {
+            *f = f32::from(iv);
+        }
+        let a_lat = Operand {
+            data: &a_f[..a.data.len()],
+            stride: a.stride,
+            layout: a.layout,
+        };
+        let b_lat = Operand {
+            data: &b_f[..b.data.len()],
+            stride: b.stride,
+            layout: b.layout,
+        };
+        self.gemm_lattice_exact_into(out, m, k, n, a_lat, b_lat, c_f);
+    }
+
+    /// The core of [`MatmulBackend::gemm_i8_exact_into`] for operands already held in
+    /// the widened "lattice" form: `f32` buffers whose every element is an integer
+    /// with `|v| ≤ 127` (e.g. produced directly by a quantization sweep). Accumulates
+    /// the exact integer product into `i32`, chunking reductions at
+    /// [`I8_EXACT_CHUNK`] so every f32 partial sum stays below `2²⁴` and therefore
+    /// exactly integer. `c_f` (`≥ m · n`) is overwritten scratch.
+    ///
+    /// The lattice contract is the caller's to uphold — a non-integer or
+    /// out-of-range operand silently loses exactness (the int8 kernels' differential
+    /// tests against the scalar reference are the guard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n` or `c_f` is too small.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_lattice_exact_into(
+        self,
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b: Operand<'_>,
+        c_f: &mut [f32],
+    ) {
+        assert_eq!(out.len(), m * n, "gemm_lattice_exact_into output length");
+        assert!(
+            c_f.len() >= m * n,
+            "gemm_lattice_exact_into scratch too small"
+        );
+        // The same exactness bound the scalar reference asserts: beyond it the
+        // per-chunk i32 accumulation could wrap, silently breaking the
+        // bit-identical-to-reference contract.
+        assert!(
+            k <= (i32::MAX / (127 * 127)) as usize,
+            "gemm_lattice_exact_into shared dimension {k} would overflow the i32 accumulator"
+        );
+        out.fill(0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        for lo in (0..k).step_by(I8_EXACT_CHUNK) {
+            let kc = I8_EXACT_CHUNK.min(k - lo);
+            // Offset the operand buffers so the sub-operand starts at reduction
+            // index `lo` under either layout.
+            let a_op = match a.layout {
+                Layout::RowMajor => Operand::row_major(&a.data[lo..], a.stride),
+                Layout::Transposed => Operand::transposed(&a.data[lo * a.stride..], a.stride),
+            };
+            let b_op = match b.layout {
+                Layout::RowMajor => Operand::row_major(&b.data[lo * b.stride..], b.stride),
+                Layout::Transposed => Operand::transposed(&b.data[lo..], b.stride),
+            };
+            self.gemm_into(&mut c_f[..m * n], m, kc, n, a_op, b_op);
+            for (o, &s) in out.iter_mut().zip(c_f.iter()) {
+                *o += s as i32;
+            }
+        }
     }
 
     fn dispatch(
@@ -462,6 +680,160 @@ mod tests {
             Operand::row_major(&a, 3),
         );
         assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn integer_gemm_matches_a_widening_reference_on_ragged_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (9, 7, 10),
+            (33, 65, 17),
+        ] {
+            let a: Vec<i8> = (0..m * k).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..k * n).map(|i| ((i * 53 + 7) % 255) as i8).collect();
+            let mut expected = vec![0i32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    for kk in 0..k {
+                        expected[i * n + j] += i32::from(a[i * k + kk]) * i32::from(b[kk * n + j]);
+                    }
+                }
+            }
+            for backend in [MatmulBackend::Naive, MatmulBackend::Blocked] {
+                let mut out = vec![1i32; m * n];
+                backend.gemm_i8_into(
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    IntOperand::row_major(&a, k),
+                    IntOperand::row_major(&b, n),
+                );
+                assert_eq!(out, expected, "({m},{k},{n}) diverged on {backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_integer_gemm_is_bit_identical_to_the_scalar_reference() {
+        // Shapes straddling the small-product cutoff and the exactness chunk,
+        // including a reduction longer than I8_EXACT_CHUNK at worst-case ±127
+        // magnitudes (the chunk-boundary stress for f32 integer exactness).
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (9, 7, 10),
+            (33, 65, 17),
+            (64, 196, 64),
+            (8, I8_EXACT_CHUNK + 500, 8),
+        ] {
+            let a: Vec<i8> = (0..m * k)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        127
+                    } else {
+                        ((i * 37) % 255) as i8
+                    }
+                })
+                .collect();
+            let b: Vec<i8> = (0..k * n)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        -127
+                    } else {
+                        ((i * 53) % 255) as i8
+                    }
+                })
+                .collect();
+            let mut reference = vec![0i32; m * n];
+            MatmulBackend::Blocked.gemm_i8_into(
+                &mut reference,
+                m,
+                k,
+                n,
+                IntOperand::row_major(&a, k),
+                IntOperand::row_major(&b, n),
+            );
+            let mut a_f = vec![0f32; m * k];
+            let mut b_f = vec![0f32; k * n];
+            let mut c_f = vec![0f32; m * n];
+            for backend in [MatmulBackend::Naive, MatmulBackend::Blocked] {
+                let mut fast = vec![7i32; m * n];
+                backend.gemm_i8_exact_into(
+                    &mut fast,
+                    m,
+                    k,
+                    n,
+                    IntOperand::row_major(&a, k),
+                    IntOperand::row_major(&b, n),
+                    &mut a_f,
+                    &mut b_f,
+                    &mut c_f,
+                );
+                assert_eq!(fast, reference, "({m},{k},{n}) diverged on {backend:?}");
+                // Transposed-A form (the attention kernels' G = K̂ᵀV shape).
+                if m == n {
+                    let mut via_t = vec![0i32; m * n];
+                    let mut expected_t = vec![0i32; m * n];
+                    MatmulBackend::Blocked.gemm_i8_into(
+                        &mut expected_t,
+                        m,
+                        k,
+                        n,
+                        IntOperand::transposed(&a, m),
+                        IntOperand::row_major(&b, n),
+                    );
+                    backend.gemm_i8_exact_into(
+                        &mut via_t,
+                        m,
+                        k,
+                        n,
+                        IntOperand::transposed(&a, m),
+                        IntOperand::row_major(&b, n),
+                        &mut a_f,
+                        &mut b_f,
+                        &mut c_f,
+                    );
+                    assert_eq!(via_t, expected_t, "transposed ({m},{k},{n}) diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_gemm_transposed_layout_matches_materialised_transpose() {
+        let (m, k, n) = (6usize, 9usize, 5usize);
+        // A^T stored row-major (k x m), participating as A.
+        let at: Vec<i8> = (0..k * m).map(|i| ((i * 29 + 3) % 251) as i8).collect();
+        let a: Vec<i8> = {
+            let mut a = vec![0i8; m * k];
+            for r in 0..m {
+                for c in 0..k {
+                    a[r * k + c] = at[c * m + r];
+                }
+            }
+            a
+        };
+        let b: Vec<i8> = (0..k * n).map(|i| ((i * 41 + 13) % 251) as i8).collect();
+        let mut direct = vec![0i32; m * n];
+        let mut via_t = vec![0i32; m * n];
+        MatmulBackend::Blocked.gemm_i8_into(
+            &mut direct,
+            m,
+            k,
+            n,
+            IntOperand::row_major(&a, k),
+            IntOperand::row_major(&b, n),
+        );
+        MatmulBackend::Blocked.gemm_i8_into(
+            &mut via_t,
+            m,
+            k,
+            n,
+            IntOperand::transposed(&at, m),
+            IntOperand::row_major(&b, n),
+        );
+        assert_eq!(direct, via_t);
     }
 
     #[test]

@@ -44,14 +44,21 @@ use std::cell::RefCell;
 /// smallest buffer instead of growing the pool without bound.
 const MAX_POOLED: usize = 64;
 
-/// A pool of reusable `f32` and index buffers backing [`Matrix`] and `Vec` checkouts.
+/// A pool of reusable `f32`, `i8`, `i32` and index buffers backing [`Matrix`] and `Vec`
+/// checkouts.
 ///
 /// See the [module documentation](self) for the ownership discipline and an example,
 /// and [`crate::Matrix::matmul_into`] for the `*_into` operations designed to pair
-/// with it.
+/// with it. The integer pools back the int8-quantized attention kernels: operands are
+/// `Vec<i8>`, accumulators `Vec<i32>`, and both follow the same best-fit checkout /
+/// recycle policy (and feed the same hit counters) as the `f32` pool, so the quantized
+/// inference path reaches the identical zero-allocation steady state instead of
+/// round-tripping integer data through `f32` buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
     f32_pool: Vec<Vec<f32>>,
+    i8_pool: Vec<Vec<i8>>,
+    i32_pool: Vec<Vec<i32>>,
     idx_pool: Vec<Vec<usize>>,
     checkouts: u64,
     hits: u64,
@@ -77,38 +84,36 @@ impl Workspace {
 
     /// Checks out a zeroed `f32` buffer of exactly `len` elements.
     pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
-        self.checkouts += 1;
-        match best_fit(&self.f32_pool, len, Vec::capacity) {
-            Some(i) => {
-                self.hits += 1;
-                let mut v = self.f32_pool.swap_remove(i);
-                v.clear();
-                v.resize(len, 0.0);
-                v
-            }
-            // Nothing fits: grow the *largest* pooled buffer (one realloc, and it
-            // serves this size from the pool afterwards) rather than sacrificing a
-            // small size class that would then miss on its own next checkout.
-            None => match take_largest(&mut self.f32_pool) {
-                Some(mut v) => {
-                    v.clear();
-                    v.resize(len, 0.0);
-                    v
-                }
-                None => vec![0.0; len],
-            },
-        }
+        take_zeroed(&mut self.f32_pool, &mut self.checkouts, &mut self.hits, len)
     }
 
     /// Returns an `f32` buffer to the pool.
     pub fn recycle_vec(&mut self, v: Vec<f32>) {
-        if v.capacity() == 0 {
-            return;
-        }
-        if self.f32_pool.len() >= MAX_POOLED {
-            drop_smallest(&mut self.f32_pool, Vec::capacity);
-        }
-        self.f32_pool.push(v);
+        recycle_into(&mut self.f32_pool, v);
+    }
+
+    /// Checks out a zeroed `i8` buffer of exactly `len` elements (quantized operands of
+    /// the int8 attention kernels), with the same best-fit policy as
+    /// [`Workspace::take_vec`].
+    pub fn take_i8_vec(&mut self, len: usize) -> Vec<i8> {
+        take_zeroed(&mut self.i8_pool, &mut self.checkouts, &mut self.hits, len)
+    }
+
+    /// Returns an `i8` buffer to the pool.
+    pub fn recycle_i8_vec(&mut self, v: Vec<i8>) {
+        recycle_into(&mut self.i8_pool, v);
+    }
+
+    /// Checks out a zeroed `i32` buffer of exactly `len` elements (integer accumulators
+    /// of the int8 attention kernels), with the same best-fit policy as
+    /// [`Workspace::take_vec`].
+    pub fn take_i32_vec(&mut self, len: usize) -> Vec<i32> {
+        take_zeroed(&mut self.i32_pool, &mut self.checkouts, &mut self.hits, len)
+    }
+
+    /// Returns an `i32` buffer to the pool.
+    pub fn recycle_i32_vec(&mut self, v: Vec<i32>) {
+        recycle_into(&mut self.i32_pool, v);
     }
 
     /// Checks out an **empty** index buffer (capacity reused from the pool); callers
@@ -135,20 +140,17 @@ impl Workspace {
 
     /// Number of buffers currently parked in the pool.
     pub fn pooled_buffers(&self) -> usize {
-        self.f32_pool.len() + self.idx_pool.len()
+        self.f32_pool.len() + self.i8_pool.len() + self.i32_pool.len() + self.idx_pool.len()
     }
 
     /// Total bytes currently parked in the pool.
     pub fn pooled_bytes(&self) -> usize {
-        self.f32_pool
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<f32>())
-            .sum::<usize>()
-            + self
-                .idx_pool
-                .iter()
-                .map(|v| v.capacity() * std::mem::size_of::<usize>())
-                .sum::<usize>()
+        fn bytes<T>(pool: &[Vec<T>]) -> usize {
+            pool.iter()
+                .map(|v| v.capacity() * std::mem::size_of::<T>())
+                .sum()
+        }
+        bytes(&self.f32_pool) + bytes(&self.i8_pool) + bytes(&self.i32_pool) + bytes(&self.idx_pool)
     }
 
     /// Total checkouts since creation.
@@ -161,6 +163,47 @@ impl Workspace {
     pub fn pool_hits(&self) -> u64 {
         self.hits
     }
+}
+
+/// Shared checkout path of the typed element pools: best-fit reuse, else grow the
+/// largest pooled buffer (one realloc, and it serves this size from the pool
+/// afterwards) rather than sacrificing a small size class that would then miss on its
+/// own next checkout, else allocate fresh.
+fn take_zeroed<T: Copy + Default>(
+    pool: &mut Vec<Vec<T>>,
+    checkouts: &mut u64,
+    hits: &mut u64,
+    len: usize,
+) -> Vec<T> {
+    *checkouts += 1;
+    match best_fit(pool, len, Vec::capacity) {
+        Some(i) => {
+            *hits += 1;
+            let mut v = pool.swap_remove(i);
+            v.clear();
+            v.resize(len, T::default());
+            v
+        }
+        None => match take_largest(pool) {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, T::default());
+                v
+            }
+            None => vec![T::default(); len],
+        },
+    }
+}
+
+/// Shared recycle path of the typed element pools (bounded by [`MAX_POOLED`]).
+fn recycle_into<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    if pool.len() >= MAX_POOLED {
+        drop_smallest(pool, Vec::capacity);
+    }
+    pool.push(v);
 }
 
 /// Index of the pooled buffer with the smallest capacity that still fits `len`.
@@ -176,7 +219,7 @@ fn best_fit<T>(pool: &[T], len: usize, cap: impl Fn(&T) -> usize) -> Option<usiz
 }
 
 /// Removes and returns the largest-capacity pooled buffer, if any.
-fn take_largest(pool: &mut Vec<Vec<f32>>) -> Option<Vec<f32>> {
+fn take_largest<T>(pool: &mut Vec<Vec<T>>) -> Option<Vec<T>> {
     let (i, _) = pool
         .iter()
         .enumerate()
@@ -274,6 +317,39 @@ mod tests {
             ws.pool_hits() - hits,
             "steady-state checkouts must all be pool hits"
         );
+    }
+
+    #[test]
+    fn int8_and_i32_pools_follow_the_same_recycle_policy() {
+        let mut ws = Workspace::new();
+        let mut q = ws.take_i8_vec(64);
+        q[0] = 17;
+        let mut acc = ws.take_i32_vec(256);
+        acc[255] = -9;
+        ws.recycle_i8_vec(q);
+        ws.recycle_i32_vec(acc);
+        let (checkouts, hits) = (ws.checkouts(), ws.pool_hits());
+        // Recycled buffers come back zeroed and count as pool hits.
+        let q = ws.take_i8_vec(64);
+        assert!(q.iter().all(|&v| v == 0));
+        let acc = ws.take_i32_vec(200);
+        assert!(acc.iter().all(|&v| v == 0));
+        assert_eq!(ws.checkouts() - checkouts, 2);
+        assert_eq!(ws.pool_hits() - hits, 2, "warm integer pools must hit");
+        ws.recycle_i8_vec(q);
+        ws.recycle_i32_vec(acc);
+        // Integer buffers never cross into the f32 pool: an f32 checkout after only
+        // integer recycles must miss.
+        let hits_before = ws.pool_hits();
+        let f = ws.take_vec(8);
+        assert_eq!(
+            ws.pool_hits(),
+            hits_before,
+            "f32 checkout hit an integer pool"
+        );
+        ws.recycle_vec(f);
+        assert_eq!(ws.pooled_buffers(), 3);
+        assert!(ws.pooled_bytes() >= 64 + 256 * 4 + 8 * 4);
     }
 
     #[test]

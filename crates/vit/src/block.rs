@@ -14,8 +14,8 @@ use rand::Rng;
 use std::sync::Arc;
 
 use vitality_attention::{
-    AttentionKernel, SangerSparseAttention, SoftmaxAttention, TaylorAttention,
-    UnifiedAttentionKernel,
+    AttentionKernel, Int8Calibration, QuantizedTaylorKernel, QuantizedUnifiedKernel,
+    SangerSparseAttention, SoftmaxAttention, TaylorAttention, UnifiedAttentionKernel,
 };
 use vitality_autograd::{Graph, Var};
 use vitality_nn::registry::{NamedParameters, ParamRegistry};
@@ -42,6 +42,22 @@ pub enum AttentionVariant {
         /// Sparsity threshold of the sparse component.
         threshold: f32,
     },
+    /// Int8-quantized linear Taylor attention (the accelerator's integer inference
+    /// path), served by `QuantizedTaylorKernel`. Build it with
+    /// [`Int8Calibration::Dynamic`] or calibrate fixed scales on sample data with
+    /// `VisionTransformer::calibrate_int8`.
+    Int8Taylor {
+        /// How the per-head quantization scales are derived.
+        calibration: Int8Calibration,
+    },
+    /// Int8-quantized unified low-rank + sparse attention: the integer low-rank half
+    /// plus the quantized-logit Sanger mask selecting the f32 strong residual.
+    Int8Unified {
+        /// Sparsity threshold of the sparse component.
+        threshold: f32,
+        /// How the per-head quantization scales are derived.
+        calibration: Int8Calibration,
+    },
 }
 
 impl AttentionVariant {
@@ -55,6 +71,8 @@ impl AttentionVariant {
             AttentionVariant::TaylorNoCentering => "taylor-no-centering",
             AttentionVariant::Sparse { .. } => "sparse",
             AttentionVariant::Unified { .. } => "unified",
+            AttentionVariant::Int8Taylor { .. } => "int8",
+            AttentionVariant::Int8Unified { .. } => "int8-unified",
         }
     }
 
@@ -76,7 +94,36 @@ impl AttentionVariant {
             AttentionVariant::Unified { threshold } => {
                 Arc::new(UnifiedAttentionKernel::new(threshold))
             }
+            AttentionVariant::Int8Taylor { calibration } => {
+                Arc::new(QuantizedTaylorKernel::new(calibration))
+            }
+            AttentionVariant::Int8Unified {
+                threshold,
+                calibration,
+            } => Arc::new(QuantizedUnifiedKernel::new(threshold, calibration)),
         }
+    }
+
+    /// One representative configuration of **every** variant arm, in declaration
+    /// order — the iteration axis of the kernel conformance suite
+    /// (`tests/kernel_conformance.rs`). A new variant arm must be added here; the
+    /// suite's label-uniqueness check then covers it automatically, and forgetting the
+    /// entry fails the `all_covers_every_arm` test below.
+    pub fn all() -> Vec<AttentionVariant> {
+        vec![
+            AttentionVariant::Softmax,
+            AttentionVariant::Taylor,
+            AttentionVariant::TaylorNoCentering,
+            AttentionVariant::Sparse { threshold: 0.02 },
+            AttentionVariant::Unified { threshold: 0.1 },
+            AttentionVariant::Int8Taylor {
+                calibration: Int8Calibration::Dynamic,
+            },
+            AttentionVariant::Int8Unified {
+                threshold: 0.1,
+                calibration: Int8Calibration::Dynamic,
+            },
+        ]
     }
 }
 
@@ -247,6 +294,27 @@ impl MultiHeadAttention {
             .collect()
     }
 
+    /// Per-head absmax of the quantized int8 kernel's operands for one token matrix:
+    /// the largest absolute query, *mean-centred* key and value activation across all
+    /// heads. This is the measurement `VisionTransformer::calibrate_int8` aggregates
+    /// into an [`Int8Calibration::Fixed`] range set.
+    pub fn qkv_absmax(&self, x: &Matrix) -> (f32, f32, f32) {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let hd = self.head_dim();
+        let absmax = |m: &Matrix| m.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+        let (mut q_max, mut k_max, mut v_max) = (0.0f32, 0.0f32, 0.0f32);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * hd, (h + 1) * hd);
+            q_max = q_max.max(absmax(&q.slice_cols(lo, hi)));
+            let kh = k.slice_cols(lo, hi);
+            k_max = k_max.max(absmax(&vitality_attention::mean_center_keys(&kh)));
+            v_max = v_max.max(absmax(&v.slice_cols(lo, hi)));
+        }
+        (q_max, k_max, v_max)
+    }
+
     /// Mean sparse-component occupancy across heads (Fig. 14 probe); zero for kernels
     /// without a sparse component.
     pub fn sparse_occupancy(&self, x: &Matrix) -> f32 {
@@ -315,6 +383,17 @@ impl TransformerBlock {
     /// The block's attention module.
     pub fn attention(&self) -> &MultiHeadAttention {
         &self.attn
+    }
+
+    /// Per-head Q/K̂/V absmax of this block's attention *as it runs in the forward
+    /// pass* — i.e. measured on the pre-norm output `LN(x)` the attention actually
+    /// sees, which is what int8 calibration must observe.
+    pub fn attention_qkv_absmax(&self, x: &Matrix, ws: &mut Workspace) -> (f32, f32, f32) {
+        let mut normed = ws.take(x.rows(), x.cols());
+        self.norm1.infer_into(x, &mut normed);
+        let result = self.attn.qkv_absmax(&normed);
+        ws.recycle(normed);
+        result
     }
 
     /// Switches the attention variant (rebuilds the attention kernel once).
@@ -525,13 +604,7 @@ mod tests {
 
     #[test]
     fn variant_labels_match_their_kernels() {
-        for variant in [
-            AttentionVariant::Softmax,
-            AttentionVariant::Taylor,
-            AttentionVariant::TaylorNoCentering,
-            AttentionVariant::Sparse { threshold: 0.1 },
-            AttentionVariant::Unified { threshold: 0.1 },
-        ] {
+        for variant in AttentionVariant::all() {
             assert_eq!(variant.kernel().label(), variant.label());
         }
         assert_eq!(AttentionVariant::Softmax.label(), "softmax");
@@ -540,5 +613,50 @@ mod tests {
             AttentionVariant::TaylorNoCentering.label(),
             "taylor-no-centering"
         );
+        assert_eq!(
+            AttentionVariant::Int8Taylor {
+                calibration: Int8Calibration::Dynamic
+            }
+            .label(),
+            "int8"
+        );
+    }
+
+    #[test]
+    fn all_covers_every_arm() {
+        // One entry per declared arm: a new variant must extend `all()` (and thereby
+        // the conformance suite) before it can ship.
+        let all = AttentionVariant::all();
+        assert_eq!(all.len(), 7, "AttentionVariant::all() is missing an arm");
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "duplicate arm in all(): {a:?} / {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_variants_serve_through_the_mha_hot_path() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2, AttentionVariant::Taylor);
+        let x = tokens(6, 8, 7);
+        let f32_out = mha.infer(&x);
+        mha.set_variant(AttentionVariant::Int8Taylor {
+            calibration: Int8Calibration::Dynamic,
+        });
+        assert_eq!(mha.kernel().label(), "int8");
+        let int8_out = mha.infer(&x);
+        assert_eq!(int8_out.shape(), f32_out.shape());
+        assert!(int8_out.iter().all(|v| v.is_finite()));
+        // Quantized but close: the projections dominate, attention differs at the
+        // quantization step.
+        assert!(f32_out.max_abs_diff(&int8_out) < 0.2);
+        assert!(!f32_out.approx_eq(&int8_out, 1e-7), "int8 must quantize");
+        let (q_max, k_max, v_max) = mha.qkv_absmax(&x);
+        assert!(q_max > 0.0 && k_max > 0.0 && v_max > 0.0);
     }
 }

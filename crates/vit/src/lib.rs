@@ -28,3 +28,4 @@ pub use config::{ModelConfig, ModelFamily, StageConfig, TrainConfig};
 pub use model::{VisionTransformer, VitOutput};
 pub use opcount::{attention_step_ops, AttentionStep, ModelWorkload, StageWorkload, StepOps};
 pub use probe::{attention_logit_distribution, DistributionProbe};
+pub use vitality_attention::Int8Calibration;

@@ -5,6 +5,7 @@ use rayon::prelude::*;
 
 use crate::block::{AttentionVariant, TransformerBlock};
 use crate::config::TrainConfig;
+use vitality_attention::Int8Calibration;
 use vitality_autograd::{Graph, Var};
 use vitality_nn::registry::{NamedParameters, ParamRegistry};
 use vitality_nn::{ClassificationHead, PatchEmbed};
@@ -208,6 +209,49 @@ impl VisionTransformer {
         correct as f32 / images.len() as f32
     }
 
+    /// Calibrates fixed int8 quantization scales on sample images and switches the
+    /// model to [`AttentionVariant::Int8Taylor`] with the measured ranges — the
+    /// model-construction calibration hook of the quantized serving path.
+    ///
+    /// Each image is propagated through the model with the *current* variant while the
+    /// per-head absmax of every block's `Q` / centred `K̂` / `V` activations is
+    /// aggregated ([`MultiHeadAttention::qkv_absmax`]); the maxima over all blocks,
+    /// heads and images become the frozen [`Int8Calibration::Fixed`] ranges, so every
+    /// calibration-set activation is representable and anything beyond saturates at
+    /// ±127 (the accelerator's behaviour). Returns the calibration for registering
+    /// further models (e.g. an [`AttentionVariant::Int8Unified`] arm) on the same
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` is empty — a fixed calibration measured on nothing would
+    /// silently zero every activation.
+    pub fn calibrate_int8(&mut self, images: &[Matrix]) -> Int8Calibration {
+        assert!(
+            !images.is_empty(),
+            "int8 calibration requires at least one sample image"
+        );
+        let (mut q_max, mut k_max, mut v_max) = (0.0f32, 0.0f32, 0.0f32);
+        let mut ws = Workspace::new();
+        for image in images {
+            let mut x = self.embed.infer(image);
+            for block in &self.blocks {
+                let (q, k, v) = block.attention_qkv_absmax(&x, &mut ws);
+                q_max = q_max.max(q);
+                k_max = k_max.max(k);
+                v_max = v_max.max(v);
+                block.infer_inplace(&mut x, &mut ws);
+            }
+        }
+        let calibration = Int8Calibration::Fixed {
+            q_absmax: q_max,
+            k_absmax: k_max,
+            v_absmax: v_max,
+        };
+        self.set_variant(AttentionVariant::Int8Taylor { calibration });
+        calibration
+    }
+
     /// Mean sparse-component occupancy across blocks for one image (the Fig. 14 probe).
     pub fn sparse_occupancy(&self, image: &Matrix) -> f32 {
         let mut x = self.embed.infer(image);
@@ -408,6 +452,53 @@ mod tests {
         for logits in outputs {
             assert_eq!(logits, expected, "shared inference must be deterministic");
         }
+    }
+
+    #[test]
+    fn calibrate_int8_freezes_ranges_and_switches_the_variant() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(230);
+        let mut model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let samples: Vec<Matrix> = (0..3).map(|i| image(&cfg, 60 + i)).collect();
+        let f32_predictions = model.predict_batch(&samples);
+        let calibration = model.calibrate_int8(&samples);
+        let Int8Calibration::Fixed {
+            q_absmax,
+            k_absmax,
+            v_absmax,
+        } = calibration
+        else {
+            panic!("calibration must freeze fixed ranges");
+        };
+        assert!(q_absmax > 0.0 && k_absmax > 0.0 && v_absmax > 0.0);
+        assert_eq!(
+            model.variant(),
+            AttentionVariant::Int8Taylor { calibration }
+        );
+        assert_eq!(model.variant().label(), "int8");
+        // Calibrated int8 inference stays usable: finite logits, overwhelmingly the
+        // same top-1 decisions on the calibration set.
+        let int8_predictions = model.predict_batch(&samples);
+        let agreement = int8_predictions
+            .iter()
+            .zip(&f32_predictions)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agreement >= samples.len() - 1,
+            "calibrated int8 flipped {} of {} predictions",
+            samples.len() - agreement,
+            samples.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample image")]
+    fn calibrate_int8_rejects_an_empty_sample_set() {
+        let cfg = TrainConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(231);
+        let mut model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+        let _ = model.calibrate_int8(&[]);
     }
 
     #[test]

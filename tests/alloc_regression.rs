@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vitality::tensor::{init, Matrix, Workspace};
-use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer, VitOutput};
+use vitality::vit::{AttentionVariant, Int8Calibration, TrainConfig, VisionTransformer, VitOutput};
 
 /// Wraps the system allocator and counts every allocation-producing call.
 struct CountingAllocator;
@@ -68,11 +68,19 @@ fn steady_state_infer_batch_into_performs_zero_allocations() {
 
     // Every served variant must reach an allocation-free steady state: taylor is the
     // paper's inference configuration, softmax the baseline arm, unified the fused
-    // low-rank + sparse path.
+    // low-rank + sparse path, and the two int8 variants exercise the workspace's
+    // integer (`Vec<i8>`/`Vec<i32>`) pools.
     for variant in [
         AttentionVariant::Taylor,
         AttentionVariant::Softmax,
         AttentionVariant::Unified { threshold: 0.5 },
+        AttentionVariant::Int8Taylor {
+            calibration: Int8Calibration::Dynamic,
+        },
+        AttentionVariant::Int8Unified {
+            threshold: 0.5,
+            calibration: Int8Calibration::Dynamic,
+        },
     ] {
         model.set_variant(variant);
         let mut ws = Workspace::new();
