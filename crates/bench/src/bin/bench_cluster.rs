@@ -1,0 +1,598 @@
+//! Cluster load generator: boots three `vitality-serve` engines plus the
+//! `vitality-gateway` front-end, drives mixed hot/cold traffic through the gateway at
+//! concurrency ∈ {1, 8, 64}, kills one engine mid-run, exercises the
+//! latency/accuracy routing tiers, and writes `BENCH_cluster.json`.
+//!
+//! Usage: `cargo run --release -p vitality-bench --bin bench_cluster [-- --quick]`.
+//! `--quick` shrinks the request counts (the CI smoke path); the measured shape
+//! (all phases, all three concurrency levels, the mid-run engine kill) is identical.
+//!
+//! The bin exits non-zero when any of the cluster's acceptance gates fail:
+//!
+//! * any dropped or incorrect reply, *including through the mid-run engine kill*;
+//! * no cache hits under the hot-traffic phase, or hit-path p50 not below the
+//!   miss-path p50;
+//! * `tier: "latency"` / `tier: "accuracy"` requests not observably landing on the
+//!   `int8` / `unified` variants (reply keys + gateway `/metrics` routed counters);
+//! * the killed backend not being ejected, or not re-admitted after restart.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::json::JsonValue;
+use vitality_gateway::{CacheConfig, Gateway, GatewayConfig};
+use vitality_serve::{BatchPolicy, ModelRegistry, ServeClient, Server, ServerConfig};
+use vitality_tensor::{init, Matrix};
+use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+/// Same 196-token workload as `bench_serve`: the paper's DeiT / LeViT first-stage
+/// token count, where the linear Taylor path's O(n) advantage is already decisive.
+fn cluster_config() -> TrainConfig {
+    TrainConfig {
+        image_size: 56,
+        patch_size: 4,
+        embed_dim: 32,
+        heads: 4,
+        layers: 2,
+        mlp_ratio: 2.0,
+        classes: 8,
+    }
+}
+
+/// The three warm models every engine serves: the pass-through key plus the two tier
+/// targets of the default routing policy.
+struct ClusterModels {
+    taylor: VisionTransformer,
+    int8: VisionTransformer,
+    unified: VisionTransformer,
+}
+
+fn boot_engine(models: &ClusterModels, addr: &str) -> Server {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("vit196", models.taylor.clone())
+        .expect("valid name");
+    registry
+        .register("vit196", models.int8.clone())
+        .expect("valid name");
+    registry
+        .register("vit196", models.unified.clone())
+        .expect("valid name");
+    Server::start(
+        ServerConfig {
+            addr: addr.to_string(),
+            policy: BatchPolicy {
+                max_batch: 32,
+                max_delay: Duration::from_millis(1),
+                queue_capacity: 1024,
+            },
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("boot engine")
+}
+
+struct LoadPoint {
+    phase: &'static str,
+    concurrency: usize,
+    requests: usize,
+    wall_s: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    errors: usize,
+    mismatches: usize,
+}
+
+fn quantiles(latencies: &mut [u64]) -> (u64, u64) {
+    latencies.sort_unstable();
+    let q = |frac: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies
+                [((frac * (latencies.len() - 1) as f64).round() as usize).min(latencies.len() - 1)]
+        }
+    };
+    (q(0.50), (q(0.95)))
+}
+
+/// Drives `concurrency` keep-alive clients through the gateway, request `j` of
+/// client `c` using `pick(c, j)` to choose an image index, and checks every reply
+/// against `expected` predictions (and, when given, the expected model key).
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    addr: SocketAddr,
+    phase: &'static str,
+    model_key: &str,
+    tier: Option<&str>,
+    expect_model: Option<&str>,
+    concurrency: usize,
+    per_client: usize,
+    images: &[Matrix],
+    expected: &[usize],
+    pick: impl Fn(usize, usize) -> usize + Sync,
+) -> (LoadPoint, Vec<u64>) {
+    let errors = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let start = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        (0..concurrency)
+            .map(|c| {
+                let errors = &errors;
+                let mismatches = &mismatches;
+                let pick = &pick;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let Ok(mut client) = ServeClient::connect(addr) else {
+                        errors.fetch_add(per_client as u64, Ordering::Relaxed);
+                        return latencies;
+                    };
+                    for j in 0..per_client {
+                        let idx = pick(c, j) % images.len();
+                        let sent = Instant::now();
+                        match client.infer_with_tier(model_key, &images[idx], tier) {
+                            Ok(reply) => {
+                                latencies.push(sent.elapsed().as_micros() as u64);
+                                let model_ok = expect_model.is_none_or(|m| reply.model == m);
+                                if reply.prediction != expected[idx] || !model_ok {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let (p50, p95) = quantiles(&mut all);
+    let point = LoadPoint {
+        phase,
+        concurrency,
+        requests: concurrency * per_client,
+        wall_s,
+        rps: all.len() as f64 / wall_s.max(1e-9),
+        p50_us: p50,
+        p95_us: p95,
+        errors: errors.load(Ordering::Relaxed) as usize,
+        mismatches: mismatches.load(Ordering::Relaxed) as usize,
+    };
+    (point, all)
+}
+
+fn point_json(p: &LoadPoint) -> JsonValue {
+    let mut o = JsonValue::object();
+    o.set("phase", p.phase)
+        .set("concurrency", p.concurrency)
+        .set("requests", p.requests)
+        .set("wall_s", p.wall_s)
+        .set("rps", p.rps)
+        .set("p50_us", p.p50_us)
+        .set("p95_us", p.p95_us)
+        .set("errors", p.errors)
+        .set("mismatches", p.mismatches);
+    o
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = cluster_config();
+    assert_eq!(
+        cfg.tokens(),
+        196,
+        "the cluster workload is pinned at n = 196"
+    );
+
+    // ---- Warm models (identical weights on every engine) -------------------
+    let mut rng = StdRng::seed_from_u64(196);
+    let taylor = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+    let mut unified = taylor.clone();
+    unified.set_variant(AttentionVariant::Unified { threshold: 0.5 });
+
+    // Image pools. Cold traffic never repeats an image (every request misses the
+    // cache and exercises an engine); hot traffic cycles a small pool (every request
+    // after the warm-up hits the cache).
+    // Divisible by every concurrency level, so each cold point issues exactly this
+    // many requests and the per-point pool slices never overlap (an overlap would
+    // turn cold requests into cache hits and pollute the miss-path measurement).
+    let cold_per_point = if quick { 128 } else { 256 };
+    let failover_total = if quick { 128 } else { 512 };
+    let hot_pool_size = 16;
+    let make_images = |seed0: u64, count: usize| -> Vec<Matrix> {
+        (0..count)
+            .map(|i| {
+                init::uniform(
+                    &mut StdRng::seed_from_u64(seed0 + i as u64),
+                    cfg.image_size,
+                    cfg.image_size,
+                    0.0,
+                    1.0,
+                )
+            })
+            .collect()
+    };
+    let cold_pool = make_images(10_000, cold_per_point * 3);
+    let hot_pool = make_images(20_000, hot_pool_size);
+    let failover_pool = make_images(30_000, failover_total);
+    let tier_pool = make_images(40_000, 16);
+
+    // The int8 arm runs fixed scales calibrated once, then cloned into every engine
+    // so the quantized arithmetic is identical cluster-wide.
+    let mut int8 = taylor.clone();
+    int8.calibrate_int8(&hot_pool[..8]);
+    let models = ClusterModels {
+        taylor,
+        int8,
+        unified,
+    };
+
+    println!("precomputing direct-inference expectations...");
+    let cold_expected = models.taylor.predict_batch(&cold_pool);
+    let hot_expected = models.taylor.predict_batch(&hot_pool);
+    let failover_expected = models.taylor.predict_batch(&failover_pool);
+    let tier_latency_expected = models.int8.predict_batch(&tier_pool);
+    let tier_accuracy_expected = models.unified.predict_batch(&tier_pool);
+
+    // ---- Boot the cluster: three engines + the gateway ----------------------
+    let engine_a = boot_engine(&models, "127.0.0.1:0");
+    let engine_b = boot_engine(&models, "127.0.0.1:0");
+    let engine_c = boot_engine(&models, "127.0.0.1:0");
+    let kill_addr = engine_c.local_addr();
+    let backend_addrs = [engine_a.local_addr(), engine_b.local_addr(), kill_addr];
+    let gateway = Gateway::start(
+        GatewayConfig {
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(500),
+            retry_budget: 4,
+            max_backoff: Duration::from_millis(200),
+            cache: CacheConfig {
+                capacity: 512,
+                ttl: Duration::from_secs(120),
+                shards: 8,
+            },
+            ..GatewayConfig::default()
+        },
+        &backend_addrs,
+    )
+    .expect("boot gateway");
+    let gw_addr = gateway.local_addr();
+    println!(
+        "gateway on {gw_addr} fronting {} engines ({} healthy)",
+        backend_addrs.len(),
+        gateway.healthy_backends()
+    );
+    let mut failures: Vec<String> = Vec::new();
+    if gateway.healthy_backends() != 3 {
+        failures.push(format!(
+            "boot probe admitted {}/3 engines",
+            gateway.healthy_backends()
+        ));
+    }
+
+    let concurrencies = [1usize, 8, 64];
+    let mut points: Vec<LoadPoint> = Vec::new();
+
+    // ---- Phase 1: cold traffic (every image unique → all misses) ------------
+    let mut miss_latencies: Vec<u64> = Vec::new();
+    for (slice, &concurrency) in concurrencies.iter().enumerate() {
+        let per_client = (cold_per_point / concurrency).max(2);
+        let offset = slice * cold_per_point;
+        let (point, latencies) = drive(
+            gw_addr,
+            "cold",
+            "vit196:taylor",
+            None,
+            Some("vit196:taylor"),
+            concurrency,
+            per_client,
+            &cold_pool,
+            &cold_expected,
+            |c, j| offset + c * per_client + j,
+        );
+        println!(
+            "cold   c={concurrency:>2}: {:>7.1} req/s | p50 {:>7} us | p95 {:>7} us | errors {} | mismatches {}",
+            point.rps, point.p50_us, point.p95_us, point.errors, point.mismatches
+        );
+        miss_latencies.extend(latencies);
+        points.push(point);
+    }
+
+    // ---- Phase 2: hot traffic (small pool, warmed → all hits) ---------------
+    // Warm the cache once (these 16 are misses), then every further request to the
+    // pool is a hit served without touching an engine.
+    let (warm_point, _) = drive(
+        gw_addr,
+        "warm",
+        "vit196:taylor",
+        None,
+        Some("vit196:taylor"),
+        1,
+        hot_pool.len(),
+        &hot_pool,
+        &hot_expected,
+        |_, j| j,
+    );
+    points.push(warm_point);
+    let mut hit_latencies: Vec<u64> = Vec::new();
+    for &concurrency in &concurrencies {
+        let per_client = (cold_per_point / concurrency).max(2);
+        let (point, latencies) = drive(
+            gw_addr,
+            "hot",
+            "vit196:taylor",
+            None,
+            Some("vit196:taylor"),
+            concurrency,
+            per_client,
+            &hot_pool,
+            &hot_expected,
+            |c, j| c * 7 + j,
+        );
+        println!(
+            "hot    c={concurrency:>2}: {:>7.1} req/s | p50 {:>7} us | p95 {:>7} us | errors {} | mismatches {}",
+            point.rps, point.p50_us, point.p95_us, point.errors, point.mismatches
+        );
+        hit_latencies.extend(latencies);
+        points.push(point);
+    }
+
+    // ---- Phase 3: kill one engine under concurrent load ---------------------
+    // A killer thread shuts an engine down once a third of the requests have been
+    // issued; the retry budget must keep every admitted request answered.
+    let killed_at = AtomicU64::new(0);
+    let issued = AtomicU64::new(0);
+    let failover_point = std::thread::scope(|scope| {
+        let issued_ref = &issued;
+        let killed_ref = &killed_at;
+        let killer = scope.spawn(move || {
+            let threshold = (failover_total / 3) as u64;
+            // Deadline-bounded wait: if the load phase itself breaks (clients
+            // failing to connect would stop `issued` from advancing), the kill
+            // still happens and the run exits through the error gates instead of
+            // hanging the CI step inside this scope.
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while issued_ref.load(Ordering::Relaxed) < threshold && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            engine_c.shutdown();
+            killed_ref.store(issued_ref.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        let concurrency = 8;
+        let per_client = failover_total / concurrency;
+        let (point, _) = drive(
+            gw_addr,
+            "failover",
+            "vit196:taylor",
+            None,
+            Some("vit196:taylor"),
+            concurrency,
+            per_client,
+            &failover_pool,
+            &failover_expected,
+            |c, j| {
+                issued.fetch_add(1, Ordering::Relaxed);
+                c * per_client + j
+            },
+        );
+        killer.join().expect("killer thread");
+        point
+    });
+    println!(
+        "failover c=8 (engine killed after {} issued): {:>7.1} req/s | errors {} | mismatches {}",
+        killed_at.load(Ordering::Relaxed),
+        failover_point.rps,
+        failover_point.errors,
+        failover_point.mismatches
+    );
+    if failover_point.errors > 0 || failover_point.mismatches > 0 {
+        failures.push(format!(
+            "engine kill lost requests: {} errors, {} mismatches",
+            failover_point.errors, failover_point.mismatches
+        ));
+    }
+    points.push(failover_point);
+
+    // Ejection must be observable, then a restart on the same address re-admits.
+    let ejected = wait_for(Duration::from_secs(5), || gateway.healthy_backends() == 2);
+    if !ejected {
+        failures.push("killed engine was never ejected from the pool".to_string());
+    }
+    let restart_started = Instant::now();
+    let engine_c2 = boot_engine(&models, &kill_addr.to_string());
+    let readmitted = wait_for(Duration::from_secs(5), || gateway.healthy_backends() == 3);
+    let readmit_ms = restart_started.elapsed().as_millis() as u64;
+    if !readmitted {
+        failures.push("restarted engine was never re-admitted".to_string());
+    } else {
+        println!("killed engine restarted and re-admitted after {readmit_ms} ms");
+    }
+
+    // ---- Phase 4: routing tiers ---------------------------------------------
+    let (latency_point, _) = drive(
+        gw_addr,
+        "tier-latency",
+        "vit196:taylor",
+        Some("latency"),
+        Some("vit196:int8"),
+        4,
+        tier_pool.len() / 4,
+        &tier_pool,
+        &tier_latency_expected,
+        |c, j| c * (tier_pool.len() / 4) + j,
+    );
+    let (accuracy_point, _) = drive(
+        gw_addr,
+        "tier-accuracy",
+        "vit196:taylor",
+        Some("accuracy"),
+        Some("vit196:unified"),
+        4,
+        tier_pool.len() / 4,
+        &tier_pool,
+        &tier_accuracy_expected,
+        |c, j| c * (tier_pool.len() / 4) + j,
+    );
+    println!(
+        "tiers: latency→int8 ({} errors, {} mismatches) | accuracy→unified ({} errors, {} mismatches)",
+        latency_point.errors,
+        latency_point.mismatches,
+        accuracy_point.errors,
+        accuracy_point.mismatches
+    );
+    points.push(latency_point);
+    points.push(accuracy_point);
+
+    // ---- Acceptance gates ----------------------------------------------------
+    for p in &points {
+        if p.errors > 0 || p.mismatches > 0 {
+            failures.push(format!(
+                "{} c={}: {} errors, {} mismatches",
+                p.phase, p.concurrency, p.errors, p.mismatches
+            ));
+        }
+    }
+    let metrics = gateway.metrics_json();
+    let cache_hits = metrics
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    let (hit_p50, _) = quantiles(&mut hit_latencies);
+    let (miss_p50, _) = quantiles(&mut miss_latencies);
+    if cache_hits == 0 {
+        failures.push("hot traffic produced zero cache hits".to_string());
+    }
+    if hit_p50 >= miss_p50 {
+        failures.push(format!(
+            "cache hit-path p50 ({hit_p50} us) not below miss-path p50 ({miss_p50} us)"
+        ));
+    }
+    let routed = |variant: &str| {
+        metrics
+            .get("routed")
+            .and_then(|r| r.get(variant))
+            .and_then(JsonValue::as_usize)
+            .unwrap_or(0)
+    };
+    if routed("int8") == 0 || routed("unified") == 0 {
+        failures.push(format!(
+            "tier routing not observable on /metrics: int8={}, unified={}",
+            routed("int8"),
+            routed("unified")
+        ));
+    }
+    let gateway_failed = metrics
+        .get("failed")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(usize::MAX);
+    if gateway_failed != 0 {
+        failures.push(format!("gateway counted {gateway_failed} failed requests"));
+    }
+
+    // ---- BENCH_cluster.json --------------------------------------------------
+    let mut model_json = JsonValue::object();
+    model_json
+        .set("tokens", cfg.tokens())
+        .set("image_size", cfg.image_size)
+        .set("embed_dim", cfg.embed_dim)
+        .set("heads", cfg.heads)
+        .set("layers", cfg.layers)
+        .set("classes", cfg.classes);
+    let mut failover_json = JsonValue::object();
+    failover_json
+        .set("requests", failover_total)
+        .set(
+            "killed_after_issued",
+            killed_at.load(Ordering::Relaxed) as usize,
+        )
+        .set(
+            "errors",
+            points
+                .iter()
+                .find(|p| p.phase == "failover")
+                .map_or(0, |p| p.errors),
+        )
+        .set("ejected", ejected)
+        .set("readmitted", readmitted)
+        .set("readmit_ms", readmit_ms)
+        .set(
+            "failovers",
+            metrics
+                .get("failovers")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0),
+        )
+        .set(
+            "retries",
+            metrics
+                .get("retries")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0),
+        );
+    let mut cache_json = JsonValue::object();
+    cache_json
+        .set("hit_p50_us", hit_p50)
+        .set("miss_p50_us", miss_p50)
+        .set(
+            "hit_over_miss_p50",
+            hit_p50 as f64 / (miss_p50 as f64).max(1.0),
+        );
+    let mut tiers_json = JsonValue::object();
+    tiers_json
+        .set("latency_routed_to", "vit196:int8")
+        .set("accuracy_routed_to", "vit196:unified")
+        .set("routed_int8", routed("int8"))
+        .set("routed_unified", routed("unified"));
+    let mut root = JsonValue::object();
+    root.set("benchmark", "cluster")
+        .set("quick", quick)
+        .set("engines", backend_addrs.len())
+        .set("model", model_json)
+        .set("points", points.iter().map(point_json).collect::<Vec<_>>())
+        .set("cache", cache_json)
+        .set("failover", failover_json)
+        .set("tiers", tiers_json)
+        .set("gateway_metrics", metrics)
+        .set("ok", failures.is_empty());
+    std::fs::write("BENCH_cluster.json", root.to_json_pretty()).expect("write BENCH_cluster.json");
+    println!(
+        "wrote BENCH_cluster.json (cache hits {cache_hits}, hit p50 {hit_p50} us vs miss p50 {miss_p50} us)"
+    );
+
+    gateway.shutdown();
+    engine_a.shutdown();
+    engine_b.shutdown();
+    engine_c2.shutdown();
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn wait_for(timeout: Duration, mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if condition() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    condition()
+}

@@ -1,0 +1,80 @@
+//! Gateway tunables: retry budget, health probing cadence, cache bounds and the
+//! routing policy, bundled behind [`GatewayConfig`].
+
+use std::time::Duration;
+
+use crate::router::RoutingPolicy;
+
+/// Bounds of the response cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total cached responses across all shards (0 disables caching entirely).
+    pub capacity: usize,
+    /// How long a cached response stays servable after insertion.
+    pub ttl: Duration,
+    /// Number of independently locked shards (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            ttl: Duration::from_secs(60),
+            shards: 8,
+        }
+    }
+}
+
+/// Gateway tunables; `Default` is a sane local configuration on an ephemeral port.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`Gateway::local_addr`](crate::Gateway::local_addr)).
+    pub addr: String,
+    /// How often the prober thread refreshes every backend's `/healthz` state (the
+    /// least-loaded signal and the ejection/re-admission clock).
+    pub probe_interval: Duration,
+    /// Socket timeout of one health probe.
+    pub probe_timeout: Duration,
+    /// Consecutive failed probes before a healthy backend is ejected. Request-path
+    /// I/O failures eject immediately — a connection the gateway just watched die
+    /// needs no second opinion.
+    pub eject_after_probe_failures: u32,
+    /// Attempts per admitted request across distinct backends (at least 1). A failed
+    /// attempt resubmits to a different backend, so an engine crash under load loses
+    /// no admitted request while healthy capacity remains.
+    pub retry_budget: usize,
+    /// Per-call read timeout on backend connections.
+    pub backend_timeout: Duration,
+    /// Cap on any single back-off the retry loop honours (a backend's `Retry-After`
+    /// is clamped to this, so one engine's long hint cannot stall the gateway).
+    pub max_backoff: Duration,
+    /// Response-cache bounds.
+    pub cache: CacheConfig,
+    /// The tier → variant routing policy.
+    pub routing: RoutingPolicy,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout of gateway connections; doubles as the shutdown poll
+    /// interval for idle keep-alive connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_secs(1),
+            eject_after_probe_failures: 2,
+            retry_budget: 3,
+            backend_timeout: Duration::from_secs(30),
+            max_backoff: Duration::from_secs(1),
+            cache: CacheConfig::default(),
+            routing: RoutingPolicy::default(),
+            max_body_bytes: 16 * 1024 * 1024,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}

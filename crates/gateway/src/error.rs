@@ -1,0 +1,139 @@
+//! Typed gateway errors and their mapping onto the wire protocol.
+
+use std::fmt;
+
+/// Everything that can go wrong between a request reaching the gateway and a response
+/// leaving it. Like [`ServeError`](vitality_serve::ServeError), each variant maps to a
+/// stable machine-readable `code` and an HTTP status, so clients can distinguish "fix
+/// your request" from "back off and retry" without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The request body was not a valid (gateway) inference request.
+    BadRequest(String),
+    /// The resolved `name:variant` key is served by no backend in the pool.
+    ModelNotFound(String),
+    /// The retry budget was exhausted without any backend answering.
+    NoBackend {
+        /// Backends currently marked healthy.
+        healthy: usize,
+        /// Backends configured in the pool.
+        total: usize,
+        /// The last per-backend failure observed, for the error body.
+        last_error: String,
+    },
+    /// A backend answered with a non-retryable typed error (4xx), forwarded as-is.
+    Upstream {
+        /// The backend's HTTP status.
+        status: u16,
+        /// The backend's machine-readable error code.
+        code: String,
+        /// The backend's message.
+        message: String,
+    },
+}
+
+impl GatewayError {
+    /// Stable machine-readable error code carried in the JSON error body.
+    pub fn code(&self) -> &str {
+        match self {
+            GatewayError::BadRequest(_) => "bad_request",
+            GatewayError::ModelNotFound(_) => "model_not_found",
+            GatewayError::NoBackend { .. } => "no_backend",
+            GatewayError::Upstream { code, .. } => code,
+        }
+    }
+
+    /// The HTTP status the wire layer reports this error with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            GatewayError::BadRequest(_) => 400,
+            GatewayError::ModelNotFound(_) => 404,
+            GatewayError::NoBackend { .. } => 503,
+            GatewayError::Upstream { status, .. } => *status,
+        }
+    }
+
+    /// Seconds a client should wait before retrying (the 503 path), mirrored as a
+    /// `Retry-After` header like the engines' own backpressure responses.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            GatewayError::NoBackend { .. } => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            GatewayError::ModelNotFound(key) => {
+                write!(f, "model {key:?} is served by no backend in the pool")
+            }
+            GatewayError::NoBackend {
+                healthy,
+                total,
+                last_error,
+            } => write!(
+                f,
+                "no backend answered ({healthy}/{total} healthy; last error: {last_error})"
+            ),
+            GatewayError::Upstream {
+                status,
+                code,
+                message,
+            } => write!(f, "backend error {status} ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_statuses_and_retry_hints_are_stable() {
+        let cases: Vec<(GatewayError, &str, u16, Option<u64>)> = vec![
+            (
+                GatewayError::BadRequest("x".into()),
+                "bad_request",
+                400,
+                None,
+            ),
+            (
+                GatewayError::ModelNotFound("m:int8".into()),
+                "model_not_found",
+                404,
+                None,
+            ),
+            (
+                GatewayError::NoBackend {
+                    healthy: 0,
+                    total: 2,
+                    last_error: "io".into(),
+                },
+                "no_backend",
+                503,
+                Some(1),
+            ),
+            (
+                GatewayError::Upstream {
+                    status: 404,
+                    code: "model_not_found".into(),
+                    message: "missing".into(),
+                },
+                "model_not_found",
+                404,
+                None,
+            ),
+        ];
+        for (err, code, status, retry) in cases {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.http_status(), status);
+            assert_eq!(err.retry_after_secs(), retry);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # `vitality-gateway` — multi-engine cluster front-end
+//!
+//! One `vitality-serve` engine turns ViTALiTy's linear Taylor kernels into served
+//! throughput with bounded tail latency; this crate is the scale-out step. It is an
+//! HTTP front-end speaking the same wire protocol as the engines (`POST /v1/infer`,
+//! `GET /healthz`, `GET /metrics` — see [`vitality_serve::protocol`]) that fans
+//! requests out across a pool of engine backends, with four pieces:
+//!
+//! 1. **[`BackendPool`]** — periodic `/healthz` probing of every engine,
+//!    least-loaded routing on the queue-depth / in-flight-batch numbers healthz
+//!    reports, immediate ejection of backends whose connections die, re-admission
+//!    when probes succeed again, and a bounded retry budget that resubmits a failed
+//!    request to a *different* backend — an engine crash under load loses zero
+//!    admitted requests while healthy capacity remains.
+//! 2. **[`ResponseCache`]** — a sharded LRU keyed on
+//!    `(model_key, fnv1a(image bytes))` with capacity and TTL bounds; repeat images
+//!    are answered without touching any engine (inference is deterministic, so hits
+//!    are exact).
+//! 3. **[`RoutingPolicy`]** — static per-model rules plus the per-request
+//!    `tier: "latency" | "accuracy"` protocol field, rewriting the variant half of
+//!    the model key (by default to `int8` / `unified`) — ViTALiTy's cheap linear
+//!    path and accurate unified path served as tiers of one cluster.
+//! 4. **[`GatewayMetrics`]** — cache hit/miss counters and latency split, retry and
+//!    failover counts, per-resolved-variant routing counts and per-backend blocks,
+//!    aggregated on the gateway's `/metrics`.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vitality_gateway::{Gateway, GatewayConfig};
+//! use vitality_serve::{ModelRegistry, ServeClient, Server, ServerConfig};
+//! use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+//!
+//! // Two engines sharing the same weights...
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = TrainConfig::tiny();
+//! let model = VisionTransformer::new(&mut rng, cfg, AttentionVariant::Taylor);
+//! let engines: Vec<Server> = (0..2)
+//!     .map(|_| {
+//!         let mut registry = ModelRegistry::new();
+//!         registry.register("demo", model.clone()).unwrap();
+//!         Server::start(ServerConfig::default(), registry).unwrap()
+//!     })
+//!     .collect();
+//!
+//! // ...behind one gateway.
+//! let addrs: Vec<_> = engines.iter().map(|e| e.local_addr()).collect();
+//! let gateway = Gateway::start(GatewayConfig::default(), &addrs).unwrap();
+//! assert_eq!(gateway.healthy_backends(), 2);
+//!
+//! let image = vitality_tensor::init::uniform(&mut rng, cfg.image_size, cfg.image_size, 0.0, 1.0);
+//! let mut client = ServeClient::connect(gateway.local_addr()).unwrap();
+//! let reply = client.infer("demo:taylor", &image).unwrap();
+//! assert_eq!(reply.prediction, model.predict(&image));
+//!
+//! drop(client);
+//! gateway.shutdown();
+//! for engine in engines {
+//!     engine.shutdown();
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use cache::{image_hash, Fnv1a, ResponseCache};
+pub use config::{CacheConfig, GatewayConfig};
+pub use error::GatewayError;
+pub use metrics::GatewayMetrics;
+pub use pool::{Backend, BackendPool, Pick};
+pub use router::{RoutingPolicy, Tier, TierRules};
+pub use server::Gateway;

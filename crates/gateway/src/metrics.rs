@@ -1,0 +1,183 @@
+//! Gateway-level metrics: request/retry/failover counters, hit- vs miss-path latency
+//! histograms, per-resolved-variant routing counts, and the aggregated per-backend +
+//! cache blocks exported on the gateway's `GET /metrics`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::json::JsonValue;
+use vitality_serve::LatencyHistogram;
+
+use crate::cache::ResponseCache;
+use crate::pool::BackendPool;
+
+/// All counters one gateway instance maintains (the cache and the backends keep
+/// their own, merged into the snapshot here).
+#[derive(Debug)]
+pub struct GatewayMetrics {
+    /// Inference requests that reached routing (cache hits included).
+    pub requests: AtomicU64,
+    /// Requests answered 200 (from cache or a backend).
+    pub completed: AtomicU64,
+    /// Requests answered with any error status.
+    pub failed: AtomicU64,
+    /// Backend attempts beyond each request's first (the retry budget in action).
+    pub retries: AtomicU64,
+    /// Retries caused by a transport-level backend failure (the crash/failover path,
+    /// as opposed to backpressure 503s).
+    pub failovers: AtomicU64,
+    /// End-to-end latency of cache-hit responses.
+    pub hit_latency: LatencyHistogram,
+    /// End-to-end latency of responses that went to a backend.
+    pub miss_latency: LatencyHistogram,
+    /// Requests answered per resolved variant label (how tier routing is observed).
+    routed: Mutex<BTreeMap<String, u64>>,
+    started: Instant,
+}
+
+impl GatewayMetrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hit_latency: LatencyHistogram::new(),
+            miss_latency: LatencyHistogram::new(),
+            routed: Mutex::new(BTreeMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Counts one answered request against its resolved variant label.
+    pub fn record_routed(&self, resolved_key: &str) {
+        let variant = resolved_key
+            .split_once(':')
+            .map_or(resolved_key, |(_, variant)| variant);
+        *self
+            .routed
+            .lock()
+            .expect("routed counters poisoned")
+            .entry(variant.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Requests answered for the given variant label so far.
+    pub fn routed_count(&self, variant: &str) -> u64 {
+        self.routed
+            .lock()
+            .expect("routed counters poisoned")
+            .get(variant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The gateway's `GET /metrics` body: own counters plus the cache block and one
+    /// block per backend.
+    pub fn snapshot_json(&self, cache: &ResponseCache, pool: &BackendPool) -> JsonValue {
+        let latency_block = |hist: &LatencyHistogram| {
+            let mut block = JsonValue::object();
+            block
+                .set("count", hist.count())
+                .set("mean_us", hist.mean_us())
+                .set("p50_us", hist.quantile_us(0.50))
+                .set("p95_us", hist.quantile_us(0.95))
+                .set("p99_us", hist.quantile_us(0.99));
+            block
+        };
+        let mut routed = JsonValue::object();
+        for (variant, count) in self.routed.lock().expect("routed counters poisoned").iter() {
+            routed.set(variant, *count);
+        }
+        let backends: Vec<JsonValue> = pool.backends().iter().map(|b| b.snapshot_json()).collect();
+        let mut root = JsonValue::object();
+        root.set("uptime_s", self.started.elapsed().as_secs_f64())
+            .set("requests", self.requests.load(Ordering::Relaxed))
+            .set("completed", self.completed.load(Ordering::Relaxed))
+            .set("failed", self.failed.load(Ordering::Relaxed))
+            .set("retries", self.retries.load(Ordering::Relaxed))
+            .set("failovers", self.failovers.load(Ordering::Relaxed))
+            .set("cache", cache.snapshot_json())
+            .set("hit_latency", latency_block(&self.hit_latency))
+            .set("miss_latency", latency_block(&self.miss_latency))
+            .set("routed", routed)
+            .set("backends", backends)
+            .set("healthy_backends", pool.healthy_count());
+        root
+    }
+}
+
+impl Default for GatewayMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn routed_counts_key_on_the_variant_half() {
+        let metrics = GatewayMetrics::new();
+        metrics.record_routed("vit:int8");
+        metrics.record_routed("vit:int8");
+        metrics.record_routed("vit:unified");
+        metrics.record_routed("bare"); // no variant half: counted verbatim
+        assert_eq!(metrics.routed_count("int8"), 2);
+        assert_eq!(metrics.routed_count("unified"), 1);
+        assert_eq!(metrics.routed_count("bare"), 1);
+        assert_eq!(metrics.routed_count("taylor"), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_cache_and_backend_blocks() {
+        let metrics = GatewayMetrics::new();
+        metrics.requests.fetch_add(3, Ordering::Relaxed);
+        metrics.hit_latency.record_us(50);
+        metrics.miss_latency.record_us(900);
+        metrics.record_routed("m:taylor");
+        let cache = ResponseCache::new(4, Duration::from_secs(1), 1);
+        let pool = BackendPool::new(&["127.0.0.1:40100".parse().unwrap()]);
+        let snap = metrics.snapshot_json(&cache, &pool);
+        assert_eq!(snap.get("requests").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(
+            snap.get("healthy_backends").and_then(JsonValue::as_usize),
+            Some(0)
+        );
+        assert_eq!(
+            snap.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(JsonValue::as_usize),
+            Some(0)
+        );
+        assert_eq!(
+            snap.get("routed")
+                .and_then(|r| r.get("taylor"))
+                .and_then(JsonValue::as_usize),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("backends")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        assert!(
+            snap.get("hit_latency")
+                .and_then(|l| l.get("p50_us"))
+                .and_then(JsonValue::as_usize)
+                .unwrap()
+                <= snap
+                    .get("miss_latency")
+                    .and_then(|l| l.get("p50_us"))
+                    .and_then(JsonValue::as_usize)
+                    .unwrap()
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The routing-policy layer: static per-model rules plus the per-request
+//! `tier` protocol field, rewriting the *variant* half of a `name:variant` model key.
+//!
+//! ViTALiTy's premise is that the cheap linear Taylor path and the accurate
+//! unified/f32 path are tiers of one system: the same weights answer both
+//! latency-sensitive and accuracy-sensitive traffic, just through different attention
+//! kernels. The router is where that premise meets the wire — a request may name a
+//! concrete `name:variant` key (served as-is) or name a model plus
+//! `tier: "latency" | "accuracy"`, which the policy resolves to that model's
+//! latency-tier or accuracy-tier variant (by default `int8` and `unified`).
+
+use crate::error::GatewayError;
+
+/// A request's routing tier, parsed from the protocol's `tier` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Route to the model's cheap, latency-optimised variant (default `int8`).
+    Latency,
+    /// Route to the model's accurate variant (default `unified`).
+    Accuracy,
+}
+
+impl Tier {
+    /// Parses the wire value; anything but `"latency"` / `"accuracy"` is a typed 400.
+    pub fn parse(value: &str) -> Result<Tier, GatewayError> {
+        match value {
+            "latency" => Ok(Tier::Latency),
+            "accuracy" => Ok(Tier::Accuracy),
+            other => Err(GatewayError::BadRequest(format!(
+                "unknown tier {other:?} (expected \"latency\" or \"accuracy\")"
+            ))),
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Latency => "latency",
+            Tier::Accuracy => "accuracy",
+        }
+    }
+}
+
+/// The variant each tier resolves to for one model (or as the cluster default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierRules {
+    /// Variant label serving `tier: "latency"` requests.
+    pub latency: String,
+    /// Variant label serving `tier: "accuracy"` requests.
+    pub accuracy: String,
+}
+
+impl Default for TierRules {
+    fn default() -> Self {
+        Self {
+            latency: "int8".to_string(),
+            accuracy: "unified".to_string(),
+        }
+    }
+}
+
+/// Static routing rules: a cluster-wide default plus per-model overrides.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingPolicy {
+    /// Rules applied when a model has no override.
+    pub default_rules: TierRules,
+    /// Per-model-name overrides (the name half of the key, no variant).
+    pub model_rules: Vec<(String, TierRules)>,
+}
+
+impl RoutingPolicy {
+    /// Resolves the model key one request is actually served under.
+    ///
+    /// Without a tier the requested key passes through untouched. With one, the
+    /// variant half is rewritten by the model's rules (the name half — everything
+    /// before the first `:`, or the whole key if it has none — always survives).
+    pub fn resolve(&self, model_key: &str, tier: Option<Tier>) -> String {
+        let Some(tier) = tier else {
+            return model_key.to_string();
+        };
+        let name = model_key
+            .split_once(':')
+            .map_or(model_key, |(name, _)| name);
+        let rules = self
+            .model_rules
+            .iter()
+            .find(|(model, _)| model == name)
+            .map_or(&self.default_rules, |(_, rules)| rules);
+        let variant = match tier {
+            Tier::Latency => &rules.latency,
+            Tier::Accuracy => &rules.accuracy,
+        };
+        format!("{name}:{variant}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_parse_strictly() {
+        assert_eq!(Tier::parse("latency").unwrap(), Tier::Latency);
+        assert_eq!(Tier::parse("accuracy").unwrap(), Tier::Accuracy);
+        assert_eq!(Tier::Latency.as_str(), "latency");
+        assert_eq!(Tier::Accuracy.as_str(), "accuracy");
+        match Tier::parse("bulk") {
+            Err(GatewayError::BadRequest(msg)) => assert!(msg.contains("bulk")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untired_keys_pass_through_and_tiers_rewrite_the_variant_half() {
+        let policy = RoutingPolicy::default();
+        assert_eq!(policy.resolve("vit:taylor", None), "vit:taylor");
+        assert_eq!(
+            policy.resolve("vit:taylor", Some(Tier::Latency)),
+            "vit:int8"
+        );
+        assert_eq!(
+            policy.resolve("vit:taylor", Some(Tier::Accuracy)),
+            "vit:unified"
+        );
+        // A bare name (no variant half) still routes by tier.
+        assert_eq!(policy.resolve("vit", Some(Tier::Latency)), "vit:int8");
+    }
+
+    #[test]
+    fn per_model_rules_override_the_default() {
+        let policy = RoutingPolicy {
+            default_rules: TierRules::default(),
+            model_rules: vec![(
+                "deit".to_string(),
+                TierRules {
+                    latency: "taylor".to_string(),
+                    accuracy: "softmax".to_string(),
+                },
+            )],
+        };
+        assert_eq!(
+            policy.resolve("deit:unified", Some(Tier::Latency)),
+            "deit:taylor"
+        );
+        assert_eq!(
+            policy.resolve("deit:unified", Some(Tier::Accuracy)),
+            "deit:softmax"
+        );
+        // Other models keep the cluster default.
+        assert_eq!(
+            policy.resolve("vit:taylor", Some(Tier::Latency)),
+            "vit:int8"
+        );
+    }
+}

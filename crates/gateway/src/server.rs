@@ -1,0 +1,403 @@
+//! The gateway front-end: TCP accept loop, per-connection handlers, the health
+//! prober thread and the cache → route → retry request pipeline, assembled behind
+//! [`Gateway::start`] / [`Gateway::shutdown`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::json::JsonValue;
+use vitality_serve::http::serve_connection;
+use vitality_serve::{protocol, ClientError, InferReply};
+use vitality_tensor::Matrix;
+
+use crate::cache::{image_hash, ResponseCache};
+use crate::config::GatewayConfig;
+use crate::error::GatewayError;
+use crate::metrics::GatewayMetrics;
+use crate::pool::{BackendPool, InFlightGuard, Pick};
+use crate::router::Tier;
+
+struct Shared {
+    config: GatewayConfig,
+    pool: BackendPool,
+    cache: ResponseCache,
+    metrics: GatewayMetrics,
+    shutdown: AtomicBool,
+}
+
+/// A running cluster gateway.
+///
+/// ```text
+/// clients ──► accept loop ──► connection threads ──► cache ──► router ──► retry loop
+///                                                     hit│                 │ pick / call
+///                                                        ▼                 ▼
+///                                                   cached reply    BackendPool ──► engines
+///                                          prober thread ─ /healthz probes ──┘
+/// ```
+///
+/// Start with [`Gateway::start`]; stop with [`Gateway::shutdown`]. The gateway holds
+/// no request state of its own — shutting it down answers in-flight requests and
+/// leaves the engines running.
+pub struct Gateway {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    prober_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Binds the listener, runs one synchronous probe round (so reachable backends
+    /// are admitted before the first request), and spawns the prober and accept
+    /// loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error. Unreachable backends are accepted — they stay
+    /// unadmitted until a probe succeeds, which is exactly the re-admission path.
+    pub fn start(config: GatewayConfig, backends: &[SocketAddr]) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = BackendPool::new(backends);
+        pool.probe_all(config.probe_timeout, config.eject_after_probe_failures);
+        let shared = Arc::new(Shared {
+            cache: ResponseCache::new(config.cache.capacity, config.cache.ttl, config.cache.shards),
+            metrics: GatewayMetrics::new(),
+            pool,
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let prober_shared = Arc::clone(&shared);
+        let prober_handle = std::thread::Builder::new()
+            .name("gateway-probe".to_string())
+            .spawn(move || {
+                // Sleep in short slices so shutdown is prompt even with a long
+                // probe interval.
+                let slice = Duration::from_millis(10);
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < prober_shared.config.probe_interval {
+                        if prober_shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    prober_shared.pool.probe_all(
+                        prober_shared.config.probe_timeout,
+                        prober_shared.config.eject_after_probe_failures,
+                    );
+                }
+            })
+            .expect("spawn gateway prober");
+
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let accept_handle = std::thread::Builder::new()
+            .name("gateway-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let handle = std::thread::Builder::new()
+                        .name("gateway-conn".to_string())
+                        .spawn(move || handle_connection(stream, conn_shared))
+                        .expect("spawn gateway connection handler");
+                    let mut handles = accept_connections.lock().expect("connection list poisoned");
+                    handles.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    handles.push(handle);
+                }
+            })
+            .expect("spawn gateway accept loop");
+
+        Ok(Gateway {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            prober_handle: Some(prober_handle),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of currently admitted backends (probe-refreshed).
+    pub fn healthy_backends(&self) -> usize {
+        self.shared.pool.healthy_count()
+    }
+
+    /// A point-in-time snapshot of the gateway's `/metrics` body.
+    pub fn metrics_json(&self) -> JsonValue {
+        self.shared
+            .metrics
+            .snapshot_json(&self.shared.cache, &self.shared.pool)
+    }
+
+    /// Graceful shutdown: stop accepting, join the prober, answer in-flight
+    /// requests, then join every connection handler. Engines are not touched.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
+        let handles =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("local_addr", &self.local_addr)
+            .field(
+                "backends",
+                &self
+                    .shared
+                    .pool
+                    .backends()
+                    .iter()
+                    .map(|b| b.addr())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    serve_connection(
+        stream,
+        shared.config.poll_interval,
+        shared.config.max_body_bytes,
+        &stop,
+        |message| route(message, &shared),
+    );
+}
+
+fn route(
+    message: &vitality_serve::http::HttpMessage,
+    shared: &Arc<Shared>,
+) -> (u16, JsonValue, Option<u64>) {
+    let Ok((method, path)) = message.request_parts() else {
+        return error_response(&GatewayError::BadRequest("malformed request line".into()));
+    };
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let healthy = shared.pool.healthy_count();
+            let total = shared.pool.backends().len();
+            let status = if healthy == total {
+                "ok"
+            } else if healthy > 0 {
+                "degraded"
+            } else {
+                "unavailable"
+            };
+            let mut body = JsonValue::object();
+            body.set("status", status)
+                .set("backends", total)
+                .set("healthy", healthy)
+                .set("models", shared.pool.model_union());
+            (200, body, None)
+        }
+        ("GET", "/metrics") => (
+            200,
+            shared.metrics.snapshot_json(&shared.cache, &shared.pool),
+            None,
+        ),
+        ("POST", "/v1/infer") => match handle_infer(message, shared) {
+            Ok(body) => (200, body, None),
+            Err(err) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                error_response(&err)
+            }
+        },
+        ("POST" | "GET", _) => (
+            404,
+            protocol::error_body("not_found", &format!("no route for {method} {path}")),
+            None,
+        ),
+        _ => (
+            405,
+            protocol::error_body(
+                "method_not_allowed",
+                &format!("unsupported method {method}"),
+            ),
+            None,
+        ),
+    }
+}
+
+fn error_response(error: &GatewayError) -> (u16, JsonValue, Option<u64>) {
+    (
+        error.http_status(),
+        protocol::error_body(error.code(), &error.to_string()),
+        error.retry_after_secs(),
+    )
+}
+
+/// The request pipeline: parse → resolve tier routing → cache lookup → retry loop
+/// over the pool. Returns the response body to send with status 200.
+fn handle_infer(
+    message: &vitality_serve::http::HttpMessage,
+    shared: &Arc<Shared>,
+) -> Result<JsonValue, GatewayError> {
+    let started = Instant::now();
+    let text = std::str::from_utf8(&message.body)
+        .map_err(|_| GatewayError::BadRequest("body is not UTF-8".into()))?;
+    let parsed = serde::json::parse(text)
+        .map_err(|e| GatewayError::BadRequest(format!("invalid JSON: {e}")))?;
+    let (model_key, image) = protocol::parse_infer_request(&parsed)
+        .map_err(|e| GatewayError::BadRequest(e.to_string()))?;
+    let tier = protocol::parse_infer_tier(&parsed)
+        .map_err(|e| GatewayError::BadRequest(e.to_string()))?
+        .map(|t| Tier::parse(&t))
+        .transpose()?;
+    let resolved = shared.config.routing.resolve(&model_key, tier);
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Tier-routed keys must resolve to something the cluster actually serves —
+    // answering 404 *here* (rather than per-backend) makes a routing-policy typo a
+    // deterministic client-visible error instead of a retry storm. But 404 only
+    // when the key is genuinely unknown to a partly-healthy cluster: a key some
+    // (currently ejected) backend is known to serve, or any key during a total
+    // outage, is a *transient* condition and stays a retryable 503.
+    if !shared.pool.serves(&resolved) {
+        if shared.pool.healthy_count() == 0 || shared.pool.known(&resolved) {
+            return Err(GatewayError::NoBackend {
+                healthy: shared.pool.healthy_count(),
+                total: shared.pool.backends().len(),
+                last_error: format!("no admitted backend serves {resolved}"),
+            });
+        }
+        return Err(GatewayError::ModelNotFound(resolved));
+    }
+
+    let hash = image_hash(&image);
+    if let Some(reply) = shared.cache.get(&resolved, hash) {
+        shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record_routed(&resolved);
+        shared
+            .metrics
+            .hit_latency
+            .record_us(started.elapsed().as_micros() as u64);
+        let mut body = protocol::infer_reply_json(&reply);
+        body.set("cached", true);
+        return Ok(body);
+    }
+
+    let reply = call_with_retries(shared, &resolved, &image)?;
+    shared.cache.put(&resolved, hash, reply.clone());
+    shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.record_routed(&resolved);
+    shared
+        .metrics
+        .miss_latency
+        .record_us(started.elapsed().as_micros() as u64);
+    let mut body = protocol::infer_reply_json(&reply);
+    body.set("cached", false);
+    Ok(body)
+}
+
+/// The bounded retry loop: each attempt goes to the least-loaded backend that has not
+/// already failed this request; transport failures eject and fail over, 503s put the
+/// backend in a `Retry-After`-sized cooldown, and deterministic 4xx answers are
+/// forwarded without retrying.
+fn call_with_retries(
+    shared: &Arc<Shared>,
+    resolved: &str,
+    image: &Matrix,
+) -> Result<InferReply, GatewayError> {
+    let budget = shared.config.retry_budget.max(1);
+    let mut excluded: Vec<usize> = Vec::new();
+    let mut last_error = String::from("no attempt made");
+    let mut first_attempt = true;
+    for _ in 0..budget {
+        match shared.pool.pick(resolved, &excluded) {
+            Pick::Chosen(index, backend) => {
+                if !first_attempt {
+                    shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                first_attempt = false;
+                let guard = InFlightGuard::new(Arc::clone(&backend));
+                let result = backend.call(resolved, image, shared.config.backend_timeout);
+                drop(guard);
+                match result {
+                    Ok(reply) => return Ok(reply),
+                    Err(ClientError::Server {
+                        status,
+                        code,
+                        message,
+                        retry_after,
+                    }) => {
+                        if status == 503 {
+                            // Backpressure: honour the engine's Retry-After (capped)
+                            // as a cooldown on that backend and resubmit elsewhere.
+                            backend.set_cooldown(
+                                Duration::from_secs(retry_after.unwrap_or(1))
+                                    .min(shared.config.max_backoff),
+                            );
+                            last_error = format!("{code}: {message}");
+                            excluded.push(index);
+                        } else if status >= 500 {
+                            // An engine-internal failure may be request-independent
+                            // (worker crash): try a different backend.
+                            last_error = format!("{code}: {message}");
+                            excluded.push(index);
+                        } else {
+                            // 4xx is deterministic — retrying elsewhere cannot
+                            // change the answer. Forward it.
+                            return Err(GatewayError::Upstream {
+                                status,
+                                code,
+                                message,
+                            });
+                        }
+                    }
+                    Err(err) => {
+                        // Transport-level failure: the engine is gone or wedged.
+                        // Eject it (the prober re-admits on recovery) and fail over.
+                        backend.eject();
+                        shared.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_error = err.to_string();
+                        excluded.push(index);
+                    }
+                }
+            }
+            Pick::Cooling(until) => {
+                // Every remaining backend is backing off; wait out the shortest
+                // cooldown (bounded) and allow previously excluded backends again —
+                // after a sleep the cluster may look entirely different.
+                let wait = until
+                    .saturating_duration_since(Instant::now())
+                    .min(shared.config.max_backoff);
+                std::thread::sleep(wait);
+                excluded.clear();
+            }
+            Pick::None => break,
+        }
+    }
+    Err(GatewayError::NoBackend {
+        healthy: shared.pool.healthy_count(),
+        total: shared.pool.backends().len(),
+        last_error,
+    })
+}

@@ -1,6 +1,8 @@
 //! A small blocking keep-alive client for the serving wire protocol, used by the
-//! examples, the integration tests and the `bench_serve` load generator.
+//! examples, the integration tests, the cluster gateway's backend calls and the
+//! `bench_serve` load generator.
 
+use std::cell::Cell;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -31,7 +33,21 @@ pub enum ClientError {
         code: String,
         /// Human-readable message.
         message: String,
+        /// The response's `Retry-After` header in seconds, when the server sent one
+        /// (the 503 backpressure responses do) — the back-off hint a retry budget
+        /// should honour.
+        retry_after: Option<u64>,
     },
+}
+
+impl ClientError {
+    /// The `Retry-After` back-off hint, when the failure carried one.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            ClientError::Server { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -43,6 +59,7 @@ impl fmt::Display for ClientError {
                 status,
                 code,
                 message,
+                ..
             } => write!(f, "server error {status} ({code}): {message}"),
         }
     }
@@ -61,11 +78,62 @@ impl From<io::Error> for ClientError {
 /// Requests are strictly sequential per connection (send one, read its response);
 /// drive concurrency by opening one client per thread, which is exactly what the load
 /// generator does.
+///
+/// # Stale keep-alive connections
+///
+/// A server may close an idle keep-alive connection between two calls (restart, idle
+/// reaper, engine replacement behind a stable address). When a call on a *previously
+/// used* connection fails because the peer closed it — a broken/reset write, or a
+/// clean EOF where the response should have started — the client transparently
+/// reconnects once and resends the request instead of surfacing an I/O error. The
+/// retry happens only when no response bytes were consumed (an error *mid-response*
+/// is never retried), so a response is never half-read and then re-requested; a
+/// failure on the fresh connection (or on a never-used one) is reported to the
+/// caller as usual. Read *timeouts* are not retried: with
+/// [`ServeClient::set_timeout`] configured, the first expiry still terminates the
+/// round trip, keeping the timeout an actual bound.
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
     reader: MessageReader,
     addr: SocketAddr,
+    read_timeout: Option<Duration>,
+    /// Whether this connection has completed at least one round trip (only then is a
+    /// peer-closed failure interpreted as a stale keep-alive connection).
+    used: bool,
+    /// Set when a failure leaves the connection desynchronised — a read timeout or
+    /// an error mid-response means a (late) response may still be in flight, and
+    /// reusing the stream could hand request N the response to request N-1. The
+    /// next call reconnects first instead of reading poisoned bytes.
+    poisoned: bool,
+}
+
+/// How one send/receive attempt failed, split by whether a reconnect may help.
+enum AttemptError {
+    /// The peer closed a previously working connection before answering: safe to
+    /// reconnect and resend.
+    Stale(ClientError),
+    /// Any other failure: surfaced to the caller as-is.
+    Fatal(ClientError),
+}
+
+impl AttemptError {
+    fn into_inner(self) -> ClientError {
+        match self {
+            AttemptError::Stale(e) | AttemptError::Fatal(e) => e,
+        }
+    }
+}
+
+fn is_disconnect(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
 }
 
 impl ServeClient {
@@ -81,6 +149,9 @@ impl ServeClient {
             stream,
             reader: MessageReader::new(),
             addr,
+            read_timeout: None,
+            used: false,
+            poisoned: false,
         })
     }
 
@@ -90,16 +161,28 @@ impl ServeClient {
     }
 
     /// Sets (or clears) the per-read socket timeout.
-    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
     }
 
     /// Runs one inference round trip against `POST /v1/infer`.
     pub fn infer(&mut self, model: &str, image: &Matrix) -> Result<InferReply, ClientError> {
-        let body = protocol::infer_request_json(model, image).to_json();
-        let (status, json) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
+        self.infer_with_tier(model, image, None)
+    }
+
+    /// Runs one inference round trip carrying a routing-tier hint (`"latency"` /
+    /// `"accuracy"`) for a cluster gateway to resolve; an engine ignores the hint.
+    pub fn infer_with_tier(
+        &mut self,
+        model: &str,
+        image: &Matrix,
+        tier: Option<&str>,
+    ) -> Result<InferReply, ClientError> {
+        let body = protocol::infer_request_json_with_tier(model, image, tier).to_json();
+        let (status, json, retry_after) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
         if status != 200 {
-            return Err(self.server_error(status, &json));
+            return Err(Self::server_error(status, &json, retry_after));
         }
         protocol::parse_infer_reply(&json).map_err(|e| ClientError::Protocol(e.to_string()))
     }
@@ -107,7 +190,8 @@ impl ServeClient {
     /// Issues a body-less `GET` (for `/healthz` and `/metrics`) and returns the parsed
     /// JSON body with its status.
     pub fn get(&mut self, path: &str) -> Result<(u16, JsonValue), ClientError> {
-        self.round_trip("GET", path, b"")
+        let (status, json, _) = self.round_trip("GET", path, b"")?;
+        Ok((status, json))
     }
 
     fn round_trip(
@@ -115,36 +199,117 @@ impl ServeClient {
         method: &str,
         path: &str,
         body: &[u8],
-    ) -> Result<(u16, JsonValue), ClientError> {
-        write_request(&mut self.stream, method, path, body)?;
-        // `stop` always says yes: with no socket timeout configured reads block until
-        // data arrives and the callback is never consulted, and with one configured
-        // (set_timeout) the first expiry terminates the round trip instead of
-        // retrying forever — that is what makes the timeout API actually bound reads.
-        let response = self
-            .reader
-            .read_message(&mut self.stream, MAX_RESPONSE_BYTES, &|| true)?
-            .ok_or_else(|| {
-                ClientError::Protocol(
-                    "connection closed or read timed out before a response arrived".into(),
-                )
-            })?;
-        let status = response
-            .status_code()
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
-        let text = std::str::from_utf8(&response.body)
-            .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
-        let json = serde::json::parse(text)
-            .map_err(|e| ClientError::Protocol(format!("invalid response JSON: {e}")))?;
-        Ok((status, json))
+    ) -> Result<(u16, JsonValue, Option<u64>), ClientError> {
+        if self.poisoned {
+            // A previous call left bytes (or a late response) possibly in flight on
+            // this connection; a fresh one is the only way to keep request/response
+            // pairing sound.
+            self.reconnect()?;
+        }
+        match self.attempt(method, path, body) {
+            Ok(ok) => Ok(ok),
+            Err(AttemptError::Stale(cause)) if self.used => {
+                // The keep-alive connection went stale between calls; reconnect once
+                // and resend. A second failure is real and keeps the fresh attempt's
+                // error (the original cause is the stale close, already acted on).
+                self.reconnect().map_err(|_| cause)?;
+                self.attempt(method, path, body)
+                    .map_err(AttemptError::into_inner)
+            }
+            Err(err) => Err(err.into_inner()),
+        }
     }
 
-    fn server_error(&self, status: u16, body: &JsonValue) -> ClientError {
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.read_timeout)?;
+        self.stream = stream;
+        self.reader = MessageReader::new();
+        self.used = false;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// One send/receive attempt on the current connection.
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, JsonValue, Option<u64>), AttemptError> {
+        if let Err(e) = write_request(&mut self.stream, method, path, body) {
+            // Whatever the kind, a failed write leaves the connection unusable
+            // (possibly half a request on the wire); if no retry resolves it, the
+            // next call must start from a fresh connection.
+            self.poisoned = true;
+            return Err(if is_disconnect(e.kind()) {
+                AttemptError::Stale(ClientError::Io(e))
+            } else {
+                AttemptError::Fatal(ClientError::Io(e))
+            });
+        }
+        // The reader consults `stop` only when a socket read times out, so the flag
+        // distinguishes "read timed out" (first expiry terminates the round trip —
+        // that is what makes the timeout API actually bound reads) from "peer closed
+        // the connection" (a `None` without any timeout having fired).
+        let timed_out = Cell::new(false);
+        let stop = || {
+            timed_out.set(true);
+            true
+        };
+        let response = match self
+            .reader
+            .read_message(&mut self.stream, MAX_RESPONSE_BYTES, &stop)
+        {
+            Ok(Some(response)) => response,
+            Ok(None) => {
+                // Timed out or peer-closed: either way a (late) response may still
+                // arrive on this connection, so it must not carry another request.
+                self.poisoned = true;
+                return Err(if timed_out.get() {
+                    AttemptError::Fatal(ClientError::Protocol(
+                        "read timed out before a response arrived".into(),
+                    ))
+                } else {
+                    AttemptError::Stale(ClientError::Protocol(
+                        "connection closed before a response arrived".into(),
+                    ))
+                });
+            }
+            Err(e) => {
+                // Any read *error* (as opposed to a clean `None`) means response
+                // bytes were already consumed — an EOF or reset mid-head/mid-body.
+                // Resending then could execute the request twice with the first
+                // answer partially read, so it is never retried, and the
+                // desynchronised connection is never reused.
+                self.poisoned = true;
+                return Err(AttemptError::Fatal(ClientError::Io(e)));
+            }
+        };
+        let status = response
+            .status_code()
+            .map_err(|e| AttemptError::Fatal(ClientError::Protocol(e.to_string())))?;
+        let retry_after = response
+            .header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok());
+        let text = std::str::from_utf8(&response.body).map_err(|_| {
+            AttemptError::Fatal(ClientError::Protocol("non-UTF-8 response body".into()))
+        })?;
+        let json = serde::json::parse(text).map_err(|e| {
+            AttemptError::Fatal(ClientError::Protocol(format!("invalid response JSON: {e}")))
+        })?;
+        self.used = true;
+        Ok((status, json, retry_after))
+    }
+
+    fn server_error(status: u16, body: &JsonValue, retry_after: Option<u64>) -> ClientError {
         match protocol::parse_error(body) {
             Some((code, message)) => ClientError::Server {
                 status,
                 code,
                 message,
+                retry_after,
             },
             None => ClientError::Protocol(format!("status {status} without an error body")),
         }

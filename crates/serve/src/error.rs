@@ -52,6 +52,21 @@ impl ServeError {
             ServeError::Internal(_) => 500,
         }
     }
+
+    /// Seconds a client should wait before retrying, for the backpressure errors.
+    ///
+    /// `Some` exactly for the 503 variants ([`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`]); the wire layer turns it into a `Retry-After`
+    /// header so load balancers (the gateway's retry budget) can back off without
+    /// parsing the body. One second is the floor HTTP's integer-seconds granularity
+    /// allows — the batcher usually drains in milliseconds, so "retry in ≤ 1 s" is the
+    /// honest conservative hint.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { .. } | ServeError::ShuttingDown => Some(1),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -111,6 +126,8 @@ mod tests {
             assert_eq!(err.code(), code);
             assert_eq!(err.http_status(), status);
             assert!(!err.to_string().is_empty());
+            // Exactly the 503s carry a Retry-After hint.
+            assert_eq!(err.retry_after_secs().is_some(), status == 503, "{code}");
         }
     }
 }

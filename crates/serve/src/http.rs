@@ -5,6 +5,9 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::json::JsonValue;
 
 /// Largest accepted head (start line + headers) in bytes.
 const MAX_HEAD_BYTES: usize = 64 * 1024;
@@ -204,12 +207,69 @@ fn find_terminator(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Runs one server-side keep-alive connection to completion: read a message, let
+/// `route` produce `(status, body, optional Retry-After seconds)`, write the
+/// response, repeat until the peer closes, a framing error occurs, or `stop` reports
+/// shutdown. Shared by the engine and the cluster gateway so their connection
+/// semantics (timeouts-as-shutdown-polls, keep-alive handling, 503 headers) cannot
+/// drift.
+pub fn serve_connection(
+    mut stream: TcpStream,
+    poll_interval: Duration,
+    max_body: usize,
+    stop: &dyn Fn() -> bool,
+    mut route: impl FnMut(&HttpMessage) -> (u16, JsonValue, Option<u64>),
+) {
+    let _ = stream.set_read_timeout(Some(poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut reader = MessageReader::new();
+    loop {
+        let message = match reader.read_message(&mut stream, max_body, stop) {
+            Ok(Some(message)) => message,
+            Ok(None) => return, // clean EOF or idle shutdown
+            Err(_) => return,   // framing error / peer reset: nothing sane to answer
+        };
+        let wants_close = message.wants_close();
+        let (status, body, retry_after) = route(&message);
+        let keep_alive = !wants_close && !stop();
+        let mut headers: Vec<(&str, String)> = Vec::new();
+        if let Some(secs) = retry_after {
+            headers.push(("Retry-After", secs.to_string()));
+        }
+        if write_response_with_headers(
+            &mut stream,
+            status,
+            body.to_json().as_bytes(),
+            keep_alive,
+            &headers,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
 /// Writes one JSON response with the given status.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &[u8],
     keep_alive: bool,
+) -> io::Result<()> {
+    write_response_with_headers(stream, status, body, keep_alive, &[])
+}
+
+/// Writes one JSON response with additional headers (e.g. `Retry-After` on 503s).
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
 ) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
@@ -220,11 +280,18 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Status",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

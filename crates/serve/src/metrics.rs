@@ -116,6 +116,13 @@ pub struct Metrics {
     pub failed: AtomicU64,
     /// Batches handed to workers.
     pub batches: AtomicU64,
+    /// Batches currently running inference on a worker (incremented just before
+    /// `infer_batch_into`, decremented — panic-safely — the moment it returns,
+    /// *before* any reply is sent, so a client probing right after its reply never
+    /// reads a stale nonzero count). Together with the admission-queue depth this is
+    /// the load signal `/healthz` exports for least-loaded routing in front of
+    /// several engines.
+    pub in_flight_batches: AtomicU64,
     /// Total images across all formed batches (mean batch = images / batches).
     pub batched_images: AtomicU64,
     /// End-to-end latency: submit → response ready.
@@ -136,6 +143,7 @@ impl Metrics {
             shed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            in_flight_batches: AtomicU64::new(0),
             batched_images: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
@@ -228,6 +236,10 @@ impl Metrics {
         let mut batching = JsonValue::object();
         batching
             .set("batches", self.batches.load(Ordering::Relaxed))
+            .set(
+                "in_flight_batches",
+                self.in_flight_batches.load(Ordering::Relaxed),
+            )
             .set("mean_batch", self.mean_batch())
             .set("max_batch", self.max_batch())
             .set("size_distribution", dist);

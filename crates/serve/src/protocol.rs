@@ -4,7 +4,10 @@
 //!
 //! Shapes:
 //!
-//! * request — `{"model": "name:variant", "image": [[f32, ...], ...]}`
+//! * request — `{"model": "name:variant", "image": [[f32, ...], ...]}`, optionally
+//!   with `"tier": "latency" | "accuracy"` — a routing hint the cluster gateway uses
+//!   to rewrite the variant half of the model key (an engine serving exact keys
+//!   ignores it)
 //! * reply — `{"model": ..., "prediction": k, "logits": [...], "batch_size": b,
 //!   "queue_us": t}`
 //! * error — `{"error": {"code": "overloaded", "message": "..."}}`
@@ -17,12 +20,35 @@ use vitality_tensor::Matrix;
 
 /// Builds the body of a `POST /v1/infer` request.
 pub fn infer_request_json(model: &str, image: &Matrix) -> JsonValue {
+    infer_request_json_with_tier(model, image, None)
+}
+
+/// Builds a `POST /v1/infer` body carrying an optional routing-tier hint.
+pub fn infer_request_json_with_tier(model: &str, image: &Matrix, tier: Option<&str>) -> JsonValue {
     let rows: Vec<JsonValue> = (0..image.rows())
         .map(|r| JsonValue::from(image.row(r).to_vec()))
         .collect();
     let mut body = JsonValue::object();
     body.set("model", model).set("image", rows);
+    if let Some(tier) = tier {
+        body.set("tier", tier);
+    }
     body
+}
+
+/// Extracts the optional `"tier"` routing hint from a request body.
+///
+/// Absent means `None`; present but non-string is a [`ServeError::BadRequest`]. The
+/// *value* is not constrained here — which tier names exist and what variant each maps
+/// to is the gateway's routing policy, not a wire-protocol concern.
+pub fn parse_infer_tier(body: &JsonValue) -> Result<Option<String>, ServeError> {
+    match body.get("tier") {
+        None => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ServeError::BadRequest("\"tier\" must be a string".into())),
+    }
 }
 
 /// Parses a `POST /v1/infer` body into its model key and image.
@@ -187,6 +213,26 @@ mod tests {
                 other => panic!("{json} → {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn tier_hints_parse_and_round_trip() {
+        let image = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let body = infer_request_json_with_tier("m:taylor", &image, Some("latency"));
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        assert_eq!(parse_infer_tier(&parsed).unwrap(), Some("latency".into()));
+        // The engine-side request parse is oblivious to the hint.
+        let (model, back) = parse_infer_request(&parsed).unwrap();
+        assert_eq!(model, "m:taylor");
+        assert_eq!(back, image);
+        // Absent tier is None; a non-string tier is a typed 400.
+        let plain = serde::json::parse(&infer_request_json("m:taylor", &image).to_json()).unwrap();
+        assert_eq!(parse_infer_tier(&plain).unwrap(), None);
+        let bad = serde::json::parse(r#"{"model": "m", "tier": 3}"#).unwrap();
+        assert!(matches!(
+            parse_infer_tier(&bad),
+            Err(ServeError::BadRequest(_))
+        ));
     }
 
     #[test]

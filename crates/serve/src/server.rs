@@ -12,7 +12,7 @@ use serde::json::JsonValue;
 
 use crate::batcher::{BatchPolicy, Batcher, PendingRequest};
 use crate::error::ServeError;
-use crate::http::{write_response, MessageReader};
+use crate::http::serve_connection;
 use crate::metrics::Metrics;
 use crate::protocol;
 use crate::registry::ModelRegistry;
@@ -191,30 +191,21 @@ impl std::fmt::Debug for Server {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_nodelay(true);
-    let mut reader = MessageReader::new();
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let stop = || shared.shutdown.load(Ordering::SeqCst);
-    loop {
-        let message = match reader.read_message(&mut stream, shared.config.max_body_bytes, &stop) {
-            Ok(Some(message)) => message,
-            Ok(None) => return, // clean EOF or idle shutdown
-            Err(_) => return,   // framing error / peer reset: nothing sane to answer
-        };
-        let wants_close = message.wants_close();
-        let (status, body) = route(&message, &shared);
-        let keep_alive = !wants_close && !stop();
-        if write_response(&mut stream, status, body.to_json().as_bytes(), keep_alive).is_err() {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
-    }
+    serve_connection(
+        stream,
+        shared.config.poll_interval,
+        shared.config.max_body_bytes,
+        &stop,
+        |message| route(message, &shared),
+    );
 }
 
-fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> (u16, JsonValue) {
+fn route(
+    message: &crate::http::HttpMessage,
+    shared: &Arc<Shared>,
+) -> (u16, JsonValue, Option<u64>) {
     let Ok((method, path)) = message.request_parts() else {
         return error_response(&ServeError::BadRequest("malformed request line".into()));
     };
@@ -223,12 +214,18 @@ fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> (u16, Json
             let mut body = JsonValue::object();
             body.set("status", "ok")
                 .set("models", shared.registry.keys())
-                .set("queue_depth", shared.batcher.depth());
-            (200, body)
+                .set("queue_depth", shared.batcher.depth())
+                // The second half of the least-loaded signal: queued requests plus
+                // the batches workers are running right now.
+                .set(
+                    "in_flight_batches",
+                    shared.metrics.in_flight_batches.load(Ordering::Relaxed),
+                );
+            (200, body, None)
         }
-        ("GET", "/metrics") => (200, shared.metrics.snapshot_json()),
+        ("GET", "/metrics") => (200, shared.metrics.snapshot_json(), None),
         ("POST", "/v1/infer") => match handle_infer(message, shared) {
-            Ok(reply) => (200, protocol::infer_reply_json(&reply)),
+            Ok(reply) => (200, protocol::infer_reply_json(&reply), None),
             Err(err) => {
                 // `failed` counts non-shed errors only: shed requests are already
                 // tallied in `shed` by the batcher, and a shutdown refusal is part of
@@ -246,6 +243,7 @@ fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> (u16, Json
         ("POST" | "GET", _) => (
             404,
             protocol::error_body("not_found", &format!("no route for {method} {path}")),
+            None,
         ),
         _ => (
             405,
@@ -253,12 +251,17 @@ fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> (u16, Json
                 "method_not_allowed",
                 &format!("unsupported method {method}"),
             ),
+            None,
         ),
     }
 }
 
-fn error_response(error: &ServeError) -> (u16, JsonValue) {
-    (error.http_status(), protocol::error_json(error))
+fn error_response(error: &ServeError) -> (u16, JsonValue, Option<u64>) {
+    (
+        error.http_status(),
+        protocol::error_json(error),
+        error.retry_after_secs(),
+    )
 }
 
 fn handle_infer(

@@ -79,6 +79,14 @@ fn run_batch(
     outputs: &mut Vec<VitOutput>,
 ) {
     debug_assert!(!batch.is_empty(), "batcher never yields empty batches");
+    // Drop guard rather than paired add/sub: a panic inside inference must not leave
+    // the `/healthz` in-flight count stuck high (it is a routing signal upstream).
+    struct InFlight<'a>(&'a Metrics);
+    impl Drop for InFlight<'_> {
+        fn drop(&mut self) {
+            self.0.in_flight_batches.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
     let formed = Instant::now();
     let entry = Arc::clone(&batch[0].entry);
     let batch_size = batch.len();
@@ -89,7 +97,14 @@ fn run_batch(
         images.push(request.image);
         meta.push((request.submitted, request.reply_tx));
     }
-    entry.model().infer_batch_into(&images, outputs, ws);
+    // The in-flight window covers inference only: it must have closed by the time
+    // any reply is sent, or a client probing /healthz right after its reply could
+    // read a stale nonzero count.
+    {
+        metrics.in_flight_batches.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlight(metrics);
+        entry.model().infer_batch_into(&images, outputs, ws);
+    }
     // Resolved once per batch; recording through it is lock-free.
     let variant_stats = metrics.variant(entry.variant_label());
     for (output, (submitted, reply_tx)) in outputs.iter().zip(meta) {

@@ -1,0 +1,163 @@
+//! The client's stale keep-alive handling: a connection the server closed between
+//! calls is transparently re-established exactly once and the request resent, while
+//! genuine failures (nothing listening, fresh-connection errors, timeouts) still
+//! surface to the caller. Driven against a scripted raw server so each closure mode
+//! is deterministic.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use vitality_serve::http::{write_response, write_response_with_headers, MessageReader};
+use vitality_serve::{ClientError, ServeClient};
+
+fn read_one(stream: &mut TcpStream) -> vitality_serve::http::HttpMessage {
+    MessageReader::new()
+        .read_message(stream, 1 << 20, &|| false)
+        .expect("read request")
+        .expect("request present")
+}
+
+#[test]
+fn a_stale_keepalive_connection_reconnects_and_resends_once() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Connection 1: answer one request claiming keep-alive, then close anyway —
+        // the classic stale keep-alive (idle reaper, engine restart).
+        let (mut stream, _) = listener.accept().unwrap();
+        let first = read_one(&mut stream);
+        write_response(&mut stream, 200, br#"{"conn": 1}"#, true).unwrap();
+        drop(stream);
+        // Connection 2: the client's transparent reconnect delivers the resend.
+        let (mut stream, _) = listener.accept().unwrap();
+        let resent = read_one(&mut stream);
+        write_response(&mut stream, 200, br#"{"conn": 2}"#, true).unwrap();
+        (first, resent)
+    });
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let (status, body) = client.get("/healthz").expect("first call");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.get("conn").and_then(serde::json::JsonValue::as_usize),
+        Some(1)
+    );
+    // The server closed the connection after answering; the next call must succeed
+    // via reconnect instead of surfacing an I/O error.
+    let (status, body) = client.get("/metrics").expect("transparent reconnect");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.get("conn").and_then(serde::json::JsonValue::as_usize),
+        Some(2)
+    );
+
+    let (first, resent) = server.join().unwrap();
+    assert_eq!(first.request_parts().unwrap(), ("GET", "/healthz"));
+    assert_eq!(
+        resent.request_parts().unwrap(),
+        ("GET", "/metrics"),
+        "the resend carries the new request, not a replay of the old one"
+    );
+}
+
+#[test]
+fn reconnect_happens_at_most_once_and_fresh_connections_do_not_retry() {
+    // Server closes connection 1 after one answer and never accepts again: the
+    // reconnect itself fails, so the caller sees the original stale-close error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        read_one(&mut stream);
+        write_response(&mut stream, 200, b"{}", true).unwrap();
+        // Listener dropped here: reconnects are refused.
+    });
+    let mut client = ServeClient::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").expect("first call").0, 200);
+    server.join().unwrap();
+    assert!(
+        client.get("/healthz").is_err(),
+        "a failed reconnect surfaces the error instead of retrying forever"
+    );
+
+    // A *never-used* connection that dies gets no resend at all: the server closes
+    // connection 1 without answering and waits; if the client silently retried, the
+    // second accept would see a request.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream); // close without answering
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking accept probe");
+        std::thread::sleep(Duration::from_millis(200));
+        listener.accept().is_ok()
+    });
+    let mut client = ServeClient::connect(addr).unwrap();
+    assert!(
+        client.get("/healthz").is_err(),
+        "a fresh connection's failure is the caller's to handle"
+    );
+    assert!(
+        !server.join().unwrap(),
+        "no reconnect attempt was made for a never-used connection"
+    );
+}
+
+#[test]
+fn server_errors_expose_the_retry_after_header() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        read_one(&mut stream);
+        write_response_with_headers(
+            &mut stream,
+            503,
+            br#"{"error": {"code": "overloaded", "message": "queue full"}}"#,
+            true,
+            &[("Retry-After", "7".to_string())],
+        )
+        .unwrap();
+        // A plain error afterwards carries no hint.
+        read_one(&mut stream);
+        write_response(
+            &mut stream,
+            404,
+            br#"{"error": {"code": "model_not_found", "message": "nope"}}"#,
+            true,
+        )
+        .unwrap();
+    });
+    let mut client = ServeClient::connect(addr).unwrap();
+    let image = vitality_tensor::Matrix::zeros(2, 2);
+    match client.infer("m:taylor", &image) {
+        Err(err) => {
+            assert_eq!(
+                err.retry_after_secs(),
+                Some(7),
+                "Retry-After reaches the caller"
+            );
+            match err {
+                ClientError::Server {
+                    status,
+                    code,
+                    retry_after,
+                    ..
+                } => {
+                    assert_eq!(status, 503);
+                    assert_eq!(code, "overloaded");
+                    assert_eq!(retry_after, Some(7));
+                }
+                other => panic!("expected a typed server error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a 503 with Retry-After, got {other:?}"),
+    }
+    match client.infer("m:taylor", &image) {
+        Err(err) => assert_eq!(err.retry_after_secs(), None),
+        other => panic!("expected a 404, got {other:?}"),
+    }
+    server.join().unwrap();
+}

@@ -140,6 +140,18 @@ fn health_and_metrics_endpoints_report_state() {
         .filter_map(JsonValue::as_str)
         .collect();
     assert_eq!(models, vec!["vit:softmax", "vit:taylor", "vit:unified"]);
+    // The load signal a cluster gateway ranks engines by: both numbers are present
+    // and zero on an idle server.
+    assert_eq!(
+        health.get("queue_depth").and_then(JsonValue::as_usize),
+        Some(0)
+    );
+    assert_eq!(
+        health
+            .get("in_flight_batches")
+            .and_then(JsonValue::as_usize),
+        Some(0)
+    );
 
     let img = image(&cfg, 9);
     let reply = client.infer("vit:taylor", &img).expect("inference");
@@ -155,6 +167,13 @@ fn health_and_metrics_endpoints_report_state() {
     assert_eq!(
         batching.get("batches").and_then(JsonValue::as_usize),
         Some(1)
+    );
+    assert_eq!(
+        batching
+            .get("in_flight_batches")
+            .and_then(JsonValue::as_usize),
+        Some(0),
+        "the answered batch is no longer in flight"
     );
     assert!(metrics
         .get("latency")

@@ -15,6 +15,8 @@
 //! * [`baselines`] — Sanger / SALO / CPU / GPU / edge-GPU baseline models.
 //! * [`serve`] — the batched, multi-worker HTTP inference serving engine with dynamic
 //!   request coalescing (see `examples/serve.rs`).
+//! * [`gateway`] — the multi-engine cluster front-end: response caching, tiered
+//!   variant routing, least-loaded balancing and failover (see `examples/cluster.rs`).
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@ pub use vitality_accel as accel;
 pub use vitality_attention as attention;
 pub use vitality_autograd as autograd;
 pub use vitality_baselines as baselines;
+pub use vitality_gateway as gateway;
 pub use vitality_nn as nn;
 pub use vitality_serve as serve;
 pub use vitality_tensor as tensor;

@@ -1,11 +1,17 @@
 //! Batching-semantics guarantees the serving engine depends on: `infer_batch` /
 //! `predict_batch` must be *element-wise identical* to per-image `infer` / `predict`
-//! for ragged batch sizes — a coalesced batch may never change a response.
+//! for ragged batch sizes — a coalesced batch may never change a response — and
+//! `/healthz` must report the batcher's load (queue depth + in-flight batches), the
+//! signal the cluster gateway's least-loaded routing reads.
+
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::json::JsonValue;
 
+use vitality::serve::{BatchPolicy, ModelRegistry, ServeClient, Server, ServerConfig};
 use vitality::tensor::{init, Matrix};
 use vitality::vit::{AttentionVariant, TrainConfig, VisionTransformer};
 
@@ -18,6 +24,87 @@ fn images(cfg: &TrainConfig, seed: u64, count: usize) -> Vec<Matrix> {
     (0..count)
         .map(|_| init::uniform(&mut rng, cfg.image_size, cfg.image_size, -1.0, 1.0))
         .collect()
+}
+
+/// `/healthz` reports the coalescing queue's depth and the in-flight batch count
+/// while requests wait out the batching deadline — the numbers a gateway ranks
+/// engines by.
+#[test]
+fn healthz_reports_queue_depth_and_in_flight_batches() {
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(5), cfg, AttentionVariant::Taylor);
+    let mut registry = ModelRegistry::new();
+    registry.register("m", model).expect("valid name");
+    let server = Server::start(
+        ServerConfig {
+            policy: BatchPolicy {
+                // A long deadline with a large batch bound parks the requests in the
+                // queue, where healthz must count them.
+                max_batch: 64,
+                max_delay: Duration::from_millis(1500),
+                queue_capacity: 64,
+            },
+            workers: 1,
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("boot server");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let img = init::uniform(
+                        &mut StdRng::seed_from_u64(40 + i),
+                        cfg.image_size,
+                        cfg.image_size,
+                        0.0,
+                        1.0,
+                    );
+                    client
+                        .infer("m:taylor", &img)
+                        .expect("answered at the deadline flush")
+                })
+            })
+            .collect();
+
+        let mut probe = ServeClient::connect(addr).expect("connect probe");
+        let deadline = Instant::now() + Duration::from_millis(1200);
+        let mut deepest = 0usize;
+        loop {
+            let (status, health) = probe.get("/healthz").expect("healthz");
+            assert_eq!(status, 200);
+            let depth = health
+                .get("queue_depth")
+                .and_then(JsonValue::as_usize)
+                .expect("healthz must report queue_depth");
+            let in_flight = health
+                .get("in_flight_batches")
+                .and_then(JsonValue::as_usize)
+                .expect("healthz must report in_flight_batches");
+            assert!(in_flight <= 1, "one worker runs at most one batch");
+            deepest = deepest.max(depth);
+            if deepest == 3 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "queued requests never appeared in healthz (deepest observation: {deepest})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        for handle in handles {
+            let reply = handle.join().expect("client thread");
+            assert!(reply.batch_size >= 1);
+        }
+    });
+    server.shutdown();
 }
 
 proptest! {
