@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::json::JsonValue;
-use vitality_gateway::{CacheConfig, Gateway, GatewayConfig};
+use vitality_gateway::{BrownoutConfig, CacheConfig, Gateway, GatewayConfig};
 use vitality_serve::{BatchPolicy, ModelRegistry, ServeClient, Server, ServerConfig};
 use vitality_tensor::{init, Matrix};
 use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
@@ -456,6 +456,173 @@ fn main() {
     points.push(latency_point);
     points.push(accuracy_point);
 
+    // ---- Phase 5: brownout — queue pressure degrades accuracy → int8 ---------
+    // A dedicated one-worker engine with a deliberately sluggish batch window, so
+    // concurrent accuracy-tier load builds real queue depth. The gateway's
+    // brownout controller must trade accuracy for availability — int8 replies,
+    // zero shed requests — and route accuracy traffic back to unified once the
+    // pressure drains.
+    let brownout_engine = {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("vit196", models.taylor.clone())
+            .expect("valid name");
+        registry
+            .register("vit196", models.int8.clone())
+            .expect("valid name");
+        registry
+            .register("vit196", models.unified.clone())
+            .expect("valid name");
+        Server::start(
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    max_delay: Duration::from_millis(30),
+                    queue_capacity: 2048,
+                },
+                ..ServerConfig::default()
+            },
+            registry,
+        )
+        .expect("boot brownout engine")
+    };
+    let brownout_gateway = Gateway::start(
+        GatewayConfig {
+            probe_interval: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(500),
+            cache: CacheConfig {
+                capacity: 0,
+                ..CacheConfig::default()
+            },
+            brownout: BrownoutConfig {
+                enter_pressure: 3.0,
+                exit_pressure: 0.5,
+                min_hold: Duration::from_millis(200),
+                miss_p95_trigger_us: None,
+            },
+            ..GatewayConfig::default()
+        },
+        &[brownout_engine.local_addr()],
+    )
+    .expect("boot brownout gateway");
+    let bgw_addr = brownout_gateway.local_addr();
+    let brow_concurrency = 16usize;
+    let brow_per_client = if quick { 8 } else { 16 };
+    let brow_errors = AtomicU64::new(0);
+    let brow_mismatches = AtomicU64::new(0);
+    let degraded_replies = AtomicU64::new(0);
+    let brow_start = Instant::now();
+    let brow_latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        (0..brow_concurrency)
+            .map(|c| {
+                let brow_errors = &brow_errors;
+                let brow_mismatches = &brow_mismatches;
+                let degraded_replies = &degraded_replies;
+                let tier_pool = &tier_pool;
+                let tier_accuracy_expected = &tier_accuracy_expected;
+                let tier_latency_expected = &tier_latency_expected;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(brow_per_client);
+                    let Ok(mut client) = ServeClient::connect(bgw_addr) else {
+                        brow_errors.fetch_add(brow_per_client as u64, Ordering::Relaxed);
+                        return latencies;
+                    };
+                    for j in 0..brow_per_client {
+                        let idx = (c * brow_per_client + j) % tier_pool.len();
+                        let sent = Instant::now();
+                        match client.infer_with_tier(
+                            "vit196:taylor",
+                            &tier_pool[idx],
+                            Some("accuracy"),
+                        ) {
+                            Ok(reply) => {
+                                latencies.push(sent.elapsed().as_micros() as u64);
+                                // Under brownout an accuracy request legitimately
+                                // answers from the int8 variant — but each reply
+                                // must still match *that* variant's direct
+                                // inference exactly.
+                                let ok = match reply.model.as_str() {
+                                    "vit196:unified" => {
+                                        reply.prediction == tier_accuracy_expected[idx]
+                                    }
+                                    "vit196:int8" => {
+                                        degraded_replies.fetch_add(1, Ordering::Relaxed);
+                                        reply.prediction == tier_latency_expected[idx]
+                                    }
+                                    _ => false,
+                                };
+                                if !ok {
+                                    brow_mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                brow_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("brownout client thread"))
+            .collect()
+    });
+    let brow_wall = brow_start.elapsed().as_secs_f64();
+    let mut brow_all: Vec<u64> = brow_latencies.into_iter().flatten().collect();
+    let (brow_p50, brow_p95) = quantiles(&mut brow_all);
+    let brow_point = LoadPoint {
+        phase: "brownout",
+        concurrency: brow_concurrency,
+        requests: brow_concurrency * brow_per_client,
+        wall_s: brow_wall,
+        rps: brow_all.len() as f64 / brow_wall.max(1e-9),
+        p50_us: brow_p50,
+        p95_us: brow_p95,
+        errors: brow_errors.load(Ordering::Relaxed) as usize,
+        mismatches: brow_mismatches.load(Ordering::Relaxed) as usize,
+    };
+    // Recovery: with the load gone the queues drain, pressure falls through the
+    // exit threshold, and accuracy-tier traffic must land back on unified.
+    let brownout_recovered = wait_for(Duration::from_secs(10), || {
+        ServeClient::connect(bgw_addr)
+            .ok()
+            .and_then(|mut c| {
+                c.infer_with_tier("vit196:taylor", &tier_pool[0], Some("accuracy"))
+                    .ok()
+            })
+            .is_some_and(|r| r.model == "vit196:unified")
+    });
+    let brow_metrics = brownout_gateway.metrics_json();
+    let degraded_counter = brow_metrics
+        .get("degraded")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    println!(
+        "brownout c={brow_concurrency}: {} requests | {} degraded to int8 (counter {degraded_counter}) | errors {} | recovered to unified: {brownout_recovered}",
+        brow_point.requests,
+        degraded_replies.load(Ordering::Relaxed),
+        brow_point.errors
+    );
+    if degraded_counter == 0 || degraded_replies.load(Ordering::Relaxed) == 0 {
+        failures.push("brownout never engaged under queue pressure".to_string());
+    }
+    if !brownout_recovered {
+        failures.push("brownout never recovered to unified after the load drained".to_string());
+    }
+    let brow_failed = brow_metrics
+        .get("failed")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(usize::MAX);
+    if brow_failed != 0 {
+        failures.push(format!(
+            "brownout gateway answered {brow_failed} errors (degradation must keep availability at 100%)"
+        ));
+    }
+    points.push(brow_point);
+
     // ---- Acceptance gates ----------------------------------------------------
     for p in &points {
         if p.errors > 0 || p.mismatches > 0 {
@@ -557,6 +724,22 @@ fn main() {
         .set("accuracy_routed_to", "vit196:unified")
         .set("routed_int8", routed("int8"))
         .set("routed_unified", routed("unified"));
+    let mut brownout_json = JsonValue::object();
+    brownout_json
+        .set("degraded_counter", degraded_counter)
+        .set(
+            "degraded_replies",
+            degraded_replies.load(Ordering::Relaxed) as usize,
+        )
+        .set(
+            "entries",
+            brow_metrics
+                .get("brownout")
+                .and_then(|b| b.get("entries"))
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0),
+        )
+        .set("recovered_to_unified", brownout_recovered);
     let mut root = JsonValue::object();
     root.set("benchmark", "cluster")
         .set("quick", quick)
@@ -566,6 +749,7 @@ fn main() {
         .set("cache", cache_json)
         .set("failover", failover_json)
         .set("tiers", tiers_json)
+        .set("brownout", brownout_json)
         .set("gateway_metrics", metrics)
         .set("ok", failures.is_empty());
     std::fs::write("BENCH_cluster.json", root.to_json_pretty()).expect("write BENCH_cluster.json");
@@ -577,6 +761,8 @@ fn main() {
     engine_a.shutdown();
     engine_b.shutdown();
     engine_c2.shutdown();
+    brownout_gateway.shutdown();
+    brownout_engine.shutdown();
 
     if !failures.is_empty() {
         for f in &failures {

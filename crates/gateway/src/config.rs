@@ -26,6 +26,69 @@ impl Default for CacheConfig {
     }
 }
 
+/// Thresholds of the brownout degradation ladder (see
+/// [`BrownoutController`](crate::brownout::BrownoutController)).
+///
+/// Pressure is the mean probed load — `queue_depth + in_flight_batches` from each
+/// admitted backend's `/healthz` — per admitted backend, refreshed every prober
+/// round. Past [`enter_pressure`](Self::enter_pressure) the gateway downgrades
+/// `accuracy`-tier requests to the latency tier (ViTALiTy's int8 linear path)
+/// instead of shedding them; it recovers once pressure falls to
+/// [`exit_pressure`](Self::exit_pressure) and the state has been held for
+/// [`min_hold`](Self::min_hold) (hysteresis, so a load spike cannot flap the tier
+/// routing every probe round).
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Mean probed load per admitted backend at/above which brownout engages.
+    pub enter_pressure: f64,
+    /// Pressure at/below which brownout may disengage (must sit below
+    /// `enter_pressure` — the gap is the hysteresis band).
+    pub exit_pressure: f64,
+    /// Minimum time brownout stays engaged once entered, so recovery is a decision,
+    /// not a single quiet probe round.
+    pub min_hold: Duration,
+    /// Optional additional trigger: a p95 miss-path latency (µs) at/above which the
+    /// gateway counts the cluster as pressured even with shallow probed queues.
+    pub miss_p95_trigger_us: Option<u64>,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            enter_pressure: 8.0,
+            exit_pressure: 2.0,
+            min_hold: Duration::from_millis(500),
+            miss_p95_trigger_us: None,
+        }
+    }
+}
+
+/// Bounds of gateway-side admission control.
+///
+/// The gateway bounds what it will take on *before* engines start shedding: a
+/// request past either bound is answered 503 immediately, with a `Retry-After`
+/// derived from the probed backend queue depth (deep queues → longer hint) instead
+/// of a constant.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Largest number of inference requests this gateway handles concurrently
+    /// (queued-at-gateway bound; 0 = unbounded).
+    pub max_concurrent: usize,
+    /// Largest number of calls the gateway keeps in flight against any single
+    /// backend; a backend at the cap is skipped like one cooling down
+    /// (0 = unbounded).
+    pub max_per_backend_in_flight: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent: 512,
+            max_per_backend_in_flight: 128,
+        }
+    }
+}
+
 /// Gateway tunables; `Default` is a sane local configuration on an ephemeral port.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
@@ -54,6 +117,10 @@ pub struct GatewayConfig {
     pub cache: CacheConfig,
     /// The tier → variant routing policy.
     pub routing: RoutingPolicy,
+    /// Brownout degradation thresholds.
+    pub brownout: BrownoutConfig,
+    /// Gateway-side admission bounds.
+    pub admission: AdmissionConfig,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// Socket read timeout of gateway connections; doubles as the shutdown poll
@@ -73,6 +140,8 @@ impl Default for GatewayConfig {
             max_backoff: Duration::from_secs(1),
             cache: CacheConfig::default(),
             routing: RoutingPolicy::default(),
+            brownout: BrownoutConfig::default(),
+            admission: AdmissionConfig::default(),
             max_body_bytes: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(50),
         }

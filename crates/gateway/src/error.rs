@@ -30,6 +30,23 @@ pub enum GatewayError {
         /// The backend's message.
         message: String,
     },
+    /// The request's `deadline_ms` budget ran out before any backend answered; no
+    /// further attempt was made.
+    DeadlineExceeded {
+        /// The deadline budget the client sent, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The gateway's own admission bounds are full; the request was refused before
+    /// touching any backend.
+    AdmissionFull {
+        /// Concurrent requests the gateway was handling at refusal time.
+        in_flight: u64,
+        /// The configured concurrency bound that was hit.
+        limit: u64,
+        /// Seconds to wait before retrying, derived from the probed backend queue
+        /// depth and observed miss-path latency (not a constant).
+        retry_after: u64,
+    },
 }
 
 impl GatewayError {
@@ -40,6 +57,8 @@ impl GatewayError {
             GatewayError::ModelNotFound(_) => "model_not_found",
             GatewayError::NoBackend { .. } => "no_backend",
             GatewayError::Upstream { code, .. } => code,
+            GatewayError::DeadlineExceeded { .. } => "deadline_exceeded",
+            GatewayError::AdmissionFull { .. } => "admission_full",
         }
     }
 
@@ -50,6 +69,8 @@ impl GatewayError {
             GatewayError::ModelNotFound(_) => 404,
             GatewayError::NoBackend { .. } => 503,
             GatewayError::Upstream { status, .. } => *status,
+            GatewayError::DeadlineExceeded { .. } => 504,
+            GatewayError::AdmissionFull { .. } => 503,
         }
     }
 
@@ -58,6 +79,7 @@ impl GatewayError {
     pub fn retry_after_secs(&self) -> Option<u64> {
         match self {
             GatewayError::NoBackend { .. } => Some(1),
+            GatewayError::AdmissionFull { retry_after, .. } => Some((*retry_after).max(1)),
             _ => None,
         }
     }
@@ -83,6 +105,16 @@ impl fmt::Display for GatewayError {
                 code,
                 message,
             } => write!(f, "backend error {status} ({code}): {message}"),
+            GatewayError::DeadlineExceeded { budget_ms } => write!(
+                f,
+                "deadline of {budget_ms} ms expired before any backend answered"
+            ),
+            GatewayError::AdmissionFull {
+                in_flight, limit, ..
+            } => write!(
+                f,
+                "gateway admission full: {in_flight} requests in flight (limit {limit})"
+            ),
         }
     }
 }
@@ -127,6 +159,22 @@ mod tests {
                 "model_not_found",
                 404,
                 None,
+            ),
+            (
+                GatewayError::DeadlineExceeded { budget_ms: 75 },
+                "deadline_exceeded",
+                504,
+                None,
+            ),
+            (
+                GatewayError::AdmissionFull {
+                    in_flight: 512,
+                    limit: 512,
+                    retry_after: 3,
+                },
+                "admission_full",
+                503,
+                Some(3),
             ),
         ];
         for (err, code, status, retry) in cases {

@@ -63,6 +63,7 @@
 
 #![deny(missing_docs)]
 
+pub mod brownout;
 pub mod cache;
 pub mod config;
 pub mod error;
@@ -71,8 +72,9 @@ pub mod pool;
 pub mod router;
 pub mod server;
 
+pub use brownout::BrownoutController;
 pub use cache::{image_hash, Fnv1a, ResponseCache};
-pub use config::{CacheConfig, GatewayConfig};
+pub use config::{AdmissionConfig, BrownoutConfig, CacheConfig, GatewayConfig};
 pub use error::GatewayError;
 pub use metrics::GatewayMetrics;
 pub use pool::{Backend, BackendPool, Pick};

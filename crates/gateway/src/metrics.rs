@@ -28,6 +28,15 @@ pub struct GatewayMetrics {
     /// Retries caused by a transport-level backend failure (the crash/failover path,
     /// as opposed to backpressure 503s).
     pub failovers: AtomicU64,
+    /// Accuracy-tier requests downgraded to the latency variant by brownout.
+    pub degraded: AtomicU64,
+    /// Requests refused 503 by gateway-side admission control (never reached a
+    /// backend).
+    pub admission_shed: AtomicU64,
+    /// Requests answered 504 because their `deadline_ms` budget expired at the
+    /// gateway (shed pre-admission or mid-retry; engine-side expiries are counted by
+    /// the engines' own `expired` counters).
+    pub deadline_expired: AtomicU64,
     /// End-to-end latency of cache-hit responses.
     pub hit_latency: LatencyHistogram,
     /// End-to-end latency of responses that went to a backend.
@@ -46,6 +55,9 @@ impl GatewayMetrics {
             failed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             hit_latency: LatencyHistogram::new(),
             miss_latency: LatencyHistogram::new(),
             routed: Mutex::new(BTreeMap::new()),
@@ -101,6 +113,15 @@ impl GatewayMetrics {
             .set("failed", self.failed.load(Ordering::Relaxed))
             .set("retries", self.retries.load(Ordering::Relaxed))
             .set("failovers", self.failovers.load(Ordering::Relaxed))
+            .set("degraded", self.degraded.load(Ordering::Relaxed))
+            .set(
+                "admission_shed",
+                self.admission_shed.load(Ordering::Relaxed),
+            )
+            .set(
+                "deadline_expired",
+                self.deadline_expired.load(Ordering::Relaxed),
+            )
             .set("cache", cache.snapshot_json())
             .set("hit_latency", latency_block(&self.hit_latency))
             .set("miss_latency", latency_block(&self.miss_latency))

@@ -53,6 +53,9 @@ pub struct Backend {
     in_flight_batches: AtomicU64,
     /// Calls this gateway currently has outstanding against the backend.
     gateway_in_flight: AtomicU64,
+    /// Admission bound on `gateway_in_flight` (0 = unbounded); a backend at the cap
+    /// is skipped by routing like one briefly cooling down.
+    in_flight_limit: AtomicU64,
     /// Model keys the backend reported serving.
     models: Mutex<Vec<String>>,
     /// Idle keep-alive connections, reused across calls.
@@ -78,6 +81,7 @@ impl Backend {
             queue_depth: AtomicU64::new(0),
             in_flight_batches: AtomicU64::new(0),
             gateway_in_flight: AtomicU64::new(0),
+            in_flight_limit: AtomicU64::new(0),
             models: Mutex::new(Vec::new()),
             idle: Mutex::new(Vec::new()),
             requests: AtomicU64::new(0),
@@ -105,11 +109,17 @@ impl Backend {
             + self.in_flight_batches.load(Ordering::Relaxed)
     }
 
-    /// Whether the backend may receive a request right now (healthy and not cooling
-    /// down). Returns the cooldown expiry when it is the only obstacle.
+    /// Whether the backend may receive a request right now (healthy, under its
+    /// in-flight cap and not cooling down). Returns the cooldown expiry when a wait
+    /// would help (cooldown, or the cap — capped backends clear in milliseconds, so
+    /// they count as briefly cooling rather than unavailable).
     fn availability(&self) -> Result<(), Option<Instant>> {
         if !self.healthy() {
             return Err(None);
+        }
+        let limit = self.in_flight_limit.load(Ordering::Relaxed);
+        if limit > 0 && self.gateway_in_flight.load(Ordering::Relaxed) >= limit {
+            return Err(Some(Instant::now() + Duration::from_millis(5)));
         }
         let mut cooldown = self.cooldown_until.lock().expect("cooldown lock poisoned");
         match *cooldown {
@@ -142,6 +152,11 @@ impl Backend {
 
     /// Runs one inference call on a pooled (or fresh) keep-alive connection.
     ///
+    /// `deadline_ms` is the request's *remaining* budget, forwarded on the wire so
+    /// the engine's batcher can shed the request if it expires in the engine queue;
+    /// it also tightens this call's socket read timeout — there is no point waiting
+    /// `timeout` for an answer the deadline has already disqualified.
+    ///
     /// On success the connection returns to the idle pool; on failure it is dropped.
     /// The per-call `gateway_in_flight` window around this is maintained by the
     /// caller via [`InFlightGuard`].
@@ -150,16 +165,24 @@ impl Backend {
         model_key: &str,
         image: &Matrix,
         timeout: Duration,
+        deadline_ms: Option<u64>,
     ) -> Result<InferReply, ClientError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let mut client = match self.checkout(timeout) {
+        // Grace on top of the budget so an engine-side 504 (typed, precise) wins the
+        // race against this socket timing out (opaque).
+        let effective = deadline_ms.map_or(timeout, |ms| {
+            timeout.min(Duration::from_millis(ms.saturating_add(50)))
+        });
+        // The timeout is re-armed on every checkout: a pooled connection carries
+        // whatever the previous call's deadline dictated.
+        let mut client = match self.checkout(effective) {
             Ok(client) => client,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 return Err(ClientError::Io(e));
             }
         };
-        match client.infer(model_key, image) {
+        match client.infer_with_options(model_key, image, None, deadline_ms) {
             Ok(reply) => {
                 self.recycle(client);
                 Ok(reply)
@@ -188,10 +211,10 @@ impl Backend {
     }
 
     fn checkout(&self, timeout: Duration) -> std::io::Result<ServeClient> {
-        if let Some(client) = self.idle.lock().expect("idle pool poisoned").pop() {
-            return Ok(client);
-        }
-        let mut client = ServeClient::connect(self.addr)?;
+        let mut client = match self.idle.lock().expect("idle pool poisoned").pop() {
+            Some(client) => client,
+            None => ServeClient::connect(self.addr)?,
+        };
         client.set_timeout(Some(timeout))?;
         Ok(client)
     }
@@ -202,6 +225,12 @@ impl Backend {
     pub fn probe(&self, timeout: Duration, eject_after: u32) -> bool {
         let epoch = self.eject_epoch.load(Ordering::SeqCst);
         let result = (|| -> Result<JsonValue, ClientError> {
+            // Chaos site: `return` makes this probe round report the backend down
+            // without touching the wire — a flapping health check against a healthy
+            // engine (scope with `@gateway-probe` to spare request-path traffic).
+            if failpoint::fire("gateway-probe-flap") {
+                return Err(ClientError::Protocol("failpoint: probe flap".to_string()));
+            }
             let mut client = ServeClient::connect(self.addr).map_err(ClientError::Io)?;
             client.set_timeout(Some(timeout)).map_err(ClientError::Io)?;
             let (status, body) = client.get("/healthz")?;
@@ -416,6 +445,40 @@ impl BackendPool {
         self.backends.iter().any(|b| b.serves(model_key))
     }
 
+    /// Mean probed load — `queue_depth + in_flight_batches` — per admitted backend:
+    /// the brownout controller's pressure signal. `0.0` with nothing admitted (an
+    /// empty cluster has no queue pressure; it has an availability problem, which
+    /// brownout cannot fix).
+    pub fn mean_pressure(&self) -> f64 {
+        let admitted: Vec<_> = self.backends.iter().filter(|b| b.healthy()).collect();
+        if admitted.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = admitted
+            .iter()
+            .map(|b| {
+                b.queue_depth.load(Ordering::Relaxed) + b.in_flight_batches.load(Ordering::Relaxed)
+            })
+            .sum();
+        total as f64 / admitted.len() as f64
+    }
+
+    /// Total ejection transitions across all backends since startup.
+    pub fn ejection_total(&self) -> u64 {
+        self.backends
+            .iter()
+            .map(|b| b.ejections.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Applies the per-backend in-flight admission cap (0 = unbounded) to every
+    /// backend; see [`AdmissionConfig`](crate::config::AdmissionConfig).
+    pub fn set_in_flight_limit(&self, limit: u64) {
+        for backend in &self.backends {
+            backend.in_flight_limit.store(limit, Ordering::Relaxed);
+        }
+    }
+
     /// The sorted, deduplicated union of every admitted backend's model list.
     pub fn model_union(&self) -> Vec<String> {
         let mut union: Vec<String> = self
@@ -577,6 +640,45 @@ mod tests {
             Some(false)
         );
         assert_eq!(snap.get("ejections").and_then(JsonValue::as_usize), Some(1));
+    }
+
+    #[test]
+    fn the_in_flight_cap_sidelines_a_saturated_backend() {
+        let pool = pool(2);
+        for b in pool.backends() {
+            admit(b, &["m:taylor"]);
+        }
+        pool.set_in_flight_limit(2);
+        let _guards: Vec<InFlightGuard> = (0..2)
+            .map(|_| InFlightGuard::new(Arc::clone(&pool.backends()[0])))
+            .collect();
+        for _ in 0..4 {
+            match pool.pick("m:taylor", &[]) {
+                Pick::Chosen(index, _) => assert_eq!(index, 1, "backend 0 is at its cap"),
+                other => panic!("expected a pick, got {other:?}"),
+            }
+        }
+        // Both at the cap: the pool reports a short cooldown, not a dead cluster —
+        // in-flight windows close in milliseconds.
+        let _more: Vec<InFlightGuard> = (0..2)
+            .map(|_| InFlightGuard::new(Arc::clone(&pool.backends()[1])))
+            .collect();
+        assert!(matches!(pool.pick("m:taylor", &[]), Pick::Cooling(_)));
+    }
+
+    #[test]
+    fn mean_pressure_averages_admitted_backends_only() {
+        let pool = pool(3);
+        admit(&pool.backends()[0], &["m"]);
+        admit(&pool.backends()[1], &["m"]);
+        pool.backends()[0].queue_depth.store(4, Ordering::Relaxed);
+        pool.backends()[0]
+            .in_flight_batches
+            .store(2, Ordering::Relaxed);
+        // Backend 2 is unadmitted; its (stale) numbers must not count.
+        pool.backends()[2].queue_depth.store(100, Ordering::Relaxed);
+        assert!((pool.mean_pressure() - 3.0).abs() < 1e-9);
+        assert_eq!(pool.ejection_total(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -14,6 +14,7 @@ use vitality_serve::http::serve_connection;
 use vitality_serve::{protocol, ClientError, InferReply};
 use vitality_tensor::Matrix;
 
+use crate::brownout::BrownoutController;
 use crate::cache::{image_hash, ResponseCache};
 use crate::config::GatewayConfig;
 use crate::error::GatewayError;
@@ -26,7 +27,50 @@ struct Shared {
     pool: BackendPool,
     cache: ResponseCache,
     metrics: GatewayMetrics,
+    brownout: BrownoutController,
+    /// Inference requests currently inside the gateway (admission-control bound).
+    in_flight_requests: AtomicU64,
     shutdown: AtomicBool,
+}
+
+/// RAII window of one admitted request against the gateway-wide concurrency bound.
+struct AdmissionGuard<'a>(&'a Shared);
+
+impl<'a> AdmissionGuard<'a> {
+    /// Admits the request, or refuses it 503 with a queue-derived `Retry-After`.
+    fn admit(shared: &'a Shared) -> Result<Self, GatewayError> {
+        let limit = shared.config.admission.max_concurrent as u64;
+        let in_flight = shared.in_flight_requests.fetch_add(1, Ordering::SeqCst) + 1;
+        if limit > 0 && in_flight > limit {
+            shared.in_flight_requests.fetch_sub(1, Ordering::SeqCst);
+            shared
+                .metrics
+                .admission_shed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(GatewayError::AdmissionFull {
+                in_flight,
+                limit,
+                retry_after: derived_retry_after(shared),
+            });
+        }
+        Ok(Self(shared))
+    }
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight_requests.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// `Retry-After` seconds for an admission-full 503, derived from how long the probed
+/// backlog would actually take to drain — probed queue pressure × the observed
+/// miss-path p95 — instead of a constant. Clamped to [1, 10] s so a cold histogram
+/// or a momentary spike cannot produce silly hints.
+fn derived_retry_after(shared: &Shared) -> u64 {
+    let pressure = shared.pool.mean_pressure();
+    let p95_s = shared.metrics.miss_latency.quantile_us(0.95) as f64 / 1e6;
+    (pressure * p95_s).ceil().clamp(1.0, 10.0) as u64
 }
 
 /// A running cluster gateway.
@@ -63,14 +107,23 @@ impl Gateway {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let pool = BackendPool::new(backends);
+        pool.set_in_flight_limit(config.admission.max_per_backend_in_flight);
         pool.probe_all(config.probe_timeout, config.eject_after_probe_failures);
         let shared = Arc::new(Shared {
             cache: ResponseCache::new(config.cache.capacity, config.cache.ttl, config.cache.shards),
             metrics: GatewayMetrics::new(),
+            brownout: BrownoutController::new(config.brownout.clone()),
+            in_flight_requests: AtomicU64::new(0),
             pool,
             shutdown: AtomicBool::new(false),
             config,
         });
+        // The boot probe round's pressure reading seeds the brownout controller, so
+        // a gateway started into an already-hot cluster engages on request one.
+        shared.brownout.observe(
+            shared.pool.mean_pressure(),
+            shared.metrics.miss_latency.quantile_us(0.95),
+        );
 
         let prober_shared = Arc::clone(&shared);
         let prober_handle = std::thread::Builder::new()
@@ -91,6 +144,12 @@ impl Gateway {
                     prober_shared.pool.probe_all(
                         prober_shared.config.probe_timeout,
                         prober_shared.config.eject_after_probe_failures,
+                    );
+                    // Every probe round doubles as a brownout-control tick: the
+                    // freshly probed queue depths are exactly its pressure signal.
+                    prober_shared.brownout.observe(
+                        prober_shared.pool.mean_pressure(),
+                        prober_shared.metrics.miss_latency.quantile_us(0.95),
                     );
                 }
             })
@@ -211,10 +270,22 @@ fn route(
             } else {
                 "unavailable"
             };
+            let mut cache = JsonValue::object();
+            cache
+                .set("entries", shared.cache.len())
+                .set("capacity", shared.config.cache.capacity);
             let mut body = JsonValue::object();
             body.set("status", status)
                 .set("backends", total)
                 .set("healthy", healthy)
+                .set("ejected", total - healthy)
+                .set("ejections_total", shared.pool.ejection_total())
+                .set(
+                    "in_flight_requests",
+                    shared.in_flight_requests.load(Ordering::Relaxed),
+                )
+                .set("brownout", shared.brownout.snapshot_json())
+                .set("cache", cache)
                 .set("models", shared.pool.model_union());
             (200, body, None)
         }
@@ -254,13 +325,42 @@ fn error_response(error: &GatewayError) -> (u16, JsonValue, Option<u64>) {
     )
 }
 
-/// The request pipeline: parse → resolve tier routing → cache lookup → retry loop
-/// over the pool. Returns the response body to send with status 200.
+/// One request's deadline at the gateway: the budget the client sent (re-derived
+/// for the wire as *remaining* budget per backend attempt) and its absolute expiry,
+/// anchored when the request was parsed.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    budget_ms: u64,
+    expires: Instant,
+}
+
+impl Deadline {
+    /// Milliseconds still available at `now` (None once expired).
+    fn remaining_ms(&self, now: Instant) -> Option<u64> {
+        let left = self.expires.saturating_duration_since(now);
+        if left.is_zero() {
+            None
+        } else {
+            Some(left.as_millis().max(1) as u64)
+        }
+    }
+
+    fn error(&self) -> GatewayError {
+        GatewayError::DeadlineExceeded {
+            budget_ms: self.budget_ms,
+        }
+    }
+}
+
+/// The request pipeline: admit → parse → resolve tier routing (brownout may
+/// downgrade it) → cache lookup → deadline-budgeted retry loop over the pool.
+/// Returns the response body to send with status 200.
 fn handle_infer(
     message: &vitality_serve::http::HttpMessage,
     shared: &Arc<Shared>,
 ) -> Result<JsonValue, GatewayError> {
     let started = Instant::now();
+    let _admitted = AdmissionGuard::admit(shared)?;
     let text = std::str::from_utf8(&message.body)
         .map_err(|_| GatewayError::BadRequest("body is not UTF-8".into()))?;
     let parsed = serde::json::parse(text)
@@ -271,8 +371,42 @@ fn handle_infer(
         .map_err(|e| GatewayError::BadRequest(e.to_string()))?
         .map(|t| Tier::parse(&t))
         .transpose()?;
-    let resolved = shared.config.routing.resolve(&model_key, tier);
+    let deadline = protocol::parse_infer_deadline_ms(&parsed)
+        .map_err(|e| GatewayError::BadRequest(e.to_string()))?
+        .map(|budget_ms| Deadline {
+            budget_ms,
+            expires: started + Duration::from_millis(budget_ms),
+        });
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    // A zero (or already-elapsed) budget is shed before routing: the typed 504
+    // costs no inference anywhere.
+    if let Some(d) = deadline {
+        if d.remaining_ms(Instant::now()).is_none() {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(d.error());
+        }
+    }
+
+    // Brownout: under pressure, accuracy-tier requests ride the latency tier
+    // (ViTALiTy's cheap linear path) instead of queueing or being shed. Only
+    // tier-routed requests are eligible — an explicit model key is a contract —
+    // and only when the cluster actually serves the downgraded key.
+    let mut resolved = shared.config.routing.resolve(&model_key, tier);
+    let mut degraded = false;
+    if tier == Some(Tier::Accuracy) && shared.brownout.engaged() {
+        let downgraded = shared
+            .config
+            .routing
+            .resolve(&model_key, Some(Tier::Latency));
+        if downgraded != resolved && shared.pool.serves(&downgraded) {
+            resolved = downgraded;
+            degraded = true;
+            shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 
     // Tier-routed keys must resolve to something the cluster actually serves —
     // answering 404 *here* (rather than per-backend) makes a routing-policy typo a
@@ -301,10 +435,13 @@ fn handle_infer(
             .record_us(started.elapsed().as_micros() as u64);
         let mut body = protocol::infer_reply_json(&reply);
         body.set("cached", true);
+        if degraded {
+            body.set("degraded", true);
+        }
         return Ok(body);
     }
 
-    let reply = call_with_retries(shared, &resolved, &image)?;
+    let reply = call_with_retries(shared, &resolved, &image, deadline)?;
     shared.cache.put(&resolved, hash, reply.clone());
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared.metrics.record_routed(&resolved);
@@ -314,31 +451,64 @@ fn handle_infer(
         .record_us(started.elapsed().as_micros() as u64);
     let mut body = protocol::infer_reply_json(&reply);
     body.set("cached", false);
+    if degraded {
+        body.set("degraded", true);
+    }
     Ok(body)
 }
 
-/// The bounded retry loop: each attempt goes to the least-loaded backend that has not
-/// already failed this request; transport failures eject and fail over, 503s put the
-/// backend in a `Retry-After`-sized cooldown, and deterministic 4xx answers are
-/// forwarded without retrying.
+/// The retry loop. Without a deadline it is attempt-bounded: `retry_budget` tries
+/// across distinct backends. With a deadline the *remaining budget* is the loop
+/// bound instead — the gateway keeps failing over (re-admitting previously excluded
+/// backends) for as long as the client is still willing to wait, and answers a
+/// typed 504 the moment it is not; each attempt forwards the remaining budget on
+/// the wire so engines shed what expires in their queues.
+///
+/// Per-attempt outcome handling: transport failures eject and fail over; a
+/// [`ClientError::TimedOut`] read timeout cools the backend down instead — slow is
+/// not dead, and ejecting it would let one long batch take a healthy engine out of
+/// rotation; 503s cool the backend for its `Retry-After` (capped); deterministic
+/// 4xx answers are forwarded without retrying.
 fn call_with_retries(
     shared: &Arc<Shared>,
     resolved: &str,
     image: &Matrix,
+    deadline: Option<Deadline>,
 ) -> Result<InferReply, GatewayError> {
     let budget = shared.config.retry_budget.max(1);
     let mut excluded: Vec<usize> = Vec::new();
     let mut last_error = String::from("no attempt made");
-    let mut first_attempt = true;
-    for _ in 0..budget {
+    let mut attempts = 0usize;
+    loop {
+        // Loop bound: remaining deadline when the client set one, the fixed
+        // attempt budget otherwise.
+        let remaining_ms = match deadline {
+            Some(d) => match d.remaining_ms(Instant::now()) {
+                Some(ms) => Some(ms),
+                None => {
+                    shared
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(d.error());
+                }
+            },
+            None => {
+                if attempts >= budget {
+                    break;
+                }
+                None
+            }
+        };
         match shared.pool.pick(resolved, &excluded) {
             Pick::Chosen(index, backend) => {
-                if !first_attempt {
+                if attempts > 0 {
                     shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
                 }
-                first_attempt = false;
+                attempts += 1;
                 let guard = InFlightGuard::new(Arc::clone(&backend));
-                let result = backend.call(resolved, image, shared.config.backend_timeout);
+                let result =
+                    backend.call(resolved, image, shared.config.backend_timeout, remaining_ms);
                 drop(guard);
                 match result {
                     Ok(reply) => return Ok(reply),
@@ -348,6 +518,18 @@ fn call_with_retries(
                         message,
                         retry_after,
                     }) => {
+                        if code == "deadline_exceeded" {
+                            // The engine's batcher shed it: the budget is gone (or
+                            // will be within the forwarding slack). Answer the
+                            // typed 504 now rather than burning another backend.
+                            shared
+                                .metrics
+                                .deadline_expired
+                                .fetch_add(1, Ordering::Relaxed);
+                            return Err(GatewayError::DeadlineExceeded {
+                                budget_ms: deadline.map_or(0, |d| d.budget_ms),
+                            });
+                        }
                         if status == 503 {
                             // Backpressure: honour the engine's Retry-After (capped)
                             // as a cooldown on that backend and resubmit elsewhere.
@@ -372,6 +554,14 @@ fn call_with_retries(
                             });
                         }
                     }
+                    Err(ClientError::TimedOut { limit }) => {
+                        // The socket read timed out at a limit *we* configured: the
+                        // backend is slow, not provably dead. Cool it down and try
+                        // elsewhere; the prober decides if it is actually gone.
+                        backend.set_cooldown(shared.config.max_backoff.min(Duration::from_secs(1)));
+                        last_error = format!("read timed out after {limit:?}");
+                        excluded.push(index);
+                    }
                     Err(err) => {
                         // Transport-level failure: the engine is gone or wedged.
                         // Eject it (the prober re-admits on recovery) and fail over.
@@ -384,15 +574,29 @@ fn call_with_retries(
             }
             Pick::Cooling(until) => {
                 // Every remaining backend is backing off; wait out the shortest
-                // cooldown (bounded) and allow previously excluded backends again —
-                // after a sleep the cluster may look entirely different.
-                let wait = until
+                // cooldown (bounded, and never past the deadline) and allow
+                // previously excluded backends again — after a sleep the cluster
+                // may look entirely different.
+                let mut wait = until
                     .saturating_duration_since(Instant::now())
                     .min(shared.config.max_backoff);
+                if let Some(ms) = remaining_ms {
+                    wait = wait.min(Duration::from_millis(ms));
+                }
                 std::thread::sleep(wait);
                 excluded.clear();
             }
-            Pick::None => break,
+            Pick::None => {
+                // With a deadline, excluded backends get another look while budget
+                // remains (a cooled-down backend may have recovered mid-request);
+                // without one, give up under the fixed attempt policy.
+                if deadline.is_some() && !excluded.is_empty() && attempts < budget * 4 {
+                    excluded.clear();
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                break;
+            }
         }
     }
     Err(GatewayError::NoBackend {

@@ -145,6 +145,45 @@ fn repeat_images_hit_the_cache_with_identical_replies() {
     assert_eq!(first.prediction, second.prediction);
     assert_eq!(first.logits, second.logits, "cache hits are bit-identical");
 
+    // The enriched healthz surfaces operational state alongside routing facts:
+    // admission pressure, ejections, brownout posture and cache occupancy.
+    let (status, health) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(health.get("healthy").and_then(JsonValue::as_usize), Some(1));
+    assert_eq!(health.get("ejected").and_then(JsonValue::as_usize), Some(0));
+    assert_eq!(
+        health.get("ejections_total").and_then(JsonValue::as_usize),
+        Some(0)
+    );
+    assert_eq!(
+        health
+            .get("in_flight_requests")
+            .and_then(JsonValue::as_usize),
+        Some(0),
+        "no request is in flight while healthz is being answered"
+    );
+    let brownout = health.get("brownout").expect("brownout block");
+    assert_eq!(
+        brownout.get("engaged").and_then(JsonValue::as_bool),
+        Some(false),
+        "an idle cluster is never browned out"
+    );
+    assert_eq!(
+        brownout.get("entries").and_then(JsonValue::as_usize),
+        Some(0)
+    );
+    let cache_health = health.get("cache").expect("cache block");
+    assert_eq!(
+        cache_health.get("entries").and_then(JsonValue::as_usize),
+        Some(1),
+        "one cached response so far"
+    );
+    assert_eq!(
+        cache_health.get("capacity").and_then(JsonValue::as_usize),
+        Some(64)
+    );
+
     // The same image under a different tier is a distinct cache entry.
     let tiered = client
         .infer_with_tier("vit:taylor", &img, Some("latency"))
@@ -166,6 +205,67 @@ fn repeat_images_hit_the_cache_with_identical_replies() {
         .sum();
     assert_eq!(backend_requests, 2);
 
+    drop(client);
+    gateway.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn deadlines_ride_the_protocol_end_to_end() {
+    let cfg = TrainConfig::tiny();
+    let base = VisionTransformer::new(
+        &mut StdRng::seed_from_u64(41),
+        cfg,
+        AttentionVariant::Taylor,
+    );
+    let engine = tiered_engine(&base);
+    let gateway = Gateway::start(
+        GatewayConfig {
+            cache: CacheConfig {
+                capacity: 0,
+                ..CacheConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+        &[engine.local_addr()],
+    )
+    .expect("boot gateway");
+    let mut client = ServeClient::connect(gateway.local_addr()).expect("connect");
+    let img = image(&cfg, 77);
+
+    // A generous budget is forwarded and the request completes normally.
+    let reply = client
+        .infer_with_options("vit:taylor", &img, None, Some(10_000))
+        .expect("live budget");
+    assert_eq!(reply.prediction, base.predict(&img));
+
+    // A zero budget is shed at the gateway as a typed 504 with no Retry-After.
+    match client.infer_with_options("vit:taylor", &img, None, Some(0)) {
+        Err(err) => {
+            assert_eq!(err.retry_after_secs(), None, "504s carry no Retry-After");
+            match err {
+                ClientError::Server { status, code, .. } => {
+                    assert_eq!(status, 504);
+                    assert_eq!(code, "deadline_exceeded");
+                }
+                other => panic!("expected a typed 504, got {other:?}"),
+            }
+        }
+        Ok(_) => panic!("a zero budget must never be served"),
+    }
+    // The connection survives the 504 (keep-alive framing intact).
+    let reply = client
+        .infer_with_options("vit:taylor", &img, None, Some(10_000))
+        .expect("same connection serves");
+    assert_eq!(reply.prediction, base.predict(&img));
+
+    let metrics = gateway.metrics_json();
+    assert_eq!(
+        metrics
+            .get("deadline_expired")
+            .and_then(JsonValue::as_usize),
+        Some(1)
+    );
     drop(client);
     gateway.shutdown();
     engine.shutdown();

@@ -95,6 +95,38 @@ pub struct InferReply {
     pub queue_us: u64,
 }
 
+/// A request's expiry: the absolute instant the caller stops waiting, plus the
+/// original budget (kept only so the 504 error body can echo what the client sent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestDeadline {
+    /// The instant after which the request must not be served.
+    pub expires: Instant,
+    /// The `deadline_ms` budget the client sent.
+    pub budget_ms: u64,
+}
+
+impl RequestDeadline {
+    /// Anchors a relative `deadline_ms` budget to the current instant.
+    pub fn from_budget_ms(budget_ms: u64) -> Self {
+        Self {
+            expires: Instant::now() + Duration::from_millis(budget_ms),
+            budget_ms,
+        }
+    }
+
+    /// Whether the deadline has passed at `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        now >= self.expires
+    }
+
+    /// The typed error a shed request is answered with.
+    pub fn error(&self) -> ServeError {
+        ServeError::DeadlineExceeded {
+            budget_ms: self.budget_ms,
+        }
+    }
+}
+
 /// A queued inference request: the image, the model to run it on, and the channel the
 /// worker answers on.
 #[derive(Debug)]
@@ -105,6 +137,9 @@ pub struct PendingRequest {
     pub image: Matrix,
     /// When the request entered the queue (starts the coalescing deadline).
     pub submitted: Instant,
+    /// The caller's remaining-time budget, if it sent one. Expired requests are shed
+    /// with a typed 504 before any inference is spent on them.
+    pub deadline: Option<RequestDeadline>,
     /// Where the worker sends the result.
     pub reply_tx: mpsc::Sender<Result<InferReply, ServeError>>,
 }
@@ -184,9 +219,16 @@ impl Batcher {
 
     /// Blocks until a batch is due under the coalescing policy and returns it, or
     /// returns `None` once the batcher is shut down *and* drained.
+    ///
+    /// Before each flush decision the queue is purged of requests whose
+    /// [`RequestDeadline`] has already expired: each is answered with a typed 504
+    /// ([`ServeError::DeadlineExceeded`]) without spending any inference on it, and
+    /// live requests keep their arrival order. Requests without a deadline are never
+    /// purged, and their flush timing is unchanged.
     pub fn next_batch(&self) -> Option<Vec<PendingRequest>> {
         let mut state = self.state.lock().expect("batcher lock poisoned");
         loop {
+            self.shed_expired(&mut state.queue, Instant::now());
             let Some(head) = state.queue.front() else {
                 if state.shutdown {
                     return None;
@@ -215,11 +257,44 @@ impl Batcher {
                 self.metrics.record_batch(batch.len());
                 return Some(batch);
             }
+            // Wake at the earlier of the head's flush deadline and the earliest
+            // request expiry, so 504s go out promptly rather than riding the next
+            // flush or submit.
+            let wake = state
+                .queue
+                .iter()
+                .filter_map(|r| r.deadline.map(|d| d.expires))
+                .min()
+                .map_or(deadline, |expiry| deadline.min(expiry));
             let (next, _timeout) = self
                 .nonempty
-                .wait_timeout(state, deadline - now)
+                .wait_timeout(state, wake.saturating_duration_since(now))
                 .expect("batcher lock poisoned");
             state = next;
+        }
+    }
+
+    /// Removes every expired request from the queue, answering each with its typed
+    /// 504. Live entries keep their relative order (`VecDeque::remove` shifts, it
+    /// does not swap).
+    fn shed_expired(&self, queue: &mut VecDeque<PendingRequest>, now: Instant) {
+        let mut index = 0;
+        while index < queue.len() {
+            let expired = queue[index]
+                .deadline
+                .is_some_and(|deadline| deadline.expired_at(now));
+            if expired {
+                let request = queue.remove(index).expect("index bounded by len");
+                let deadline = request.deadline.expect("checked expired above");
+                self.metrics
+                    .expired
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // The caller has typically stopped listening by now (that is what
+                // the deadline means); a dropped receiver is fine.
+                let _ = request.reply_tx.send(Err(deadline.error()));
+            } else {
+                index += 1;
+            }
         }
     }
 
@@ -311,6 +386,16 @@ mod tests {
         PendingRequest,
         mpsc::Receiver<Result<InferReply, ServeError>>,
     ) {
+        request_with_deadline(entry, None)
+    }
+
+    fn request_with_deadline(
+        entry: &Arc<ModelEntry>,
+        deadline: Option<RequestDeadline>,
+    ) -> (
+        PendingRequest,
+        mpsc::Receiver<Result<InferReply, ServeError>>,
+    ) {
         let (tx, rx) = mpsc::channel();
         let cfg = entry.config();
         (
@@ -318,6 +403,7 @@ mod tests {
                 entry: Arc::clone(entry),
                 image: Matrix::zeros(cfg.image_size, cfg.image_size),
                 submitted: Instant::now(),
+                deadline,
                 reply_tx: tx,
             },
             rx,
@@ -466,5 +552,247 @@ mod tests {
     #[should_panic(expected = "queue_capacity")]
     fn policies_that_cannot_hold_a_batch_are_rejected() {
         batcher(16, Duration::from_millis(1), 4);
+    }
+
+    /// An already-expired deadline anchored safely in the past.
+    fn expired_deadline() -> RequestDeadline {
+        RequestDeadline {
+            expires: Instant::now() - Duration::from_millis(1),
+            budget_ms: 5,
+        }
+    }
+
+    #[test]
+    fn expired_requests_are_shed_with_a_504_and_never_reach_a_worker() {
+        let b = batcher(8, Duration::from_millis(10), 64);
+        let e = entry(AttentionVariant::Taylor);
+        // Interleave live and already-expired requests.
+        let mut live_rxs = Vec::new();
+        let mut dead_rxs = Vec::new();
+        for i in 0..6 {
+            if i % 2 == 0 {
+                let (req, rx) = request(&e);
+                b.submit(req).unwrap();
+                live_rxs.push(rx);
+            } else {
+                let (req, rx) = request_with_deadline(&e, Some(expired_deadline()));
+                b.submit(req).unwrap();
+                dead_rxs.push(rx);
+            }
+        }
+        let flushed = b.next_batch().expect("live batch due");
+        assert_eq!(flushed.len(), 3, "only the live requests flush");
+        assert!(
+            flushed.iter().all(|r| r.deadline.is_none()),
+            "no expired request reaches a worker"
+        );
+        for rx in dead_rxs {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Err(ServeError::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 5),
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        assert_eq!(b.depth(), 0);
+    }
+
+    #[test]
+    fn live_requests_keep_arrival_order_across_expired_shedding() {
+        let b = batcher(8, Duration::from_millis(10), 64);
+        let e = entry(AttentionVariant::Taylor);
+        // Tag arrival order through the image's first pixel: expired requests sit at
+        // positions 1 and 3 of a 5-deep queue.
+        let mut rxs = Vec::new();
+        for i in 0..5u64 {
+            let deadline = (i % 2 == 1).then(expired_deadline);
+            let (mut req, rx) = request_with_deadline(&e, deadline);
+            req.image.set(0, 0, i as f32);
+            b.submit(req).unwrap();
+            rxs.push(rx);
+        }
+        let flushed = b.next_batch().expect("live batch due");
+        let order: Vec<f32> = flushed.iter().map(|r| r.image.get(0, 0)).collect();
+        assert_eq!(
+            order,
+            vec![0.0, 2.0, 4.0],
+            "live entries preserve arrival order after the purge"
+        );
+    }
+
+    #[test]
+    fn still_live_deadlines_ride_along_uncut() {
+        let b = batcher(8, Duration::from_millis(10), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let (req, _rx) = request_with_deadline(&e, Some(RequestDeadline::from_budget_ms(60_000)));
+        b.submit(req).unwrap();
+        let flushed = b.next_batch().expect("batch due");
+        assert_eq!(
+            flushed.len(),
+            1,
+            "a live deadline does not shed the request"
+        );
+        assert!(
+            flushed[0].deadline.is_some(),
+            "the deadline travels with it"
+        );
+    }
+
+    #[test]
+    fn head_flush_timing_is_unchanged_when_no_deadline_is_set() {
+        // Same shape as `deadline_flush_releases_a_partial_batch`, re-asserted here
+        // as the explicit "deadline_ms absent" contract: the purge and the
+        // deadline-aware wake must not change when the field is unused.
+        let b = batcher(8, Duration::from_millis(30), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let mut rxs = Vec::new();
+        for _ in 0..3 {
+            let (req, rx) = request(&e);
+            b.submit(req).unwrap();
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        let batch = b.next_batch().expect("batch due");
+        let waited = start.elapsed();
+        assert_eq!(batch.len(), 3);
+        assert!(
+            waited >= Duration::from_millis(20),
+            "flushed after only {waited:?}: deadline machinery must not hasten the flush"
+        );
+        assert!(
+            waited < Duration::from_secs(10),
+            "flushed only after {waited:?}: deadline machinery must not delay the flush"
+        );
+    }
+
+    #[test]
+    fn a_pending_expiry_wakes_the_worker_before_the_flush_deadline() {
+        // Head has an hour of coalescing budget but a ~40ms caller deadline; the 504
+        // must go out near the expiry, not at the hour mark (or the next submit).
+        let b = batcher(8, Duration::from_secs(3600), 64);
+        let e = entry(AttentionVariant::Taylor);
+        let (req, rx) = request_with_deadline(&e, Some(RequestDeadline::from_budget_ms(40)));
+        b.submit(req).unwrap();
+        let worker = {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| b.next_batch());
+                let err = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+                assert!(matches!(
+                    err,
+                    Err(ServeError::DeadlineExceeded { budget_ms: 40 })
+                ));
+                let waited = start.elapsed();
+                assert!(
+                    waited < Duration::from_secs(10),
+                    "shed after {waited:?}; the wake must track the expiry"
+                );
+                b.shutdown();
+                handle.join().unwrap()
+            })
+        };
+        assert!(worker.is_none(), "queue drained after the shed");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // Random live/expired interleavings: shedding partitions the queue exactly.
+        // Every expired request gets a typed 504 echoing *its own* budget and never
+        // reaches a worker; every live request flushes; arrival order survives the
+        // purge.
+        #[test]
+        fn shedding_partitions_random_interleavings_exactly(
+            len in 1usize..24,
+            kinds in proptest::collection::vec(0u32..3, 24),
+        ) {
+            let b = batcher(64, Duration::from_millis(5), 256);
+            let e = entry(AttentionVariant::Taylor);
+            // kind 0: no deadline; kind 1: generous live deadline; kind 2: expired.
+            let mut expired = Vec::new();
+            let mut live_tags = Vec::new();
+            let mut live_rxs = Vec::new();
+            for (i, kind) in kinds[..len].iter().enumerate() {
+                let deadline = match kind {
+                    0 => None,
+                    1 => Some(RequestDeadline::from_budget_ms(60_000)),
+                    _ => Some(RequestDeadline {
+                        expires: Instant::now() - Duration::from_millis(1),
+                        budget_ms: 1 + i as u64,
+                    }),
+                };
+                let (mut req, rx) = request_with_deadline(&e, deadline);
+                req.image.set(0, 0, i as f32);
+                b.submit(req).unwrap();
+                if *kind == 2 {
+                    expired.push((1 + i as u64, rx));
+                } else {
+                    live_tags.push(i as f32);
+                    live_rxs.push(rx);
+                }
+            }
+            if live_tags.is_empty() {
+                // next_batch blocks on an empty queue; keep one live request around
+                // so the flush loop below terminates while still exercising the
+                // all-expired shed.
+                let (mut req, rx) = request(&e);
+                req.image.set(0, 0, len as f32);
+                b.submit(req).unwrap();
+                live_tags.push(len as f32);
+                live_rxs.push(rx);
+            }
+            let mut flushed_tags = Vec::new();
+            while flushed_tags.len() < live_tags.len() {
+                let batch = b.next_batch().expect("live requests are due");
+                for r in &batch {
+                    let now = Instant::now();
+                    prop_assert!(
+                        !r.deadline.is_some_and(|d| d.expired_at(now)),
+                        "an expired request reached a worker"
+                    );
+                    flushed_tags.push(r.image.get(0, 0));
+                }
+            }
+            prop_assert_eq!(flushed_tags, live_tags);
+            prop_assert_eq!(b.depth(), 0);
+            for (budget, rx) in expired {
+                match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                    Err(ServeError::DeadlineExceeded { budget_ms }) => {
+                        prop_assert_eq!(budget_ms, budget, "the 504 echoes its own budget");
+                    }
+                    other => {
+                        prop_assert!(false, "expected DeadlineExceeded, got {other:?}");
+                    }
+                }
+            }
+        }
+
+        // Generous budgets are never falsely shed: whatever the mix of budgets,
+        // every request flushes to a worker with its deadline still attached.
+        #[test]
+        fn generous_budgets_always_flush_with_the_deadline_attached(
+            len in 1usize..12,
+            budgets in proptest::collection::vec(30_000u64..120_000, 12),
+        ) {
+            let b = batcher(64, Duration::from_millis(5), 256);
+            let e = entry(AttentionVariant::Taylor);
+            let mut rxs = Vec::new();
+            for &ms in &budgets[..len] {
+                let (req, rx) =
+                    request_with_deadline(&e, Some(RequestDeadline::from_budget_ms(ms)));
+                b.submit(req).unwrap();
+                rxs.push(rx);
+            }
+            let mut budgets_seen = Vec::new();
+            while budgets_seen.len() < len {
+                let batch = b.next_batch().expect("live requests are due");
+                for r in &batch {
+                    let deadline = r.deadline.expect("the deadline travels to the worker");
+                    budgets_seen.push(deadline.budget_ms);
+                }
+            }
+            prop_assert_eq!(budgets_seen, budgets[..len].to_vec());
+            prop_assert_eq!(b.depth(), 0);
+        }
     }
 }

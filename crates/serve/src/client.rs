@@ -25,6 +25,15 @@ pub enum ClientError {
     Io(io::Error),
     /// The peer answered, but not with the expected shape.
     Protocol(String),
+    /// The configured read timeout expired before a response arrived.
+    ///
+    /// Carried as its own variant (with the limit that expired) rather than an opaque
+    /// error string so a retrying caller can tell "the backend is alive but slow"
+    /// (cool it down, try another) from "the connection died" (eject it).
+    TimedOut {
+        /// The read-timeout the client was configured with when it expired.
+        limit: Duration,
+    },
     /// The server answered with a typed error body.
     Server {
         /// HTTP status of the error response.
@@ -55,6 +64,12 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::TimedOut { limit } => {
+                write!(
+                    f,
+                    "read timed out after {limit:?} before a response arrived"
+                )
+            }
             ClientError::Server {
                 status,
                 code,
@@ -179,7 +194,21 @@ impl ServeClient {
         image: &Matrix,
         tier: Option<&str>,
     ) -> Result<InferReply, ClientError> {
-        let body = protocol::infer_request_json_with_tier(model, image, tier).to_json();
+        self.infer_with_options(model, image, tier, None)
+    }
+
+    /// Runs one inference round trip with every optional request field: the routing
+    /// tier and the remaining `deadline_ms` budget the callee may spend before the
+    /// caller stops waiting (an expired budget is answered with a typed 504).
+    pub fn infer_with_options(
+        &mut self,
+        model: &str,
+        image: &Matrix,
+        tier: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> Result<InferReply, ClientError> {
+        let body =
+            protocol::infer_request_json_with_options(model, image, tier, deadline_ms).to_json();
         let (status, json, retry_after) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
         if status != 200 {
             return Err(Self::server_error(status, &json, retry_after));
@@ -268,9 +297,9 @@ impl ServeClient {
                 // arrive on this connection, so it must not carry another request.
                 self.poisoned = true;
                 return Err(if timed_out.get() {
-                    AttemptError::Fatal(ClientError::Protocol(
-                        "read timed out before a response arrived".into(),
-                    ))
+                    AttemptError::Fatal(ClientError::TimedOut {
+                        limit: self.read_timeout.unwrap_or_default(),
+                    })
                 } else {
                     AttemptError::Stale(ClientError::Protocol(
                         "connection closed before a response arrived".into(),

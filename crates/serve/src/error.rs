@@ -26,6 +26,12 @@ pub enum ServeError {
     },
     /// The server is draining; no new requests are admitted.
     ShuttingDown,
+    /// The request's `deadline_ms` budget expired before inference started; the
+    /// batcher shed it without spending any compute.
+    DeadlineExceeded {
+        /// The deadline budget the client sent, in milliseconds.
+        budget_ms: u64,
+    },
     /// An invariant broke server-side (worker died, response channel dropped).
     Internal(String),
 }
@@ -39,6 +45,7 @@ impl ServeError {
             ServeError::ModelNotFound(_) => "model_not_found",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -49,6 +56,7 @@ impl ServeError {
             ServeError::BadRequest(_) | ServeError::InvalidModelName(_) => 400,
             ServeError::ModelNotFound(_) => 404,
             ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+            ServeError::DeadlineExceeded { .. } => 504,
             ServeError::Internal(_) => 500,
         }
     }
@@ -86,6 +94,10 @@ impl fmt::Display for ServeError {
                 "request shed: admission queue at {queue_depth}/{capacity}"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded { budget_ms } => write!(
+                f,
+                "deadline of {budget_ms} ms expired before inference started"
+            ),
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
     }
@@ -120,6 +132,11 @@ mod tests {
                 503,
             ),
             (ServeError::ShuttingDown, "shutting_down", 503),
+            (
+                ServeError::DeadlineExceeded { budget_ms: 40 },
+                "deadline_exceeded",
+                504,
+            ),
             (ServeError::Internal("x".into()), "internal", 500),
         ];
         for (err, code, status) in cases {

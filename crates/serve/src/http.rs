@@ -97,6 +97,9 @@ impl MessageReader {
         stop: &dyn Fn() -> bool,
     ) -> io::Result<Option<HttpMessage>> {
         // Accumulate until the head terminator appears.
+        // Chaos site: `sleep(ms)` here simulates a slow/stalled peer read (the bytes
+        // arrive, the server just takes its time noticing them).
+        failpoint::fire("serve-read-stall");
         let head_end = loop {
             if let Some(pos) = find_terminator(&self.buffer) {
                 break pos;
@@ -278,7 +281,24 @@ pub fn write_response_with_headers(
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Status",
+    };
+    // Chaos site: `sleep(ms)` here stalls the response write, simulating a backend
+    // that computed the answer but cannot get it onto the wire in time.
+    failpoint::fire("serve-write-stall");
+    // Chaos site: `return` here flips the leading body bytes to 0xFF — invalid UTF-8,
+    // so a corrupted response can never parse as valid-but-wrong JSON downstream.
+    let corrupted: Vec<u8>;
+    let body = if failpoint::fire("serve-write-corrupt") {
+        let mut bytes = body.to_vec();
+        for byte in bytes.iter_mut().take(8) {
+            *byte = 0xFF;
+        }
+        corrupted = bytes;
+        &corrupted[..]
+    } else {
+        body
     };
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -293,6 +313,16 @@ pub fn write_response_with_headers(
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
+    // Chaos site: `return` here writes only half the body and drops the connection —
+    // the peer sees EOF mid-message and must treat the response as lost, not short.
+    if failpoint::fire("serve-write-partial") {
+        stream.write_all(&body[..body.len() / 2])?;
+        let _ = stream.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "failpoint: partial response write",
+        ));
+    }
     stream.write_all(body)?;
     stream.flush()
 }

@@ -58,7 +58,7 @@ pub mod registry;
 pub mod server;
 pub mod worker;
 
-pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest};
+pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest, RequestDeadline};
 pub use client::{ClientError, ServeClient};
 pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, VariantStats};

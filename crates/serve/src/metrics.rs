@@ -112,6 +112,12 @@ pub struct Metrics {
     pub completed: AtomicU64,
     /// Requests shed at admission (queue full).
     pub shed: AtomicU64,
+    /// Requests shed because their `deadline_ms` budget expired before inference
+    /// started (answered with a typed 504, no compute spent).
+    pub expired: AtomicU64,
+    /// Worker batches that panicked mid-inference (the pool survives; every request
+    /// in the batch is answered with a 500 via its dropped reply channel).
+    pub worker_panics: AtomicU64,
     /// Requests answered with a non-shed error.
     pub failed: AtomicU64,
     /// Batches handed to workers.
@@ -141,6 +147,8 @@ impl Metrics {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             in_flight_batches: AtomicU64::new(0),
@@ -263,6 +271,8 @@ impl Metrics {
             .set("submitted", self.submitted.load(Ordering::Relaxed))
             .set("completed", self.completed.load(Ordering::Relaxed))
             .set("shed", self.shed.load(Ordering::Relaxed))
+            .set("expired", self.expired.load(Ordering::Relaxed))
+            .set("worker_panics", self.worker_panics.load(Ordering::Relaxed))
             .set("failed", self.failed.load(Ordering::Relaxed))
             .set("throughput_rps", self.throughput_rps())
             .set("latency", latency)

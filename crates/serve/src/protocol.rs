@@ -7,7 +7,10 @@
 //! * request — `{"model": "name:variant", "image": [[f32, ...], ...]}`, optionally
 //!   with `"tier": "latency" | "accuracy"` — a routing hint the cluster gateway uses
 //!   to rewrite the variant half of the model key (an engine serving exact keys
-//!   ignores it)
+//!   ignores it) — and optionally `"deadline_ms": n` — the *remaining* time budget
+//!   the caller is still willing to wait (relative, so it survives clock skew
+//!   between hops; each hop forwards what is left of the budget, and an engine
+//!   sheds the request with a 504 once it expires)
 //! * reply — `{"model": ..., "prediction": k, "logits": [...], "batch_size": b,
 //!   "queue_us": t}`
 //! * error — `{"error": {"code": "overloaded", "message": "..."}}`
@@ -25,6 +28,17 @@ pub fn infer_request_json(model: &str, image: &Matrix) -> JsonValue {
 
 /// Builds a `POST /v1/infer` body carrying an optional routing-tier hint.
 pub fn infer_request_json_with_tier(model: &str, image: &Matrix, tier: Option<&str>) -> JsonValue {
+    infer_request_json_with_options(model, image, tier, None)
+}
+
+/// Builds a `POST /v1/infer` body with every optional field: a routing-tier hint and
+/// a remaining-deadline budget in milliseconds.
+pub fn infer_request_json_with_options(
+    model: &str,
+    image: &Matrix,
+    tier: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> JsonValue {
     let rows: Vec<JsonValue> = (0..image.rows())
         .map(|r| JsonValue::from(image.row(r).to_vec()))
         .collect();
@@ -33,7 +47,24 @@ pub fn infer_request_json_with_tier(model: &str, image: &Matrix, tier: Option<&s
     if let Some(tier) = tier {
         body.set("tier", tier);
     }
+    if let Some(budget) = deadline_ms {
+        body.set("deadline_ms", budget as usize);
+    }
     body
+}
+
+/// Extracts the optional `"deadline_ms"` remaining-budget field from a request body.
+///
+/// Absent means `None` (no deadline: today's behaviour). Present but not a
+/// non-negative integer is a [`ServeError::BadRequest`]. A budget of `0` is valid —
+/// it means "already expired", and admission sheds it immediately with a 504.
+pub fn parse_infer_deadline_ms(body: &JsonValue) -> Result<Option<u64>, ServeError> {
+    match body.get("deadline_ms") {
+        None => Ok(None),
+        Some(value) => value.as_usize().map(|ms| Some(ms as u64)).ok_or_else(|| {
+            ServeError::BadRequest("\"deadline_ms\" must be a non-negative integer".into())
+        }),
+    }
 }
 
 /// Extracts the optional `"tier"` routing hint from a request body.
@@ -233,6 +264,34 @@ mod tests {
             parse_infer_tier(&bad),
             Err(ServeError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn deadline_budgets_parse_and_round_trip() {
+        let image = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let body = infer_request_json_with_options("m:taylor", &image, Some("accuracy"), Some(250));
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        assert_eq!(parse_infer_deadline_ms(&parsed).unwrap(), Some(250));
+        assert_eq!(parse_infer_tier(&parsed).unwrap(), Some("accuracy".into()));
+        // Absent deadline is None, zero is valid ("already expired"), junk is a 400.
+        let plain = serde::json::parse(&infer_request_json("m:taylor", &image).to_json()).unwrap();
+        assert_eq!(parse_infer_deadline_ms(&plain).unwrap(), None);
+        let zero = serde::json::parse(r#"{"model": "m", "deadline_ms": 0}"#).unwrap();
+        assert_eq!(parse_infer_deadline_ms(&zero).unwrap(), Some(0));
+        for junk in [
+            r#"{"deadline_ms": "soon"}"#,
+            r#"{"deadline_ms": -5}"#,
+            r#"{"deadline_ms": 1.5}"#,
+        ] {
+            let bad = serde::json::parse(junk).unwrap();
+            assert!(
+                matches!(
+                    parse_infer_deadline_ms(&bad),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "{junk}"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
 
-use crate::batcher::{BatchPolicy, Batcher, PendingRequest};
+use crate::batcher::{BatchPolicy, Batcher, PendingRequest, RequestDeadline};
 use crate::error::ServeError;
 use crate::http::serve_connection;
 use crate::metrics::Metrics;
@@ -106,10 +106,13 @@ impl Server {
             shutdown: AtomicBool::new(false),
             config,
         });
-        let workers = WorkerPool::start(
+        // Thread names carry the bound port so failpoint thread-scoping (and thread
+        // dumps) can tell the engines of an in-process cluster apart.
+        let workers = WorkerPool::start_named(
             worker_count,
             Arc::clone(&shared.batcher),
             Arc::clone(&shared.metrics),
+            &format!("serve-worker-{}", local_addr.port()),
         );
 
         let connections = Arc::new(Mutex::new(Vec::new()));
@@ -125,7 +128,7 @@ impl Server {
                     let Ok(stream) = stream else { continue };
                     let conn_shared = Arc::clone(&accept_shared);
                     let handle = std::thread::Builder::new()
-                        .name("serve-conn".to_string())
+                        .name(format!("serve-conn-{}", local_addr.port()))
                         .spawn(move || handle_connection(stream, conn_shared))
                         .expect("spawn connection handler");
                     let mut handles = accept_connections.lock().expect("connection list poisoned");
@@ -228,12 +231,15 @@ fn route(
             Ok(reply) => (200, protocol::infer_reply_json(&reply), None),
             Err(err) => {
                 // `failed` counts non-shed errors only: shed requests are already
-                // tallied in `shed` by the batcher, and a shutdown refusal is part of
-                // a drain, not a failure — double-counting either would make
-                // ordinary backpressure look like an incident on a dashboard.
+                // tallied in `shed` by the batcher, expired ones in `expired`, and a
+                // shutdown refusal is part of a drain, not a failure —
+                // double-counting any of them would make ordinary backpressure look
+                // like an incident on a dashboard.
                 if !matches!(
                     err,
-                    ServeError::Overloaded { .. } | ServeError::ShuttingDown
+                    ServeError::Overloaded { .. }
+                        | ServeError::ShuttingDown
+                        | ServeError::DeadlineExceeded { .. }
                 ) {
                     shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -273,6 +279,7 @@ fn handle_infer(
     let parsed = serde::json::parse(text)
         .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))?;
     let (model_key, image) = protocol::parse_infer_request(&parsed)?;
+    let deadline = protocol::parse_infer_deadline_ms(&parsed)?.map(RequestDeadline::from_budget_ms);
     let entry = shared.registry.get(&model_key)?;
     let expected = entry.config().image_size;
     if image.shape() != (expected, expected) {
@@ -282,11 +289,20 @@ fn handle_infer(
             image.cols()
         )));
     }
+    // A zero (or sub-millisecond) budget is already expired: shed before admission,
+    // spending neither queue space nor inference on it.
+    if let Some(deadline) = deadline {
+        if deadline.expired_at(Instant::now()) {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            return Err(deadline.error());
+        }
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
     shared.batcher.submit(PendingRequest {
         entry,
         image,
         submitted: Instant::now(),
+        deadline,
         reply_tx,
     })?;
     match reply_rx.recv_timeout(shared.config.reply_timeout) {

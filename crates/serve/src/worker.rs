@@ -29,19 +29,46 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads (at least one) pulling from `batcher`.
     pub fn start(workers: usize, batcher: Arc<Batcher>, metrics: Arc<Metrics>) -> Self {
+        Self::start_named(workers, batcher, metrics, "serve-worker")
+    }
+
+    /// Like [`WorkerPool::start`], with an explicit thread-name prefix.
+    ///
+    /// The server qualifies the prefix with its bound port
+    /// (`serve-worker-<port>-<i>`) so failpoint thread scoping can fault one
+    /// engine of an in-process cluster while its siblings stay healthy.
+    pub fn start_named(
+        workers: usize,
+        batcher: Arc<Batcher>,
+        metrics: Arc<Metrics>,
+        name_prefix: &str,
+    ) -> Self {
         let handles = (0..workers.max(1))
             .map(|i| {
                 let batcher = Arc::clone(&batcher);
                 let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
+                    .name(format!("{name_prefix}-{i}"))
                     .spawn(move || {
                         // Per-worker scratch, warm for the lifetime of the thread:
                         // after the first batch, inference itself allocates nothing.
                         let mut ws = Workspace::new();
                         let mut outputs: Vec<VitOutput> = Vec::new();
                         while let Some(batch) = batcher.next_batch() {
-                            run_batch(batch, &metrics, &mut ws, &mut outputs);
+                            let ran =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_batch(batch, &metrics, &mut ws, &mut outputs)
+                                }));
+                            if ran.is_err() {
+                                // The batch's reply senders dropped with the panic, so
+                                // every request in it is answered 500 (Disconnected)
+                                // by its connection handler; the pool itself survives.
+                                // The workspace may hold partially-written state —
+                                // start the next batch from fresh scratch.
+                                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                ws = Workspace::new();
+                                outputs = Vec::new();
+                            }
                         }
                     })
                     .expect("spawn serve worker")
@@ -89,14 +116,31 @@ fn run_batch(
     }
     let formed = Instant::now();
     let entry = Arc::clone(&batch[0].entry);
-    let batch_size = batch.len();
-    let mut images = Vec::with_capacity(batch_size);
-    let mut meta = Vec::with_capacity(batch_size);
+    let mut images = Vec::with_capacity(batch.len());
+    let mut meta = Vec::with_capacity(batch.len());
     for request in batch {
         debug_assert_eq!(request.entry.key(), entry.key(), "homogeneous batch");
+        // Last line of defence for deadlines: a request can expire between the
+        // batcher's purge and batch assembly (e.g. while this worker finished its
+        // previous batch). Skipping it here keeps the contract that no inference is
+        // ever spent on an expired request.
+        if let Some(deadline) = request.deadline {
+            if deadline.expired_at(formed) {
+                metrics.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = request.reply_tx.send(Err(deadline.error()));
+                continue;
+            }
+        }
         images.push(request.image);
         meta.push((request.submitted, request.reply_tx));
     }
+    if images.is_empty() {
+        return;
+    }
+    let batch_size = images.len();
+    // Chaos site: `panic` here simulates a worker dying mid-batch (after assembly,
+    // before any reply is sent), the worst moment for the requests riding the batch.
+    failpoint::fire("serve-worker-batch");
     // The in-flight window covers inference only: it must have closed by the time
     // any reply is sent, or a client probing /healthz right after its reply could
     // read a stale nonzero count.
@@ -193,6 +237,7 @@ mod tests {
                         entry: Arc::clone(&entry),
                         image: image.clone(),
                         submitted: Instant::now(),
+                        deadline: None,
                         reply_tx: tx,
                     })
                     .unwrap();
