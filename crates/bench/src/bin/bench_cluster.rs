@@ -264,6 +264,12 @@ fn main() {
                 ttl: Duration::from_secs(120),
                 shards: 8,
             },
+            // Light head sampling: enough retained traces for the chrome export
+            // without recording perturbing the measured latencies.
+            trace: trace::TraceConfig {
+                sample: Some(0.05),
+                ring_capacity: 128,
+            },
             ..GatewayConfig::default()
         },
         &backend_addrs,
@@ -756,6 +762,16 @@ fn main() {
     println!(
         "wrote BENCH_cluster.json (cache hits {cache_hits}, hit p50 {hit_p50} us vs miss p50 {miss_p50} us)"
     );
+
+    // The head-sampled ring as a chrome://tracing timeline of real cluster traffic
+    // (gateway spans with each engine's stages grafted under the backend attempt).
+    let traces = gateway.tracer().recent();
+    std::fs::write(
+        "TRACE_cluster.json",
+        trace::chrome_trace_json(&traces).to_json_pretty(),
+    )
+    .expect("write TRACE_cluster.json");
+    println!("wrote TRACE_cluster.json ({} traces)", traces.len());
 
     gateway.shutdown();
     engine_a.shutdown();

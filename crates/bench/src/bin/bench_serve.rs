@@ -14,6 +14,10 @@
 //! throughput, or when the `/metrics` snapshot is missing a per-variant counter block
 //! — these are the serving engine's acceptance gates, mirrored by the CI check on the
 //! JSON.
+//!
+//! A final phase measures the request-tracing overhead (sampling off vs 100%, gated
+//! at p50 +5%) and writes the 100%-sampled ring as `TRACE_serve.json` — a
+//! `chrome://tracing`-compatible span timeline next to the `BENCH_*.json` results.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -176,6 +180,10 @@ fn main() {
     let expected_unified: Vec<usize> = unified.predict_batch(&images);
     let expected_int8: Vec<usize> = int8.predict_batch(&images);
 
+    // A spare copy of the Taylor model for the tracing-overhead phase's dedicated
+    // servers (the main registry consumes the originals).
+    let overhead_model = taylor.clone();
+
     let mut registry = ModelRegistry::new();
     let taylor_key = registry.register("vit196", taylor).expect("valid name");
     let softmax_key = registry.register("vit196", softmax).expect("valid name");
@@ -238,6 +246,73 @@ fn main() {
     let server_mean_batch = metrics.mean_batch();
     server.shutdown();
 
+    // ---- Tracing overhead -------------------------------------------------
+    // Two otherwise identical single-variant servers, sampling off vs 100%: the
+    // p50 cost of recording every span must stay within 5% (plus a small absolute
+    // slack so timer noise on a loaded box cannot fail a sub-millisecond p50).
+    println!("measuring tracing overhead: sampling off vs 1.0 (taylor, c=8)");
+    let overhead_per_client = if quick { 24 } else { 128 };
+    let mut overhead_points = Vec::new();
+    for rate in [0.0f64, 1.0] {
+        let mut registry = ModelRegistry::new();
+        let key = registry
+            .register("vit196", overhead_model.clone())
+            .expect("valid name");
+        let server = Server::start(
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 32,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: 1024,
+                },
+                trace: trace::TraceConfig {
+                    sample: Some(rate),
+                    ring_capacity: 128,
+                },
+                ..ServerConfig::default()
+            },
+            registry,
+        )
+        .expect("boot overhead server");
+        let addr = server.local_addr();
+        // Warmup so both arms measure a warm workspace pool, then the point.
+        drive(
+            addr,
+            &key,
+            8,
+            (overhead_per_client / 4).max(2),
+            &images,
+            &expected_taylor,
+        );
+        let point = drive(
+            addr,
+            &key,
+            8,
+            overhead_per_client,
+            &images,
+            &expected_taylor,
+        );
+        println!(
+            "  sample={rate:>3}: {:>7.1} req/s | p50 {:>7} us | p95 {:>7} us",
+            point.rps, point.p50_us, point.p95_us
+        );
+        if rate > 0.0 {
+            // The 100%-sampled server's ring doubles as the chrome://tracing
+            // export: load it into chrome://tracing or ui.perfetto.dev.
+            let traces = server.tracer().recent();
+            std::fs::write(
+                "TRACE_serve.json",
+                trace::chrome_trace_json(&traces).to_json_pretty(),
+            )
+            .expect("write TRACE_serve.json");
+            println!("wrote TRACE_serve.json ({} traces)", traces.len());
+        }
+        server.shutdown();
+        overhead_points.push(point);
+    }
+    let trace_off_p50 = overhead_points[0].p50_us;
+    let trace_on_p50 = overhead_points[1].p50_us;
+
     // ---- Acceptance gates -------------------------------------------------
     let mut failures = Vec::new();
     for p in &points {
@@ -289,6 +364,21 @@ fn main() {
     // The int8 arm's throughput gate lives in bench_attention (kernel-level, where the
     // quantize/dequantize overhead is measurable in isolation); here it shares the
     // correctness and observability gates.
+    // Tracing must be effectively free: 100% sampling may cost at most 5% of the
+    // sampling-off p50 (plus 300 us absolute slack for scheduler/timer noise).
+    for p in &overhead_points {
+        if p.errors > 0 || p.mismatches > 0 {
+            failures.push(format!(
+                "tracing-overhead arm: {} errors, {} mismatches",
+                p.errors, p.mismatches
+            ));
+        }
+    }
+    if trace_on_p50 as f64 > trace_off_p50 as f64 * 1.05 + 300.0 {
+        failures.push(format!(
+            "tracing overhead too high: p50 {trace_on_p50} us sampled vs {trace_off_p50} us off (gate: +5% +300us)"
+        ));
+    }
     for label in ["taylor", "softmax", "unified", "int8"] {
         let counted = server_metrics
             .get("variants")
@@ -355,6 +445,12 @@ fn main() {
         .set(
             "taylor_over_softmax_peak",
             taylor_peak / softmax_peak.max(1e-9),
+        )
+        .set("trace_off_p50_us", trace_off_p50)
+        .set("trace_on_p50_us", trace_on_p50)
+        .set(
+            "trace_overhead_ratio",
+            trace_on_p50 as f64 / (trace_off_p50 as f64).max(1e-9),
         )
         .set("ok", failures.is_empty());
     std::fs::write("BENCH_serve.json", root.to_json_pretty()).expect("write BENCH_serve.json");

@@ -75,11 +75,15 @@ impl BrownoutController {
             if !hot && pressure <= self.config.exit_pressure && held_long_enough {
                 *engaged_at = None;
                 self.engaged.store(false, Ordering::SeqCst);
+                trace::info!("brownout disengaged (pressure {pressure:.2})");
             }
         } else if hot {
             *self.engaged_at.lock().expect("brownout lock poisoned") = Some(Instant::now());
             self.entries.fetch_add(1, Ordering::Relaxed);
             self.engaged.store(true, Ordering::SeqCst);
+            trace::info!(
+                "brownout engaged (pressure {pressure:.2}, latency trigger: {latency_hot})"
+            );
         }
     }
 

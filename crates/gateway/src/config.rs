@@ -126,6 +126,9 @@ pub struct GatewayConfig {
     /// Socket read timeout of gateway connections; doubles as the shutdown poll
     /// interval for idle keep-alive connections.
     pub poll_interval: Duration,
+    /// Request-tracing policy (sampling rate + `/debug/traces` ring size). The
+    /// default reads `VITALITY_TRACE_SAMPLE` and keeps tracing off otherwise.
+    pub trace: trace::TraceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -144,6 +147,7 @@ impl Default for GatewayConfig {
             admission: AdmissionConfig::default(),
             max_body_bytes: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(50),
+            trace: trace::TraceConfig::default(),
         }
     }
 }

@@ -41,6 +41,11 @@ pub struct GatewayMetrics {
     pub hit_latency: LatencyHistogram,
     /// End-to-end latency of responses that went to a backend.
     pub miss_latency: LatencyHistogram,
+    /// Stage breakdown: individual backend call attempts (every attempt, including
+    /// the failed ones a retry follows).
+    pub backend_attempt: LatencyHistogram,
+    /// Stage breakdown: response serialize + socket write back to the client.
+    pub write: LatencyHistogram,
     /// Requests answered per resolved variant label (how tier routing is observed).
     routed: Mutex<BTreeMap<String, u64>>,
     started: Instant,
@@ -60,6 +65,8 @@ impl GatewayMetrics {
             deadline_expired: AtomicU64::new(0),
             hit_latency: LatencyHistogram::new(),
             miss_latency: LatencyHistogram::new(),
+            backend_attempt: LatencyHistogram::new(),
+            write: LatencyHistogram::new(),
             routed: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
         }
@@ -125,6 +132,13 @@ impl GatewayMetrics {
             .set("cache", cache.snapshot_json())
             .set("hit_latency", latency_block(&self.hit_latency))
             .set("miss_latency", latency_block(&self.miss_latency))
+            .set("stages", {
+                let mut stages = JsonValue::object();
+                stages
+                    .set("backend_attempt", latency_block(&self.backend_attempt))
+                    .set("write", latency_block(&self.write));
+                stages
+            })
             .set("routed", routed)
             .set("backends", backends)
             .set("healthy_backends", pool.healthy_count());

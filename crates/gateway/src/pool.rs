@@ -144,6 +144,11 @@ impl Backend {
         self.eject_epoch.fetch_add(1, Ordering::SeqCst);
         if self.healthy.swap(false, Ordering::SeqCst) {
             self.ejections.fetch_add(1, Ordering::Relaxed);
+            trace::warn!(
+                "ejected backend {} (ejection #{})",
+                self.addr,
+                self.ejections.load(Ordering::Relaxed)
+            );
         }
         // Pooled connections to a dead engine are useless; drop them so re-admission
         // starts from fresh sockets.
@@ -160,13 +165,20 @@ impl Backend {
     /// On success the connection returns to the idle pool; on failure it is dropped.
     /// The per-call `gateway_in_flight` window around this is maintained by the
     /// caller via [`InFlightGuard`].
+    ///
+    /// `request_id` is propagated to the engine verbatim so one id names the request
+    /// across every hop (and every retry attempt); `want_trace` asks the engine to
+    /// embed its span list in the reply, which the caller grafts under its own
+    /// backend-attempt span.
     pub fn call(
         &self,
         model_key: &str,
         image: &Matrix,
         timeout: Duration,
         deadline_ms: Option<u64>,
-    ) -> Result<InferReply, ClientError> {
+        request_id: Option<&str>,
+        want_trace: bool,
+    ) -> Result<(InferReply, Option<Vec<trace::Span>>), ClientError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         // Grace on top of the budget so an engine-side 504 (typed, precise) wins the
         // race against this socket timing out (opaque).
@@ -182,10 +194,16 @@ impl Backend {
                 return Err(ClientError::Io(e));
             }
         };
-        match client.infer_with_options(model_key, image, None, deadline_ms) {
-            Ok(reply) => {
+        let options = vitality_serve::InferOptions {
+            deadline_ms,
+            request_id,
+            trace: want_trace,
+            ..Default::default()
+        };
+        match client.infer_detailed(model_key, image, &options) {
+            Ok(response) => {
                 self.recycle(client);
-                Ok(reply)
+                Ok((response.reply, response.trace))
             }
             Err(err) => {
                 // Server-typed errors leave the connection in a known-good framing
@@ -261,17 +279,23 @@ impl Backend {
                 // flight: a draining engine still answers healthz, and a stale
                 // success must not resurrect a backend a request just watched die.
                 // (The next probe round, under the new epoch, decides afresh.)
-                if self.eject_epoch.load(Ordering::SeqCst) == epoch {
-                    self.healthy.store(true, Ordering::SeqCst);
+                if self.eject_epoch.load(Ordering::SeqCst) == epoch
+                    && !self.healthy.swap(true, Ordering::SeqCst)
+                {
+                    trace::info!("re-admitted backend {} after a successful probe", self.addr);
                 }
                 true
             }
-            Err(_) => {
+            Err(err) => {
                 self.probes_failed.fetch_add(1, Ordering::Relaxed);
                 let failures = self
                     .consecutive_probe_failures
                     .fetch_add(1, Ordering::SeqCst)
                     + 1;
+                trace::debug!(
+                    "probe of backend {} failed ({failures} consecutive): {err:?}",
+                    self.addr
+                );
                 if failures >= eject_after {
                     self.eject();
                 }

@@ -10,7 +10,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
-use vitality_serve::http::serve_connection;
+use vitality_serve::http::{serve_connection, RouteResponse, WriteReport};
 use vitality_serve::{protocol, ClientError, InferReply};
 use vitality_tensor::Matrix;
 
@@ -28,6 +28,7 @@ struct Shared {
     cache: ResponseCache,
     metrics: GatewayMetrics,
     brownout: BrownoutController,
+    tracer: Arc<trace::Tracer>,
     /// Inference requests currently inside the gateway (admission-control bound).
     in_flight_requests: AtomicU64,
     shutdown: AtomicBool,
@@ -113,6 +114,7 @@ impl Gateway {
             cache: ResponseCache::new(config.cache.capacity, config.cache.ttl, config.cache.shards),
             metrics: GatewayMetrics::new(),
             brownout: BrownoutController::new(config.brownout.clone()),
+            tracer: Arc::new(trace::Tracer::new(&config.trace)),
             in_flight_requests: AtomicU64::new(0),
             pool,
             shutdown: AtomicBool::new(false),
@@ -204,6 +206,11 @@ impl Gateway {
             .snapshot_json(&self.shared.cache, &self.shared.pool)
     }
 
+    /// The gateway's request tracer (ring buffer behind `GET /debug/traces`).
+    pub fn tracer(&self) -> Arc<trace::Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
     /// Graceful shutdown: stop accepting, join the prober, answer in-flight
     /// requests, then join every connection handler. Engines are not touched.
     pub fn shutdown(mut self) {
@@ -252,10 +259,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     );
 }
 
-fn route(
-    message: &vitality_serve::http::HttpMessage,
-    shared: &Arc<Shared>,
-) -> (u16, JsonValue, Option<u64>) {
+fn route(message: &vitality_serve::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
     let Ok((method, path)) = message.request_parts() else {
         return error_response(&GatewayError::BadRequest("malformed request line".into()));
     };
@@ -287,42 +291,78 @@ fn route(
                 .set("brownout", shared.brownout.snapshot_json())
                 .set("cache", cache)
                 .set("models", shared.pool.model_union());
-            (200, body, None)
+            RouteResponse::new(200, body)
         }
-        ("GET", "/metrics") => (
+        ("GET", "/metrics") => RouteResponse::new(
             200,
             shared.metrics.snapshot_json(&shared.cache, &shared.pool),
-            None,
         ),
-        ("POST", "/v1/infer") => match handle_infer(message, shared) {
-            Ok(body) => (200, body, None),
-            Err(err) => {
-                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                error_response(&err)
-            }
-        },
-        ("POST" | "GET", _) => (
+        ("GET", "/debug/traces") => RouteResponse::new(200, shared.tracer.recent_json()),
+        ("POST", "/v1/infer") => handle_infer(message, shared),
+        ("POST" | "GET", _) => RouteResponse::new(
             404,
             protocol::error_body("not_found", &format!("no route for {method} {path}")),
-            None,
         ),
-        _ => (
+        _ => RouteResponse::new(
             405,
             protocol::error_body(
                 "method_not_allowed",
                 &format!("unsupported method {method}"),
             ),
-            None,
         ),
     }
 }
 
-fn error_response(error: &GatewayError) -> (u16, JsonValue, Option<u64>) {
-    (
+fn error_response(error: &GatewayError) -> RouteResponse {
+    RouteResponse::new(
         error.http_status(),
         protocol::error_body(error.code(), &error.to_string()),
-        error.retry_after_secs(),
     )
+    .with_retry_after(error.retry_after_secs())
+}
+
+/// The post-write completion hook: records the gateway-side serialize/write spans,
+/// feeds the write-stage histogram, and hands the finished trace to the tracer's
+/// retention policy.
+fn finish_hook(
+    shared: Arc<Shared>,
+    handle: trace::TraceHandle,
+    status: u16,
+) -> impl FnOnce(WriteReport) + Send + 'static {
+    move |report: WriteReport| {
+        if let Some(t) = &handle {
+            t.record(
+                "serialize",
+                String::new(),
+                report.serialize_start,
+                report.write_start,
+            );
+            t.record("write", String::new(), report.write_start, report.done);
+        }
+        shared
+            .metrics
+            .write
+            .record_us(report.serialize_us() + report.write_us());
+        shared.tracer.finish(handle, status);
+    }
+}
+
+/// Builds the error response for an infer request, echoing `request_id` on the
+/// typed error body and closing the request's trace (when one is recording).
+fn infer_error(
+    shared: &Arc<Shared>,
+    error: &GatewayError,
+    request_id: &str,
+    handle: trace::TraceHandle,
+) -> RouteResponse {
+    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+    let mut response = error_response(error);
+    response.body.set("request_id", request_id);
+    if handle.is_some() {
+        let status = response.status;
+        response = response.with_on_written(finish_hook(Arc::clone(shared), handle, status));
+    }
+    response
 }
 
 /// One request's deadline at the gateway: the budget the client sent (re-derived
@@ -352,31 +392,104 @@ impl Deadline {
     }
 }
 
-/// The request pipeline: admit → parse → resolve tier routing (brownout may
-/// downgrade it) → cache lookup → deadline-budgeted retry loop over the pool.
-/// Returns the response body to send with status 200.
+/// The request pipeline entry point: parse enough of the body to learn (or mint)
+/// the request id, open the trace, then run the admit → route → retry core.
+///
+/// The body is parsed *before* admission control on purpose: an admission-shed 503
+/// must still echo the client's `request_id`, and the parse cost is bounded by
+/// `max_body_bytes` either way.
 fn handle_infer(
     message: &vitality_serve::http::HttpMessage,
     shared: &Arc<Shared>,
-) -> Result<JsonValue, GatewayError> {
+) -> RouteResponse {
+    // The origin for every span offset: work before the body parses (UTF-8 check,
+    // JSON) is attributed to the `parse` span retroactively.
     let started = Instant::now();
-    let _admitted = AdmissionGuard::admit(shared)?;
-    let text = std::str::from_utf8(&message.body)
-        .map_err(|_| GatewayError::BadRequest("body is not UTF-8".into()))?;
-    let parsed = serde::json::parse(text)
-        .map_err(|e| GatewayError::BadRequest(format!("invalid JSON: {e}")))?;
-    let (model_key, image) = protocol::parse_infer_request(&parsed)
+    let parsed = match std::str::from_utf8(&message.body)
+        .map_err(|_| GatewayError::BadRequest("body is not UTF-8".into()))
+        .and_then(|text| {
+            serde::json::parse(text)
+                .map_err(|e| GatewayError::BadRequest(format!("invalid JSON: {e}")))
+        }) {
+        Ok(parsed) => parsed,
+        // No usable body, so no client id: generate one so even this failure is
+        // quotable from the error body.
+        Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
+    };
+    let request_id = match protocol::parse_infer_request_id(&parsed) {
+        Ok(id) => id.unwrap_or_else(trace::new_request_id),
+        Err(err) => {
+            return infer_error(
+                shared,
+                &GatewayError::BadRequest(err.to_string()),
+                &trace::new_request_id(),
+                None,
+            )
+        }
+    };
+    let _log_scope = trace::request_scope(&request_id);
+    let want_trace = match protocol::parse_infer_trace_flag(&parsed) {
+        Ok(flag) => flag,
+        Err(err) => {
+            return infer_error(
+                shared,
+                &GatewayError::BadRequest(err.to_string()),
+                &request_id,
+                None,
+            )
+        }
+    };
+    // `"trace": true` forces span recording even when sampling is off, and the
+    // recorded gateway+engine span tree is embedded in the reply.
+    let handle = shared.tracer.begin(&request_id, started, want_trace);
+    match infer_core(&parsed, shared, started, &request_id, &handle) {
+        Ok(mut body) => {
+            body.set("request_id", request_id.as_str());
+            if want_trace {
+                // Embed what has been recorded so far (parse through the backend
+                // attempts, engine spans grafted); the gateway's own serialize/write
+                // spans land after this snapshot and stay gateway-local.
+                if let Some(t) = &handle {
+                    body.set("trace", trace::spans_json(&t.snapshot()));
+                }
+            }
+            let hook = finish_hook(Arc::clone(shared), handle, 200);
+            RouteResponse::new(200, body).with_on_written(hook)
+        }
+        Err(err) => infer_error(shared, &err, &request_id, handle),
+    }
+}
+
+/// The admit → resolve tier routing (brownout may downgrade it) → cache lookup →
+/// deadline-budgeted retry loop core. Returns the response body to send with
+/// status 200 (before the `request_id` / `trace` fields are stamped on).
+fn infer_core(
+    parsed: &JsonValue,
+    shared: &Arc<Shared>,
+    started: Instant,
+    request_id: &str,
+    handle: &trace::TraceHandle,
+) -> Result<JsonValue, GatewayError> {
+    let (model_key, image) = protocol::parse_infer_request(parsed)
         .map_err(|e| GatewayError::BadRequest(e.to_string()))?;
-    let tier = protocol::parse_infer_tier(&parsed)
+    let tier = protocol::parse_infer_tier(parsed)
         .map_err(|e| GatewayError::BadRequest(e.to_string()))?
         .map(|t| Tier::parse(&t))
         .transpose()?;
-    let deadline = protocol::parse_infer_deadline_ms(&parsed)
+    let deadline = protocol::parse_infer_deadline_ms(parsed)
         .map_err(|e| GatewayError::BadRequest(e.to_string()))?
         .map(|budget_ms| Deadline {
             budget_ms,
             expires: started + Duration::from_millis(budget_ms),
         });
+    let parse_done = Instant::now();
+    if let Some(t) = handle {
+        t.record("parse", String::new(), started, parse_done);
+    }
+    let _admitted = AdmissionGuard::admit(shared)?;
+    if let Some(t) = handle {
+        t.record("admission", String::new(), parse_done, Instant::now());
+    }
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     // A zero (or already-elapsed) budget is shed before routing: the typed 504
     // costs no inference anywhere.
@@ -394,6 +507,7 @@ fn handle_infer(
     // (ViTALiTy's cheap linear path) instead of queueing or being shed. Only
     // tier-routed requests are eligible — an explicit model key is a contract —
     // and only when the cluster actually serves the downgraded key.
+    let rewrite_start = Instant::now();
     let mut resolved = shared.config.routing.resolve(&model_key, tier);
     let mut degraded = false;
     if tier == Some(Tier::Accuracy) && shared.brownout.engaged() {
@@ -405,6 +519,16 @@ fn handle_infer(
             resolved = downgraded;
             degraded = true;
             shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if degraded {
+        if let Some(t) = handle {
+            t.record(
+                "brownout_rewrite",
+                format!("-> {resolved}"),
+                rewrite_start,
+                Instant::now(),
+            );
         }
     }
 
@@ -425,8 +549,18 @@ fn handle_infer(
         return Err(GatewayError::ModelNotFound(resolved));
     }
 
+    let probe_start = Instant::now();
     let hash = image_hash(&image);
-    if let Some(reply) = shared.cache.get(&resolved, hash) {
+    let cached = shared.cache.get(&resolved, hash);
+    if let Some(t) = handle {
+        t.record(
+            "cache_probe",
+            if cached.is_some() { "hit" } else { "miss" }.to_string(),
+            probe_start,
+            Instant::now(),
+        );
+    }
+    if let Some(reply) = cached {
         shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
         shared.metrics.record_routed(&resolved);
         shared
@@ -441,7 +575,7 @@ fn handle_infer(
         return Ok(body);
     }
 
-    let reply = call_with_retries(shared, &resolved, &image, deadline)?;
+    let reply = call_with_retries(shared, &resolved, &image, deadline, request_id, handle)?;
     shared.cache.put(&resolved, hash, reply.clone());
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared.metrics.record_routed(&resolved);
@@ -474,6 +608,8 @@ fn call_with_retries(
     resolved: &str,
     image: &Matrix,
     deadline: Option<Deadline>,
+    request_id: &str,
+    handle: &trace::TraceHandle,
 ) -> Result<InferReply, GatewayError> {
     let budget = shared.config.retry_budget.max(1);
     let mut excluded: Vec<usize> = Vec::new();
@@ -500,23 +636,69 @@ fn call_with_retries(
                 None
             }
         };
+        let pick_start = Instant::now();
         match shared.pool.pick(resolved, &excluded) {
             Pick::Chosen(index, backend) => {
+                if let Some(t) = handle {
+                    t.record(
+                        "pick",
+                        backend.addr().to_string(),
+                        pick_start,
+                        Instant::now(),
+                    );
+                }
                 if attempts > 0 {
                     shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
                 }
                 attempts += 1;
+                let attempt_start = Instant::now();
                 let guard = InFlightGuard::new(Arc::clone(&backend));
-                let result =
-                    backend.call(resolved, image, shared.config.backend_timeout, remaining_ms);
+                let result = backend.call(
+                    resolved,
+                    image,
+                    shared.config.backend_timeout,
+                    remaining_ms,
+                    Some(request_id),
+                    handle.is_some(),
+                );
                 drop(guard);
+                let attempt_end = Instant::now();
+                shared.metrics.backend_attempt.record_us(
+                    attempt_end
+                        .saturating_duration_since(attempt_start)
+                        .as_micros() as u64,
+                );
+                if let Some(t) = handle {
+                    let outcome = match &result {
+                        Ok(_) => "ok".to_string(),
+                        Err(err) => format!("error: {err}"),
+                    };
+                    let span = t.record(
+                        "backend_attempt",
+                        format!("{} {outcome}", backend.addr()),
+                        attempt_start,
+                        attempt_end,
+                    );
+                    if let Ok((_, Some(engine_spans))) = &result {
+                        // Rebase the engine's spans (offsets from *its* handler
+                        // entry) under this attempt span so the tree reads
+                        // gateway → attempt → engine stages on one clock.
+                        t.graft(span, attempt_start, engine_spans);
+                    }
+                    if result.is_err() {
+                        // A failed attempt makes the whole request tail-sample
+                        // worthy even if a later failover answers 200.
+                        t.flag();
+                    }
+                }
                 match result {
-                    Ok(reply) => return Ok(reply),
+                    Ok((reply, _engine_spans)) => return Ok(reply),
                     Err(ClientError::Server {
                         status,
                         code,
                         message,
                         retry_after,
+                        request_id: _,
                     }) => {
                         if code == "deadline_exceeded" {
                             // The engine's batcher shed it: the budget is gone (or

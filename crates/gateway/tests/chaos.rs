@@ -540,3 +540,220 @@ fn admission_control_refuses_overflow_with_a_derived_retry_after() {
     gateway.shutdown();
     eng.shutdown();
 }
+
+/// A head-sampling rate low enough that retention is effectively tail-only
+/// (recording stays on for every request, so failures can be flagged), without
+/// head-sampled noise polluting the ring during a driven loop.
+const TAIL_ONLY: f64 = 1e-6;
+
+/// Like [`quiet_gateway`], but with (effectively tail-only) tracing enabled.
+fn traced_quiet_gateway(addrs: &[std::net::SocketAddr]) -> Gateway {
+    Gateway::start(
+        GatewayConfig {
+            probe_interval: Duration::from_secs(600),
+            probe_timeout: Duration::from_millis(500),
+            retry_budget: 4,
+            backend_timeout: Duration::from_millis(300),
+            max_backoff: Duration::from_millis(100),
+            cache: CacheConfig {
+                capacity: 0,
+                ..CacheConfig::default()
+            },
+            trace: trace::TraceConfig {
+                sample: Some(TAIL_ONLY),
+                ring_capacity: 64,
+            },
+            ..GatewayConfig::default()
+        },
+        addrs,
+    )
+    .expect("boot gateway")
+}
+
+/// The `/debug/traces` entry at `addr` with the given request id, if retained.
+fn find_trace(addr: std::net::SocketAddr, id: &str) -> Option<JsonValue> {
+    let mut client = ServeClient::connect(addr).expect("connect for traces");
+    let (status, body) = client.get("/debug/traces").expect("debug traces");
+    assert_eq!(status, 200);
+    body.get("traces")
+        .and_then(JsonValue::as_array)?
+        .iter()
+        .find(|t| t.get("id").and_then(JsonValue::as_str) == Some(id))
+        .cloned()
+}
+
+/// Collects `(name, detail)` pairs from a `/debug/traces` span tree.
+fn span_rows(entry: &JsonValue) -> Vec<(String, String)> {
+    fn walk(nodes: &[JsonValue], out: &mut Vec<(String, String)>) {
+        for node in nodes {
+            out.push((
+                node.get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                node.get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ));
+            if let Some(children) = node.get("children").and_then(JsonValue::as_array) {
+                walk(children, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(roots) = entry.get("spans").and_then(JsonValue::as_array) {
+        walk(roots, &mut out);
+    }
+    out
+}
+
+#[test]
+fn a_failed_over_request_is_tail_sampled_with_both_attempts_and_its_id() {
+    let _chaos = chaos_guard();
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(3), cfg, AttentionVariant::Taylor);
+    let engine_a = engine(&model, "127.0.0.1:0");
+    let engine_b = engine(&model, "127.0.0.1:0");
+    let b_addr = engine_b.local_addr();
+    let gateway = traced_quiet_gateway(&[engine_a.local_addr(), b_addr]);
+
+    // One of engine B's responses is corrupted on the wire; the gateway must fail
+    // the attempt over — and precisely that request must land in the tail ring.
+    failpoint::cfg(
+        "serve-write-corrupt",
+        &format!("1*return@serve-conn-{}", b_addr.port()),
+    )
+    .expect("valid spec");
+
+    let mut client = ServeClient::connect(gateway.local_addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut i = 0u64;
+    while metric(&gateway, "failovers") == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the fault was never consumed by request traffic"
+        );
+        let id = format!("tail-{i}");
+        let response = client
+            .infer_detailed(
+                "vit:taylor",
+                &image(&cfg, 9_000 + i),
+                &vitality_serve::InferOptions {
+                    request_id: Some(&id),
+                    ..vitality_serve::InferOptions::default()
+                },
+            )
+            .expect("a damaged response must fail over, not surface");
+        assert_eq!(
+            response.request_id.as_deref(),
+            Some(id.as_str()),
+            "every reply echoes the id the client sent, failover or not"
+        );
+        i += 1;
+    }
+
+    // The request that rode the corrupted response answered 200 after failover,
+    // yet its flagged trace is retained — with both attempts visible.
+    let tripped = format!("tail-{}", i - 1);
+    let entry = find_trace(gateway.local_addr(), &tripped)
+        .expect("the failed-over request is tail-sampled");
+    assert_eq!(entry.get("status").and_then(JsonValue::as_usize), Some(200));
+    let rows = span_rows(&entry);
+    let attempts: Vec<&(String, String)> = rows
+        .iter()
+        .filter(|(n, _)| n == "backend_attempt")
+        .collect();
+    assert!(
+        attempts.len() >= 2,
+        "both the failed and the successful attempt are recorded: {rows:?}"
+    );
+    assert!(
+        attempts.iter().any(|(_, d)| d.contains("error")),
+        "the failed attempt is labeled: {attempts:?}"
+    );
+    assert!(
+        attempts.iter().any(|(_, d)| d.contains("ok")),
+        "the successful attempt is labeled: {attempts:?}"
+    );
+
+    failpoint::clear();
+    drop(client);
+    gateway.shutdown();
+    engine_a.shutdown();
+    engine_b.shutdown();
+}
+
+#[test]
+fn a_worker_panic_lands_in_the_engines_tail_ring_under_the_clients_id() {
+    let _chaos = chaos_guard();
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(3), cfg, AttentionVariant::Taylor);
+    let engine_a = engine(&model, "127.0.0.1:0");
+    // Engine B records (tail-only) traces of its own, so its internal 500 — which
+    // the gateway masks by retrying elsewhere — stays diagnosable on B itself.
+    let mut registry = ModelRegistry::new();
+    registry.register("vit", model.clone()).expect("valid name");
+    let engine_b = Server::start(
+        ServerConfig {
+            workers: 2,
+            poll_interval: Duration::from_millis(10),
+            trace: trace::TraceConfig {
+                sample: Some(TAIL_ONLY),
+                ring_capacity: 64,
+            },
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("boot engine");
+    let b_addr = engine_b.local_addr();
+    let gateway = traced_quiet_gateway(&[engine_a.local_addr(), b_addr]);
+
+    failpoint::cfg(
+        "serve-worker-batch",
+        &format!("1*panic@serve-worker-{}", b_addr.port()),
+    )
+    .expect("valid spec");
+
+    let mut client = ServeClient::connect(gateway.local_addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut i = 0u64;
+    while engine_metric(b_addr, "worker_panics") == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no request ever reached the doomed worker"
+        );
+        let id = format!("panic-{i}");
+        client
+            .infer_detailed(
+                "vit:taylor",
+                &image(&cfg, 10_000 + i),
+                &vitality_serve::InferOptions {
+                    request_id: Some(&id),
+                    ..vitality_serve::InferOptions::default()
+                },
+            )
+            .expect("requests riding a panicked batch are answered elsewhere");
+        i += 1;
+    }
+
+    // The gateway forwarded the *same* id to the engine on every attempt, so the
+    // engine's own tail ring names the request the client knows.
+    let tripped = format!("panic-{}", i - 1);
+    let entry = find_trace(b_addr, &tripped)
+        .expect("the 500 the panic caused is tail-sampled on the engine");
+    assert_eq!(entry.get("status").and_then(JsonValue::as_usize), Some(500));
+    assert!(
+        span_rows(&entry).iter().any(|(n, _)| n == "parse"),
+        "the engine attributed at least its parse stage before the batch died"
+    );
+
+    failpoint::clear();
+    drop(client);
+    gateway.shutdown();
+    engine_a.shutdown();
+    engine_b.shutdown();
+}

@@ -1,0 +1,267 @@
+//! End-to-end tracing acceptance tests: a sampled request's `/debug/traces` entry
+//! must show the complete gateway → engine span tree with per-stage latency
+//! attribution, a cache hit must show the backend call *absent*, and a client's
+//! `"trace": true` flag must return the spans in-band even with sampling off.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::json::JsonValue;
+use vitality_gateway::{Gateway, GatewayConfig};
+use vitality_serve::{InferOptions, ModelRegistry, ServeClient, Server, ServerConfig};
+use vitality_tensor::{init, Matrix};
+use vitality_vit::{AttentionVariant, TrainConfig, VisionTransformer};
+
+fn engine(model: &VisionTransformer) -> Server {
+    let mut registry = ModelRegistry::new();
+    registry.register("vit", model.clone()).expect("valid name");
+    Server::start(
+        ServerConfig {
+            workers: 2,
+            poll_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("boot engine")
+}
+
+fn gateway(addrs: &[std::net::SocketAddr], sample: f64) -> Gateway {
+    Gateway::start(
+        GatewayConfig {
+            probe_interval: Duration::from_millis(50),
+            retry_budget: 2,
+            trace: trace::TraceConfig {
+                sample: Some(sample),
+                ring_capacity: 64,
+            },
+            ..GatewayConfig::default()
+        },
+        addrs,
+    )
+    .expect("boot gateway")
+}
+
+fn image(cfg: &TrainConfig, seed: u64) -> Matrix {
+    init::uniform(
+        &mut StdRng::seed_from_u64(seed),
+        cfg.image_size,
+        cfg.image_size,
+        0.0,
+        1.0,
+    )
+}
+
+/// The `/debug/traces` entry with the given request id, if retained.
+fn find_trace(client: &mut ServeClient, id: &str) -> Option<JsonValue> {
+    let (status, body) = client.get("/debug/traces").expect("debug traces");
+    assert_eq!(status, 200);
+    body.get("traces")
+        .and_then(JsonValue::as_array)?
+        .iter()
+        .find(|t| t.get("id").and_then(JsonValue::as_str) == Some(id))
+        .cloned()
+}
+
+/// Flattens a span tree into `(depth, name, detail, dur_us)` rows.
+fn flatten(trace: &JsonValue) -> Vec<(usize, String, String, u64)> {
+    fn walk(nodes: &[JsonValue], depth: usize, out: &mut Vec<(usize, String, String, u64)>) {
+        for node in nodes {
+            out.push((
+                depth,
+                node.get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                node.get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                node.get("dur_us")
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or(0) as u64,
+            ));
+            if let Some(children) = node.get("children").and_then(JsonValue::as_array) {
+                walk(children, depth + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(roots) = trace.get("spans").and_then(JsonValue::as_array) {
+        walk(roots, 0, &mut out);
+    }
+    out
+}
+
+#[test]
+fn a_sampled_request_records_a_complete_gateway_to_engine_span_tree() {
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(9), cfg, AttentionVariant::Taylor);
+    let eng = engine(&model);
+    let gw = gateway(&[eng.local_addr()], 1.0);
+
+    let mut client = ServeClient::connect(gw.local_addr()).expect("connect");
+    let img = image(&cfg, 11);
+    let response = client
+        .infer_detailed(
+            "vit:taylor",
+            &img,
+            &InferOptions {
+                request_id: Some("accept-1"),
+                ..InferOptions::default()
+            },
+        )
+        .expect("infer through gateway");
+    assert_eq!(
+        response.request_id.as_deref(),
+        Some("accept-1"),
+        "the gateway echoes the client's request id"
+    );
+
+    let entry = find_trace(&mut client, "accept-1").expect("sampled trace retained");
+    assert_eq!(entry.get("status").and_then(JsonValue::as_usize), Some(200));
+    let total_us = entry
+        .get("total_us")
+        .and_then(JsonValue::as_usize)
+        .expect("total_us") as u64;
+
+    let rows = flatten(&entry);
+    let has = |name: &str| rows.iter().any(|(_, n, _, _)| n == name);
+    // Gateway-side stages, in the tree's top level.
+    for name in [
+        "parse",
+        "admission",
+        "cache_probe",
+        "pick",
+        "backend_attempt",
+        "serialize",
+        "write",
+    ] {
+        assert!(has(name), "span {name} missing from {rows:?}");
+    }
+    // Engine-side stages, grafted under the backend attempt.
+    for name in ["queue_wait", "batch_assembly", "compute"] {
+        let (depth, ..) = rows
+            .iter()
+            .find(|(_, n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("engine span {name} missing from {rows:?}"));
+        assert!(*depth > 0, "engine span {name} must nest under the attempt");
+    }
+    let (_, _, compute_detail, _) = rows
+        .iter()
+        .find(|(_, n, _, _)| n == "compute")
+        .expect("compute span");
+    assert!(
+        compute_detail.contains("taylor"),
+        "compute span is labeled with the attention variant, got {compute_detail:?}"
+    );
+
+    // Per-stage attribution must account for the request: the top-level span sum
+    // sits within 15% of the measured end-to-end latency.
+    let top_sum: u64 = rows
+        .iter()
+        .filter(|(depth, ..)| *depth == 0)
+        .map(|(_, _, _, dur)| dur)
+        .sum();
+    assert!(
+        top_sum * 100 >= total_us * 85 && top_sum * 100 <= total_us * 115,
+        "top-level span sum {top_sum}us must be within 15% of total {total_us}us"
+    );
+
+    drop(client);
+    gw.shutdown();
+    eng.shutdown();
+}
+
+#[test]
+fn a_cache_hit_trace_shows_the_backend_call_absent() {
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(9), cfg, AttentionVariant::Taylor);
+    let eng = engine(&model);
+    let gw = gateway(&[eng.local_addr()], 1.0);
+
+    let mut client = ServeClient::connect(gw.local_addr()).expect("connect");
+    let img = image(&cfg, 12);
+    for id in ["hit-warm", "hit-probe"] {
+        client
+            .infer_detailed(
+                "vit:taylor",
+                &img,
+                &InferOptions {
+                    request_id: Some(id),
+                    ..InferOptions::default()
+                },
+            )
+            .expect("infer through gateway");
+    }
+
+    let entry = find_trace(&mut client, "hit-probe").expect("cache-hit trace retained");
+    let rows = flatten(&entry);
+    let probe = rows
+        .iter()
+        .find(|(_, n, _, _)| n == "cache_probe")
+        .expect("cache_probe span");
+    assert_eq!(probe.2, "hit", "second identical request hits the cache");
+    assert!(
+        !rows.iter().any(|(_, n, _, _)| n == "backend_attempt"),
+        "a cache hit makes no backend call, so no attempt span: {rows:?}"
+    );
+    // The warming request did go to the backend.
+    let warm = find_trace(&mut client, "hit-warm").expect("warming trace retained");
+    assert!(flatten(&warm)
+        .iter()
+        .any(|(_, n, _, _)| n == "backend_attempt"));
+
+    drop(client);
+    gw.shutdown();
+    eng.shutdown();
+}
+
+#[test]
+fn the_client_trace_flag_returns_spans_in_band_even_with_sampling_off() {
+    let cfg = TrainConfig::tiny();
+    let model =
+        VisionTransformer::new(&mut StdRng::seed_from_u64(9), cfg, AttentionVariant::Taylor);
+    let eng = engine(&model);
+    let gw = gateway(&[eng.local_addr()], 0.0);
+
+    let mut client = ServeClient::connect(gw.local_addr()).expect("connect");
+    let img = image(&cfg, 13);
+    let response = client
+        .infer_detailed(
+            "vit:taylor",
+            &img,
+            &InferOptions {
+                request_id: Some("forced-1"),
+                trace: true,
+                ..InferOptions::default()
+            },
+        )
+        .expect("infer through gateway");
+    let spans = response.trace.expect("forced trace embedded in the reply");
+    assert!(
+        spans.iter().any(|s| s.name == "backend_attempt"),
+        "in-band spans include the backend attempt: {spans:?}"
+    );
+
+    // Sampling is off and the request succeeded, so the ring retains nothing.
+    let (status, body) = client.get("/debug/traces").expect("debug traces");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.get("enabled").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        body.get("traces")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(0)
+    );
+
+    drop(client);
+    gw.shutdown();
+    eng.shutdown();
+}

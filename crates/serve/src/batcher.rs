@@ -142,6 +142,9 @@ pub struct PendingRequest {
     pub deadline: Option<RequestDeadline>,
     /// Where the worker sends the result.
     pub reply_tx: mpsc::Sender<Result<InferReply, ServeError>>,
+    /// The request's span recorder (`None` unless this request is being traced) —
+    /// the worker records queue-wait / batch-assembly / compute spans through it.
+    pub trace: trace::TraceHandle,
 }
 
 struct QueueState {
@@ -405,6 +408,7 @@ mod tests {
                 submitted: Instant::now(),
                 deadline,
                 reply_tx: tx,
+                trace: None,
             },
             rx,
         )

@@ -46,6 +46,9 @@ pub enum ClientError {
         /// (the 503 backpressure responses do) — the back-off hint a retry budget
         /// should honour.
         retry_after: Option<u64>,
+        /// The `request_id` echoed on the error body, when present — what a caller
+        /// quotes to correlate this failure with server-side logs and traces.
+        request_id: Option<String>,
     },
 }
 
@@ -81,6 +84,19 @@ impl fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+/// A successful inference reply plus its observability envelope (see
+/// [`ServeClient::infer_detailed`]).
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// The inference result.
+    pub reply: InferReply,
+    /// The `request_id` the server echoed (always present for current servers;
+    /// `Option` keeps older peers parseable).
+    pub request_id: Option<String>,
+    /// Server-side spans, when the request set `"trace": true`.
+    pub trace: Option<Vec<trace::Span>>,
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
@@ -207,13 +223,43 @@ impl ServeClient {
         tier: Option<&str>,
         deadline_ms: Option<u64>,
     ) -> Result<InferReply, ClientError> {
-        let body =
-            protocol::infer_request_json_with_options(model, image, tier, deadline_ms).to_json();
+        self.infer_detailed(
+            model,
+            image,
+            &protocol::InferOptions {
+                tier,
+                deadline_ms,
+                ..protocol::InferOptions::default()
+            },
+        )
+        .map(|response| response.reply)
+    }
+
+    /// Runs one inference round trip with the full [`InferOptions`] bundle and
+    /// returns the reply together with its observability envelope: the echoed
+    /// `request_id` and — when [`InferOptions::trace`] asked for them — the
+    /// server-side spans embedded in the reply.
+    ///
+    /// [`InferOptions`]: protocol::InferOptions
+    /// [`InferOptions::trace`]: protocol::InferOptions::trace
+    pub fn infer_detailed(
+        &mut self,
+        model: &str,
+        image: &Matrix,
+        opts: &protocol::InferOptions<'_>,
+    ) -> Result<InferResponse, ClientError> {
+        let body = protocol::infer_request_json_opts(model, image, opts).to_json();
         let (status, json, retry_after) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
         if status != 200 {
             return Err(Self::server_error(status, &json, retry_after));
         }
-        protocol::parse_infer_reply(&json).map_err(|e| ClientError::Protocol(e.to_string()))
+        let reply =
+            protocol::parse_infer_reply(&json).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(InferResponse {
+            reply,
+            request_id: protocol::parse_reply_request_id(&json),
+            trace: protocol::parse_reply_trace(&json),
+        })
     }
 
     /// Issues a body-less `GET` (for `/healthz` and `/metrics`) and returns the parsed
@@ -339,6 +385,7 @@ impl ServeClient {
                 code,
                 message,
                 retry_after,
+                request_id: protocol::parse_reply_request_id(body),
             },
             None => ClientError::Protocol(format!("status {status} without an error body")),
         }

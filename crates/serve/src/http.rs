@@ -5,7 +5,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
 
@@ -210,18 +210,96 @@ fn find_terminator(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Instants bracketing the serialize and socket-write stages of one response,
+/// handed to [`RouteResponse::on_written`] so handlers can attribute the tail of a
+/// request's latency (and close its trace) after the bytes actually hit the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteReport {
+    /// When `body.to_json()` started.
+    pub serialize_start: Instant,
+    /// When the socket write started (serialization done).
+    pub write_start: Instant,
+    /// When the write finished (successfully or not).
+    pub done: Instant,
+}
+
+impl WriteReport {
+    /// Microseconds spent serializing the body to JSON text.
+    pub fn serialize_us(&self) -> u64 {
+        self.write_start
+            .saturating_duration_since(self.serialize_start)
+            .as_micros() as u64
+    }
+
+    /// Microseconds spent writing the response to the socket.
+    pub fn write_us(&self) -> u64 {
+        self.done
+            .saturating_duration_since(self.write_start)
+            .as_micros() as u64
+    }
+}
+
+/// What a route handler returns to [`serve_connection`]: the status and JSON body,
+/// plus optional response plumbing (a `Retry-After` header on 503s, a completion
+/// callback that observes the serialize/write timings).
+pub struct RouteResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: JsonValue,
+    /// `Retry-After` header value in seconds, when set.
+    pub retry_after: Option<u64>,
+    /// Invoked once after the response write completes (even a failed write), with
+    /// the measured serialize/write instants — the hook where per-request traces
+    /// record their final spans and are handed to the tracer.
+    pub on_written: Option<Box<dyn FnOnce(WriteReport) + Send>>,
+}
+
+impl std::fmt::Debug for RouteResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteResponse")
+            .field("status", &self.status)
+            .field("retry_after", &self.retry_after)
+            .field("on_written", &self.on_written.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouteResponse {
+    /// A plain response with no extra headers or completion hook.
+    pub fn new(status: u16, body: JsonValue) -> Self {
+        Self {
+            status,
+            body,
+            retry_after: None,
+            on_written: None,
+        }
+    }
+
+    /// Sets the `Retry-After` header (seconds); `None` leaves it absent.
+    pub fn with_retry_after(mut self, secs: Option<u64>) -> Self {
+        self.retry_after = secs;
+        self
+    }
+
+    /// Sets the post-write completion callback.
+    pub fn with_on_written(mut self, hook: impl FnOnce(WriteReport) + Send + 'static) -> Self {
+        self.on_written = Some(Box::new(hook));
+        self
+    }
+}
+
 /// Runs one server-side keep-alive connection to completion: read a message, let
-/// `route` produce `(status, body, optional Retry-After seconds)`, write the
-/// response, repeat until the peer closes, a framing error occurs, or `stop` reports
-/// shutdown. Shared by the engine and the cluster gateway so their connection
-/// semantics (timeouts-as-shutdown-polls, keep-alive handling, 503 headers) cannot
-/// drift.
+/// `route` produce a [`RouteResponse`], write the response, repeat until the peer
+/// closes, a framing error occurs, or `stop` reports shutdown. Shared by the
+/// engine and the cluster gateway so their connection semantics
+/// (timeouts-as-shutdown-polls, keep-alive handling, 503 headers) cannot drift.
 pub fn serve_connection(
     mut stream: TcpStream,
     poll_interval: Duration,
     max_body: usize,
     stop: &dyn Fn() -> bool,
-    mut route: impl FnMut(&HttpMessage) -> (u16, JsonValue, Option<u64>),
+    mut route: impl FnMut(&HttpMessage) -> RouteResponse,
 ) {
     let _ = stream.set_read_timeout(Some(poll_interval));
     let _ = stream.set_nodelay(true);
@@ -233,24 +311,30 @@ pub fn serve_connection(
             Err(_) => return,   // framing error / peer reset: nothing sane to answer
         };
         let wants_close = message.wants_close();
-        let (status, body, retry_after) = route(&message);
+        let response = route(&message);
         let keep_alive = !wants_close && !stop();
         let mut headers: Vec<(&str, String)> = Vec::new();
-        if let Some(secs) = retry_after {
+        if let Some(secs) = response.retry_after {
             headers.push(("Retry-After", secs.to_string()));
         }
-        if write_response_with_headers(
+        let serialize_start = Instant::now();
+        let body = response.body.to_json();
+        let write_start = Instant::now();
+        let wrote = write_response_with_headers(
             &mut stream,
-            status,
-            body.to_json().as_bytes(),
+            response.status,
+            body.as_bytes(),
             keep_alive,
             &headers,
-        )
-        .is_err()
-        {
-            return;
+        );
+        if let Some(hook) = response.on_written {
+            hook(WriteReport {
+                serialize_start,
+                write_start,
+                done: Instant::now(),
+            });
         }
-        if !keep_alive {
+        if wrote.is_err() || !keep_alive {
             return;
         }
     }

@@ -59,9 +59,10 @@ pub mod server;
 pub mod worker;
 
 pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest, RequestDeadline};
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, InferResponse, ServeClient};
 pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, VariantStats};
+pub use protocol::InferOptions;
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig};
 pub use worker::WorkerPool;

@@ -99,6 +99,34 @@ pub struct VariantStats {
     pub requests: AtomicU64,
     /// End-to-end latency of this variant's requests.
     pub latency: LatencyHistogram,
+    /// Stage breakdown: submit → batch formed.
+    pub queue_wait: LatencyHistogram,
+    /// Stage breakdown: kernel compute (`infer_batch_into`) per batch, attributed to
+    /// every request riding the batch.
+    pub compute: LatencyHistogram,
+    /// Stage breakdown: response serialize + socket write.
+    pub write: LatencyHistogram,
+}
+
+impl VariantStats {
+    /// The per-stage p50/p95 block exported under each variant's `"stages"` key.
+    pub fn stages_json(&self) -> JsonValue {
+        let mut stages = JsonValue::object();
+        for (label, hist) in [
+            ("queue_wait", &self.queue_wait),
+            ("compute", &self.compute),
+            ("write", &self.write),
+        ] {
+            let mut block = JsonValue::object();
+            block
+                .set("count", hist.count())
+                .set("mean_us", hist.mean_us())
+                .set("p50_us", hist.quantile_us(0.50))
+                .set("p95_us", hist.quantile_us(0.95));
+            stages.set(label, block);
+        }
+        stages
+    }
 }
 
 /// All counters and histograms one server instance maintains. Every per-request field
@@ -263,7 +291,8 @@ impl Metrics {
                 .set("mean_us", stats.latency.mean_us())
                 .set("p50_us", stats.latency.quantile_us(0.50))
                 .set("p95_us", stats.latency.quantile_us(0.95))
-                .set("p99_us", stats.latency.quantile_us(0.99));
+                .set("p99_us", stats.latency.quantile_us(0.99))
+                .set("stages", stats.stages_json());
             variants.set(label, v);
         }
         let mut root = JsonValue::object();
@@ -337,10 +366,20 @@ mod tests {
         // Re-resolving a label returns the same counter block.
         m.variant("taylor").requests.fetch_add(1, Ordering::Relaxed);
 
+        m.variant("taylor").queue_wait.record_us(40);
+        m.variant("taylor").compute.record_us(300);
+        m.variant("taylor").write.record_us(15);
+
         let snap = m.snapshot_json();
         let variants = snap.get("variants").expect("variants object");
         let t = variants.get("taylor").expect("taylor block");
         assert_eq!(t.get("requests").and_then(JsonValue::as_usize), Some(4));
+        let stages = t.get("stages").expect("stages block");
+        for stage in ["queue_wait", "compute", "write"] {
+            let block = stages.get(stage).expect("stage block");
+            assert_eq!(block.get("count").and_then(JsonValue::as_usize), Some(1));
+            assert!(block.get("p95_us").and_then(JsonValue::as_usize).unwrap() > 0);
+        }
         assert!(t.get("p50_us").and_then(JsonValue::as_usize).unwrap() >= 120);
         let u = variants.get("unified").expect("unified block");
         assert_eq!(u.get("requests").and_then(JsonValue::as_usize), Some(1));

@@ -14,6 +14,13 @@
 //! * reply — `{"model": ..., "prediction": k, "logits": [...], "batch_size": b,
 //!   "queue_us": t}`
 //! * error — `{"error": {"code": "overloaded", "message": "..."}}`
+//!
+//! Two more optional request fields ride along for observability, carried exactly
+//! like `deadline_ms`: `"request_id"` — an opaque correlation id generated at the
+//! first hop and echoed on *every* reply body, success or error, so a client can
+//! quote it when reporting a failure — and `"trace": true`, which asks the server
+//! to record per-stage spans for this request and embed them in the reply's
+//! `"trace"` field (how a gateway collects engine-side spans into its own tree).
 
 use serde::json::JsonValue;
 
@@ -39,16 +46,49 @@ pub fn infer_request_json_with_options(
     tier: Option<&str>,
     deadline_ms: Option<u64>,
 ) -> JsonValue {
+    infer_request_json_opts(
+        model,
+        image,
+        &InferOptions {
+            tier,
+            deadline_ms,
+            ..InferOptions::default()
+        },
+    )
+}
+
+/// Every optional `POST /v1/infer` field in one place, so adding a field does not
+/// grow another `_with_*` constructor rung.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferOptions<'a> {
+    /// Routing-tier hint (`"latency"` / `"accuracy"`), consumed by the gateway.
+    pub tier: Option<&'a str>,
+    /// Remaining deadline budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Correlation id to propagate; `None` lets the first hop generate one.
+    pub request_id: Option<&'a str>,
+    /// Ask the server to record spans and embed them in the reply's `"trace"`.
+    pub trace: bool,
+}
+
+/// Builds a `POST /v1/infer` body from an [`InferOptions`] bundle.
+pub fn infer_request_json_opts(model: &str, image: &Matrix, opts: &InferOptions<'_>) -> JsonValue {
     let rows: Vec<JsonValue> = (0..image.rows())
         .map(|r| JsonValue::from(image.row(r).to_vec()))
         .collect();
     let mut body = JsonValue::object();
     body.set("model", model).set("image", rows);
-    if let Some(tier) = tier {
+    if let Some(tier) = opts.tier {
         body.set("tier", tier);
     }
-    if let Some(budget) = deadline_ms {
+    if let Some(budget) = opts.deadline_ms {
         body.set("deadline_ms", budget as usize);
+    }
+    if let Some(id) = opts.request_id {
+        body.set("request_id", id);
+    }
+    if opts.trace {
+        body.set("trace", true);
     }
     body
 }
@@ -80,6 +120,56 @@ pub fn parse_infer_tier(body: &JsonValue) -> Result<Option<String>, ServeError> 
             .map(|s| Some(s.to_string()))
             .ok_or_else(|| ServeError::BadRequest("\"tier\" must be a string".into())),
     }
+}
+
+/// Largest accepted `"request_id"` — long enough for any reasonable correlation
+/// scheme, short enough that ids cannot smuggle payloads into logs and traces.
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// Extracts the optional `"request_id"` correlation id from a request body.
+///
+/// Absent means `None` (the handler generates one); present but non-string, empty,
+/// or longer than [`MAX_REQUEST_ID_LEN`] is a [`ServeError::BadRequest`].
+pub fn parse_infer_request_id(body: &JsonValue) -> Result<Option<String>, ServeError> {
+    match body.get("request_id") {
+        None => Ok(None),
+        Some(value) => {
+            let id = value
+                .as_str()
+                .ok_or_else(|| ServeError::BadRequest("\"request_id\" must be a string".into()))?;
+            if id.is_empty() || id.len() > MAX_REQUEST_ID_LEN {
+                return Err(ServeError::BadRequest(format!(
+                    "\"request_id\" must be 1..={MAX_REQUEST_ID_LEN} bytes"
+                )));
+            }
+            Ok(Some(id.to_string()))
+        }
+    }
+}
+
+/// Extracts the optional `"trace"` span-request flag from a request body.
+///
+/// Absent means `false`; present but non-boolean is a [`ServeError::BadRequest`].
+pub fn parse_infer_trace_flag(body: &JsonValue) -> Result<bool, ServeError> {
+    match body.get("trace") {
+        None => Ok(false),
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| ServeError::BadRequest("\"trace\" must be a boolean".into())),
+    }
+}
+
+/// Reads the `"request_id"` echo off any reply body (success or error).
+pub fn parse_reply_request_id(body: &JsonValue) -> Option<String> {
+    body.get("request_id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+}
+
+/// Reads the embedded `"trace"` span list off a success reply body, when the
+/// request asked for one.
+pub fn parse_reply_trace(body: &JsonValue) -> Option<Vec<trace::Span>> {
+    body.get("trace").and_then(trace::spans_from_json)
 }
 
 /// Parses a `POST /v1/infer` body into its model key and image.
@@ -292,6 +382,83 @@ mod tests {
                 "{junk}"
             );
         }
+    }
+
+    #[test]
+    fn request_ids_and_trace_flags_parse_and_round_trip() {
+        let image = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let body = infer_request_json_opts(
+            "m:taylor",
+            &image,
+            &InferOptions {
+                tier: Some("latency"),
+                deadline_ms: Some(100),
+                request_id: Some("deadbeefcafef00d"),
+                trace: true,
+            },
+        );
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        assert_eq!(
+            parse_infer_request_id(&parsed).unwrap().as_deref(),
+            Some("deadbeefcafef00d")
+        );
+        assert!(parse_infer_trace_flag(&parsed).unwrap());
+        // The engine-side request parse stays oblivious to both fields.
+        let (model, back) = parse_infer_request(&parsed).unwrap();
+        assert_eq!(model, "m:taylor");
+        assert_eq!(back, image);
+        // Absent fields have inert defaults.
+        let plain = serde::json::parse(&infer_request_json("m", &image).to_json()).unwrap();
+        assert_eq!(parse_infer_request_id(&plain).unwrap(), None);
+        assert!(!parse_infer_trace_flag(&plain).unwrap());
+        // Typed 400s: non-string, empty, oversized ids; non-boolean trace.
+        for junk in [
+            r#"{"request_id": 7}"#,
+            r#"{"request_id": ""}"#,
+            &format!(r#"{{"request_id": "{}"}}"#, "x".repeat(65)),
+        ] {
+            let bad = serde::json::parse(junk).unwrap();
+            assert!(
+                matches!(parse_infer_request_id(&bad), Err(ServeError::BadRequest(_))),
+                "{junk}"
+            );
+        }
+        let bad = serde::json::parse(r#"{"trace": "yes"}"#).unwrap();
+        assert!(matches!(
+            parse_infer_trace_flag(&bad),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn reply_side_request_id_and_trace_parse() {
+        let mut body = infer_reply_json(&InferReply {
+            model: "m:taylor".into(),
+            prediction: 1,
+            logits: vec![0.0, 1.0],
+            batch_size: 1,
+            queue_us: 10,
+        });
+        assert_eq!(parse_reply_request_id(&body), None);
+        assert!(parse_reply_trace(&body).is_none());
+        body.set("request_id", "00ff00ff00ff00ff");
+        let spans = vec![trace::Span {
+            name: "compute".into(),
+            detail: "taylor".into(),
+            start_us: 5,
+            dur_us: 50,
+            parent: None,
+        }];
+        body.set("trace", trace::spans_json(&spans));
+        let parsed = serde::json::parse(&body.to_json()).unwrap();
+        assert_eq!(
+            parse_reply_request_id(&parsed).as_deref(),
+            Some("00ff00ff00ff00ff")
+        );
+        let back = parse_reply_trace(&parsed).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "compute");
+        assert_eq!(back[0].dur_us, 50);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use serde::json::JsonValue;
 
 use crate::batcher::{BatchPolicy, Batcher, PendingRequest, RequestDeadline};
 use crate::error::ServeError;
-use crate::http::serve_connection;
-use crate::metrics::Metrics;
+use crate::http::{serve_connection, RouteResponse, WriteReport};
+use crate::metrics::{Metrics, VariantStats};
 use crate::protocol;
 use crate::registry::ModelRegistry;
 use crate::worker::WorkerPool;
@@ -37,6 +37,9 @@ pub struct ServerConfig {
     /// before reporting an internal error (a backstop for worker crashes, not a
     /// queueing deadline).
     pub reply_timeout: Duration,
+    /// Request-tracing policy (sampling rate + `/debug/traces` ring size). The
+    /// default reads `VITALITY_TRACE_SAMPLE` and keeps tracing off otherwise.
+    pub trace: trace::TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +51,7 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(50),
             reply_timeout: Duration::from_secs(60),
+            trace: trace::TraceConfig::default(),
         }
     }
 }
@@ -56,6 +60,7 @@ struct Shared {
     registry: ModelRegistry,
     batcher: Arc<Batcher>,
     metrics: Arc<Metrics>,
+    tracer: Arc<trace::Tracer>,
     shutdown: AtomicBool,
     config: ServerConfig,
 }
@@ -99,10 +104,12 @@ impl Server {
         } else {
             config.workers
         };
+        let tracer = Arc::new(trace::Tracer::new(&config.trace));
         let shared = Arc::new(Shared {
             batcher: Arc::new(Batcher::new(config.policy, Arc::clone(&metrics))),
             registry,
             metrics,
+            tracer,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -160,6 +167,11 @@ impl Server {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The server's request tracer (ring buffer behind `GET /debug/traces`).
+    pub fn tracer(&self) -> Arc<trace::Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
     /// Graceful shutdown: stop accepting, drain the admitted queue through the
     /// workers, answer in-flight requests, then join every thread.
     pub fn shutdown(mut self) {
@@ -205,10 +217,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     );
 }
 
-fn route(
-    message: &crate::http::HttpMessage,
-    shared: &Arc<Shared>,
-) -> (u16, JsonValue, Option<u64>) {
+fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
     let Ok((method, path)) = message.request_parts() else {
         return error_response(&ServeError::BadRequest("malformed request line".into()));
     };
@@ -224,62 +233,149 @@ fn route(
                     "in_flight_batches",
                     shared.metrics.in_flight_batches.load(Ordering::Relaxed),
                 );
-            (200, body, None)
+            RouteResponse::new(200, body)
         }
-        ("GET", "/metrics") => (200, shared.metrics.snapshot_json(), None),
-        ("POST", "/v1/infer") => match handle_infer(message, shared) {
-            Ok(reply) => (200, protocol::infer_reply_json(&reply), None),
-            Err(err) => {
-                // `failed` counts non-shed errors only: shed requests are already
-                // tallied in `shed` by the batcher, expired ones in `expired`, and a
-                // shutdown refusal is part of a drain, not a failure —
-                // double-counting any of them would make ordinary backpressure look
-                // like an incident on a dashboard.
-                if !matches!(
-                    err,
-                    ServeError::Overloaded { .. }
-                        | ServeError::ShuttingDown
-                        | ServeError::DeadlineExceeded { .. }
-                ) {
-                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                }
-                error_response(&err)
-            }
-        },
-        ("POST" | "GET", _) => (
+        ("GET", "/metrics") => RouteResponse::new(200, shared.metrics.snapshot_json()),
+        ("GET", "/debug/traces") => RouteResponse::new(200, shared.tracer.recent_json()),
+        ("POST", "/v1/infer") => handle_infer(message, shared),
+        ("POST" | "GET", _) => RouteResponse::new(
             404,
             protocol::error_body("not_found", &format!("no route for {method} {path}")),
-            None,
         ),
-        _ => (
+        _ => RouteResponse::new(
             405,
             protocol::error_body(
                 "method_not_allowed",
                 &format!("unsupported method {method}"),
             ),
-            None,
         ),
     }
 }
 
-fn error_response(error: &ServeError) -> (u16, JsonValue, Option<u64>) {
-    (
-        error.http_status(),
-        protocol::error_json(error),
-        error.retry_after_secs(),
-    )
+fn error_response(error: &ServeError) -> RouteResponse {
+    RouteResponse::new(error.http_status(), protocol::error_json(error))
+        .with_retry_after(error.retry_after_secs())
 }
 
-fn handle_infer(
-    message: &crate::http::HttpMessage,
+/// The post-write completion hook: records the serialize/write spans on the
+/// request's trace, feeds the per-variant write-stage histogram, and hands the
+/// finished trace to the tracer's retention policy.
+fn finish_hook(
+    tracer: Arc<trace::Tracer>,
+    handle: trace::TraceHandle,
+    status: u16,
+    write_stats: Option<Arc<VariantStats>>,
+) -> impl FnOnce(WriteReport) + Send + 'static {
+    move |report: WriteReport| {
+        if let Some(t) = &handle {
+            t.record(
+                "serialize",
+                String::new(),
+                report.serialize_start,
+                report.write_start,
+            );
+            t.record("write", String::new(), report.write_start, report.done);
+        }
+        if let Some(stats) = &write_stats {
+            stats
+                .write
+                .record_us(report.serialize_us() + report.write_us());
+        }
+        tracer.finish(handle, status);
+    }
+}
+
+/// Builds the error response for an infer request, echoing `request_id` on the
+/// typed error body and closing the request's trace (when one is recording).
+fn infer_error(
     shared: &Arc<Shared>,
-) -> Result<crate::batcher::InferReply, ServeError> {
-    let text = std::str::from_utf8(&message.body)
-        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
-    let parsed = serde::json::parse(text)
-        .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))?;
-    let (model_key, image) = protocol::parse_infer_request(&parsed)?;
-    let deadline = protocol::parse_infer_deadline_ms(&parsed)?.map(RequestDeadline::from_budget_ms);
+    error: &ServeError,
+    request_id: &str,
+    handle: trace::TraceHandle,
+) -> RouteResponse {
+    // `failed` counts non-shed errors only: shed requests are already tallied in
+    // `shed` by the batcher, expired ones in `expired`, and a shutdown refusal is
+    // part of a drain, not a failure — double-counting any of them would make
+    // ordinary backpressure look like an incident on a dashboard.
+    if !matches!(
+        error,
+        ServeError::Overloaded { .. }
+            | ServeError::ShuttingDown
+            | ServeError::DeadlineExceeded { .. }
+    ) {
+        shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut response = error_response(error);
+    response.body.set("request_id", request_id);
+    if handle.is_some() {
+        let status = response.status;
+        response = response.with_on_written(finish_hook(
+            Arc::clone(&shared.tracer),
+            handle,
+            status,
+            None,
+        ));
+    }
+    response
+}
+
+fn handle_infer(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
+    // The origin for every span offset: work before the body parses (UTF-8 check,
+    // JSON) is attributed to the `parse` span retroactively.
+    let received = Instant::now();
+    let parsed = match std::str::from_utf8(&message.body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))
+        .and_then(|text| {
+            serde::json::parse(text)
+                .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))
+        }) {
+        Ok(parsed) => parsed,
+        // No usable body, so no client id: generate one so even this failure is
+        // quotable from the error body.
+        Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
+    };
+    let request_id = match protocol::parse_infer_request_id(&parsed) {
+        Ok(id) => id.unwrap_or_else(trace::new_request_id),
+        Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
+    };
+    let _log_scope = trace::request_scope(&request_id);
+    let want_trace = match protocol::parse_infer_trace_flag(&parsed) {
+        Ok(flag) => flag,
+        Err(err) => return infer_error(shared, &err, &request_id, None),
+    };
+    // `"trace": true` forces span recording even when sampling is off — that is how
+    // a gateway collects engine spans; retention in this engine's own ring is still
+    // the tracer's sampling decision.
+    let handle = shared.tracer.begin(&request_id, received, want_trace);
+    match infer_core(&parsed, shared, received, &handle) {
+        Ok((reply, variant_stats)) => {
+            let mut body = protocol::infer_reply_json(&reply);
+            body.set("request_id", request_id.as_str());
+            if want_trace {
+                // Embed what has been recorded so far (parse + worker stages); the
+                // serialize/write spans land after this snapshot and so stay
+                // engine-local, covered upstream by the caller's attempt span.
+                if let Some(t) = &handle {
+                    body.set("trace", trace::spans_json(&t.snapshot()));
+                }
+            }
+            let hook = finish_hook(Arc::clone(&shared.tracer), handle, 200, Some(variant_stats));
+            RouteResponse::new(200, body).with_on_written(hook)
+        }
+        Err(err) => infer_error(shared, &err, &request_id, handle),
+    }
+}
+
+/// The admission → batcher → reply core of one infer request. Returns the reply
+/// plus the per-variant stats block so the caller can attribute the write stage.
+fn infer_core(
+    parsed: &JsonValue,
+    shared: &Arc<Shared>,
+    received: Instant,
+    handle: &trace::TraceHandle,
+) -> Result<(crate::batcher::InferReply, Arc<VariantStats>), ServeError> {
+    let (model_key, image) = protocol::parse_infer_request(parsed)?;
+    let deadline = protocol::parse_infer_deadline_ms(parsed)?.map(RequestDeadline::from_budget_ms);
     let entry = shared.registry.get(&model_key)?;
     let expected = entry.config().image_size;
     if image.shape() != (expected, expected) {
@@ -289,6 +385,9 @@ fn handle_infer(
             image.cols()
         )));
     }
+    if let Some(t) = handle {
+        t.record("parse", String::new(), received, Instant::now());
+    }
     // A zero (or sub-millisecond) budget is already expired: shed before admission,
     // spending neither queue space nor inference on it.
     if let Some(deadline) = deadline {
@@ -297,6 +396,7 @@ fn handle_infer(
             return Err(deadline.error());
         }
     }
+    let variant_stats = shared.metrics.variant(entry.variant_label());
     let (reply_tx, reply_rx) = mpsc::channel();
     shared.batcher.submit(PendingRequest {
         entry,
@@ -304,8 +404,9 @@ fn handle_infer(
         submitted: Instant::now(),
         deadline,
         reply_tx,
+        trace: handle.clone(),
     })?;
-    match reply_rx.recv_timeout(shared.config.reply_timeout) {
+    let reply = match reply_rx.recv_timeout(shared.config.reply_timeout) {
         Ok(result) => result,
         Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Internal(
             "worker did not answer within the reply timeout".into(),
@@ -313,5 +414,6 @@ fn handle_infer(
         Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Internal(
             "worker dropped the reply channel".into(),
         )),
-    }
+    }?;
+    Ok((reply, variant_stats))
 }

@@ -66,6 +66,11 @@ impl WorkerPool {
                                 // The workspace may hold partially-written state —
                                 // start the next batch from fresh scratch.
                                 metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                trace::warn!(
+                                    "worker absorbed a batch panic; replacing workspace \
+                                     (total panics: {})",
+                                    metrics.worker_panics.load(Ordering::Relaxed)
+                                );
                                 ws = Workspace::new();
                                 outputs = Vec::new();
                             }
@@ -132,7 +137,7 @@ fn run_batch(
             }
         }
         images.push(request.image);
-        meta.push((request.submitted, request.reply_tx));
+        meta.push((request.submitted, request.reply_tx, request.trace));
     }
     if images.is_empty() {
         return;
@@ -144,14 +149,17 @@ fn run_batch(
     // The in-flight window covers inference only: it must have closed by the time
     // any reply is sent, or a client probing /healthz right after its reply could
     // read a stale nonzero count.
+    let infer_start = Instant::now();
     {
         metrics.in_flight_batches.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlight(metrics);
         entry.model().infer_batch_into(&images, outputs, ws);
     }
+    let infer_end = Instant::now();
+    let compute_us = infer_end.duration_since(infer_start).as_micros() as u64;
     // Resolved once per batch; recording through it is lock-free.
     let variant_stats = metrics.variant(entry.variant_label());
-    for (output, (submitted, reply_tx)) in outputs.iter().zip(meta) {
+    for (output, (submitted, reply_tx, request_trace)) in outputs.iter().zip(meta) {
         let logits = output.logits.row(0).to_vec();
         let prediction = argmax(&logits);
         let queue_us = formed.duration_since(submitted).as_micros() as u64;
@@ -161,6 +169,18 @@ fn run_batch(
         metrics.completed.fetch_add(1, Ordering::Relaxed);
         variant_stats.requests.fetch_add(1, Ordering::Relaxed);
         variant_stats.latency.record_us(latency_us);
+        variant_stats.queue_wait.record_us(queue_us);
+        variant_stats.compute.record_us(compute_us);
+        if let Some(t) = &request_trace {
+            t.record("queue_wait", String::new(), submitted, formed);
+            t.record("batch_assembly", String::new(), formed, infer_start);
+            t.record(
+                "compute",
+                format!("{} batch={batch_size}", entry.variant_label()),
+                infer_start,
+                infer_end,
+            );
+        }
         // A dropped receiver means the client disconnected mid-flight; the work is
         // done either way, so the send result is deliberately ignored.
         let _ = reply_tx.send(Ok(InferReply {
@@ -239,6 +259,7 @@ mod tests {
                         submitted: Instant::now(),
                         deadline: None,
                         reply_tx: tx,
+                        trace: None,
                     })
                     .unwrap();
                 rx

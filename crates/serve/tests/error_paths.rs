@@ -70,11 +70,16 @@ fn unregistered_variant_keys_return_a_typed_404_not_a_hang_or_500() {
                 code,
                 message,
                 retry_after,
+                request_id,
             }) => {
                 assert_eq!(status, 404, "{key} must 404");
                 assert_eq!(code, "model_not_found", "{key} must carry the typed code");
                 assert!(message.contains(key), "message names the missing key");
                 assert_eq!(retry_after, None, "404s carry no Retry-After hint");
+                assert!(
+                    request_id.is_some_and(|id| !id.is_empty()),
+                    "typed error bodies echo a request_id"
+                );
             }
             other => panic!("expected typed 404 for {key}, got {other:?}"),
         }

@@ -102,8 +102,8 @@ pub fn matmul_backend() -> MatmulBackend {
                     "naive" => MatmulBackend::Naive,
                     "blocked" => MatmulBackend::Blocked,
                     other => {
-                        eprintln!(
-                            "warning: unrecognised VITALITY_MATMUL_BACKEND value {other:?} \
+                        trace::warn!(
+                            "unrecognised VITALITY_MATMUL_BACKEND value {other:?} \
                              (expected \"naive\" or \"blocked\"); falling back to the \
                              default blocked backend"
                         );

@@ -7,12 +7,18 @@
 //! inference path under test is strictly sequential (parallel fan-out lives in
 //! `infer_batch`, which spawns threads and therefore allocates by design), so the
 //! count is deterministic regardless of the host's core count.
+//!
+//! The same gate covers the tracing primitives riding the serve path: with sampling
+//! off, opening/closing a trace and recording a stage histogram sample must also be
+//! allocation-free, so observability costs nothing when it is not watching.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use vitality::serve::LatencyHistogram;
 use vitality::tensor::{init, Matrix, Workspace};
 use vitality::vit::{AttentionVariant, Int8Calibration, TrainConfig, VisionTransformer, VitOutput};
 
@@ -114,4 +120,30 @@ fn steady_state_infer_batch_into_performs_zero_allocations() {
             );
         }
     }
+
+    // Tracing with sampling off is the no-op mode: `begin` returns `None`, every
+    // span-recording site is a skipped `if let`, `finish` returns immediately, and
+    // the lock-free stage histograms never allocate after construction. This is the
+    // part of the serve hot path the tracing PR added — hold it to the same zero.
+    let tracer = trace::Tracer::new(&trace::TraceConfig {
+        sample: Some(0.0),
+        ring_capacity: 64,
+    });
+    let histogram = LatencyHistogram::new();
+    let origin = Instant::now();
+    let before = allocations();
+    for i in 0..100u64 {
+        let handle = tracer.begin("alloc-gate", origin, false);
+        assert!(handle.is_none(), "sampling off must yield the no-op handle");
+        if let Some(t) = &handle {
+            t.record("never", String::new(), origin, Instant::now());
+        }
+        histogram.record_us(i);
+        tracer.finish(handle, 200);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "sampling-off trace begin/record/finish + histogram recording allocated {delta} times"
+    );
 }
