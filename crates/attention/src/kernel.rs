@@ -80,7 +80,7 @@ use crate::{validate_qkv, AttentionMechanism};
 use std::fmt;
 use vitality_autograd::Var;
 use vitality_tensor::backend::Operand;
-use vitality_tensor::{matmul_backend, Matrix, Workspace};
+use vitality_tensor::{matmul_backend, MatmulBackend, Matrix, Workspace};
 
 /// Query rows processed per block by the workspace kernels — bounds the scratch slice
 /// of any `n x n` interaction to `ROW_BLOCK x n` regardless of the token count.
@@ -172,71 +172,102 @@ pub(crate) fn fill_k_bar(k: &Matrix, mean_center: bool, k_bar: &mut [f32]) {
     }
 }
 
-/// Pass 2: one sweep over the `(K, V)` rows accumulating `G = \hat{K}^T V`,
-/// `\hat{k}_{sum}` and `v_{sum}` together; each centred key row lives only in the
-/// register-sized `k_hat_row` scratch, never in an `n x d` matrix.
-fn accumulate_taylor_aggregates(
-    k: &Matrix,
-    v: &Matrix,
-    k_bar: &[f32],
-    k_hat_row: &mut [f32],
-    g: &mut [f32],
-    k_sum: &mut [f32],
-    v_sum: &mut [f32],
-) {
-    let d_v = v.cols();
-    for r in 0..k.rows() {
-        for ((kh, &kv), (&kb, ks)) in k_hat_row
-            .iter_mut()
-            .zip(k.row(r))
-            .zip(k_bar.iter().zip(k_sum.iter_mut()))
-        {
+/// Fills `k_hat` (`n x d_k`, row-major) with the mean-centred keys `K - 1 \bar{K}`.
+pub(crate) fn center_keys_into(k: &Matrix, k_bar: &[f32], k_hat: &mut [f32]) {
+    let d_k = k.cols();
+    for (r, row) in k_hat.chunks_exact_mut(d_k).enumerate() {
+        for ((kh, &kv), &kb) in row.iter_mut().zip(k.row(r)).zip(k_bar) {
             *kh = kv - kb;
-            *ks += *kh;
-        }
-        let v_row = v.row(r);
-        for (vs, &vv) in v_sum.iter_mut().zip(v_row) {
-            *vs += vv;
-        }
-        for (&kh, g_row) in k_hat_row.iter().zip(g.chunks_exact_mut(d_v)) {
-            for (gv, &vv) in g_row.iter_mut().zip(v_row) {
-                *gv += kh * vv;
-            }
         }
     }
 }
 
-/// Pass 3 for one query row: Steps 4–6 fused,
-/// `out = (sqrt(d) v_sum + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)`.
-/// Returns the Taylor denominator `t_D = n sqrt(d) + q_i \hat{k}_{sum}^T` so the
-/// unified kernel can reuse it for the weak map's normaliser.
-pub(crate) fn low_rank_output_row(
-    q_row: &[f32],
+/// Pass 2: the Algorithm-1 aggregates from the materialised centred keys —
+/// `G = \hat{K}^T V` through the backend GEMM (so the fused kernels ride the same
+/// SIMD microkernels as the traced pipeline), plus `\hat{k}_{sum}` and `v_{sum}` in
+/// one cheap `O(nd)` sweep.
+pub(crate) fn taylor_aggregates_from_centred(
+    backend: MatmulBackend,
+    k_hat: &[f32],
+    v: &Matrix,
+    g: &mut [f32],
+    k_sum: &mut [f32],
+    v_sum: &mut [f32],
+) {
+    let n = v.rows();
+    let d_k = k_sum.len();
+    let d_v = v.cols();
+    for row in k_hat.chunks_exact(d_k) {
+        for (ks, &kh) in k_sum.iter_mut().zip(row) {
+            *ks += kh;
+        }
+    }
+    for r in 0..n {
+        for (vs, &vv) in v_sum.iter_mut().zip(v.row(r)) {
+            *vs += vv;
+        }
+    }
+    backend.gemm_into(
+        g,
+        d_k,
+        n,
+        d_v,
+        Operand::transposed(k_hat, d_k),
+        Operand::row_major(v.as_slice(), d_v),
+    );
+}
+
+/// Pass 3: Steps 4–6 fused over every query row,
+/// `out_i = (sqrt(d) v_sum + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)`.
+///
+/// The `Q G` product — the `O(n d²)` bulk of the pass — runs through the backend
+/// GEMM; the epilogue (denominator dot, `v_sum` shift, normalisation) is one cheap
+/// `O(nd)` sweep folded over the product rows. `denoms` (length `n_q`) receives each
+/// row's Taylor denominator `t_D = n sqrt(d) + q_i \hat{k}_{sum}^T`, which the
+/// unified kernels reuse for the weak map's normaliser.
+// The argument list is the full Algorithm-1 aggregate set plus the two output
+// buffers; bundling them into a struct would just move the same ten names one
+// level down for the three call sites.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn low_rank_outputs(
+    backend: MatmulBackend,
+    q: &[f32],
+    d_k: usize,
     g: &[f32],
     k_sum: &[f32],
     v_sum: &[f32],
     sqrt_d: f32,
     n_sqrt_d: f32,
-    out_row: &mut [f32],
-) -> f32 {
-    let d_v = out_row.len();
-    let mut denominator = n_sqrt_d;
-    for (&qv, &ks) in q_row.iter().zip(k_sum.iter()) {
-        denominator += qv * ks;
-    }
-    for (o, &vs) in out_row.iter_mut().zip(v_sum.iter()) {
-        *o = sqrt_d * vs;
-    }
-    for (&qv, g_row) in q_row.iter().zip(g.chunks_exact(d_v)) {
-        for (o, &gv) in out_row.iter_mut().zip(g_row) {
-            *o += qv * gv;
+    out: &mut [f32],
+    denoms: &mut [f32],
+) {
+    let d_v = v_sum.len();
+    let n_q = denoms.len();
+    debug_assert_eq!(q.len(), n_q * d_k);
+    debug_assert_eq!(out.len(), n_q * d_v);
+    backend.gemm_into(
+        out,
+        n_q,
+        d_k,
+        d_v,
+        Operand::row_major(q, d_k),
+        Operand::row_major(g, d_v),
+    );
+    for ((q_row, out_row), denom) in q
+        .chunks_exact(d_k)
+        .zip(out.chunks_exact_mut(d_v))
+        .zip(denoms.iter_mut())
+    {
+        let mut d = n_sqrt_d;
+        for (&qv, &ks) in q_row.iter().zip(k_sum) {
+            d += qv * ks;
         }
+        let inv = 1.0 / d;
+        for (o, &vs) in out_row.iter_mut().zip(v_sum) {
+            *o = (*o + sqrt_d * vs) * inv;
+        }
+        *denom = d;
     }
-    let inv = 1.0 / denominator;
-    for o in out_row.iter_mut() {
-        *o *= inv;
-    }
-    denominator
 }
 
 /// Applies the Sanger mask rule to one row of raw quantized prediction logits:
@@ -388,10 +419,10 @@ impl AttentionKernel for TaylorAttention {
     }
 
     /// The fused three-pass Algorithm-1 kernel of
-    /// [`TaylorAttention::compute_fused`], restated sequentially over workspace
-    /// scratch: one reduction for `\bar{K}`, one sweep over `(K, V)` accumulating
-    /// `(G, \hat{k}_{sum}, v_{sum})`, one sweep over `Q` emitting output rows with
-    /// Steps 4–6 fused.
+    /// [`TaylorAttention::compute_fused`], restated over workspace scratch: one
+    /// reduction for `\bar{K}`, the `(G, \hat{k}_{sum}, v_{sum})` aggregates with
+    /// `G = \hat{K}^T V` on the backend GEMM, and the `Q G` output pass on the same
+    /// GEMM with Steps 4–6's epilogue folded over the product rows.
     fn compute_into(
         &self,
         q: &Matrix,
@@ -404,35 +435,41 @@ impl AttentionKernel for TaylorAttention {
         let n = k.rows();
         let d_k = k.cols();
         let d_v = v.cols();
+        let n_q = q.rows();
         let sqrt_d = (q.cols() as f32).sqrt();
+        let backend = matmul_backend();
 
         let mut k_bar = ws.take_vec(d_k);
         fill_k_bar(k, self.mean_centering(), &mut k_bar);
+        let mut k_hat = ws.take_vec(n * d_k);
+        center_keys_into(k, &k_bar, &mut k_hat);
 
         let mut g = ws.take_vec(d_k * d_v);
         let mut k_sum = ws.take_vec(d_k);
         let mut v_sum = ws.take_vec(d_v);
-        let mut k_hat_row = ws.take_vec(d_k);
-        accumulate_taylor_aggregates(k, v, &k_bar, &mut k_hat_row, &mut g, &mut k_sum, &mut v_sum);
+        taylor_aggregates_from_centred(backend, &k_hat, v, &mut g, &mut k_sum, &mut v_sum);
 
         let n_sqrt_d = n as f32 * sqrt_d;
-        for r in 0..q.rows() {
-            low_rank_output_row(
-                q.row(r),
-                &g,
-                &k_sum,
-                &v_sum,
-                sqrt_d,
-                n_sqrt_d,
-                out.row_mut(r),
-            );
-        }
+        let mut denoms = ws.take_vec(n_q);
+        low_rank_outputs(
+            backend,
+            q.as_slice(),
+            d_k,
+            &g,
+            &k_sum,
+            &v_sum,
+            sqrt_d,
+            n_sqrt_d,
+            out.as_mut_slice(),
+            &mut denoms,
+        );
 
         ws.recycle_vec(k_bar);
+        ws.recycle_vec(k_hat);
         ws.recycle_vec(g);
         ws.recycle_vec(k_sum);
         ws.recycle_vec(v_sum);
-        ws.recycle_vec(k_hat_row);
+        ws.recycle_vec(denoms);
     }
 
     fn op_counts(&self, n: usize, d: usize) -> OpCounts {
@@ -567,28 +604,45 @@ impl AttentionKernel for UnifiedAttentionKernel {
         let mut k_bar = ws.take_vec(d_k);
         fill_k_bar(k, true, &mut k_bar);
         let mut k_hat = ws.take(n, d_k);
-        for r in 0..n {
-            for ((kh, &kv), &kb) in k_hat.row_mut(r).iter_mut().zip(k.row(r)).zip(&k_bar) {
-                *kh = kv - kb;
-            }
-        }
+        center_keys_into(k, &k_bar, k_hat.as_mut_slice());
         let mut q_q = ws.take(n_q, d_k);
         quantize_symmetric_into(q, bits, &mut q_q);
         let mut k_q = ws.take(n, d_k);
         quantize_symmetric_into(&k_hat, bits, &mut k_q);
 
-        // Low-rank aggregates: the same fused Algorithm-1 pass the Taylor kernel runs.
+        // Low-rank aggregates and the full low-rank output sweep: the same fused
+        // GEMM-backed Algorithm-1 passes the Taylor kernel runs; the per-row loop
+        // below only applies the SDDMM correction on top.
         let mut g = ws.take_vec(d_k * d_v);
         let mut k_sum = ws.take_vec(d_k);
         let mut v_sum = ws.take_vec(d_v);
-        let mut k_hat_row = ws.take_vec(d_k);
-        accumulate_taylor_aggregates(k, v, &k_bar, &mut k_hat_row, &mut g, &mut k_sum, &mut v_sum);
+        taylor_aggregates_from_centred(
+            backend,
+            k_hat.as_slice(),
+            v,
+            &mut g,
+            &mut k_sum,
+            &mut v_sum,
+        );
+        let n_sqrt_d = n as f32 * sqrt_d;
+        let mut denoms = ws.take_vec(n_q);
+        low_rank_outputs(
+            backend,
+            q.as_slice(),
+            d_k,
+            &g,
+            &k_sum,
+            &v_sum,
+            sqrt_d,
+            n_sqrt_d,
+            out.as_mut_slice(),
+            &mut denoms,
+        );
 
         let bs_max = ROW_BLOCK.min(n_q.max(1));
         let mut exact = ws.take_vec(bs_max * n);
         let mut pred = ws.take_vec(bs_max * n);
         let mut surviving = ws.take_indices();
-        let n_sqrt_d = n as f32 * sqrt_d;
 
         for lo in (0..n_q).step_by(ROW_BLOCK) {
             let hi = (lo + ROW_BLOCK).min(n_q);
@@ -629,13 +683,11 @@ impl AttentionKernel for UnifiedAttentionKernel {
                     z_sum += (l - l_max).exp();
                 }
 
-                // Low-rank output row (Steps 4–6 fused, shared with the Taylor
-                // kernel), then the SDDMM correction at the surviving positions only.
+                // The low-rank output row is already in place from the GEMM-backed
+                // sweep above; apply the SDDMM correction at the surviving positions.
                 let out_row = out.row_mut(i);
-                let denominator =
-                    low_rank_output_row(q.row(i), &g, &k_sum, &v_sum, sqrt_d, n_sqrt_d, out_row);
                 // Weak denominator in expansion units: t_i = n + q_i k_sum^T / sqrt(d).
-                let t_i = denominator * inv_sqrt_d;
+                let t_i = denoms[i] * inv_sqrt_d;
                 let inv_z = if z_sum > 0.0 { 1.0 / z_sum } else { 0.0 };
                 let inv_t = 1.0 / t_i;
                 for &j in surviving.iter() {
@@ -653,13 +705,13 @@ impl AttentionKernel for UnifiedAttentionKernel {
         // would let a later, larger checkout grow them (best-fit falls back to the
         // largest pooled buffer), destabilising the pool's size classes across calls.
         ws.recycle_vec(k_bar);
-        ws.recycle_vec(k_hat_row);
         ws.recycle(k_hat);
         ws.recycle(q_q);
         ws.recycle(k_q);
         ws.recycle_vec(g);
         ws.recycle_vec(k_sum);
         ws.recycle_vec(v_sum);
+        ws.recycle_vec(denoms);
         ws.recycle_vec(exact);
         ws.recycle_vec(pred);
         ws.recycle_indices(surviving);

@@ -50,8 +50,12 @@ use crate::taylor::TaylorAttention;
 use crate::unified::UnifiedLowRankSparseAttention;
 use crate::AttentionMechanism;
 use vitality_autograd::Var;
-use vitality_tensor::backend::Operand;
-use vitality_tensor::{matmul_backend, Matrix, Workspace};
+use vitality_tensor::backend::{IntOperand, Operand};
+// `absmax` dispatches to the AVX2 `vandnps`/`vmaxps` sweep when the host supports it;
+// the calibration sweeps are three full passes over `Q`/`K̂`/`V` per head, a
+// measurable share of the quantized kernel's non-GEMM time.
+use vitality_tensor::simd::absmax;
+use vitality_tensor::{matmul_backend, AlignedVec, MatmulBackend, Matrix, Workspace};
 
 /// Query rows per block in the quantized unified kernel's residual pass (matches the
 /// fused unified kernel's blocking so the two share scratch-size classes).
@@ -101,58 +105,26 @@ impl Int8Calibration {
     }
 }
 
-/// Largest absolute entry of a slice.
-///
-/// Eight independent lane accumulators instead of a single `fold`: an ordered
-/// `max`-fold is a sequential dependency chain LLVM must keep scalar, while the
-/// lane-parallel form vectorises (measured ~8× faster on the calibration sweeps).
-fn absmax(xs: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; 8];
-    let chunks = xs.chunks_exact(8);
-    let remainder = chunks.remainder();
-    for chunk in chunks {
-        for (lane, &v) in lanes.iter_mut().zip(chunk) {
-            *lane = lane.max(v.abs());
-        }
-    }
-    let mut acc = remainder.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
-    for &lane in &lanes {
-        acc = acc.max(lane);
-    }
-    acc
-}
-
 /// Quantizes `src` onto the symmetric int8 grid defined by `absmax` (saturating at
-/// ±127), writing **both** representations in one sweep: `dst` holds the canonical
-/// int8 operand (what an int8 deployment stores — the 4× memory-compression point of
-/// the variant), `lattice` the same values widened to `f32` (the register form the
-/// SIMD integer-exact GEMM consumes). Returns the dequantization scale (`0` when the
-/// range is degenerate, which zeroes every contribution downstream).
+/// ±127), writing the canonical int8 operand — what an int8 deployment stores (the 4×
+/// memory-compression point of the variant) and exactly what the native `maddubs`
+/// integer GEMM consumes. Returns the dequantization scale (`0` when the range is
+/// degenerate, which zeroes every contribution downstream). The clamp to ±127 also
+/// guarantees the operands stay inside the native kernel's `[-127, 127]` domain.
 ///
-/// Rounding is to-nearest-even via the `1.5 · 2²³` magic constant: after the add, `y +
-/// MAGIC` lands in `[2²³, 2²⁴)` where one ulp is exactly 1, so the rounded value falls
-/// out of a subtraction and the integer is read straight off the mantissa bits. Both
-/// `f32::round` (a scalar `roundf` call on baseline x86-64) and the saturating
-/// `f32 as i8` cast defeat vectorisation of this sweep; this form is measured 6×
-/// faster and bit-identical on the clamped range.
-fn quantize_slice(src: &[f32], absmax: f32, dst: &mut [i8], lattice: &mut [f32]) -> f32 {
-    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
-    const MAGIC_BITS: i32 = MAGIC.to_bits() as i32;
+/// Rounding is to-nearest-even via the `1.5 · 2²³` magic constant — see
+/// [`vitality_tensor::simd::quantize_i8`], which runs the sweep 32 lanes at a time on
+/// AVX2 hosts and bit-identically scalar elsewhere. Both `f32::round` (a scalar
+/// `roundf` call on baseline x86-64) and the saturating `f32 as i8` cast would defeat
+/// that vectorisation.
+fn quantize_slice(src: &[f32], absmax: f32, dst: &mut [i8]) -> f32 {
     debug_assert_eq!(src.len(), dst.len());
-    debug_assert_eq!(src.len(), lattice.len());
     if absmax <= 0.0 {
         dst.fill(0);
-        lattice.fill(0.0);
         return 0.0;
     }
-    let scale = absmax / 127.0;
-    let inv = 127.0 / absmax;
-    for ((d, lat), &s) in dst.iter_mut().zip(lattice.iter_mut()).zip(src) {
-        let shifted = (s * inv).clamp(-127.0, 127.0) + MAGIC;
-        *lat = shifted - MAGIC;
-        *d = (shifted.to_bits() as i32).wrapping_sub(MAGIC_BITS) as i8;
-    }
-    scale
+    vitality_tensor::simd::quantize_i8(src, 127.0 / absmax, dst);
+    absmax / 127.0
 }
 
 /// [`quantize_slice`] without the int8 store, for the query operand: every downstream
@@ -160,41 +132,37 @@ fn quantize_slice(src: &[f32], absmax: f32, dst: &mut [i8], lattice: &mut [f32])
 /// lattice view, so materialising a query `Vec<i8>` would be a write nothing reads.
 /// Same rounding, saturation and degenerate-range behaviour.
 fn quantize_lattice(src: &[f32], absmax: f32, lattice: &mut [f32]) -> f32 {
-    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
     debug_assert_eq!(src.len(), lattice.len());
     if absmax <= 0.0 {
         lattice.fill(0.0);
         return 0.0;
     }
-    let scale = absmax / 127.0;
-    let inv = 127.0 / absmax;
-    for (lat, &s) in lattice.iter_mut().zip(src) {
-        *lat = ((s * inv).clamp(-127.0, 127.0) + MAGIC) - MAGIC;
-    }
-    scale
+    vitality_tensor::simd::quantize_lattice(src, 127.0 / absmax, lattice);
+    absmax / 127.0
 }
 
 /// The state of one quantized Algorithm-1 accumulation.
 ///
-/// `K̂` and `V` are quantized into canonical int8 operands (the storage form an int8
-/// deployment holds; both are consumed here — by the integer column sums — and live
-/// only inside [`Int8LowRank::accumulate`]) plus their widened f32 "lattice" views,
-/// the register form the SIMD integer-exact GEMM consumes. The query is quantized to
-/// its lattice view only: its sole consumer is the f32 output sweep, so an int8 query
-/// store would be write-only work. The `(G, k̂_sum, v_sum)` aggregates are accumulated
-/// **exactly** in integer arithmetic (`G` through
-/// [`MatmulBackend::gemm_lattice_exact_into`]'s chunked-exact kernel, the sums in
-/// `i32` over the int8 operands) and then dequantized once per head with the query
-/// scale folded in — `g = s_q s_k s_v · G`, `k_sum = s_q s_k · k̂_sum`,
-/// `v_sum = s_v · v_sum` — so the per-query output sweep is *identical* to the f32
-/// Taylor kernel's fused Steps-4–6 loop over the unscaled query lattice. That one
-/// `O(d²)` scale sweep is the entire f32 dequantization of the kernel.
+/// `K̂` and `V` are quantized into canonical int8 operands — the storage form an int8
+/// deployment holds and exactly what the backend's integer GEMM consumes; both live
+/// only inside [`Int8LowRank::accumulate`]. The query is quantized to its f32 lattice
+/// view only: its sole consumer is the f32 output sweep, so an int8 query store would
+/// be write-only work. The `(G, k̂_sum, v_sum)` aggregates are accumulated **exactly**
+/// in integer arithmetic: `G` through [`MatmulBackend::gemm_i8_native_into`]'s
+/// `maddubs` microkernel when the resolved backend supports it, otherwise through the
+/// bit-identical widen-to-f32 chunked-exact kernel
+/// ([`MatmulBackend::gemm_i8_exact_into`]); the sums in `i32` over the int8 operands.
+/// The aggregates are then dequantized once per head with the query scale folded in —
+/// `g = s_q s_k s_v · G`, `k_sum = s_q s_k · k̂_sum`, `v_sum = s_v · v_sum` — so the
+/// per-query output sweep is *identical* to the f32 Taylor kernel's fused Steps-4–6
+/// loop over the unscaled query lattice. That one `O(d²)` scale sweep is the entire
+/// f32 dequantization of the kernel.
 /// Every buffer is a workspace checkout; [`Int8LowRank::recycle`] hands them all back.
 struct Int8LowRank {
-    q_lat: Vec<f32>,
-    g: Vec<f32>,
-    k_sum: Vec<f32>,
-    v_sum: Vec<f32>,
+    q_lat: AlignedVec<f32>,
+    g: AlignedVec<f32>,
+    k_sum: AlignedVec<f32>,
+    v_sum: AlignedVec<f32>,
 }
 
 impl Int8LowRank {
@@ -227,42 +195,38 @@ impl Int8LowRank {
         let mut q_lat = ws.take_vec(n_q * d_k);
         let s_q = quantize_lattice(q.as_slice(), q_max, &mut q_lat);
         let mut k_q = ws.take_i8_vec(n * d_k);
-        let mut k_lat = ws.take_vec(n * d_k);
-        let s_k = quantize_slice(k_hat, k_max, &mut k_q, &mut k_lat);
+        let s_k = quantize_slice(k_hat, k_max, &mut k_q);
         let mut v_q = ws.take_i8_vec(n * d_v);
-        let mut v_lat = ws.take_vec(n * d_v);
-        let s_v = quantize_slice(v.as_slice(), v_max, &mut v_q, &mut v_lat);
+        let s_v = quantize_slice(v.as_slice(), v_max, &mut v_q);
 
-        // G = K̂_qᵀ V_q: exact integer accumulation through the SIMD lattice kernel
-        // (bit-identical to the scalar i32 reference; scratch from the workspace
-        // keeps the path allocation-free).
+        // G = K̂_qᵀ V_q: exact integer accumulation straight off the canonical int8
+        // operands. The native `maddubs` microkernel consumes them directly through
+        // the *clamped* entry — the quantizer's ±127 saturation guarantees the
+        // operands sit inside its domain, so the `-128` scans the general entry runs
+        // would be two redundant full-buffer sweeps here. When the resolved backend
+        // or host lacks the kernel, the widen-to-f32 chunked-exact kernel computes
+        // the bit-identical product from workspace scratch.
+        let backend = matmul_backend();
         let mut g_i = ws.take_i32_vec(d_k * d_v);
-        let mut c_f = ws.take_vec(d_k * d_v);
-        matmul_backend().gemm_lattice_exact_into(
-            &mut g_i,
-            d_k,
-            n,
-            d_v,
-            Operand::transposed(&k_lat, d_k),
-            Operand::row_major(&v_lat, d_v),
-            &mut c_f,
-        );
-        ws.recycle_vec(c_f);
-        ws.recycle_vec(k_lat);
-        ws.recycle_vec(v_lat);
-        // Exact integer column sums in i32 over the canonical int8 operands.
+        let k_op = IntOperand::transposed(&k_q, d_k);
+        let v_op = IntOperand::row_major(&v_q, d_v);
+        if !backend.gemm_i8_native_clamped_into(&mut g_i, d_k, n, d_v, k_op, v_op) {
+            let mut a_f = ws.take_vec(n * d_k);
+            let mut b_f = ws.take_vec(n * d_v);
+            let mut c_f = ws.take_vec(d_k * d_v);
+            backend.gemm_i8_exact_into(
+                &mut g_i, d_k, n, d_v, k_op, v_op, &mut a_f, &mut b_f, &mut c_f,
+            );
+            ws.recycle_vec(a_f);
+            ws.recycle_vec(b_f);
+            ws.recycle_vec(c_f);
+        }
+        // Exact integer column sums in i32 over the canonical int8 operands, via the
+        // widen-and-add SIMD sweep when the host supports it.
         let mut k_sum_i = ws.take_i32_vec(d_k);
-        for row in k_q.chunks_exact(d_k) {
-            for (acc, &kv) in k_sum_i.iter_mut().zip(row) {
-                *acc += i32::from(kv);
-            }
-        }
+        vitality_tensor::simd::i8_column_sums(&k_q, &mut k_sum_i);
         let mut v_sum_i = ws.take_i32_vec(d_v);
-        for row in v_q.chunks_exact(d_v) {
-            for (acc, &vv) in v_sum_i.iter_mut().zip(row) {
-                *acc += i32::from(vv);
-            }
-        }
+        vitality_tensor::simd::i8_column_sums(&v_q, &mut v_sum_i);
         ws.recycle_i8_vec(k_q);
         ws.recycle_i8_vec(v_q);
 
@@ -294,22 +258,31 @@ impl Int8LowRank {
         }
     }
 
-    /// Emits one output row — the same fused Steps-4–6 loop as the f32 Taylor kernel,
-    /// driven by the query's integer lattice row over the scale-folded aggregates:
-    /// `out = (sqrt(d) v_sum + q G) / (n sqrt(d) + q k̂_sum)` with every operand on
-    /// the int8 grid. Returns the Taylor denominator `t_D` for the unified kernel's
-    /// weak normaliser.
-    fn output_row(&self, i: usize, sqrt_d: f32, n_sqrt_d: f32, out_row: &mut [f32]) -> f32 {
-        let d_k = self.k_sum.len();
-        crate::kernel::low_rank_output_row(
-            &self.q_lat[i * d_k..(i + 1) * d_k],
+    /// Emits every output row — the same fused GEMM-backed Steps-4–6 pass as the f32
+    /// Taylor kernel, driven by the query's integer lattice over the scale-folded
+    /// aggregates: `out_i = (sqrt(d) v_sum + q_i G) / (n sqrt(d) + q_i k̂_sum)` with
+    /// every operand on the int8 grid. Fills `denoms` with each row's Taylor
+    /// denominator `t_D` for the unified kernel's weak normaliser.
+    fn output_sweep(
+        &self,
+        backend: MatmulBackend,
+        sqrt_d: f32,
+        n_sqrt_d: f32,
+        out: &mut [f32],
+        denoms: &mut [f32],
+    ) {
+        crate::kernel::low_rank_outputs(
+            backend,
+            &self.q_lat,
+            self.k_sum.len(),
             &self.g,
             &self.k_sum,
             &self.v_sum,
             sqrt_d,
             n_sqrt_d,
-            out_row,
-        )
+            out,
+            denoms,
+        );
     }
 
     /// Returns every buffer to the workspace.
@@ -373,18 +346,20 @@ impl AttentionKernel for QuantizedTaylorKernel {
         let mut k_bar = ws.take_vec(d_k);
         fill_k_bar(k, true, &mut k_bar);
         let mut k_hat = ws.take_vec(n * d_k);
-        for (r, row) in k_hat.chunks_exact_mut(d_k).enumerate() {
-            for ((kh, &kv), &kb) in row.iter_mut().zip(k.row(r)).zip(&k_bar) {
-                *kh = kv - kb;
-            }
-        }
+        crate::kernel::center_keys_into(k, &k_bar, &mut k_hat);
         let lr = Int8LowRank::accumulate(q, &k_hat, v, self.calibration, ws);
         let n_sqrt_d = n as f32 * sqrt_d;
-        for r in 0..q.rows() {
-            lr.output_row(r, sqrt_d, n_sqrt_d, out.row_mut(r));
-        }
+        let mut denoms = ws.take_vec(q.rows());
+        lr.output_sweep(
+            matmul_backend(),
+            sqrt_d,
+            n_sqrt_d,
+            out.as_mut_slice(),
+            &mut denoms,
+        );
         ws.recycle_vec(k_bar);
         ws.recycle_vec(k_hat);
+        ws.recycle_vec(denoms);
         lr.recycle(ws);
     }
 
@@ -476,25 +451,25 @@ impl AttentionKernel for QuantizedUnifiedKernel {
         let mut k_bar = ws.take_vec(d_k);
         fill_k_bar(k, true, &mut k_bar);
         let mut k_hat = ws.take(n, d_k);
-        for r in 0..n {
-            for ((kh, &kv), &kb) in k_hat.row_mut(r).iter_mut().zip(k.row(r)).zip(&k_bar) {
-                *kh = kv - kb;
-            }
-        }
+        crate::kernel::center_keys_into(k, &k_bar, k_hat.as_mut_slice());
         let mut q_p = ws.take(n_q, d_k);
         quantize_symmetric_into(q, bits, &mut q_p);
         let mut k_p = ws.take(n, d_k);
         quantize_symmetric_into(&k_hat, bits, &mut k_p);
 
         // Integer low-rank aggregates (the int8 Taylor accumulation), reusing the
-        // centred keys already materialised for the exact residual logits.
+        // centred keys already materialised for the exact residual logits, and the
+        // full GEMM-backed low-rank output sweep; the blocked loop below only applies
+        // the SDDMM correction on top.
         let lr = Int8LowRank::accumulate(q, k_hat.as_slice(), v, self.calibration, ws);
+        let n_sqrt_d = n as f32 * sqrt_d;
+        let mut denoms = ws.take_vec(n_q);
+        lr.output_sweep(backend, sqrt_d, n_sqrt_d, out.as_mut_slice(), &mut denoms);
 
         let bs_max = ROW_BLOCK.min(n_q.max(1));
         let mut exact = ws.take_vec(bs_max * n);
         let mut pred = ws.take_vec(bs_max * n);
         let mut surviving = ws.take_indices();
-        let n_sqrt_d = n as f32 * sqrt_d;
 
         for lo in (0..n_q).step_by(ROW_BLOCK) {
             let hi = (lo + ROW_BLOCK).min(n_q);
@@ -532,11 +507,11 @@ impl AttentionKernel for QuantizedUnifiedKernel {
                     z_sum += (l - l_max).exp();
                 }
 
-                // Integer low-rank row, then the SDDMM correction at the surviving
-                // positions, normalised by the integer row's own denominator.
+                // The integer low-rank row is already in place from the GEMM-backed
+                // sweep; apply the SDDMM correction at the surviving positions,
+                // normalised by the integer row's own denominator.
                 let out_row = out.row_mut(i);
-                let denominator = lr.output_row(i, sqrt_d, n_sqrt_d, out_row);
-                let t_i = denominator * inv_sqrt_d;
+                let t_i = denoms[i] * inv_sqrt_d;
                 let inv_z = if z_sum > 0.0 { 1.0 / z_sum } else { 0.0 };
                 let inv_t = 1.0 / t_i;
                 for &j in surviving.iter() {
@@ -554,6 +529,7 @@ impl AttentionKernel for QuantizedUnifiedKernel {
         ws.recycle(k_hat);
         ws.recycle(q_p);
         ws.recycle(k_p);
+        ws.recycle_vec(denoms);
         ws.recycle_vec(exact);
         ws.recycle_vec(pred);
         ws.recycle_indices(surviving);
@@ -593,35 +569,25 @@ mod tests {
     fn quantize_slice_round_trips_within_one_step() {
         let src = [-1.0f32, -0.4, 0.0, 0.33, 0.999];
         let mut dst = [0i8; 5];
-        let mut lat = [0.0f32; 5];
-        let scale = quantize_slice(&src, 1.0, &mut dst, &mut lat);
+        let scale = quantize_slice(&src, 1.0, &mut dst);
         assert!((scale - 1.0 / 127.0).abs() < 1e-9);
-        for ((&s, &d), &l) in src.iter().zip(&dst).zip(&lat) {
+        for (&s, &d) in src.iter().zip(&dst) {
             assert!((s - f32::from(d) * scale).abs() <= 0.5 * scale + 1e-6);
-            // The lattice view is exactly the widened int8 value.
-            assert_eq!(l, f32::from(d), "lattice and i8 views diverged");
         }
-        // Out-of-range values saturate instead of wrapping.
+        // Out-of-range values saturate instead of wrapping — which also keeps every
+        // quantized operand inside the native kernel's [-127, 127] domain.
         let mut sat = [0i8; 2];
-        let mut sat_lat = [0.0f32; 2];
-        quantize_slice(&[9.0, -9.0], 1.0, &mut sat, &mut sat_lat);
+        quantize_slice(&[9.0, -9.0], 1.0, &mut sat);
         assert_eq!(sat, [127, -127]);
-        assert_eq!(sat_lat, [127.0, -127.0]);
         // Degenerate range zeroes everything and reports scale 0.
         let mut zero = [3i8; 2];
-        let mut zero_lat = [3.0f32; 2];
-        assert_eq!(
-            quantize_slice(&[0.5, -0.5], 0.0, &mut zero, &mut zero_lat),
-            0.0
-        );
+        assert_eq!(quantize_slice(&[0.5, -0.5], 0.0, &mut zero), 0.0);
         assert_eq!(zero, [0, 0]);
-        assert_eq!(zero_lat, [0.0, 0.0]);
         // The magic-constant rounding matches f32::round away from exact .5 ties and
         // lands on the nearest even integer at ties (both within half a step).
         let ties = [0.5f32, -0.5, 1.5, 2.5];
         let mut tie_dst = [0i8; 4];
-        let mut tie_lat = [0.0f32; 4];
-        quantize_slice(&ties, 127.0, &mut tie_dst, &mut tie_lat);
+        quantize_slice(&ties, 127.0, &mut tie_dst);
         assert_eq!(tie_dst, [0, 0, 2, 2], "round-half-even at exact ties");
     }
 

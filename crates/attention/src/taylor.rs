@@ -12,12 +12,8 @@ use crate::opcount::{taylor_attention_ops, OpCounts};
 use crate::softmax::scaled_similarity;
 use crate::taxonomy::AttentionFamily;
 use crate::{validate_qkv, AttentionMechanism};
-use rayon::prelude::*;
 use vitality_autograd::Var;
-use vitality_tensor::Matrix;
-
-/// Rows per parallel work unit in the fused kernel's accumulation and scoring passes.
-const ROW_CHUNK: usize = 128;
+use vitality_tensor::{matmul_backend, Matrix};
 
 /// Mean-centres the keys: returns `\hat{K} = K - 1_n \bar{K}` where `\bar{K}` is the
 /// column (token-wise) mean of `K`.
@@ -134,113 +130,65 @@ impl TaylorAttention {
         }
     }
 
-    /// Fused inference kernel: Algorithm 1 without its intermediates.
+    /// Fused inference kernel: Algorithm 1 without its analytical intermediates.
     ///
     /// [`TaylorAttention::compute_with_trace`] materialises every step of Algorithm 1 —
     /// `\hat{K}`, `G`, the broadcast `1_n v_{sum}`, the numerator and the denominator —
     /// which is what the accelerator simulator replays but wastes memory traffic at
     /// inference. This kernel produces the identical score in three passes:
     ///
-    /// 1. one reduction over `K` for `\bar{K}`;
-    /// 2. one parallel sweep over `(K, V)` rows accumulating `G = \hat{K}^T V`,
-    ///    `\hat{k}_{sum}` and `v_{sum}` together (the centred key row lives in a
-    ///    register-sized scratch, never in an `n x d` matrix);
-    /// 3. one parallel sweep over `Q` rows emitting each output row directly as
-    ///    `(sqrt(d) v_{sum} + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)` — Steps 4–6
-    ///    fused, with no `t_D`, `T_N` or broadcast buffers.
+    /// 1. one reduction over `K` for `\bar{K}`, then the centred keys;
+    /// 2. the `(G = \hat{K}^T V, \hat{k}_{sum}, v_{sum})` aggregates, with `G` on the
+    ///    backend GEMM (the SIMD microkernels) and the sums in one `O(nd)` sweep;
+    /// 3. the `Q G` product on the same GEMM, with Steps 4–6's epilogue —
+    ///    `(sqrt(d) v_{sum} + q_i G) / (n sqrt(d) + q_i \hat{k}_{sum}^T)` — folded
+    ///    over the product rows, with no `t_D`, `T_N` or broadcast buffers.
+    ///
+    /// These are the same shared passes the serving
+    /// [`AttentionKernel`](crate::kernel::AttentionKernel) implementation runs, so the
+    /// two stay in lockstep bit for bit.
     pub fn compute_fused(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
         validate_qkv(q, k, v);
         let n = k.rows();
         let d_k = k.cols();
         let d_v = v.cols();
         let sqrt_d = (q.cols() as f32).sqrt();
+        let backend = matmul_backend();
 
-        // Pass 1: \bar{K} (all-zero when centring is ablated, so pass 2 can subtract
-        // unconditionally).
+        // Pass 1: \bar{K} (all-zero when centring is ablated, so the centring sweep
+        // can subtract unconditionally).
         let k_bar = if self.mean_center {
             k.col_mean().into_vec()
         } else {
             vec![0.0f32; d_k]
         };
+        let mut k_hat = vec![0.0f32; n * d_k];
+        crate::kernel::center_keys_into(k, &k_bar, &mut k_hat);
 
-        // Pass 2: per-chunk partial (G, \hat{k}_{sum}, v_{sum}) accumulators, reduced
-        // after the parallel sweep.
-        let chunks = n.div_ceil(ROW_CHUNK).max(1);
-        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..chunks)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * ROW_CHUNK;
-                let hi = (lo + ROW_CHUNK).min(n);
-                let mut g = vec![0.0f32; d_k * d_v];
-                let mut k_sum = vec![0.0f32; d_k];
-                let mut v_sum = vec![0.0f32; d_v];
-                let mut k_hat_row = vec![0.0f32; d_k];
-                for r in lo..hi {
-                    for ((kh, &kv), (&kb, ks)) in k_hat_row
-                        .iter_mut()
-                        .zip(k.row(r))
-                        .zip(k_bar.iter().zip(k_sum.iter_mut()))
-                    {
-                        *kh = kv - kb;
-                        *ks += *kh;
-                    }
-                    let v_row = v.row(r);
-                    for (vs, &vv) in v_sum.iter_mut().zip(v_row) {
-                        *vs += vv;
-                    }
-                    for (&kh, g_row) in k_hat_row.iter().zip(g.chunks_exact_mut(d_v)) {
-                        for (gv, &vv) in g_row.iter_mut().zip(v_row) {
-                            *gv += kh * vv;
-                        }
-                    }
-                }
-                (g, k_sum, v_sum)
-            })
-            .collect();
+        // Pass 2: aggregates, G through the backend GEMM.
         let mut g = vec![0.0f32; d_k * d_v];
         let mut k_sum = vec![0.0f32; d_k];
         let mut v_sum = vec![0.0f32; d_v];
-        for (pg, pk, pv) in &partials {
-            for (acc, &x) in g.iter_mut().zip(pg) {
-                *acc += x;
-            }
-            for (acc, &x) in k_sum.iter_mut().zip(pk) {
-                *acc += x;
-            }
-            for (acc, &x) in v_sum.iter_mut().zip(pv) {
-                *acc += x;
-            }
-        }
+        crate::kernel::taylor_aggregates_from_centred(
+            backend, &k_hat, v, &mut g, &mut k_sum, &mut v_sum,
+        );
 
-        // Pass 3: Steps 4–6 fused per query row.
+        // Pass 3: Steps 4–6 fused over the Q G product.
         let n_sqrt_d = n as f32 * sqrt_d;
         let mut score = Matrix::zeros(q.rows(), d_v);
-        score
-            .as_mut_slice()
-            .par_chunks_mut(ROW_CHUNK * d_v)
-            .enumerate()
-            .for_each(|(chunk, out_rows)| {
-                let lo = chunk * ROW_CHUNK;
-                for (local, out_row) in out_rows.chunks_exact_mut(d_v).enumerate() {
-                    let q_row = q.row(lo + local);
-                    let mut denominator = n_sqrt_d;
-                    for (&qv, &ks) in q_row.iter().zip(k_sum.iter()) {
-                        denominator += qv * ks;
-                    }
-                    for (o, &vs) in out_row.iter_mut().zip(v_sum.iter()) {
-                        *o = sqrt_d * vs;
-                    }
-                    for (&qv, g_row) in q_row.iter().zip(g.chunks_exact(d_v)) {
-                        for (o, &gv) in out_row.iter_mut().zip(g_row) {
-                            *o += qv * gv;
-                        }
-                    }
-                    let inv = 1.0 / denominator;
-                    for o in out_row.iter_mut() {
-                        *o *= inv;
-                    }
-                }
-            });
+        let mut denoms = vec![0.0f32; q.rows()];
+        crate::kernel::low_rank_outputs(
+            backend,
+            q.as_slice(),
+            d_k,
+            &g,
+            &k_sum,
+            &v_sum,
+            sqrt_d,
+            n_sqrt_d,
+            score.as_mut_slice(),
+            &mut denoms,
+        );
         score
     }
 

@@ -295,8 +295,18 @@ impl Metrics {
                 .set("stages", stats.stages_json());
             variants.set(label, v);
         }
+        // The *resolved* matmul backend (env request reconciled against the host's
+        // CPU features), plus the raw feature flags — so a fleet operator can tell
+        // from `/metrics` alone whether a node is actually running the SIMD kernels.
+        let cpu = vitality_tensor::cpu_features();
+        let mut compute = JsonValue::object();
+        compute
+            .set("matmul_backend", vitality_tensor::matmul_backend().label())
+            .set("cpu_avx2", cpu.avx2)
+            .set("cpu_fma", cpu.fma);
         let mut root = JsonValue::object();
         root.set("uptime_s", self.started.elapsed().as_secs_f64())
+            .set("compute", compute)
             .set("submitted", self.submitted.load(Ordering::Relaxed))
             .set("completed", self.completed.load(Ordering::Relaxed))
             .set("shed", self.shed.load(Ordering::Relaxed))
@@ -384,6 +394,22 @@ mod tests {
         let u = variants.get("unified").expect("unified block");
         assert_eq!(u.get("requests").and_then(JsonValue::as_usize), Some(1));
         assert_eq!(u.get("p99_us").and_then(JsonValue::as_usize), Some(512));
+    }
+
+    #[test]
+    fn snapshot_reports_the_resolved_matmul_backend() {
+        let snap = Metrics::new().snapshot_json();
+        let compute = snap.get("compute").expect("compute block");
+        let backend = compute
+            .get("matmul_backend")
+            .and_then(JsonValue::as_str)
+            .expect("matmul_backend label");
+        assert!(
+            ["naive", "blocked", "avx2"].contains(&backend),
+            "unknown backend label {backend:?}"
+        );
+        assert!(compute.get("cpu_avx2").is_some());
+        assert!(compute.get("cpu_fma").is_some());
     }
 
     #[test]

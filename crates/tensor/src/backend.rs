@@ -14,19 +14,54 @@
 //!   to the register tile), and an `MR × NR = 8 × 8` microkernel accumulates each output
 //!   tile in registers over contiguous packed slices, which the compiler auto-vectorises.
 //!   Row panels of the output are distributed over threads with rayon.
+//! * [`MatmulBackend::Avx2`] — the same blocking structure with the hand-written
+//!   AVX2/FMA microkernels from [`crate::simd`]: 256-bit FMA register tiles for f32 and
+//!   a native `maddubs` i8×i8→i32 kernel that lets [`gemm_lattice_exact_into`]
+//!   (and [`gemm_i8_native_into`]) skip the widened-f32 lattice round trip entirely.
+//!   The default wherever [`crate::simd::simd_available`] holds; elsewhere every call
+//!   transparently degrades to the scalar blocked path.
 //!
-//! Both backends serve all three access patterns the attention kernels need — `A·B`,
+//! All backends serve all three access patterns the attention kernels need — `A·B`,
 //! `A·Bᵀ` ([`Matrix::matmul_transpose_b`](crate::Matrix::matmul_transpose_b)) and `Aᵀ·B`
 //! ([`Matrix::transpose_matmul`](crate::Matrix::transpose_matmul)) — by packing through a
 //! layout accessor instead of materialising the transpose.
 //!
 //! # Backend selection
 //!
-//! The process-wide default is [`MatmulBackend::Blocked`]. It can be overridden with the
-//! `VITALITY_MATMUL_BACKEND` environment variable (`naive` or `blocked`) or at runtime
-//! with [`set_matmul_backend`]. Code that needs a *specific* backend regardless of the
-//! global default (differential tests, benches) should use the explicit `*_with` methods
-//! on [`Matrix`](crate::Matrix).
+//! The process-wide default is [`MatmulBackend::Avx2`] when the host supports it (see
+//! [`crate::cpu_features`]), else [`MatmulBackend::Blocked`]. It can be overridden with
+//! the `VITALITY_MATMUL_BACKEND` environment variable (`naive`, `blocked` or `avx2`) or
+//! at runtime with [`set_matmul_backend`]. Code that needs a *specific* backend
+//! regardless of the global default (differential tests, benches) should use the
+//! explicit `*_with` methods on [`Matrix`](crate::Matrix).
+//!
+//! # Adding a microkernel (worked example)
+//!
+//! The dispatch layer is deliberately thin, so a new instruction-set tier (say AVX-512,
+//! or NEON on aarch64) is a four-step change — mirroring how [`MatmulBackend::Avx2`]
+//! itself was added:
+//!
+//! 1. **Write the kernel pair** in `crates/tensor/src/simd.rs` behind a
+//!    `#[cfg(all(target_arch = "...", not(force_scalar)))]` module: an `unsafe`
+//!    `#[target_feature(...)]` register-tile microkernel consuming the packed k-major
+//!    `MR`-wide / `NR`-wide panel layout (every packer writes *all* tile slots, so
+//!    dirty reused scratch is safe), plus a blocked driver that packs into the
+//!    thread-local [`crate::AlignedVec`] scratch. Every intrinsic block carries a
+//!    `// SAFETY:` comment — the crate denies `unsafe_op_in_unsafe_fn`.
+//! 2. **Gate it at runtime**: extend [`crate::CpuFeatures`] with the new flag(s),
+//!    detect them in `cpu_features()`, and add a `<tier>_available()` predicate. The
+//!    runtime check is what keeps the `unsafe` call sound on every host.
+//! 3. **Teach the enum**: add the variant here, a `BACKEND_*` code for the atomic, a
+//!    [`MatmulBackend::label`] string, an env-variable spelling in [`matmul_backend`]
+//!    (unsupported hosts must `trace::warn!` and fall back, never panic), and a
+//!    [`MatmulBackend::dispatch`] arm that degrades to the scalar blocked path when
+//!    the runtime check fails — explicit `*_with(new_tier)` callers on old hardware
+//!    still get correct answers.
+//! 4. **Pin it differentially**: extend `crates/tensor/tests/simd_differential.rs`
+//!    so the new kernel is compared against [`MatmulBackend::Naive`] (f32, within
+//!    `1e-5`) and [`MatmulBackend::gemm_i8_into`] (integers, bit-identical) across
+//!    shapes that straddle every remainder lane, and add the backend to the bench
+//!    matrix in `bench_attention` so the win is tracked in `BENCH_attention.json`.
 //!
 //! # Blocking parameters
 //!
@@ -49,9 +84,15 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub enum MatmulBackend {
     /// Textbook scalar `i j k` triple loop — slow, obviously correct, single-threaded.
     Naive,
-    /// Cache-blocked, packed, 8×8-register-tiled kernel with rayon parallelism over row
-    /// panels. The default.
+    /// Cache-blocked, packed, 8×8-register-tiled **scalar** kernel with rayon
+    /// parallelism over row panels. The auto-vectorised baseline the SIMD tier is
+    /// benchmarked against, and the default on hosts without AVX2/FMA.
     Blocked,
+    /// The blocked structure with explicit AVX2/FMA microkernels ([`crate::simd`]):
+    /// 256-bit FMA f32 register tiles and a native `maddubs` i8 path. The default
+    /// when [`crate::simd::simd_available`] holds; on other hosts every call
+    /// degrades to the scalar blocked kernel at runtime.
+    Avx2,
 }
 
 /// Register tile height (rows of C accumulated per microkernel call).
@@ -77,40 +118,69 @@ pub const I8_EXACT_CHUNK: usize = 1024;
 const BACKEND_UNSET: u8 = 0;
 const BACKEND_NAIVE: u8 = 1;
 const BACKEND_BLOCKED: u8 = 2;
+const BACKEND_AVX2: u8 = 3;
 
 static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// The backend the process defaults to on this host: [`MatmulBackend::Avx2`] when the
+/// SIMD microkernels can run, else [`MatmulBackend::Blocked`].
+fn default_backend() -> MatmulBackend {
+    if crate::simd::simd_available() {
+        MatmulBackend::Avx2
+    } else {
+        MatmulBackend::Blocked
+    }
+}
 
 /// Returns the process-wide backend used by the implicit `Matrix` products.
 ///
 /// Resolution order: the last [`set_matmul_backend`] call, else the
-/// `VITALITY_MATMUL_BACKEND` environment variable (`naive` / `blocked`), else
-/// [`MatmulBackend::Blocked`].
+/// `VITALITY_MATMUL_BACKEND` environment variable (`naive` / `blocked` / `avx2`), else
+/// [`MatmulBackend::Avx2`] where [`crate::simd::simd_available`] holds and
+/// [`MatmulBackend::Blocked`] everywhere else.
 ///
-/// An unrecognised `VITALITY_MATMUL_BACKEND` value does **not** abort the process: it
-/// logs a warning to stderr (once) and falls back to the default backend. Long-lived
-/// serving processes resolve the backend lazily on the first product of a request, and
-/// a typo in a deployment environment must degrade to the default kernel, not kill the
-/// server. Benchmark harnesses that care about the distinction should assert on
-/// [`matmul_backend`]'s return value instead of trusting the variable.
+/// An unrecognised `VITALITY_MATMUL_BACKEND` value — or `avx2` requested on a host
+/// whose CPU lacks the features — does **not** abort the process: it logs a
+/// `trace::warn!` and falls back. Long-lived serving processes resolve the backend
+/// lazily on the first product of a request, and a typo in a deployment environment
+/// must degrade to the default kernel, not kill the server. Harnesses that care about
+/// the distinction should assert on [`matmul_backend`]'s return value (the *resolved*
+/// backend, also surfaced in `/metrics` and the bench JSON) instead of trusting the
+/// variable.
 pub fn matmul_backend() -> MatmulBackend {
     match GLOBAL_BACKEND.load(Ordering::Relaxed) {
         BACKEND_NAIVE => MatmulBackend::Naive,
         BACKEND_BLOCKED => MatmulBackend::Blocked,
+        BACKEND_AVX2 => MatmulBackend::Avx2,
         _ => {
             let resolved = match std::env::var("VITALITY_MATMUL_BACKEND") {
                 Ok(value) => match value.as_str() {
                     "naive" => MatmulBackend::Naive,
                     "blocked" => MatmulBackend::Blocked,
+                    "avx2" => {
+                        if crate::simd::simd_available() {
+                            MatmulBackend::Avx2
+                        } else {
+                            trace::warn!(
+                                "VITALITY_MATMUL_BACKEND=avx2 requested but this host \
+                                 has no AVX2/FMA support ({:?}); falling back to the \
+                                 scalar blocked backend",
+                                crate::simd::cpu_features()
+                            );
+                            MatmulBackend::Blocked
+                        }
+                    }
                     other => {
                         trace::warn!(
                             "unrecognised VITALITY_MATMUL_BACKEND value {other:?} \
-                             (expected \"naive\" or \"blocked\"); falling back to the \
-                             default blocked backend"
+                             (expected \"naive\", \"blocked\" or \"avx2\"); falling \
+                             back to the default {} backend",
+                            default_backend().label()
                         );
-                        MatmulBackend::Blocked
+                        default_backend()
                     }
                 },
-                Err(_) => MatmulBackend::Blocked,
+                Err(_) => default_backend(),
             };
             set_matmul_backend(resolved);
             resolved
@@ -126,6 +196,7 @@ pub fn set_matmul_backend(backend: MatmulBackend) {
     let code = match backend {
         MatmulBackend::Naive => BACKEND_NAIVE,
         MatmulBackend::Blocked => BACKEND_BLOCKED,
+        MatmulBackend::Avx2 => BACKEND_AVX2,
     };
     GLOBAL_BACKEND.store(code, Ordering::Relaxed);
 }
@@ -181,7 +252,7 @@ impl<'a> Operand<'a> {
     }
 
     #[inline(always)]
-    fn at(&self, r: usize, c: usize) -> f32 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> f32 {
         self.layout.at(self.data, self.stride, r, c)
     }
 }
@@ -215,11 +286,19 @@ impl<'a> IntOperand<'a> {
     }
 
     #[inline(always)]
-    fn at(&self, r: usize, c: usize) -> i8 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> i8 {
         match self.layout {
             Layout::RowMajor => self.data[r * self.stride + c],
             Layout::Transposed => self.data[c * self.stride + r],
         }
+    }
+
+    /// The raw buffer, stride and layout — for the SIMD packers' branch-free
+    /// full-tile copies, which index the flat buffer directly instead of paying a
+    /// per-byte `at` bounds check.
+    #[inline(always)]
+    pub(crate) fn raw(&self) -> (&'a [i8], usize, Layout) {
+        (self.data, self.stride, self.layout)
     }
 }
 
@@ -410,6 +489,19 @@ impl MatmulBackend {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
+        // SIMD fast path: re-narrow the lattice to i8 (one cheap O(len) sweep into
+        // thread-local aligned scratch) and run the native maddubs kernel — exact
+        // integer arithmetic on both routes, so results stay bit-identical to the
+        // chunked f32 path and the scalar reference. Values outside [-127, 127]
+        // (beyond the documented lattice contract, but tolerated by the f32 route)
+        // make the sweep bail out to the chunked path instead.
+        #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+        if self == MatmulBackend::Avx2
+            && crate::simd::simd_available()
+            && lattice_native(out, m, k, n, a, b)
+        {
+            return;
+        }
         for lo in (0..k).step_by(I8_EXACT_CHUNK) {
             let kc = I8_EXACT_CHUNK.min(k - lo);
             // Offset the operand buffers so the sub-operand starts at reduction
@@ -429,6 +521,91 @@ impl MatmulBackend {
         }
     }
 
+    /// Native int8 GEMM: the `maddubs` AVX2 kernel multiplying the `i8` operands
+    /// directly with i32 accumulation — no f32 widening, no [`I8_EXACT_CHUNK`]
+    /// splitting (integer accumulation is exact up to the asserted `k` bound).
+    ///
+    /// Returns `true` when the SIMD kernel ran and `out` holds the product
+    /// (bit-identical to [`MatmulBackend::gemm_i8_into`]). Returns `false` — with
+    /// `out` untouched — when this backend is not [`MatmulBackend::Avx2`], the host
+    /// lacks the features, or an operand contains `-128` (the one i8 value the
+    /// `abs`/`sign` maddubs idiom cannot represent; quantized attention operands are
+    /// clamped to `±127` and never hit this). Callers fall back to
+    /// [`MatmulBackend::gemm_i8_exact_into`] on `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n` or `k` exceeds the i32 exactness bound.
+    pub fn gemm_i8_native_into(
+        self,
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: IntOperand<'_>,
+        b: IntOperand<'_>,
+    ) -> bool {
+        if !(self == MatmulBackend::Avx2 && crate::simd::simd_available()) {
+            return false;
+        }
+        if a.data.contains(&i8::MIN) || b.data.contains(&i8::MIN) {
+            return false;
+        }
+        self.gemm_i8_native_clamped_into(out, m, k, n, a, b)
+    }
+
+    /// [`MatmulBackend::gemm_i8_native_into`] minus the `-128` operand scans, for
+    /// callers that produce their operands through the ±127-saturating quantizer
+    /// ([`crate::simd::quantize_i8`]) and can therefore *guarantee* the `maddubs`
+    /// domain. The scans are `O(m·k + k·n)` full-buffer sweeps — pure overhead on the
+    /// attention hot path, where every operand byte is clamped by construction.
+    ///
+    /// Feeding an operand containing `-128` here returns incorrect *values* (the
+    /// `_mm256_sign_epi8` negation wraps) but is memory-safe, hence a safe `fn` with
+    /// a debug-only re-check rather than an `unsafe` one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != m * n` or `k` exceeds the i32 exactness bound; debug
+    /// builds also re-assert the no-`-128` contract.
+    pub fn gemm_i8_native_clamped_into(
+        self,
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: IntOperand<'_>,
+        b: IntOperand<'_>,
+    ) -> bool {
+        assert_eq!(out.len(), m * n, "gemm_i8_native_into output buffer length");
+        assert!(
+            k <= (i32::MAX / (127 * 127)) as usize,
+            "gemm_i8_native_into shared dimension {k} would overflow the i32 accumulator"
+        );
+        debug_assert!(
+            !a.data.contains(&i8::MIN) && !b.data.contains(&i8::MIN),
+            "gemm_i8_native_clamped_into operand contains -128, outside the maddubs domain"
+        );
+        #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+        if self == MatmulBackend::Avx2 && crate::simd::simd_available() {
+            crate::simd::gemm_i8_avx2(out, m, k, n, a, b);
+            return true;
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(force_scalar))))]
+        let _ = (a, b);
+        false
+    }
+
+    /// The stable lower-case name of this backend, as spelled in
+    /// `VITALITY_MATMUL_BACKEND`, `/metrics` and `BENCH_attention.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatmulBackend::Naive => "naive",
+            MatmulBackend::Blocked => "blocked",
+            MatmulBackend::Avx2 => "avx2",
+        }
+    }
+
     fn dispatch(
         self,
         out: &mut [f32],
@@ -443,15 +620,86 @@ impl MatmulBackend {
         }
         match self {
             MatmulBackend::Naive => gemm_naive(out, m, k, n, a, b),
-            MatmulBackend::Blocked => {
+            MatmulBackend::Blocked | MatmulBackend::Avx2 => {
                 if m * k * n <= SMALL_GEMM_LIMIT {
+                    // Per-head attention matrices in the unit tests and the tiny
+                    // serving config land here: packing (for either blocked tier)
+                    // would cost more than it saves.
                     gemm_small(out, m, k, n, a, b);
-                } else {
-                    gemm_blocked(out, m, k, n, a, b);
+                    return;
                 }
+                #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+                if self == MatmulBackend::Avx2 && crate::simd::simd_available() {
+                    crate::simd::gemm_f32_avx2(out, m, k, n, a, b);
+                    return;
+                }
+                // Explicit Avx2 requests on unsupported hosts degrade to the scalar
+                // blocked kernel — same results, no panic.
+                gemm_blocked(out, m, k, n, a, b);
             }
         }
     }
+}
+
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+std::thread_local! {
+    // Narrowed-lattice scratch for the SIMD fast path of `gemm_lattice_exact_into`;
+    // distinct cells from the panel scratch inside `crate::simd`, which stays
+    // borrowed while the kernel runs.
+    static LATTICE_A_I8: std::cell::RefCell<crate::AlignedVec<i8>> =
+        std::cell::RefCell::new(crate::AlignedVec::new());
+    static LATTICE_B_I8: std::cell::RefCell<crate::AlignedVec<i8>> =
+        std::cell::RefCell::new(crate::AlignedVec::new());
+}
+
+/// Narrows a widened-lattice operand back to `i8` scratch; `false` when any value
+/// falls outside `[-127, 127]` (the caller then keeps the f32 route, which tolerates
+/// such beyond-contract operands).
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+fn narrow_lattice(dst: &mut crate::AlignedVec<i8>, src: &[f32]) -> bool {
+    dst.reset_zeroed(src.len());
+    let mut in_range = true;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        in_range &= (-127.0..=127.0).contains(&v);
+        *d = v as i8;
+    }
+    in_range
+}
+
+/// The SIMD fast path of [`MatmulBackend::gemm_lattice_exact_into`]: narrow both
+/// lattice operands to thread-local aligned `i8` buffers and run the native maddubs
+/// kernel. Returns `false` (with `out` still all-zero) when an operand breaks the
+/// `[-127, 127]` lattice contract.
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+fn lattice_native(
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Operand<'_>,
+    b: Operand<'_>,
+) -> bool {
+    LATTICE_A_I8.with(|a_cell| {
+        LATTICE_B_I8.with(|b_cell| {
+            let mut a_i8 = a_cell.borrow_mut();
+            let mut b_i8 = b_cell.borrow_mut();
+            if !narrow_lattice(&mut a_i8, a.data) || !narrow_lattice(&mut b_i8, b.data) {
+                return false;
+            }
+            let a_op = IntOperand {
+                data: &a_i8,
+                stride: a.stride,
+                layout: a.layout,
+            };
+            let b_op = IntOperand {
+                data: &b_i8,
+                stride: b.stride,
+                layout: b.layout,
+            };
+            crate::simd::gemm_i8_avx2(out, m, k, n, a_op, b_op);
+            true
+        })
+    })
 }
 
 /// Reference kernel: the textbook scalar triple loop, one dot product per output element.

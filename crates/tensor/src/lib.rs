@@ -34,18 +34,23 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod aligned;
 pub mod backend;
 pub mod error;
 pub mod init;
 pub mod matrix;
+pub mod simd;
 pub mod stats;
 pub mod tensor3;
 pub mod workspace;
 
+pub use aligned::{AlignedVec, SIMD_ALIGN};
 pub use backend::{matmul_backend, set_matmul_backend, MatmulBackend};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;
+pub use simd::{cpu_features, CpuFeatures};
 pub use tensor3::Tensor3;
 pub use workspace::{with_thread_workspace, Workspace};
 

@@ -1,0 +1,845 @@
+//! Runtime CPU-feature detection and the explicit AVX2/FMA microkernels behind
+//! [`MatmulBackend::Avx2`](crate::MatmulBackend::Avx2).
+//!
+//! The scalar 8×8 microkernel in [`crate::backend`] leans on the auto-vectoriser,
+//! which on the baseline `x86-64` target means 128-bit SSE2 with separate multiply and
+//! add. This module supplies hand-written `std::arch` kernels for the two hot element
+//! types:
+//!
+//! * **f32** — eight 256-bit FMA accumulators (one per register-tile row); each packed
+//!   depth step is one aligned B-row load plus eight broadcast-FMA pairs.
+//! * **i8** — the AVX2 integer dot-product idiom hardware PE arrays mirror: depth is
+//!   processed four steps at a time with `_mm256_maddubs_epi16` (unsigned×signed byte
+//!   multiply, pairwise i16 add) followed by `_mm256_madd_epi16` against ones to reach
+//!   exact i32 lane sums. Signedness is handled with the `abs`/`sign` trick
+//!   (`|a| · (b · sign a) = a · b`), which is exact for all operand values in
+//!   `[-127, 127]` — the callers in [`crate::backend`] guard the single excluded value
+//!   `-128` (where `_mm256_sign_epi8`'s negation would wrap) and fall back to the
+//!   scalar-exact path instead.
+//!
+//! Everything here is gated twice: at compile time on `target_arch = "x86_64"` plus the
+//! `--cfg force_scalar` escape hatch (useful under Miri, which does not model the
+//! intrinsics), and at runtime on [`cpu_features`] (cached
+//! `is_x86_feature_detected!`). Non-x86 and feature-less hosts transparently keep the
+//! scalar blocked kernel.
+
+use std::sync::OnceLock;
+
+/// The instruction-set extensions the SIMD microkernels need, detected at runtime.
+///
+/// Surfaced in `/metrics` and the bench JSON so perf numbers are attributable to the
+/// hardware they ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// 256-bit integer + float vector ops (`_mm256_maddubs_epi16` and friends).
+    pub avx2: bool,
+    /// Fused multiply-add (`_mm256_fmadd_ps`).
+    pub fma: bool,
+}
+
+impl CpuFeatures {
+    /// `true` when both extensions the microkernels rely on are present.
+    pub fn simd_ready(&self) -> bool {
+        self.avx2 && self.fma
+    }
+}
+
+static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+
+/// Detects (once, cached) the CPU features the SIMD backend needs.
+///
+/// The first call logs the outcome through `trace::info!` so serving logs record which
+/// kernel family the process dispatched to.
+pub fn cpu_features() -> CpuFeatures {
+    *FEATURES.get_or_init(|| {
+        let f = detect();
+        trace::info!(
+            "cpu features: avx2={} fma={} — {}",
+            f.avx2,
+            f.fma,
+            if f.simd_ready() {
+                "AVX2/FMA microkernels available"
+            } else {
+                "scalar blocked kernels only"
+            }
+        );
+        f
+    })
+}
+
+/// `true` when the AVX2/FMA microkernels can run on this host and build
+/// (`x86_64`, not `--cfg force_scalar`, and the CPU advertises both features).
+pub fn simd_available() -> bool {
+    cfg!(all(target_arch = "x86_64", not(force_scalar))) && cpu_features().simd_ready()
+}
+
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+fn detect() -> CpuFeatures {
+    CpuFeatures {
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        fma: std::arch::is_x86_feature_detected!("fma"),
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(force_scalar))))]
+fn detect() -> CpuFeatures {
+    CpuFeatures {
+        avx2: false,
+        fma: false,
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+pub(crate) use x86::{gemm_f32_avx2, gemm_i8_avx2};
+
+/// Round-to-nearest-even magic constant (`1.5 · 2²³`): adding it pushes any value in
+/// `[-2²², 2²²]` into the binade where one ulp is exactly 1, so the correctly rounded
+/// integer falls out of the float add and can be read off the mantissa bits.
+pub(crate) const MAGIC: f32 = 12_582_912.0;
+pub(crate) const MAGIC_BITS: i32 = MAGIC.to_bits() as i32;
+
+/// Largest absolute entry of a slice (`0.0` when empty). Finite inputs assumed — the
+/// quantization calibration sweeps never see NaN/inf activations.
+///
+/// Dispatches to an AVX2 `vandnps`/`vmaxps` loop when the host supports it; the scalar
+/// fallback keeps eight independent lane accumulators (an ordered `max`-fold is a
+/// sequential dependency chain LLVM must keep scalar). Both forms compute the exact
+/// same maximum — `max` is associative on finite floats.
+pub fn absmax(xs: &[f32]) -> f32 {
+    #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+    if simd_available() {
+        // SAFETY: simd_available() verified the CPU advertises avx2.
+        return unsafe { x86::absmax_avx2(xs) };
+    }
+    absmax_scalar(xs)
+}
+
+/// Scalar reference for [`absmax`] — public so differential tests can pin the SIMD
+/// path against it on any host.
+#[doc(hidden)]
+pub fn absmax_scalar(xs: &[f32]) -> f32 {
+    let chunks = xs.chunks_exact(8);
+    let mut acc = chunks
+        .remainder()
+        .iter()
+        .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    let mut lanes = [0.0f32; 8];
+    for chunk in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = lane.max(v.abs());
+        }
+    }
+    for &lane in &lanes {
+        acc = acc.max(lane);
+    }
+    acc
+}
+
+/// Quantizes `src` onto the symmetric int8 grid: `dst[i] = rne(clamp(src[i] · inv,
+/// -127, 127))` with round-to-nearest-even via the [`MAGIC`] constant. Finite inputs
+/// assumed. The AVX2 path and the scalar fallback run the identical IEEE op sequence
+/// (multiply, clamp, magic add, mantissa extract) lane for lane, so the two are
+/// bit-identical; the saturating `packs` narrowing in the SIMD path never engages
+/// because the clamp already bounds every lane to `±127`.
+///
+/// # Panics
+///
+/// Panics when `src.len() != dst.len()`.
+pub fn quantize_i8(src: &[f32], inv: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "quantize_i8 length mismatch");
+    #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+    if simd_available() {
+        // SAFETY: simd_available() verified the CPU advertises avx2.
+        unsafe { x86::quantize_i8_avx2(src, inv, dst) };
+        return;
+    }
+    quantize_i8_scalar(src, inv, dst);
+}
+
+/// Scalar reference for [`quantize_i8`] — public for differential tests.
+#[doc(hidden)]
+pub fn quantize_i8_scalar(src: &[f32], inv: f32, dst: &mut [i8]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let shifted = (s * inv).clamp(-127.0, 127.0) + MAGIC;
+        *d = (shifted.to_bits() as i32).wrapping_sub(MAGIC_BITS) as i8;
+    }
+}
+
+/// [`quantize_i8`] without the int8 narrowing: writes the *lattice view* — the rounded
+/// grid values still widened to f32 (`(clamp(src·inv) + MAGIC) - MAGIC`) — for
+/// operands whose every downstream consumer is an f32 kernel. Same rounding, same
+/// bit-identical SIMD/scalar guarantee.
+///
+/// # Panics
+///
+/// Panics when `src.len() != dst.len()`.
+pub fn quantize_lattice(src: &[f32], inv: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "quantize_lattice length mismatch");
+    #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+    if simd_available() {
+        // SAFETY: simd_available() verified the CPU advertises avx2.
+        unsafe { x86::quantize_lattice_avx2(src, inv, dst) };
+        return;
+    }
+    quantize_lattice_scalar(src, inv, dst);
+}
+
+/// Scalar reference for [`quantize_lattice`] — public for differential tests.
+#[doc(hidden)]
+pub fn quantize_lattice_scalar(src: &[f32], inv: f32, dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = ((s * inv).clamp(-127.0, 127.0) + MAGIC) - MAGIC;
+    }
+}
+
+/// Exact per-column i32 sums of a row-major `i8` matrix: `out[c] = Σ_r data[r * cols
+/// + c]`. The integer-sum half of the quantized attention aggregates (`k̂_sum`,
+/// `v_sum`), hoisted here so it can ride the AVX2 `vpmovsxbd` widen-and-add path.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a multiple of `out.len()` (`cols`), or `cols == 0`
+/// while `data` is non-empty.
+pub fn i8_column_sums(data: &[i8], out: &mut [i32]) {
+    let cols = out.len();
+    assert!(
+        (cols == 0 && data.is_empty()) || (cols != 0 && data.len().is_multiple_of(cols)),
+        "i8_column_sums: data length {} not a multiple of {cols} columns",
+        data.len()
+    );
+    out.fill(0);
+    #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+    if simd_available() && cols >= 8 {
+        // SAFETY: simd_available() verified the CPU advertises avx2.
+        unsafe { x86::i8_column_sums_avx2(data, out) };
+        return;
+    }
+    i8_column_sums_scalar(data, out);
+}
+
+/// Scalar reference for [`i8_column_sums`] — public for differential tests. Adds into
+/// `out` without zeroing (the dispatcher zeroes).
+#[doc(hidden)]
+pub fn i8_column_sums_scalar(data: &[i8], out: &mut [i32]) {
+    if out.is_empty() {
+        return;
+    }
+    for row in data.chunks_exact(out.len()) {
+        for (acc, &v) in out.iter_mut().zip(row) {
+            *acc += i32::from(v);
+        }
+    }
+}
+
+/// Test-only direct entry to the AVX2 f32 driver, bypassing the small-product
+/// cutoff in the public dispatch so differential tests can pin the microkernel's
+/// remainder lanes on tiny shapes. Overwrites `out`; returns `false` (leaving `out`
+/// zeroed) when the SIMD kernels cannot run on this host/build.
+#[doc(hidden)]
+pub fn gemm_f32_avx2_direct(
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: crate::backend::Operand<'_>,
+    b: crate::backend::Operand<'_>,
+) -> bool {
+    assert_eq!(
+        out.len(),
+        m * n,
+        "gemm_f32_avx2_direct output buffer length"
+    );
+    out.fill(0.0);
+    #[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+    if simd_available() {
+        if m > 0 && n > 0 && k > 0 {
+            x86::gemm_f32_avx2(out, m, k, n, a, b);
+        }
+        return true;
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(force_scalar))))]
+    let _ = (a, b, k);
+    false
+}
+
+#[cfg(all(target_arch = "x86_64", not(force_scalar)))]
+mod x86 {
+    use crate::aligned::{AlignedVec, SIMD_ALIGN};
+    use crate::backend::{IntOperand, Layout, Operand, KC, MC, MR, NC, NR};
+    use rayon::prelude::*;
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    /// Depth steps folded into one i32 lane per `maddubs`/`madd` pair.
+    const KG: usize = 4;
+
+    std::thread_local! {
+        // Packed-panel scratch, one cell per operand side so a caller holding the
+        // B-panel borrow across the parallel region never collides with a worker
+        // (possibly this same thread, under the inline rayon shim) packing A.
+        static PANEL_A_F32: RefCell<AlignedVec<f32>> = RefCell::new(AlignedVec::new());
+        static PANEL_B_F32: RefCell<AlignedVec<f32>> = RefCell::new(AlignedVec::new());
+        static PANEL_A_I8: RefCell<AlignedVec<i8>> = RefCell::new(AlignedVec::new());
+        static PANEL_B_I8: RefCell<AlignedVec<i8>> = RefCell::new(AlignedVec::new());
+    }
+
+    /// AVX2+FMA `MR × NR` register-tile microkernel: accumulates `kc` packed depth
+    /// steps into `acc`. `ap` is k-major `MR`-wide, `bp` k-major `NR`-wide (the same
+    /// packed layout the scalar microkernel consumes), and `bp` must be 32-byte
+    /// aligned — each packed B row is exactly one `__m256`, loaded aligned.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports `avx2` and `fma` (checked once via
+    /// [`super::cpu_features`] before any dispatch reaches this module) and that
+    /// `ap.len() >= kc * MR`, `bp.len() >= kc * NR`, with `bp` 32-byte aligned.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn microkernel_f32(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        debug_assert_eq!(bp.as_ptr() as usize % SIMD_ALIGN, 0);
+        let mut rows = [_mm256_setzero_ps(); MR];
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        for kk in 0..kc {
+            // SAFETY: `kk < kc`, so the B row starts within bounds (len >= kc * NR);
+            // the panel base is 32-byte aligned and each row is NR * 4 = 32 bytes,
+            // keeping every row start aligned.
+            let bv = unsafe { _mm256_load_ps(b.add(kk * NR)) };
+            for (i, row) in rows.iter_mut().enumerate() {
+                // SAFETY: `kk * MR + i < kc * MR <= ap.len()`.
+                let av = unsafe { _mm256_broadcast_ss(&*a.add(kk * MR + i)) };
+                *row = _mm256_fmadd_ps(av, bv, *row);
+            }
+        }
+        for (dst, row) in acc.iter_mut().zip(rows) {
+            // SAFETY: `dst` is a [f32; NR] — exactly the 8 lanes stored (unaligned
+            // store: the accumulator tile lives on the stack).
+            unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), row) };
+        }
+    }
+
+    /// AVX2 `maddubs` integer microkernel: accumulates `groups` packed groups of
+    /// [`KG`] depth steps into the `MR × NR` i32 tile `acc`. Packed layouts (see
+    /// [`pack_a_i8`]/[`pack_b_i8`]): per group, `ap` holds `MR` rows × `KG`
+    /// consecutive depth bytes, `bp` holds `NR` columns × `KG` depth bytes — one
+    /// 32-byte aligned `__m256i` per B group.
+    ///
+    /// Exactness: with every operand byte in `[-127, 127]`, each `maddubs` pair sum
+    /// is bounded by `2 · 127² = 32 258 < i16::MAX`, so the saturating i16 add never
+    /// saturates, and `madd_epi16` widens exactly to i32. The callers keep `-128`
+    /// out (it would additionally wrap in `_mm256_sign_epi8`).
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx2`; `ap.len() >= groups * KG * MR`,
+    /// `bp.len() >= groups * KG * NR`, both 32-byte aligned.
+    #[target_feature(enable = "avx2")]
+    unsafe fn microkernel_i8(ap: &[i8], bp: &[i8], groups: usize, acc: &mut [[i32; NR]; MR]) {
+        debug_assert!(ap.len() >= groups * KG * MR && bp.len() >= groups * KG * NR);
+        debug_assert_eq!(ap.as_ptr() as usize % SIMD_ALIGN, 0);
+        debug_assert_eq!(bp.as_ptr() as usize % SIMD_ALIGN, 0);
+        let ones = _mm256_set1_epi16(1);
+        let mut rows = [_mm256_setzero_si256(); MR];
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        for g in 0..groups {
+            // SAFETY: group `g` starts at byte `g * 32 < groups * KG * NR <= bp.len()`
+            // and the panel base is 32-byte aligned, so every group load is aligned.
+            let bv = unsafe { _mm256_load_si256(b.add(g * KG * NR).cast::<__m256i>()) };
+            for (i, row) in rows.iter_mut().enumerate() {
+                // SAFETY: the four A bytes of (group g, row i) start at
+                // `g * 32 + i * 4`, in bounds and 4-byte aligned off the 32-byte
+                // aligned base.
+                let aw = unsafe { a.add(g * KG * MR + i * KG).cast::<i32>().read() };
+                let av = _mm256_set1_epi32(aw);
+                let ua = _mm256_abs_epi8(av);
+                let sb = _mm256_sign_epi8(bv, av);
+                let pairs = _mm256_maddubs_epi16(ua, sb);
+                *row = _mm256_add_epi32(*row, _mm256_madd_epi16(pairs, ones));
+            }
+        }
+        for (dst, row) in acc.iter_mut().zip(rows) {
+            // SAFETY: `dst` is a [i32; NR] — exactly the 8 lanes stored.
+            unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast::<__m256i>(), row) };
+        }
+    }
+
+    /// Packs `kc` depth steps of `count` consecutive A rows into the k-major
+    /// `MR`-wide f32 tile, writing **every** slot (edge rows zeroed) so dirty
+    /// reused scratch never leaks stale values into the kernel.
+    fn pack_a_f32(dst: &mut [f32], a: Operand<'_>, kc: usize, k0: usize, r0: usize, count: usize) {
+        for kk in 0..kc {
+            let row = &mut dst[kk * MR..kk * MR + MR];
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = if i < count {
+                    a.at(r0 + i, k0 + kk)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// Packs `kc` depth steps of `count` consecutive B columns into the k-major
+    /// `NR`-wide f32 tile, writing every slot (edge columns zeroed).
+    fn pack_b_f32(dst: &mut [f32], b: Operand<'_>, kc: usize, k0: usize, j0: usize, count: usize) {
+        for kk in 0..kc {
+            let row = &mut dst[kk * NR..kk * NR + NR];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = if j < count {
+                    b.at(k0 + kk, j0 + j)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// Interleaves four 8-byte depth rows into one packed 32-byte group:
+    /// `dst[lane * KG + t] = row_t[lane]` — the exact scatter both i8 packers need
+    /// per group, done with three `punpck` stages instead of 32 dependent byte
+    /// stores. SSE2 only, which is baseline on every `x86_64` target.
+    #[inline(always)]
+    fn interleave_4x8(dst: &mut [i8], r0: &[i8], r1: &[i8], r2: &[i8], r3: &[i8]) {
+        debug_assert!(dst.len() >= 32);
+        debug_assert!(r0.len() >= 8 && r1.len() >= 8 && r2.len() >= 8 && r3.len() >= 8);
+        // SAFETY: SSE2 is baseline on x86_64 (this module is compile-gated to it);
+        // each `loadl` reads exactly the 8 asserted bytes, the two stores write the
+        // 32 asserted destination bytes.
+        unsafe {
+            let v0 = _mm_loadl_epi64(r0.as_ptr().cast::<__m128i>());
+            let v1 = _mm_loadl_epi64(r1.as_ptr().cast::<__m128i>());
+            let v2 = _mm_loadl_epi64(r2.as_ptr().cast::<__m128i>());
+            let v3 = _mm_loadl_epi64(r3.as_ptr().cast::<__m128i>());
+            // ab = a0 b0 a1 b1 … a7 b7; cd likewise; the 16-bit unpacks then yield
+            // a_j b_j c_j d_j quads in lane order — the packed group layout.
+            let ab = _mm_unpacklo_epi8(v0, v1);
+            let cd = _mm_unpacklo_epi8(v2, v3);
+            let lo = _mm_unpacklo_epi16(ab, cd);
+            let hi = _mm_unpackhi_epi16(ab, cd);
+            let out = dst.as_mut_ptr();
+            _mm_storeu_si128(out.cast::<__m128i>(), lo);
+            _mm_storeu_si128(out.add(16).cast::<__m128i>(), hi);
+        }
+    }
+
+    /// Packs `count` consecutive A rows into `groups` byte groups: group `g`, row
+    /// `i`, depth offset `t` lands at `dst[g * KG * MR + i * KG + t]`. Edge rows and
+    /// the depth tail beyond `k` are zeroed (zero products contribute nothing).
+    ///
+    /// Full `MR`-row tiles over complete depth groups — the entire interior of any
+    /// GEMM whose `m` is a multiple of 8 and `k` of 4, e.g. every attention head
+    /// aggregate — take a branch-free [`interleave_4x8`]/`memcpy` path; only edge
+    /// tiles and the depth tail pay the per-byte bounds/branch cost of the general
+    /// path. On the `(d, n, d)` head shapes the packers are a measurable slice of
+    /// the whole integer GEMM, so this is worth the two code paths.
+    fn pack_a_i8(
+        dst: &mut [i8],
+        a: IntOperand<'_>,
+        k: usize,
+        groups: usize,
+        r0: usize,
+        count: usize,
+    ) {
+        let (data, stride, layout) = a.raw();
+        let full = if count == MR { k / KG } else { 0 };
+        match layout {
+            // A[r, kk] = data[kk * stride + r]: each depth step is MR consecutive
+            // source bytes scattered to stride-KG slots of the group block — the
+            // 4×8 interleave.
+            Layout::Transposed => {
+                for g in 0..full {
+                    let block = &mut dst[g * KG * MR..(g + 1) * KG * MR];
+                    let row = |t: usize| &data[(g * KG + t) * stride + r0..][..MR];
+                    interleave_4x8(block, row(0), row(1), row(2), row(3));
+                }
+            }
+            // A[r, kk] = data[r * stride + kk]: each row contributes KG consecutive
+            // source bytes per group — a direct 4-byte copy.
+            Layout::RowMajor => {
+                for g in 0..full {
+                    let block = &mut dst[g * KG * MR..(g + 1) * KG * MR];
+                    for i in 0..MR {
+                        let src = &data[(r0 + i) * stride + g * KG..][..KG];
+                        block[i * KG..(i + 1) * KG].copy_from_slice(src);
+                    }
+                }
+            }
+        }
+        for g in full..groups {
+            let block = &mut dst[g * KG * MR..(g + 1) * KG * MR];
+            for i in 0..MR {
+                for t in 0..KG {
+                    let kk = g * KG + t;
+                    block[i * KG + t] = if i < count && kk < k {
+                        a.at(r0 + i, kk)
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+    }
+
+    /// Packs `count` consecutive B columns into `groups` byte groups: group `g`,
+    /// column `j`, depth offset `t` lands at `dst[g * KG * NR + j * KG + t]`.
+    /// Same interior fast path / edge slow path split as [`pack_a_i8`].
+    fn pack_b_i8(
+        dst: &mut [i8],
+        b: IntOperand<'_>,
+        k: usize,
+        groups: usize,
+        j0: usize,
+        count: usize,
+    ) {
+        let (data, stride, layout) = b.raw();
+        let full = if count == NR { k / KG } else { 0 };
+        match layout {
+            // B[kk, j] = data[kk * stride + j]: each depth step is NR consecutive
+            // source bytes scattered to stride-KG slots of the group block — the
+            // 4×8 interleave.
+            Layout::RowMajor => {
+                for g in 0..full {
+                    let block = &mut dst[g * KG * NR..(g + 1) * KG * NR];
+                    let row = |t: usize| &data[(g * KG + t) * stride + j0..][..NR];
+                    interleave_4x8(block, row(0), row(1), row(2), row(3));
+                }
+            }
+            // B[kk, j] = data[j * stride + kk]: each column contributes KG
+            // consecutive source bytes per group — a direct 4-byte copy.
+            Layout::Transposed => {
+                for g in 0..full {
+                    let block = &mut dst[g * KG * NR..(g + 1) * KG * NR];
+                    for j in 0..NR {
+                        let src = &data[(j0 + j) * stride + g * KG..][..KG];
+                        block[j * KG..(j + 1) * KG].copy_from_slice(src);
+                    }
+                }
+            }
+        }
+        for g in full..groups {
+            let block = &mut dst[g * KG * NR..(g + 1) * KG * NR];
+            for j in 0..NR {
+                for t in 0..KG {
+                    let kk = g * KG + t;
+                    block[j * KG + t] = if j < count && kk < k {
+                        b.at(kk, j0 + j)
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+    }
+
+    /// AVX2 absmax sweep: `vandnps` abs + `vmaxps` accumulate, eight lanes wide.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn absmax_avx2(xs: &[f32]) -> f32 {
+        let sign = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        let chunks = xs.chunks_exact(8);
+        let mut m = chunks
+            .remainder()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        for chunk in chunks {
+            // SAFETY: each exact chunk holds 8 contiguous f32s.
+            let v = unsafe { _mm256_loadu_ps(chunk.as_ptr()) };
+            acc = _mm256_max_ps(acc, _mm256_andnot_ps(sign, v));
+        }
+        let mut lanes = [0.0f32; 8];
+        // SAFETY: `lanes` is exactly the 8 stored f32 lanes (stack, unaligned store).
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+        for &lane in &lanes {
+            m = m.max(lane);
+        }
+        m
+    }
+
+    /// AVX2 int8 quantization sweep: 32 floats per iteration — four
+    /// multiply/clamp/magic-round vectors narrowed with two saturating `packs` stages
+    /// and one cross-lane permute. The saturation never engages (the clamp bounds
+    /// every lane to ±127), so the result is bit-identical to the scalar loop.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx2`; `src.len() == dst.len()` (checked by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn quantize_i8_avx2(src: &[f32], inv: f32, dst: &mut [i8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let invv = _mm256_set1_ps(inv);
+        let lo = _mm256_set1_ps(-127.0);
+        let hi = _mm256_set1_ps(127.0);
+        let magic = _mm256_set1_ps(super::MAGIC);
+        let magic_bits = _mm256_set1_epi32(super::MAGIC_BITS);
+        // packs_epi32 + packs_epi16 interleave 128-bit lanes; this permute restores
+        // source order (dword g of the packed result came from input vector g % 4's
+        // half g / 4).
+        let unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let n = src.len();
+        let s = src.as_ptr();
+        let d = dst.as_mut_ptr();
+        for b in 0..n / 32 {
+            let mut q = [_mm256_setzero_si256(); 4];
+            for (t, qt) in q.iter_mut().enumerate() {
+                // SAFETY: `b * 32 + t * 8 + 7 < 32 * (n / 32) <= n`.
+                let x = unsafe { _mm256_loadu_ps(s.add(b * 32 + t * 8)) };
+                let y = _mm256_min_ps(_mm256_max_ps(_mm256_mul_ps(x, invv), lo), hi);
+                *qt = _mm256_sub_epi32(_mm256_castps_si256(_mm256_add_ps(y, magic)), magic_bits);
+            }
+            let p01 = _mm256_packs_epi32(q[0], q[1]);
+            let p23 = _mm256_packs_epi32(q[2], q[3]);
+            let packed = _mm256_permutevar8x32_epi32(_mm256_packs_epi16(p01, p23), unshuffle);
+            // SAFETY: the 32 output bytes at `b * 32` are within `dst`.
+            unsafe { _mm256_storeu_si256(d.add(b * 32).cast::<__m256i>(), packed) };
+        }
+        for i in (n / 32) * 32..n {
+            let shifted = (src[i] * inv).clamp(-127.0, 127.0) + super::MAGIC;
+            dst[i] = (shifted.to_bits() as i32).wrapping_sub(super::MAGIC_BITS) as i8;
+        }
+    }
+
+    /// AVX2 lattice quantization sweep: multiply/clamp, magic add then subtract —
+    /// the rounded grid value kept widened in f32.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx2`; `src.len() == dst.len()` (checked by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn quantize_lattice_avx2(src: &[f32], inv: f32, dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let invv = _mm256_set1_ps(inv);
+        let lo = _mm256_set1_ps(-127.0);
+        let hi = _mm256_set1_ps(127.0);
+        let magic = _mm256_set1_ps(super::MAGIC);
+        let n = src.len();
+        let s = src.as_ptr();
+        let d = dst.as_mut_ptr();
+        for i in 0..n / 8 {
+            // SAFETY: `i * 8 + 7 < 8 * (n / 8) <= n` for both load and store.
+            let x = unsafe { _mm256_loadu_ps(s.add(i * 8)) };
+            let y = _mm256_min_ps(_mm256_max_ps(_mm256_mul_ps(x, invv), lo), hi);
+            let z = _mm256_sub_ps(_mm256_add_ps(y, magic), magic);
+            unsafe { _mm256_storeu_ps(d.add(i * 8), z) };
+        }
+        for i in (n / 8) * 8..n {
+            dst[i] = ((src[i] * inv).clamp(-127.0, 127.0) + super::MAGIC) - super::MAGIC;
+        }
+    }
+
+    /// AVX2 i8 column sums: `vpmovsxbd` widen plus i32 vector add, with up to eight
+    /// register accumulators (64 columns) per pass over the rows. Adds into `out`
+    /// (the dispatcher zeroes it), so multi-pass wide matrices compose.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx2`; `data.len()` must be a multiple of `out.len() >= 8`
+    /// (checked by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn i8_column_sums_avx2(data: &[i8], out: &mut [i32]) {
+        let cols = out.len();
+        let rows = data.len() / cols;
+        let simd_cols = cols - cols % 8;
+        let mut c0 = 0;
+        while c0 < simd_cols {
+            let nblk = ((simd_cols - c0) / 8).min(8);
+            let mut acc = [_mm256_setzero_si256(); 8];
+            for r in 0..rows {
+                let base = r * cols + c0;
+                for (b, accb) in acc.iter_mut().take(nblk).enumerate() {
+                    // SAFETY: `base + b * 8 + 8 <= r * cols + simd_cols <=
+                    // data.len()` — each load reads 8 in-bounds bytes.
+                    let v = unsafe {
+                        _mm_loadl_epi64(data.as_ptr().add(base + b * 8).cast::<__m128i>())
+                    };
+                    *accb = _mm256_add_epi32(*accb, _mm256_cvtepi8_epi32(v));
+                }
+            }
+            for (b, accb) in acc.iter().take(nblk).enumerate() {
+                // SAFETY: `out[c0 + b * 8..][..8]` is in bounds (`c0 + nblk * 8 <=
+                // simd_cols <= cols`); unaligned load/store pair accumulates.
+                unsafe {
+                    let dst = out.as_mut_ptr().add(c0 + b * 8).cast::<__m256i>();
+                    _mm256_storeu_si256(dst, _mm256_add_epi32(_mm256_loadu_si256(dst), *accb));
+                }
+            }
+            c0 += nblk * 8;
+        }
+        if simd_cols < cols {
+            for row in data.chunks_exact(cols) {
+                for (acc, &v) in out[simd_cols..].iter_mut().zip(&row[simd_cols..]) {
+                    *acc += i32::from(v);
+                }
+            }
+        }
+    }
+
+    /// The AVX2 blocked f32 driver: the same BLIS-style `jc → pc → (parallel) ic`
+    /// loop nest as the scalar `gemm_blocked`, with thread-local aligned panel
+    /// scratch (zero steady-state allocations) and the FMA microkernel. Accumulates
+    /// into `out` (callers zero it first), so the `pc` panel loop composes.
+    ///
+    /// Caller contract: [`super::simd_available`] returned `true` (this is what
+    /// makes the `unsafe` microkernel calls sound).
+    pub(crate) fn gemm_f32_avx2(
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b: Operand<'_>,
+    ) {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let n_tiles = nc.div_ceil(NR);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+
+                PANEL_B_F32.with(|cell| {
+                    let mut bp = cell.borrow_mut();
+                    bp.reset_zeroed(n_tiles * kc * NR);
+                    for (t, tile) in bp.chunks_exact_mut(kc * NR).enumerate() {
+                        let j0 = jc + t * NR;
+                        pack_b_f32(tile, b, kc, pc, j0, NR.min(n - j0));
+                    }
+                    let bp: &[f32] = &bp;
+
+                    out.par_chunks_mut(MC * n)
+                        .enumerate()
+                        .for_each(|(panel, c_rows)| {
+                            let i0 = panel * MC;
+                            let mc = MC.min(m - i0);
+                            let m_tiles = mc.div_ceil(MR);
+
+                            PANEL_A_F32.with(|cell| {
+                                let mut ap = cell.borrow_mut();
+                                ap.reset_zeroed(m_tiles * kc * MR);
+                                for (t, tile) in ap.chunks_exact_mut(kc * MR).enumerate() {
+                                    let r0 = i0 + t * MR;
+                                    pack_a_f32(tile, a, kc, pc, r0, MR.min(m - r0));
+                                }
+
+                                for ti in 0..m_tiles {
+                                    let a_tile = &ap[ti * kc * MR..(ti + 1) * kc * MR];
+                                    let rows_here = MR.min(mc - ti * MR);
+                                    for tj in 0..n_tiles {
+                                        let b_tile = &bp[tj * kc * NR..(tj + 1) * kc * NR];
+                                        let mut acc = [[0.0f32; NR]; MR];
+                                        // SAFETY: simd_available() gated the dispatch
+                                        // (avx2 + fma present); tile slices are exactly
+                                        // kc*MR / kc*NR long and the B panel rows are
+                                        // 32-byte aligned (AlignedVec base, 32-byte
+                                        // tile stride).
+                                        unsafe { microkernel_f32(a_tile, b_tile, kc, &mut acc) };
+
+                                        let j0 = jc + tj * NR;
+                                        let cols_here = NR.min(n - j0);
+                                        for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+                                            let c_row =
+                                                &mut c_rows[(ti * MR + i) * n + j0..][..cols_here];
+                                            for (o, &v) in c_row.iter_mut().zip(acc_row.iter()) {
+                                                *o += v;
+                                            }
+                                        }
+                                    }
+                                }
+                            });
+                        });
+                });
+            }
+        }
+    }
+
+    /// The AVX2 native int8 driver: packs both operands into aligned byte panels and
+    /// runs the `maddubs` microkernel, writing exact i32 products into `out`
+    /// (overwritten). No depth chunking is needed — integer accumulation is exact up
+    /// to the `k ≤ i32::MAX / 127²` bound the callers assert.
+    ///
+    /// Caller contract: [`super::simd_available`] returned `true`, and **no operand
+    /// byte is `-128`** (see [`microkernel_i8`]); `out.len() == m * n`.
+    pub(crate) fn gemm_i8_avx2(
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a: IntOperand<'_>,
+        b: IntOperand<'_>,
+    ) {
+        out.fill(0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let groups = k.div_ceil(KG);
+        let n_tiles = n.div_ceil(NR);
+        let m_tiles = m.div_ceil(MR);
+        PANEL_B_I8.with(|b_cell| {
+            let mut bp = b_cell.borrow_mut();
+            bp.reset_zeroed(n_tiles * groups * KG * NR);
+            for (t, tile) in bp.chunks_exact_mut(groups * KG * NR).enumerate() {
+                let j0 = t * NR;
+                pack_b_i8(tile, b, k, groups, j0, NR.min(n - j0));
+            }
+            PANEL_A_I8.with(|a_cell| {
+                let mut ap = a_cell.borrow_mut();
+                ap.reset_zeroed(groups * KG * MR);
+                for ti in 0..m_tiles {
+                    let r0 = ti * MR;
+                    let rows_here = MR.min(m - r0);
+                    pack_a_i8(&mut ap, a, k, groups, r0, rows_here);
+                    for (tj, b_tile) in bp.chunks_exact(groups * KG * NR).enumerate() {
+                        let mut acc = [[0i32; NR]; MR];
+                        // SAFETY: simd_available() gated the dispatch (avx2 present);
+                        // panels hold exactly groups*KG*{MR,NR} bytes at 32-byte
+                        // aligned bases (AlignedVec, 32-byte group stride).
+                        unsafe { microkernel_i8(&ap, b_tile, groups, &mut acc) };
+
+                        let j0 = tj * NR;
+                        let cols_here = NR.min(n - j0);
+                        for (i, acc_row) in acc.iter().enumerate().take(rows_here) {
+                            let c_row = &mut out[(r0 + i) * n + j0..][..cols_here];
+                            c_row.copy_from_slice(&acc_row[..cols_here]);
+                        }
+                    }
+                }
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_detection_is_cached_and_consistent() {
+        let first = cpu_features();
+        let second = cpu_features();
+        assert_eq!(first, second);
+        assert_eq!(simd_available(), {
+            cfg!(all(target_arch = "x86_64", not(force_scalar))) && first.simd_ready()
+        });
+    }
+
+    #[test]
+    fn simd_ready_requires_both_features() {
+        assert!(CpuFeatures {
+            avx2: true,
+            fma: true
+        }
+        .simd_ready());
+        assert!(!CpuFeatures {
+            avx2: true,
+            fma: false
+        }
+        .simd_ready());
+        assert!(!CpuFeatures {
+            avx2: false,
+            fma: true
+        }
+        .simd_ready());
+    }
+}

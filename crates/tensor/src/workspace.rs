@@ -9,13 +9,20 @@
 //! a warmup pass the steady state performs **zero** hot-path allocations (verified by
 //! the counting-allocator regression test in `tests/alloc_regression.rs`).
 //!
+//! The element pools (`f32`/`i8`/`i32`) hand out [`AlignedVec`] buffers whose base
+//! pointer is 32-byte aligned, so the AVX2 microkernels in [`crate::backend`] can use
+//! aligned vector loads on pooled operands without a scalar peel loop. [`Matrix`]
+//! checkouts come from a separate plain-`Vec` pool because `Matrix` owns its storage as
+//! `Vec<f32>`; nothing on the SIMD fast path reads a `Matrix` buffer directly (operands
+//! are repacked into aligned panels first).
+//!
 //! # Ownership discipline
 //!
 //! A `Workspace` is a plain owned value — thread it down the call chain as `&mut
 //! Workspace`. It is deliberately **not** `Sync`: every thread of a parallel region
 //! owns its own workspace (see [`with_thread_workspace`] for the thread-local form the
 //! batched inference path uses). Checkout and recycle must be balanced by the caller;
-//! an unrecycled buffer is not leaked (it is just an ordinary `Matrix`/`Vec`), but it
+//! an unrecycled buffer is not leaked (it is just an ordinary `Matrix`/buffer), but it
 //! costs one pool miss — and therefore one allocation — on the next checkout.
 //!
 //! # Example
@@ -37,6 +44,7 @@
 //! ws.recycle(out);
 //! ```
 
+use crate::aligned::AlignedVec;
 use crate::matrix::Matrix;
 use std::cell::RefCell;
 
@@ -44,21 +52,22 @@ use std::cell::RefCell;
 /// smallest buffer instead of growing the pool without bound.
 const MAX_POOLED: usize = 64;
 
-/// A pool of reusable `f32`, `i8`, `i32` and index buffers backing [`Matrix`] and `Vec`
-/// checkouts.
+/// A pool of reusable `f32`, `i8`, `i32` and index buffers backing [`Matrix`] and
+/// [`AlignedVec`] checkouts.
 ///
 /// See the [module documentation](self) for the ownership discipline and an example,
 /// and [`crate::Matrix::matmul_into`] for the `*_into` operations designed to pair
 /// with it. The integer pools back the int8-quantized attention kernels: operands are
-/// `Vec<i8>`, accumulators `Vec<i32>`, and both follow the same best-fit checkout /
-/// recycle policy (and feed the same hit counters) as the `f32` pool, so the quantized
-/// inference path reaches the identical zero-allocation steady state instead of
-/// round-tripping integer data through `f32` buffers.
+/// `AlignedVec<i8>`, accumulators `AlignedVec<i32>`, and both follow the same best-fit
+/// checkout / recycle policy (and feed the same hit counters) as the `f32` pool, so the
+/// quantized inference path reaches the identical zero-allocation steady state instead
+/// of round-tripping integer data through `f32` buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    f32_pool: Vec<Vec<f32>>,
-    i8_pool: Vec<Vec<i8>>,
-    i32_pool: Vec<Vec<i32>>,
+    f32_pool: Vec<AlignedVec<f32>>,
+    i8_pool: Vec<AlignedVec<i8>>,
+    i32_pool: Vec<AlignedVec<i32>>,
+    mat_pool: Vec<Vec<f32>>,
     idx_pool: Vec<Vec<usize>>,
     checkouts: u64,
     hits: u64,
@@ -73,46 +82,51 @@ impl Workspace {
     /// Checks out a zeroed `rows x cols` matrix, reusing a pooled buffer when one with
     /// sufficient capacity exists (best fit).
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
-        let data = self.take_vec(rows * cols);
+        let data = take_zeroed(
+            &mut self.mat_pool,
+            &mut self.checkouts,
+            &mut self.hits,
+            rows * cols,
+        );
         Matrix::from_vec(rows, cols, data).expect("workspace buffer length")
     }
 
     /// Returns a matrix's backing buffer to the pool.
     pub fn recycle(&mut self, m: Matrix) {
-        self.recycle_vec(m.into_vec());
+        recycle_into(&mut self.mat_pool, m.into_vec());
     }
 
-    /// Checks out a zeroed `f32` buffer of exactly `len` elements.
-    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+    /// Checks out a zeroed, 32-byte-aligned `f32` buffer of exactly `len` elements.
+    pub fn take_vec(&mut self, len: usize) -> AlignedVec<f32> {
         take_zeroed(&mut self.f32_pool, &mut self.checkouts, &mut self.hits, len)
     }
 
     /// Returns an `f32` buffer to the pool.
-    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+    pub fn recycle_vec(&mut self, v: AlignedVec<f32>) {
         recycle_into(&mut self.f32_pool, v);
     }
 
-    /// Checks out a zeroed `i8` buffer of exactly `len` elements (quantized operands of
-    /// the int8 attention kernels), with the same best-fit policy as
-    /// [`Workspace::take_vec`].
-    pub fn take_i8_vec(&mut self, len: usize) -> Vec<i8> {
+    /// Checks out a zeroed, 32-byte-aligned `i8` buffer of exactly `len` elements
+    /// (quantized operands of the int8 attention kernels), with the same best-fit
+    /// policy as [`Workspace::take_vec`].
+    pub fn take_i8_vec(&mut self, len: usize) -> AlignedVec<i8> {
         take_zeroed(&mut self.i8_pool, &mut self.checkouts, &mut self.hits, len)
     }
 
     /// Returns an `i8` buffer to the pool.
-    pub fn recycle_i8_vec(&mut self, v: Vec<i8>) {
+    pub fn recycle_i8_vec(&mut self, v: AlignedVec<i8>) {
         recycle_into(&mut self.i8_pool, v);
     }
 
-    /// Checks out a zeroed `i32` buffer of exactly `len` elements (integer accumulators
-    /// of the int8 attention kernels), with the same best-fit policy as
-    /// [`Workspace::take_vec`].
-    pub fn take_i32_vec(&mut self, len: usize) -> Vec<i32> {
+    /// Checks out a zeroed, 32-byte-aligned `i32` buffer of exactly `len` elements
+    /// (integer accumulators of the int8 attention kernels), with the same best-fit
+    /// policy as [`Workspace::take_vec`].
+    pub fn take_i32_vec(&mut self, len: usize) -> AlignedVec<i32> {
         take_zeroed(&mut self.i32_pool, &mut self.checkouts, &mut self.hits, len)
     }
 
     /// Returns an `i32` buffer to the pool.
-    pub fn recycle_i32_vec(&mut self, v: Vec<i32>) {
+    pub fn recycle_i32_vec(&mut self, v: AlignedVec<i32>) {
         recycle_into(&mut self.i32_pool, v);
     }
 
@@ -140,17 +154,30 @@ impl Workspace {
 
     /// Number of buffers currently parked in the pool.
     pub fn pooled_buffers(&self) -> usize {
-        self.f32_pool.len() + self.i8_pool.len() + self.i32_pool.len() + self.idx_pool.len()
+        self.f32_pool.len()
+            + self.i8_pool.len()
+            + self.i32_pool.len()
+            + self.mat_pool.len()
+            + self.idx_pool.len()
     }
 
     /// Total bytes currently parked in the pool.
     pub fn pooled_bytes(&self) -> usize {
-        fn bytes<T>(pool: &[Vec<T>]) -> usize {
+        fn aligned_bytes<T>(pool: &[AlignedVec<T>]) -> usize {
             pool.iter()
                 .map(|v| v.capacity() * std::mem::size_of::<T>())
                 .sum()
         }
-        bytes(&self.f32_pool) + bytes(&self.i8_pool) + bytes(&self.i32_pool) + bytes(&self.idx_pool)
+        fn vec_bytes<T>(pool: &[Vec<T>]) -> usize {
+            pool.iter()
+                .map(|v| v.capacity() * std::mem::size_of::<T>())
+                .sum()
+        }
+        aligned_bytes(&self.f32_pool)
+            + aligned_bytes(&self.i8_pool)
+            + aligned_bytes(&self.i32_pool)
+            + vec_bytes(&self.mat_pool)
+            + vec_bytes(&self.idx_pool)
     }
 
     /// Total checkouts since creation.
@@ -165,43 +192,76 @@ impl Workspace {
     }
 }
 
+/// The two buffer shapes the element pools park: plain `Vec<T>` (matrix storage,
+/// index lists) and [`AlignedVec<T>`] (SIMD-consumable element buffers). Private —
+/// only the pool plumbing below is generic over it.
+trait PoolBuf: Default {
+    /// Elements the allocation can hold without reallocating.
+    fn cap(&self) -> usize;
+    /// Resizes to exactly `len` zeroed elements, reusing capacity when possible.
+    fn reset_zeroed(&mut self, len: usize);
+}
+
+impl<T: Copy + Default> PoolBuf for Vec<T> {
+    fn cap(&self) -> usize {
+        self.capacity()
+    }
+
+    fn reset_zeroed(&mut self, len: usize) {
+        self.clear();
+        self.resize(len, T::default());
+    }
+}
+
+impl<T: Copy + Default> PoolBuf for AlignedVec<T> {
+    fn cap(&self) -> usize {
+        self.capacity()
+    }
+
+    fn reset_zeroed(&mut self, len: usize) {
+        AlignedVec::reset_zeroed(self, len);
+    }
+}
+
 /// Shared checkout path of the typed element pools: best-fit reuse, else grow the
 /// largest pooled buffer (one realloc, and it serves this size from the pool
 /// afterwards) rather than sacrificing a small size class that would then miss on its
 /// own next checkout, else allocate fresh.
-fn take_zeroed<T: Copy + Default>(
-    pool: &mut Vec<Vec<T>>,
+fn take_zeroed<B: PoolBuf>(
+    pool: &mut Vec<B>,
     checkouts: &mut u64,
     hits: &mut u64,
     len: usize,
-) -> Vec<T> {
+) -> B {
     *checkouts += 1;
-    match best_fit(pool, len, Vec::capacity) {
+    match best_fit(pool, len, B::cap) {
         Some(i) => {
             *hits += 1;
             let mut v = pool.swap_remove(i);
-            v.clear();
-            v.resize(len, T::default());
+            v.reset_zeroed(len);
             v
         }
         None => match take_largest(pool) {
             Some(mut v) => {
-                v.clear();
-                v.resize(len, T::default());
+                v.reset_zeroed(len);
                 v
             }
-            None => vec![T::default(); len],
+            None => {
+                let mut v = B::default();
+                v.reset_zeroed(len);
+                v
+            }
         },
     }
 }
 
 /// Shared recycle path of the typed element pools (bounded by [`MAX_POOLED`]).
-fn recycle_into<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
-    if v.capacity() == 0 {
+fn recycle_into<B: PoolBuf>(pool: &mut Vec<B>, v: B) {
+    if v.cap() == 0 {
         return;
     }
     if pool.len() >= MAX_POOLED {
-        drop_smallest(pool, Vec::capacity);
+        drop_smallest(pool, B::cap);
     }
     pool.push(v);
 }
@@ -219,11 +279,11 @@ fn best_fit<T>(pool: &[T], len: usize, cap: impl Fn(&T) -> usize) -> Option<usiz
 }
 
 /// Removes and returns the largest-capacity pooled buffer, if any.
-fn take_largest<T>(pool: &mut Vec<Vec<T>>) -> Option<Vec<T>> {
+fn take_largest<B: PoolBuf>(pool: &mut Vec<B>) -> Option<B> {
     let (i, _) = pool
         .iter()
         .enumerate()
-        .map(|(i, v)| (i, v.capacity()))
+        .map(|(i, v)| (i, v.cap()))
         .max_by_key(|&(_, c)| c)?;
     Some(pool.swap_remove(i))
 }
@@ -258,6 +318,7 @@ pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aligned::SIMD_ALIGN;
 
     #[test]
     fn checkout_returns_zeroed_buffers_of_the_requested_shape() {
@@ -350,6 +411,50 @@ mod tests {
         ws.recycle_vec(f);
         assert_eq!(ws.pooled_buffers(), 3);
         assert!(ws.pooled_bytes() >= 64 + 256 * 4 + 8 * 4);
+    }
+
+    #[test]
+    fn element_pool_checkouts_stay_32_byte_aligned_through_recycling() {
+        // The SIMD satellite contract: every f32/i8/i32 checkout — fresh, recycled,
+        // best-fit downsized or grown-in-place — has a 32-byte-aligned base pointer.
+        let mut ws = Workspace::new();
+        for len in [1usize, 7, 64, 196, 1000] {
+            let f = ws.take_vec(len);
+            let q = ws.take_i8_vec(len);
+            let acc = ws.take_i32_vec(len);
+            assert_eq!(f.as_ptr() as usize % SIMD_ALIGN, 0, "fresh f32 len {len}");
+            assert_eq!(q.as_ptr() as usize % SIMD_ALIGN, 0, "fresh i8 len {len}");
+            assert_eq!(acc.as_ptr() as usize % SIMD_ALIGN, 0, "fresh i32 len {len}");
+            ws.recycle_vec(f);
+            ws.recycle_i8_vec(q);
+            ws.recycle_i32_vec(acc);
+        }
+        // Recycled checkouts (pool hits) must keep the alignment, for every size
+        // class: smaller than pooled (best fit), equal, and larger (grow largest).
+        let hits_before = ws.pool_hits();
+        for len in [3usize, 64, 196, 4096] {
+            let f = ws.take_vec(len);
+            let q = ws.take_i8_vec(len);
+            let acc = ws.take_i32_vec(len);
+            assert_eq!(
+                f.as_ptr() as usize % SIMD_ALIGN,
+                0,
+                "recycled f32 len {len}"
+            );
+            assert_eq!(q.as_ptr() as usize % SIMD_ALIGN, 0, "recycled i8 len {len}");
+            assert_eq!(
+                acc.as_ptr() as usize % SIMD_ALIGN,
+                0,
+                "recycled i32 len {len}"
+            );
+            ws.recycle_vec(f);
+            ws.recycle_i8_vec(q);
+            ws.recycle_i32_vec(acc);
+        }
+        assert!(
+            ws.pool_hits() >= hits_before + 9,
+            "the alignment sweep must exercise recycled (pool-hit) checkouts"
+        );
     }
 
     #[test]
