@@ -15,6 +15,12 @@
 //! — these are the serving engine's acceptance gates, mirrored by the CI check on the
 //! JSON.
 //!
+//! A high-concurrency phase then drives the epoll connection front at c ∈ {256,
+//! 1024} keep-alive connections (Taylor variant, same server): every reply must be
+//! answered and correct, the error rate must not knee upward versus the c=64
+//! baseline, and RSS (`VmRSS` from `/proc/self/status`) must stay flat across the
+//! arms — per-connection loop state must not accumulate.
+//!
 //! A final phase measures the request-tracing overhead (sampling off vs 100%, gated
 //! at p50 +5%) and writes the 100%-sampled ring as `TRACE_serve.json` — a
 //! `chrome://tracing`-compatible span timeline next to the `BENCH_*.json` results.
@@ -58,6 +64,18 @@ struct LoadPoint {
     max_batch_seen: usize,
 }
 
+/// Resident set size of this process in KiB (`VmRSS` from `/proc/self/status`).
+/// Server and clients share the process, so this covers per-connection state on
+/// both sides of every socket. `None` off Linux — the RSS gate is skipped there.
+fn rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// Drives `concurrency` clients, each issuing `per_client` requests over one
 /// keep-alive connection, and verifies every reply against the precomputed
 /// expectations.
@@ -97,8 +115,10 @@ fn drive(
                                     mismatches.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
-                            Err(_) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
+                            Err(err) => {
+                                if errors.fetch_add(1, Ordering::Relaxed) < 5 {
+                                    eprintln!("client {c} request {i} failed: {err:?}");
+                                }
                             }
                         }
                     }
@@ -198,7 +218,10 @@ fn main() {
             policy: BatchPolicy {
                 max_batch: 32,
                 max_delay: Duration::from_millis(1),
-                queue_capacity: 1024,
+                // Above the c=1024 arm: 1024 keep-alive clients with one request
+                // in flight each can momentarily fill a 1024-deep queue exactly,
+                // and a refusal there would read as an error-rate knee.
+                queue_capacity: 4096,
             },
             ..ServerConfig::default()
         },
@@ -234,6 +257,43 @@ fn main() {
             );
             points.push(point);
         }
+    }
+
+    // ---- High-concurrency arms -------------------------------------------
+    // The event-loop front's acceptance arms: c ∈ {256, 1024} keep-alive
+    // connections on the Taylor variant against the same server. Gates: zero
+    // dropped or incorrect replies at every arm, no error-rate knee versus the
+    // c=64 baseline, and flat RSS across arms — per-connection state on the
+    // loop (parse buffers, pending-write queues) must not scale past the live
+    // connection count or leak across arms.
+    println!("high-concurrency arms (taylor): c in {{256, 1024}}");
+    let rss_baseline_kib = rss_kib();
+    let hc_budget = if quick { 512 } else { 2048 };
+    let mut hc_points: Vec<(LoadPoint, Option<u64>)> = Vec::new();
+    for concurrency in [256usize, 1024] {
+        let per_client = (hc_budget / concurrency).max(2);
+        let point = drive(
+            addr,
+            &taylor_key,
+            concurrency,
+            per_client,
+            &images,
+            &expected_taylor,
+        );
+        let rss_after = rss_kib();
+        println!(
+            "{:>15} c={:>4}: {:>7.1} req/s | p50 {:>7} us | p95 {:>7} us | p99 {:>7} us | errors {} | mismatches {} | rss {} KiB",
+            point.model,
+            point.concurrency,
+            point.rps,
+            point.p50_us,
+            point.p95_us,
+            point.p99_us,
+            point.errors,
+            point.mismatches,
+            rss_after.map_or_else(|| "n/a".to_string(), |k| k.to_string()),
+        );
+        hc_points.push((point, rss_after));
     }
 
     // Server-side view: metrics endpoint + final snapshot.
@@ -337,6 +397,42 @@ fn main() {
     if !c64_batched {
         failures.push("no batch larger than 1 formed at concurrency 64".to_string());
     }
+    // High-concurrency arms: every reply answered and correct, error rate flat
+    // against the c=64 baseline (belt-and-braces over the absolute gate — it
+    // keeps the knee visible if the zero-error gate is ever relaxed), and RSS
+    // flat across arms. The allowance absorbs allocator retention (glibc keeps
+    // freed sub-mmap-threshold chunks in its arenas, so RSS plateaus at the
+    // high-water mark) while still catching per-connection or per-request state
+    // that accumulates — unbounded parse buffers or leaked pending writes at
+    // these arm sizes are hundreds of MiB, not tens.
+    const RSS_ALLOWANCE_KIB: u64 = 128 * 1024;
+    let baseline_error_rate = {
+        let p = at(&taylor_key, 64);
+        p.errors as f64 / (p.requests as f64).max(1.0)
+    };
+    for (p, rss_after) in &hc_points {
+        if p.errors > 0 || p.mismatches > 0 {
+            failures.push(format!(
+                "high-concurrency {} c={}: {} errors, {} mismatches",
+                p.model, p.concurrency, p.errors, p.mismatches
+            ));
+        }
+        let rate = p.errors as f64 / (p.requests as f64).max(1.0);
+        if rate > baseline_error_rate {
+            failures.push(format!(
+                "error-rate knee at c={}: {rate:.4} vs {baseline_error_rate:.4} at c=64",
+                p.concurrency
+            ));
+        }
+        if let (Some(baseline), Some(after)) = (rss_baseline_kib, *rss_after) {
+            if after > baseline + RSS_ALLOWANCE_KIB {
+                failures.push(format!(
+                    "RSS not flat at c={}: {after} KiB vs {baseline} KiB baseline (+{} KiB allowed)",
+                    p.concurrency, RSS_ALLOWANCE_KIB
+                ));
+            }
+        }
+    }
     let taylor_rps = at(&taylor_key, 64).rps;
     let softmax_rps = at(&softmax_key, 64).rps;
     // Gate on peak throughput across concurrency levels: the per-level numbers are
@@ -387,6 +483,7 @@ fn main() {
             .and_then(serde::json::JsonValue::as_usize);
         let expected: usize = points
             .iter()
+            .chain(hc_points.iter().map(|(p, _)| p))
             .filter(|p| p.model.ends_with(&format!(":{label}")))
             .map(|p| p.requests - p.errors)
             .sum();
@@ -424,11 +521,38 @@ fn main() {
             o
         })
         .collect();
+    let hc_json: Vec<JsonValue> = hc_points
+        .iter()
+        .map(|(p, rss_after)| {
+            let mut o = JsonValue::object();
+            o.set("model", p.model.as_str())
+                .set("concurrency", p.concurrency)
+                .set("requests", p.requests)
+                .set("wall_s", p.wall_s)
+                .set("rps", p.rps)
+                .set("p50_us", p.p50_us)
+                .set("p95_us", p.p95_us)
+                .set("p99_us", p.p99_us)
+                .set("errors", p.errors)
+                .set("mismatches", p.mismatches)
+                .set("error_rate", p.errors as f64 / (p.requests as f64).max(1.0));
+            match rss_after {
+                Some(kib) => o.set("rss_after_kib", *kib),
+                None => o.set("rss_after_kib", JsonValue::Null),
+            };
+            o
+        })
+        .collect();
     let mut root = JsonValue::object();
     root.set("benchmark", "serve")
         .set("quick", quick)
         .set("model", model_json)
         .set("points", point_json)
+        .set("high_concurrency", hc_json)
+        .set(
+            "rss_baseline_kib",
+            rss_baseline_kib.map_or(JsonValue::Null, JsonValue::from),
+        )
         .set("server_metrics", server_metrics)
         .set("server_max_batch", server_max_batch)
         .set("server_mean_batch", server_mean_batch)

@@ -123,9 +123,15 @@ pub struct GatewayConfig {
     pub admission: AdmissionConfig,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Socket read timeout of gateway connections; doubles as the shutdown poll
-    /// interval for idle keep-alive connections.
+    /// The event loop's poll timeout (doubles as the shutdown poll interval; on
+    /// the threaded fallback it is the socket read timeout serving the same role).
     pub poll_interval: Duration,
+    /// Threads in the infer dispatch pool — the blocking cache → route → retry
+    /// pipeline runs here, off the connection event loop. This bounds how many
+    /// inference requests the gateway *processes* concurrently (admission control
+    /// still bounds how many it *accepts*); clamped to at least 2 so one stalled
+    /// backend call can never serialize the whole gateway.
+    pub dispatch_threads: usize,
     /// Request-tracing policy (sampling rate + `/debug/traces` ring size). The
     /// default reads `VITALITY_TRACE_SAMPLE` and keeps tracing off otherwise.
     pub trace: trace::TraceConfig,
@@ -147,6 +153,7 @@ impl Default for GatewayConfig {
             admission: AdmissionConfig::default(),
             max_body_bytes: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(50),
+            dispatch_threads: 32,
             trace: trace::TraceConfig::default(),
         }
     }

@@ -56,6 +56,10 @@ pub struct Backend {
     /// Admission bound on `gateway_in_flight` (0 = unbounded); a backend at the cap
     /// is skipped by routing like one briefly cooling down.
     in_flight_limit: AtomicU64,
+    /// Whether the backend advertised the binary image encoding on its last
+    /// successful probe (`"binary"` under `"encodings"` in `/healthz`) — the
+    /// negotiation gate for sending it compact request bodies.
+    supports_binary: AtomicBool,
     /// Model keys the backend reported serving.
     models: Mutex<Vec<String>>,
     /// Idle keep-alive connections, reused across calls.
@@ -82,6 +86,7 @@ impl Backend {
             in_flight_batches: AtomicU64::new(0),
             gateway_in_flight: AtomicU64::new(0),
             in_flight_limit: AtomicU64::new(0),
+            supports_binary: AtomicBool::new(false),
             models: Mutex::new(Vec::new()),
             idle: Mutex::new(Vec::new()),
             requests: AtomicU64::new(0),
@@ -194,6 +199,10 @@ impl Backend {
                 return Err(ClientError::Io(e));
             }
         };
+        // Negotiated per probe round, re-armed per checkout (a pooled connection
+        // carries whatever the previous call decided, and the flag may have
+        // changed between probes — e.g. after a rolling engine downgrade).
+        client.set_binary(self.supports_binary.load(Ordering::Relaxed));
         let options = vitality_serve::InferOptions {
             deadline_ms,
             request_id,
@@ -273,6 +282,13 @@ impl Backend {
                         .map(str::to_string)
                         .collect();
                 }
+                // Binary-encoding negotiation: advertised → use it; absent (an
+                // engine predating the encoding) → plain JSON.
+                let binary = body
+                    .get("encodings")
+                    .and_then(JsonValue::as_array)
+                    .is_some_and(|e| e.iter().any(|v| v.as_str() == Some("binary")));
+                self.supports_binary.store(binary, Ordering::Relaxed);
                 self.consecutive_probe_failures.store(0, Ordering::SeqCst);
                 self.probes_ok.fetch_add(1, Ordering::Relaxed);
                 // Re-admit only when no ejection landed while this probe was in

@@ -1,17 +1,19 @@
-//! The gateway front-end: TCP accept loop, per-connection handlers, the health
-//! prober thread and the cache → route → retry request pipeline, assembled behind
-//! [`Gateway::start`] / [`Gateway::shutdown`].
+//! The gateway front-end: the epoll connection front, the infer dispatch pool,
+//! the health prober thread and the cache → route → retry request pipeline,
+//! assembled behind [`Gateway::start`] / [`Gateway::shutdown`].
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
-use vitality_serve::http::{serve_connection, RouteResponse, WriteReport};
-use vitality_serve::{protocol, ClientError, InferReply};
+use vitality_serve::http::{RouteResponse, WriteReport};
+use vitality_serve::{
+    protocol, ClientError, Completion, EventFront, FrontConfig, FrontRequest, InferReply,
+};
 use vitality_tensor::Matrix;
 
 use crate::brownout::BrownoutController;
@@ -74,15 +76,28 @@ fn derived_retry_after(shared: &Shared) -> u64 {
     (pressure * p95_s).ceil().clamp(1.0, 10.0) as u64
 }
 
+/// One infer request in flight between the connection front and the dispatch
+/// pool: the owned request bytes (the front's parse buffer is only borrowed for
+/// the duration of a dispatch call) and the completion that answers it.
+struct InferWork {
+    body: Vec<u8>,
+    content_type: Option<String>,
+    completion: Completion,
+}
+
 /// A running cluster gateway.
 ///
 /// ```text
-/// clients ──► accept loop ──► connection threads ──► cache ──► router ──► retry loop
-///                                                     hit│                 │ pick / call
-///                                                        ▼                 ▼
-///                                                   cached reply    BackendPool ──► engines
-///                                          prober thread ─ /healthz probes ──┘
+/// clients ──► event-loop front ──► dispatch pool ──► cache ──► router ──► retry loop
+///               (epoll, one       (gateway-conn-<i>,  hit│                 │ pick / call
+///                thread)           blocking pipeline)    ▼                 ▼
+///                   ▲ completions                  cached reply    BackendPool ──► engines
+///                                     prober thread ─ /healthz probes ──┘
 /// ```
+///
+/// GETs (`/healthz`, `/metrics`, `/debug/traces`) answer inline on the event loop;
+/// `POST /v1/infer` crosses to the dispatch pool, whose size bounds concurrent
+/// pipeline executions (admission control still bounds accepted requests).
 ///
 /// Start with [`Gateway::start`]; stop with [`Gateway::shutdown`]. The gateway holds
 /// no request state of its own — shutting it down answers in-flight requests and
@@ -90,9 +105,9 @@ fn derived_retry_after(shared: &Shared) -> u64 {
 pub struct Gateway {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    front: Option<EventFront>,
     prober_handle: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl Gateway {
@@ -157,35 +172,61 @@ impl Gateway {
             })
             .expect("spawn gateway prober");
 
-        let connections = Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_connections = Arc::clone(&connections);
-        let accept_handle = std::thread::Builder::new()
-            .name("gateway-accept".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let conn_shared = Arc::clone(&accept_shared);
-                    let handle = std::thread::Builder::new()
-                        .name("gateway-conn".to_string())
-                        .spawn(move || handle_connection(stream, conn_shared))
-                        .expect("spawn gateway connection handler");
-                    let mut handles = accept_connections.lock().expect("connection list poisoned");
-                    handles.retain(|h: &JoinHandle<()>| !h.is_finished());
-                    handles.push(handle);
-                }
+        // The infer dispatch pool: the blocking cache → route → retry pipeline
+        // runs here, handed work by the (non-blocking) connection front. At
+        // least 2 threads, so one stalled backend call can never serialize the
+        // whole gateway. Thread names keep the `gateway-conn` prefix the
+        // per-connection threads used to carry, so existing failpoint
+        // thread-scoping specs keep targeting the request path.
+        let (work_tx, work_rx) = mpsc::channel::<InferWork>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let dispatchers = (0..shared.config.dispatch_threads.max(2))
+            .map(|i| {
+                let work_rx = Arc::clone(&work_rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gateway-conn-{i}"))
+                    .spawn(move || loop {
+                        // Take one work item, then release the lock before the
+                        // (potentially long) pipeline run.
+                        let work = work_rx
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .recv();
+                        match work {
+                            Ok(work) => {
+                                let response =
+                                    handle_infer(&work.body, work.content_type.as_deref(), &shared);
+                                work.completion.complete(response);
+                            }
+                            // Channel closed: the front is gone, drain is done.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn gateway dispatcher")
             })
-            .expect("spawn gateway accept loop");
+            .collect();
+
+        let dispatch_shared = Arc::clone(&shared);
+        let front = EventFront::start(
+            listener,
+            FrontConfig {
+                poll_interval: shared.config.poll_interval,
+                max_body_bytes: shared.config.max_body_bytes,
+                max_pipeline: 64,
+                thread_name: "gateway-conn".to_string(),
+            },
+            move |request: &FrontRequest<'_>, completion: Completion| {
+                route(request, completion, &dispatch_shared, &work_tx)
+            },
+        )?;
 
         Ok(Gateway {
             local_addr,
             shared,
-            accept_handle: Some(accept_handle),
+            front: Some(front),
             prober_handle: Some(prober_handle),
-            connections,
+            dispatchers,
         })
     }
 
@@ -211,20 +252,24 @@ impl Gateway {
         Arc::clone(&self.shared.tracer)
     }
 
-    /// Graceful shutdown: stop accepting, join the prober, answer in-flight
-    /// requests, then join every connection handler. Engines are not touched.
+    /// Graceful shutdown: stop accepting and parsing, flush every in-flight
+    /// response, then join the dispatch pool and the prober. Engines are not
+    /// touched.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_handle.take() {
+        if let Some(front) = &self.front {
+            front.stop();
+        }
+        // The front drains: every dispatched request is still answered (the
+        // dispatch pool keeps running until the front — and with it the work
+        // channel's sender — is gone).
+        if let Some(mut front) = self.front.take() {
+            front.join();
+        }
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
         if let Some(handle) = self.prober_handle.take() {
-            let _ = handle.join();
-        }
-        let handles =
-            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
-        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -248,20 +293,16 @@ impl std::fmt::Debug for Gateway {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let stop = || shared.shutdown.load(Ordering::SeqCst);
-    serve_connection(
-        stream,
-        shared.config.poll_interval,
-        shared.config.max_body_bytes,
-        &stop,
-        |message| route(message, &shared),
-    );
-}
-
-fn route(message: &vitality_serve::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
-    let Ok((method, path)) = message.request_parts() else {
-        return error_response(&GatewayError::BadRequest("malformed request line".into()));
+fn route(
+    request: &FrontRequest<'_>,
+    completion: Completion,
+    shared: &Arc<Shared>,
+    work_tx: &mpsc::Sender<InferWork>,
+) {
+    let Ok((method, path)) = request.request_parts() else {
+        return completion.complete(error_response(&GatewayError::BadRequest(
+            "malformed request line".into(),
+        )));
     };
     match (method, path) {
         ("GET", "/healthz") => {
@@ -290,26 +331,40 @@ fn route(message: &vitality_serve::http::HttpMessage, shared: &Arc<Shared>) -> R
                 )
                 .set("brownout", shared.brownout.snapshot_json())
                 .set("cache", cache)
-                .set("models", shared.pool.model_union());
-            RouteResponse::new(200, body)
+                .set("models", shared.pool.model_union())
+                // Request encodings this gateway accepts; callers switch to the
+                // binary image encoding only after seeing it advertised here.
+                .set("encodings", vec!["json".to_string(), "binary".to_string()]);
+            completion.complete(RouteResponse::new(200, body));
         }
-        ("GET", "/metrics") => RouteResponse::new(
+        ("GET", "/metrics") => completion.complete(RouteResponse::new(
             200,
             shared.metrics.snapshot_json(&shared.cache, &shared.pool),
-        ),
-        ("GET", "/debug/traces") => RouteResponse::new(200, shared.tracer.recent_json()),
-        ("POST", "/v1/infer") => handle_infer(message, shared),
-        ("POST" | "GET", _) => RouteResponse::new(
+        )),
+        ("GET", "/debug/traces") => {
+            completion.complete(RouteResponse::new(200, shared.tracer.recent_json()))
+        }
+        ("POST", "/v1/infer") => {
+            // The blocking pipeline must not run on the event loop: hand the
+            // owned bytes to the dispatch pool. A send can only fail during
+            // shutdown teardown; the completion's drop guard answers 500 then.
+            let _ = work_tx.send(InferWork {
+                body: request.body.to_vec(),
+                content_type: request.header("content-type").map(str::to_string),
+                completion,
+            });
+        }
+        ("POST" | "GET", _) => completion.complete(RouteResponse::new(
             404,
             protocol::error_body("not_found", &format!("no route for {method} {path}")),
-        ),
-        _ => RouteResponse::new(
+        )),
+        _ => completion.complete(RouteResponse::new(
             405,
             protocol::error_body(
                 "method_not_allowed",
                 &format!("unsupported method {method}"),
             ),
-        ),
+        )),
     }
 }
 
@@ -392,26 +447,44 @@ impl Deadline {
     }
 }
 
-/// The request pipeline entry point: parse enough of the body to learn (or mint)
-/// the request id, open the trace, then run the admit → route → retry core.
-///
-/// The body is parsed *before* admission control on purpose: an admission-shed 503
-/// must still echo the client's `request_id`, and the parse cost is bounded by
-/// `max_body_bytes` either way.
-fn handle_infer(
-    message: &vitality_serve::http::HttpMessage,
-    shared: &Arc<Shared>,
-) -> RouteResponse {
-    // The origin for every span offset: work before the body parses (UTF-8 check,
-    // JSON) is attributed to the `parse` span retroactively.
-    let started = Instant::now();
-    let parsed = match std::str::from_utf8(&message.body)
+/// Decodes the request body by its negotiated encoding: the JSON shape, or the
+/// binary image encoding (selected by `Content-Type`, see
+/// [`protocol::BINARY_CONTENT_TYPE`]). Returns the metadata object the field
+/// parsers read, plus the already-decoded image on the binary path.
+fn decode_infer_body(
+    body: &[u8],
+    content_type: Option<&str>,
+) -> Result<(JsonValue, Option<Matrix>), GatewayError> {
+    if content_type
+        .and_then(|t| t.split(';').next())
+        .is_some_and(|t| t.trim().eq_ignore_ascii_case(protocol::BINARY_CONTENT_TYPE))
+    {
+        let (meta, image) = protocol::decode_binary_infer(body)
+            .map_err(|e| GatewayError::BadRequest(e.to_string()))?;
+        return Ok((meta, Some(image)));
+    }
+    let parsed = std::str::from_utf8(body)
         .map_err(|_| GatewayError::BadRequest("body is not UTF-8".into()))
         .and_then(|text| {
             serde::json::parse(text)
                 .map_err(|e| GatewayError::BadRequest(format!("invalid JSON: {e}")))
-        }) {
-        Ok(parsed) => parsed,
+        })?;
+    Ok((parsed, None))
+}
+
+/// The request pipeline entry point (run on a dispatch-pool thread): parse enough
+/// of the body to learn (or mint) the request id, open the trace, then run the
+/// admit → route → retry core.
+///
+/// The body is parsed *before* admission control on purpose: an admission-shed 503
+/// must still echo the client's `request_id`, and the parse cost is bounded by
+/// `max_body_bytes` either way.
+fn handle_infer(body: &[u8], content_type: Option<&str>, shared: &Arc<Shared>) -> RouteResponse {
+    // The origin for every span offset: work before the body parses (UTF-8 check,
+    // JSON or binary decode) is attributed to the `parse` span retroactively.
+    let started = Instant::now();
+    let (parsed, binary_image) = match decode_infer_body(body, content_type) {
+        Ok(decoded) => decoded,
         // No usable body, so no client id: generate one so even this failure is
         // quotable from the error body.
         Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
@@ -442,7 +515,7 @@ fn handle_infer(
     // `"trace": true` forces span recording even when sampling is off, and the
     // recorded gateway+engine span tree is embedded in the reply.
     let handle = shared.tracer.begin(&request_id, started, want_trace);
-    match infer_core(&parsed, shared, started, &request_id, &handle) {
+    match infer_core(&parsed, binary_image, shared, started, &request_id, &handle) {
         Ok(mut body) => {
             body.set("request_id", request_id.as_str());
             if want_trace {
@@ -465,13 +538,25 @@ fn handle_infer(
 /// status 200 (before the `request_id` / `trace` fields are stamped on).
 fn infer_core(
     parsed: &JsonValue,
+    binary_image: Option<Matrix>,
     shared: &Arc<Shared>,
     started: Instant,
     request_id: &str,
     handle: &trace::TraceHandle,
 ) -> Result<JsonValue, GatewayError> {
-    let (model_key, image) = protocol::parse_infer_request(parsed)
-        .map_err(|e| GatewayError::BadRequest(e.to_string()))?;
+    let (model_key, image) = match binary_image {
+        // Binary path: the image arrived outside the metadata object.
+        Some(image) => {
+            let model = parsed
+                .get("model")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| GatewayError::BadRequest("missing string field \"model\"".into()))?
+                .to_string();
+            (model, image)
+        }
+        None => protocol::parse_infer_request(parsed)
+            .map_err(|e| GatewayError::BadRequest(e.to_string()))?,
+    };
     let tier = protocol::parse_infer_tier(parsed)
         .map_err(|e| GatewayError::BadRequest(e.to_string()))?
         .map(|t| Tier::parse(&t))

@@ -127,8 +127,81 @@ impl RequestDeadline {
     }
 }
 
-/// A queued inference request: the image, the model to run it on, and the channel the
-/// worker answers on.
+/// Where one request's result goes: a private `mpsc` channel (the blocking
+/// front, and tests) or a one-shot completion hook (the event-loop front, which
+/// has no thread parked waiting and instead enqueues the response for the loop).
+///
+/// The hook variant carries a liveness guarantee the channel gets for free from
+/// disconnection: if a `Responder` is dropped unanswered — a worker panicked
+/// mid-batch and the request's result never materialised — the hook fires with
+/// a typed internal error, so no admitted request is ever silently abandoned.
+pub struct Responder {
+    sink: Option<ResponderSink>,
+}
+
+enum ResponderSink {
+    Channel(mpsc::Sender<Result<InferReply, ServeError>>),
+    Hook(Box<dyn FnOnce(Result<InferReply, ServeError>) + Send>),
+}
+
+impl Responder {
+    /// A responder delivering into a private channel; the caller blocks on the
+    /// receiving end. A dropped-unanswered channel responder surfaces to the
+    /// receiver as disconnection, so no extra guard fires.
+    pub fn channel(tx: mpsc::Sender<Result<InferReply, ServeError>>) -> Self {
+        Self {
+            sink: Some(ResponderSink::Channel(tx)),
+        }
+    }
+
+    /// A responder invoking a one-shot completion hook. The hook runs on
+    /// whichever thread answers (worker, batcher shed path, or the submitting
+    /// thread on refusal) and must therefore be cheap and non-blocking; if the
+    /// responder dies unanswered the hook fires with
+    /// [`ServeError::Internal`] during drop — including drops on a panicking
+    /// worker's unwind path, so it must not itself panic.
+    pub fn hook(hook: impl FnOnce(Result<InferReply, ServeError>) + Send + 'static) -> Self {
+        Self {
+            sink: Some(ResponderSink::Hook(Box::new(hook))),
+        }
+    }
+
+    /// Delivers the result. Consumes the responder: every request is answered
+    /// exactly once.
+    pub fn send(mut self, result: Result<InferReply, ServeError>) {
+        match self.sink.take() {
+            // The caller may have stopped listening (deadline passed, connection
+            // gone); a dropped receiver is fine.
+            Some(ResponderSink::Channel(tx)) => drop(tx.send(result)),
+            Some(ResponderSink::Hook(hook)) => hook(result),
+            None => unreachable!("send consumes the responder"),
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some(ResponderSink::Hook(hook)) = self.sink.take() {
+            hook(Err(ServeError::Internal(
+                "worker dropped the reply channel".into(),
+            )));
+        }
+    }
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.sink {
+            Some(ResponderSink::Channel(_)) => "channel",
+            Some(ResponderSink::Hook(_)) => "hook",
+            None => "consumed",
+        };
+        f.debug_tuple("Responder").field(&kind).finish()
+    }
+}
+
+/// A queued inference request: the image, the model to run it on, and the
+/// responder the result is delivered through.
 #[derive(Debug)]
 pub struct PendingRequest {
     /// The model entry resolved at admission time.
@@ -140,8 +213,8 @@ pub struct PendingRequest {
     /// The caller's remaining-time budget, if it sent one. Expired requests are shed
     /// with a typed 504 before any inference is spent on them.
     pub deadline: Option<RequestDeadline>,
-    /// Where the worker sends the result.
-    pub reply_tx: mpsc::Sender<Result<InferReply, ServeError>>,
+    /// Where the worker (or the batcher, on shed/refusal paths) sends the result.
+    pub responder: Responder,
     /// The request's span recorder (`None` unless this request is being traced) —
     /// the worker records queue-wait / batch-assembly / compute spans through it.
     pub trace: trace::TraceHandle,
@@ -195,21 +268,30 @@ impl Batcher {
 
     /// Admits a request, or sheds it without enqueueing.
     ///
-    /// Never blocks: returns [`ServeError::ShuttingDown`] once [`Batcher::shutdown`]
-    /// has been called and [`ServeError::Overloaded`] when the queue is at capacity.
+    /// Never blocks: once [`Batcher::shutdown`] has been called, or when the queue is
+    /// at capacity, the request is refused — the typed error
+    /// ([`ServeError::ShuttingDown`] / [`ServeError::Overloaded`]) is both returned
+    /// *and* delivered through the request's [`Responder`], so hook-based callers
+    /// (the event-loop front, which only listens on the responder) see the real
+    /// refusal rather than the drop-guard's generic internal error.
     pub fn submit(&self, request: PendingRequest) -> Result<(), ServeError> {
         let mut state = self.state.lock().expect("batcher lock poisoned");
         if state.shutdown {
+            drop(state);
+            request.responder.send(Err(ServeError::ShuttingDown));
             return Err(ServeError::ShuttingDown);
         }
         if state.queue.len() >= self.policy.queue_capacity {
             self.metrics
                 .shed
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Err(ServeError::Overloaded {
+            let refusal = ServeError::Overloaded {
                 queue_depth: state.queue.len(),
                 capacity: self.policy.queue_capacity,
-            });
+            };
+            drop(state);
+            request.responder.send(Err(refusal.clone()));
+            return Err(refusal);
         }
         state.queue.push_back(request);
         self.metrics
@@ -294,7 +376,7 @@ impl Batcher {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 // The caller has typically stopped listening by now (that is what
                 // the deadline means); a dropped receiver is fine.
-                let _ = request.reply_tx.send(Err(deadline.error()));
+                request.responder.send(Err(deadline.error()));
             } else {
                 index += 1;
             }
@@ -407,7 +489,7 @@ mod tests {
                 image: Matrix::zeros(cfg.image_size, cfg.image_size),
                 submitted: Instant::now(),
                 deadline,
-                reply_tx: tx,
+                responder: Responder::channel(tx),
                 trace: None,
             },
             rx,

@@ -11,7 +11,7 @@ use std::time::Duration;
 use serde::json::JsonValue;
 
 use crate::batcher::InferReply;
-use crate::http::{write_request, MessageReader};
+use crate::http::{write_request_typed, MessageReader};
 use crate::protocol;
 use vitality_tensor::Matrix;
 
@@ -137,6 +137,10 @@ pub struct ServeClient {
     /// reusing the stream could hand request N the response to request N-1. The
     /// next call reconnects first instead of reading poisoned bytes.
     poisoned: bool,
+    /// Send infer requests in the binary image encoding (see
+    /// [`protocol::BINARY_CONTENT_TYPE`]). Off by default; switch it on only after
+    /// the server advertised `"binary"` under `"encodings"` on `/healthz`.
+    binary: bool,
 }
 
 /// How one send/receive attempt failed, split by whether a reconnect may help.
@@ -183,6 +187,7 @@ impl ServeClient {
             read_timeout: None,
             used: false,
             poisoned: false,
+            binary: false,
         })
     }
 
@@ -195,6 +200,21 @@ impl ServeClient {
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Switches infer requests to (or back from) the binary image encoding.
+    ///
+    /// Negotiated, not assumed: turn this on only for servers that advertise
+    /// `"binary"` in the `"encodings"` list of their `/healthz` body — a server
+    /// that does not understand the encoding answers it with a 400. See
+    /// [`protocol::BINARY_CONTENT_TYPE`] for the wire layout and a worked example.
+    pub fn set_binary(&mut self, enabled: bool) {
+        self.binary = enabled;
+    }
+
+    /// Whether infer requests currently use the binary image encoding.
+    pub fn binary(&self) -> bool {
+        self.binary
     }
 
     /// Runs one inference round trip against `POST /v1/infer`.
@@ -248,8 +268,21 @@ impl ServeClient {
         image: &Matrix,
         opts: &protocol::InferOptions<'_>,
     ) -> Result<InferResponse, ClientError> {
-        let body = protocol::infer_request_json_opts(model, image, opts).to_json();
-        let (status, json, retry_after) = self.round_trip("POST", "/v1/infer", body.as_bytes())?;
+        let (body, content_type) = if self.binary {
+            (
+                protocol::encode_binary_infer(model, image, opts),
+                protocol::BINARY_CONTENT_TYPE,
+            )
+        } else {
+            (
+                protocol::infer_request_json_opts(model, image, opts)
+                    .to_json()
+                    .into_bytes(),
+                "application/json",
+            )
+        };
+        let (status, json, retry_after) =
+            self.round_trip("POST", "/v1/infer", &body, content_type)?;
         if status != 200 {
             return Err(Self::server_error(status, &json, retry_after));
         }
@@ -265,7 +298,7 @@ impl ServeClient {
     /// Issues a body-less `GET` (for `/healthz` and `/metrics`) and returns the parsed
     /// JSON body with its status.
     pub fn get(&mut self, path: &str) -> Result<(u16, JsonValue), ClientError> {
-        let (status, json, _) = self.round_trip("GET", path, b"")?;
+        let (status, json, _) = self.round_trip("GET", path, b"", "application/json")?;
         Ok((status, json))
     }
 
@@ -274,6 +307,7 @@ impl ServeClient {
         method: &str,
         path: &str,
         body: &[u8],
+        content_type: &str,
     ) -> Result<(u16, JsonValue, Option<u64>), ClientError> {
         if self.poisoned {
             // A previous call left bytes (or a late response) possibly in flight on
@@ -281,14 +315,14 @@ impl ServeClient {
             // pairing sound.
             self.reconnect()?;
         }
-        match self.attempt(method, path, body) {
+        match self.attempt(method, path, body, content_type) {
             Ok(ok) => Ok(ok),
             Err(AttemptError::Stale(cause)) if self.used => {
                 // The keep-alive connection went stale between calls; reconnect once
                 // and resend. A second failure is real and keeps the fresh attempt's
                 // error (the original cause is the stale close, already acted on).
                 self.reconnect().map_err(|_| cause)?;
-                self.attempt(method, path, body)
+                self.attempt(method, path, body, content_type)
                     .map_err(AttemptError::into_inner)
             }
             Err(err) => Err(err.into_inner()),
@@ -312,8 +346,9 @@ impl ServeClient {
         method: &str,
         path: &str,
         body: &[u8],
+        content_type: &str,
     ) -> Result<(u16, JsonValue, Option<u64>), AttemptError> {
-        if let Err(e) = write_request(&mut self.stream, method, path, body) {
+        if let Err(e) = write_request_typed(&mut self.stream, method, path, body, content_type) {
             // Whatever the kind, a failed write leaves the connection unusable
             // (possibly half a request on the wire); if no retry resolves it, the
             // next call must start from a fresh connection.
@@ -353,13 +388,23 @@ impl ServeClient {
                 });
             }
             Err(e) => {
-                // Any read *error* (as opposed to a clean `None`) means response
-                // bytes were already consumed — an EOF or reset mid-head/mid-body.
-                // Resending then could execute the request twice with the first
-                // answer partially read, so it is never retried, and the
-                // desynchronised connection is never reused.
+                // A read error with response bytes already consumed — an EOF or
+                // reset mid-head/mid-body — is never retried: resending could
+                // execute the request twice with the first answer partially
+                // read. But a disconnect before *any* response byte arrived is
+                // the same stale keep-alive close as a clean EOF, just surfaced
+                // as ECONNRESET because the peer's RST beat our read (e.g. the
+                // resent request hitting the already-closed socket); nothing
+                // was consumed, so a resend on a fresh connection is safe.
+                // Either way the desynchronised connection is never reused.
                 self.poisoned = true;
-                return Err(AttemptError::Fatal(ClientError::Io(e)));
+                return Err(
+                    if is_disconnect(e.kind()) && self.reader.is_between_messages() {
+                        AttemptError::Stale(ClientError::Io(e))
+                    } else {
+                        AttemptError::Fatal(ClientError::Io(e))
+                    },
+                );
             }
         };
         let status = response

@@ -1,7 +1,13 @@
-//! Minimal HTTP/1.1 framing over `std::net::TcpStream`: enough to carry the JSON wire
-//! protocol (request line / status line, headers, `Content-Length` bodies, keep-alive)
-//! and nothing more. Shared by the server and the [`ServeClient`](crate::ServeClient)
-//! so both ends frame messages identically.
+//! Minimal HTTP/1.1 framing: enough to carry the JSON wire protocol (request line /
+//! status line, headers, `Content-Length` bodies, keep-alive) and nothing more.
+//!
+//! The core is [`HttpParser`], a resumable incremental parser: feed it whatever bytes
+//! a socket produced, poll it for complete messages, and borrow the body as a
+//! zero-copy slice into the parse buffer. The readiness-driven event loop
+//! ([`crate::event_loop`]) drives it directly; the blocking [`MessageReader`] used by
+//! [`ServeClient`](crate::ServeClient) and the threaded fallback front is a thin
+//! loop over the same parser, so both ends frame messages identically by
+//! construction.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -11,6 +17,51 @@ use serde::json::JsonValue;
 
 /// Largest accepted head (start line + headers) in bytes.
 const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Consumed-prefix length above which the parse buffer is compacted between
+/// messages (below it, the memmove costs more than the idle bytes).
+const COMPACT_THRESHOLD: usize = 8 * 1024;
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// `Connection` is a comma-separated token list (RFC 9112 §9.6): `close` counts
+/// anywhere in the list of any `Connection` header, case-insensitively, with
+/// optional whitespace around tokens — not only as the whole first header value.
+fn connection_wants_close(headers: &[(String, String)]) -> bool {
+    headers
+        .iter()
+        .filter(|(name, _)| name == "connection")
+        .any(|(_, value)| {
+            value
+                .split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("close"))
+        })
+}
+
+fn split_request_parts(start_line: &str) -> io::Result<(&str, &str)> {
+    let mut parts = start_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) => Ok((method, path)),
+        _ => Err(bad_data("malformed request line")),
+    }
+}
+
+fn parse_status_code(start_line: &str) -> io::Result<u16> {
+    start_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))
+}
 
 /// One parsed HTTP message (request or response — the start line is kept verbatim).
 #[derive(Debug, Clone)]
@@ -33,50 +84,286 @@ impl HttpMessage {
     }
 
     /// Whether the peer asked to close the connection after this message.
+    /// Matches `close` as a token anywhere in the comma-separated `Connection`
+    /// list (RFC 9112), across repeated `Connection` headers.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        connection_wants_close(&self.headers)
     }
 
     /// Splits a request start line into `(method, path)`.
     pub fn request_parts(&self) -> io::Result<(&str, &str)> {
-        let mut parts = self.start_line.split_whitespace();
-        match (parts.next(), parts.next()) {
-            (Some(method), Some(path)) => Ok((method, path)),
-            _ => Err(bad_data("malformed request line")),
-        }
+        split_request_parts(&self.start_line)
     }
 
     /// Parses the status code out of a response status line.
     pub fn status_code(&self) -> io::Result<u16> {
-        self.start_line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|code| code.parse().ok())
-            .ok_or_else(|| bad_data("malformed status line"))
+        parse_status_code(&self.start_line)
     }
 }
 
-fn bad_data(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message)
+/// The head of one HTTP message as parsed by [`HttpParser`]: start line, headers,
+/// and the declared body length. The body itself stays in the parse buffer and is
+/// borrowed via [`HttpParser::body`] — heads are small and owned, bodies (the f32
+/// image payloads that dominate request bytes) are zero-copy.
+#[derive(Debug, Clone)]
+pub struct ParsedHead {
+    /// The request line or status line, verbatim.
+    pub start_line: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Declared `Content-Length` (0 when absent).
+    pub body_len: usize,
 }
 
-fn is_timeout(err: &io::Error) -> bool {
-    matches!(
-        err.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+impl ParsedHead {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this message
+    /// (`close` as a token anywhere in the `Connection` list, RFC 9112).
+    pub fn wants_close(&self) -> bool {
+        connection_wants_close(&self.headers)
+    }
+
+    /// Splits a request start line into `(method, path)`.
+    pub fn request_parts(&self) -> io::Result<(&str, &str)> {
+        split_request_parts(&self.start_line)
+    }
+
+    /// Parses the status code out of a response status line.
+    pub fn status_code(&self) -> io::Result<u16> {
+        parse_status_code(&self.start_line)
+    }
 }
 
-/// Incremental reader for a sequence of HTTP messages on one connection.
+/// What [`HttpParser::poll`] reports about the buffered bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// No complete message buffered yet; feed more bytes.
+    NeedMore,
+    /// A complete message is ready: inspect it via [`HttpParser::head`] and
+    /// [`HttpParser::body`], then call [`HttpParser::advance`] (or
+    /// [`HttpParser::take_message`]) to move past it.
+    Message,
+}
+
+/// Resumable incremental HTTP/1.1 parser over an append-only byte buffer.
 ///
-/// Keeps a rollover buffer across calls so keep-alive pipelining cannot lose bytes, and
-/// treats read timeouts as polls of the `stop` callback — a server sets a short read
-/// timeout on the socket and passes its shutdown flag as `stop`, so idle keep-alive
-/// connections notice a drain promptly without racing partial reads.
+/// Feed raw socket bytes with [`feed`](Self::feed), then [`poll`](Self::poll)
+/// until it reports a complete message. The head is parsed once (owned, small);
+/// the body is a zero-copy slice into the buffer. [`advance`](Self::advance)
+/// consumes the current message and compacts the buffer lazily, so pipelined
+/// messages parse without re-copying and trickled heads parse in linear time:
+/// the terminator scan resumes from a cursor (`len - 3`, to catch a terminator
+/// straddling the previous chunk boundary) instead of rescanning from the start
+/// of the head on every fill.
+#[derive(Debug, Default)]
+pub struct HttpParser {
+    buf: Vec<u8>,
+    /// Start of the current (possibly incomplete) message in `buf`.
+    pos: usize,
+    /// Where the `\r\n\r\n` scan resumes; always in `pos..=buf.len()`.
+    scan: usize,
+    /// Parsed head of the current message, once its terminator arrived.
+    head: Option<ParsedHead>,
+    /// Absolute index of the current message's body in `buf` (valid with `head`).
+    body_start: usize,
+}
+
+impl HttpParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed by [`advance`](Self::advance).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the parser sits exactly between messages: no partial head or
+    /// body buffered. EOF here is a clean close; EOF anywhere else is truncation.
+    pub fn is_between_messages(&self) -> bool {
+        self.head.is_none() && self.pos == self.buf.len()
+    }
+
+    /// True once the current message's head has been parsed (the parser is
+    /// waiting on body bytes, or the message is complete).
+    pub fn has_head(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// Advances the state machine over the buffered bytes.
+    ///
+    /// Returns [`ParseStatus::Message`] when a complete message is buffered.
+    /// Framing violations — oversized heads, a body over `max_body`, malformed
+    /// or duplicate `Content-Length`, non-UTF-8 heads — are
+    /// [`io::ErrorKind::InvalidData`] errors; the connection cannot be resynced
+    /// after one and must be closed.
+    pub fn poll(&mut self, max_body: usize) -> io::Result<ParseStatus> {
+        if self.head.is_none() {
+            let Some(head_end) = self.find_terminator() else {
+                if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+                    return Err(bad_data("HTTP head exceeds 64 KiB"));
+                }
+                return Ok(ParseStatus::NeedMore);
+            };
+            if head_end - self.pos > MAX_HEAD_BYTES {
+                return Err(bad_data("HTTP head exceeds 64 KiB"));
+            }
+            let head = parse_head(&self.buf[self.pos..head_end])?;
+            if head.body_len > max_body {
+                return Err(bad_data("body exceeds the configured maximum"));
+            }
+            self.body_start = head_end + 4;
+            self.head = Some(head);
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        if self.buf.len() - self.body_start >= head.body_len {
+            Ok(ParseStatus::Message)
+        } else {
+            Ok(ParseStatus::NeedMore)
+        }
+    }
+
+    /// Head of the completed message. Only valid after [`poll`](Self::poll)
+    /// reported [`ParseStatus::Message`].
+    pub fn head(&self) -> &ParsedHead {
+        self.head.as_ref().expect("no complete message parsed")
+    }
+
+    /// Body of the completed message, borrowed zero-copy from the parse buffer.
+    /// Only valid after [`poll`](Self::poll) reported [`ParseStatus::Message`].
+    pub fn body(&self) -> &[u8] {
+        let head = self.head.as_ref().expect("no complete message parsed");
+        &self.buf[self.body_start..self.body_start + head.body_len]
+    }
+
+    /// Consumes the current message, keeping any pipelined bytes beyond it.
+    pub fn advance(&mut self) {
+        let head = self
+            .head
+            .take()
+            .expect("no complete message to advance over");
+        self.pos = self.body_start + head.body_len;
+        self.scan = self.pos;
+        self.compact();
+    }
+
+    /// Consumes the current message into an owned [`HttpMessage`] (the blocking
+    /// [`MessageReader`] path, which hands bodies to callers by value).
+    pub fn take_message(&mut self) -> HttpMessage {
+        let head = self.head.take().expect("no complete message to take");
+        let body = self.buf[self.body_start..self.body_start + head.body_len].to_vec();
+        self.pos = self.body_start + head.body_len;
+        self.scan = self.pos;
+        self.compact();
+        HttpMessage {
+            start_line: head.start_line,
+            headers: head.headers,
+            body,
+        }
+    }
+
+    /// Finds the `\r\n\r\n` terminating the current head, resuming from the
+    /// scan cursor so repeated polls over a trickling head are linear, not
+    /// quadratic. On a miss the cursor parks at `len - 3` — far enough back to
+    /// catch a terminator split across the next chunk boundary.
+    fn find_terminator(&mut self) -> Option<usize> {
+        match self.buf[self.scan..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+        {
+            Some(i) => Some(self.scan + i),
+            None => {
+                self.scan = self.buf.len().saturating_sub(3).max(self.pos);
+                None
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.scan = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.scan -= self.pos;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Parses one head (everything before the `\r\n\r\n` terminator) into a
+/// [`ParsedHead`], enforcing the framing rules both fronts share:
+///
+/// - `Content-Length` must be non-empty ASCII digits only — `parse::<usize>()`
+///   alone would accept a leading `+` (`Content-Length: +5`), which peers can
+///   disagree on (request-smuggling surface on pipelined keep-alive
+///   connections).
+/// - Duplicate `Content-Length` headers are rejected outright rather than
+///   silently taking the first value, even when they agree.
+fn parse_head(head_bytes: &[u8]) -> io::Result<ParsedHead> {
+    let head = std::str::from_utf8(head_bytes).map_err(|_| bad_data("non-UTF-8 HTTP head"))?;
+    let mut lines = head.split("\r\n");
+    let start_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| bad_data("empty start line"))?
+        .to_string();
+    let mut headers = Vec::new();
+    let mut body_len: Option<usize> = None;
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data("malformed header line"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            if body_len.is_some() {
+                return Err(bad_data("duplicate Content-Length"));
+            }
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad_data("malformed Content-Length"));
+            }
+            body_len = Some(
+                value
+                    .parse::<usize>()
+                    .map_err(|_| bad_data("malformed Content-Length"))?,
+            );
+        }
+        headers.push((name, value));
+    }
+    Ok(ParsedHead {
+        start_line,
+        headers,
+        body_len: body_len.unwrap_or(0),
+    })
+}
+
+/// Blocking reader for a sequence of HTTP messages on one connection — a thin
+/// loop over [`HttpParser`], so the blocking client path and the readiness-driven
+/// server path share one framing implementation.
+///
+/// Keeps the parser (and its rollover buffer) across calls so keep-alive
+/// pipelining cannot lose bytes, and treats read timeouts as polls of the `stop`
+/// callback — a caller sets a short read timeout on the socket and passes its
+/// shutdown flag as `stop`, so idle keep-alive connections notice a drain
+/// promptly without racing partial reads.
 #[derive(Debug, Default)]
 pub struct MessageReader {
-    buffer: Vec<u8>,
+    parser: HttpParser,
 }
 
 impl MessageReader {
@@ -85,129 +372,58 @@ impl MessageReader {
         Self::default()
     }
 
+    /// True when no bytes of a next message have been buffered or parsed — a
+    /// connection failure here provably consumed nothing of the awaited
+    /// response, so a caller may safely resend on a fresh connection.
+    pub fn is_between_messages(&self) -> bool {
+        self.parser.is_between_messages()
+    }
+
     /// Reads the next complete message.
     ///
     /// Returns `Ok(None)` on clean end-of-stream (EOF between messages) or when `stop`
-    /// reports the owner is shutting down while the connection is idle between
-    /// messages. EOF in the middle of a message is an error.
+    /// reports the owner is shutting down while a message is still incomplete (a
+    /// request that never fully arrived was never admitted, so a shutdown may abandon
+    /// it — blocking the drain on a stalled client would hang the process). EOF in
+    /// the middle of a message is an error.
     pub fn read_message(
         &mut self,
         stream: &mut TcpStream,
         max_body: usize,
         stop: &dyn Fn() -> bool,
     ) -> io::Result<Option<HttpMessage>> {
-        // Accumulate until the head terminator appears.
         // Chaos site: `sleep(ms)` here simulates a slow/stalled peer read (the bytes
         // arrive, the server just takes its time noticing them).
         failpoint::fire("serve-read-stall");
-        let head_end = loop {
-            if let Some(pos) = find_terminator(&self.buffer) {
-                break pos;
-            }
-            if self.buffer.len() > MAX_HEAD_BYTES {
-                return Err(bad_data("HTTP head exceeds 64 KiB"));
-            }
-            match self.fill(stream)? {
-                FillOutcome::Data => {}
-                FillOutcome::Eof => {
-                    if self.buffer.is_empty() {
-                        return Ok(None);
-                    }
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "EOF inside HTTP head",
-                    ));
-                }
-                FillOutcome::Timeout => {
-                    // Idle or half-sent either way: a request whose head has not
-                    // arrived was never admitted, so a shutdown may abandon it —
-                    // blocking the drain on a stalled client would hang the process.
-                    if stop() {
-                        return Ok(None);
-                    }
-                }
-            }
-        };
-
-        let head = std::str::from_utf8(&self.buffer[..head_end])
-            .map_err(|_| bad_data("non-UTF-8 HTTP head"))?;
-        let mut lines = head.split("\r\n");
-        let start_line = lines
-            .next()
-            .filter(|l| !l.is_empty())
-            .ok_or_else(|| bad_data("empty start line"))?
-            .to_string();
-        let mut headers = Vec::new();
-        for line in lines {
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| bad_data("malformed header line"))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-        }
-
-        let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
-            Some((_, v)) => v
-                .parse::<usize>()
-                .map_err(|_| bad_data("malformed Content-Length"))?,
-            None => 0,
-        };
-        if body_len > max_body {
-            return Err(bad_data("body exceeds the configured maximum"));
-        }
-
-        // Drop the head (+ terminator) and read the body, keeping any pipelined bytes
-        // beyond it in the buffer for the next call.
-        self.buffer.drain(..head_end + 4);
-        while self.buffer.len() < body_len {
-            match self.fill(stream)? {
-                FillOutcome::Data => {}
-                FillOutcome::Eof => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "EOF inside HTTP body",
-                    ));
-                }
-                FillOutcome::Timeout => {
-                    // A request without its full body was never admitted to the
-                    // batcher, so a shutdown may abandon it rather than wait on a
-                    // stalled client forever.
-                    if stop() {
-                        return Ok(None);
-                    }
-                }
-            }
-        }
-        let body = self.buffer.drain(..body_len).collect();
-        Ok(Some(HttpMessage {
-            start_line,
-            headers,
-            body,
-        }))
-    }
-
-    fn fill(&mut self, stream: &mut TcpStream) -> io::Result<FillOutcome> {
         let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => Ok(FillOutcome::Eof),
-            Ok(n) => {
-                self.buffer.extend_from_slice(&chunk[..n]);
-                Ok(FillOutcome::Data)
+        loop {
+            // Poll before filling: pipelined bytes already buffered must parse
+            // without waiting on the socket.
+            if self.parser.poll(max_body)? == ParseStatus::Message {
+                return Ok(Some(self.parser.take_message()));
             }
-            Err(err) if is_timeout(&err) => Ok(FillOutcome::Timeout),
-            Err(err) if err.kind() == io::ErrorKind::Interrupted => Ok(FillOutcome::Timeout),
-            Err(err) => Err(err),
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.parser.is_between_messages() {
+                        return Ok(None);
+                    }
+                    let context = if self.parser.has_head() {
+                        "EOF inside HTTP body"
+                    } else {
+                        "EOF inside HTTP head"
+                    };
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, context));
+                }
+                Ok(n) => self.parser.feed(&chunk[..n]),
+                Err(err) if is_timeout(&err) || err.kind() == io::ErrorKind::Interrupted => {
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+                Err(err) => return Err(err),
+            }
         }
     }
-}
-
-enum FillOutcome {
-    Data,
-    Eof,
-    Timeout,
-}
-
-fn find_terminator(buffer: &[u8]) -> Option<usize> {
-    buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// Instants bracketing the serialize and socket-write stages of one response,
@@ -239,9 +455,9 @@ impl WriteReport {
     }
 }
 
-/// What a route handler returns to [`serve_connection`]: the status and JSON body,
-/// plus optional response plumbing (a `Retry-After` header on 503s, a completion
-/// callback that observes the serialize/write timings).
+/// What a route handler returns: the status and JSON body, plus optional response
+/// plumbing (a `Retry-After` header on 503s, a completion callback that observes
+/// the serialize/write timings).
 pub struct RouteResponse {
     /// HTTP status code.
     pub status: u16,
@@ -289,11 +505,83 @@ impl RouteResponse {
     }
 }
 
+/// One response encoded to wire bytes, with the write-stage failpoints already
+/// applied. Both fronts (blocking and event loop) write responses through this,
+/// so the chaos sites fire identically under either connection front.
+pub struct EncodedResponse {
+    /// The complete head + body wire bytes.
+    pub bytes: Vec<u8>,
+    /// Chaos: when set, only this many bytes may be written, after which the
+    /// connection must be failed/closed — the peer sees a truncated response
+    /// and EOF, never a short-but-parseable one.
+    pub fail_after: Option<usize>,
+}
+
+/// Encodes one JSON response (status line, headers, body) to wire bytes.
+///
+/// Carries the write-side chaos sites: `serve-write-stall` (a `sleep(ms)` spec
+/// stalls here, simulating a backend that computed the answer but cannot get it
+/// onto the wire in time), `serve-write-corrupt` (flips the leading body bytes
+/// to 0xFF — invalid UTF-8, so a corrupted response can never parse as
+/// valid-but-wrong JSON downstream), and `serve-write-partial` (truncates the
+/// write mid-body via [`EncodedResponse::fail_after`] — the peer sees EOF
+/// mid-message and must treat the response as lost, not short).
+pub fn encode_response(
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> EncodedResponse {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    };
+    failpoint::fire("serve-write-stall");
+    let corrupted: Vec<u8>;
+    let body = if failpoint::fire("serve-write-corrupt") {
+        let mut bytes = body.to_vec();
+        for byte in bytes.iter_mut().take(8) {
+            *byte = 0xFF;
+        }
+        corrupted = bytes;
+        &corrupted[..]
+    } else {
+        body
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let fail_after = if failpoint::fire("serve-write-partial") {
+        Some(head.len() + body.len() / 2)
+    } else {
+        None
+    };
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    EncodedResponse { bytes, fail_after }
+}
+
 /// Runs one server-side keep-alive connection to completion: read a message, let
 /// `route` produce a [`RouteResponse`], write the response, repeat until the peer
-/// closes, a framing error occurs, or `stop` reports shutdown. Shared by the
-/// engine and the cluster gateway so their connection semantics
-/// (timeouts-as-shutdown-polls, keep-alive handling, 503 headers) cannot drift.
+/// closes, a framing error occurs, or `stop` reports shutdown. The blocking
+/// counterpart of the event-loop front, used by the threaded fallback on
+/// platforms without epoll — identical semantics (timeouts-as-shutdown-polls,
+/// keep-alive handling, 503 headers) by sharing the parser and encoder.
 pub fn serve_connection(
     mut stream: TcpStream,
     poll_interval: Duration,
@@ -320,12 +608,9 @@ pub fn serve_connection(
         let serialize_start = Instant::now();
         let body = response.body.to_json();
         let write_start = Instant::now();
-        let wrote = write_response_with_headers(
+        let wrote = write_encoded(
             &mut stream,
-            response.status,
-            body.as_bytes(),
-            keep_alive,
-            &headers,
+            &encode_response(response.status, body.as_bytes(), keep_alive, &headers),
         );
         if let Some(hook) = response.on_written {
             hook(WriteReport {
@@ -336,6 +621,23 @@ pub fn serve_connection(
         }
         if wrote.is_err() || !keep_alive {
             return;
+        }
+    }
+}
+
+fn write_encoded(stream: &mut TcpStream, encoded: &EncodedResponse) -> io::Result<()> {
+    match encoded.fail_after {
+        Some(limit) => {
+            stream.write_all(&encoded.bytes[..limit])?;
+            let _ = stream.flush();
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint: partial response write",
+            ))
+        }
+        None => {
+            stream.write_all(&encoded.bytes)?;
+            stream.flush()
         }
     }
 }
@@ -358,57 +660,10 @@ pub fn write_response_with_headers(
     keep_alive: bool,
     extra_headers: &[(&str, String)],
 ) -> io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Status",
-    };
-    // Chaos site: `sleep(ms)` here stalls the response write, simulating a backend
-    // that computed the answer but cannot get it onto the wire in time.
-    failpoint::fire("serve-write-stall");
-    // Chaos site: `return` here flips the leading body bytes to 0xFF — invalid UTF-8,
-    // so a corrupted response can never parse as valid-but-wrong JSON downstream.
-    let corrupted: Vec<u8>;
-    let body = if failpoint::fire("serve-write-corrupt") {
-        let mut bytes = body.to_vec();
-        for byte in bytes.iter_mut().take(8) {
-            *byte = 0xFF;
-        }
-        corrupted = bytes;
-        &corrupted[..]
-    } else {
-        body
-    };
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    // Chaos site: `return` here writes only half the body and drops the connection —
-    // the peer sees EOF mid-message and must treat the response as lost, not short.
-    if failpoint::fire("serve-write-partial") {
-        stream.write_all(&body[..body.len() / 2])?;
-        let _ = stream.flush();
-        return Err(io::Error::new(
-            io::ErrorKind::BrokenPipe,
-            "failpoint: partial response write",
-        ));
-    }
-    stream.write_all(body)?;
-    stream.flush()
+    write_encoded(
+        stream,
+        &encode_response(status, body, keep_alive, extra_headers),
+    )
 }
 
 /// Writes one JSON request (keep-alive).
@@ -418,8 +673,20 @@ pub fn write_request(
     path: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_request_typed(stream, method, path, body, "application/json")
+}
+
+/// Writes one keep-alive request with an explicit `Content-Type` — the binary
+/// image encoding ([`crate::protocol::BINARY_CONTENT_TYPE`]) rides this.
+pub fn write_request_typed(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+) -> io::Result<()> {
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: vitality-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: vitality-serve\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
         body.len(),
     );
     stream.write_all(head.as_bytes())?;
@@ -504,5 +771,94 @@ mod tests {
         }
         .status_code()
         .is_err());
+    }
+
+    fn parse_one(wire: &[u8]) -> io::Result<HttpMessage> {
+        let mut parser = HttpParser::new();
+        parser.feed(wire);
+        match parser.poll(1 << 20)? {
+            ParseStatus::Message => Ok(parser.take_message()),
+            ParseStatus::NeedMore => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "incomplete message in test fixture",
+            )),
+        }
+    }
+
+    #[test]
+    fn content_length_with_leading_plus_is_a_framing_error() {
+        let err = parse_one(b"POST /x HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5 \r\n\r\nhello");
+        assert!(err.is_ok(), "trailing OWS is trimmed before validation");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_a_framing_error_even_when_values_agree() {
+        let err =
+            parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err =
+            parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!")
+                .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn connection_close_matches_as_a_token_in_a_list() {
+        let msg = parse_one(b"GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n").unwrap();
+        assert!(msg.wants_close());
+        let msg = parse_one(b"GET / HTTP/1.1\r\nConnection: closet\r\n\r\n").unwrap();
+        assert!(
+            !msg.wants_close(),
+            "substring of another token is not close"
+        );
+        let msg =
+            parse_one(b"GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n")
+                .unwrap();
+        assert!(msg.wants_close(), "close in a repeated Connection header");
+    }
+
+    #[test]
+    fn trickled_heads_resume_from_the_scan_cursor() {
+        // Feed a large head one byte at a time; the cursor keeps each poll O(1)
+        // amortised. (The behavioural assertion is correctness — the complexity
+        // claim is pinned by the differential suite's timing-free construction.)
+        let mut wire = b"POST /v1/infer HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            wire.extend_from_slice(format!("X-Filler-{i}: {}\r\n", "v".repeat(100)).as_bytes());
+        }
+        wire.extend_from_slice(b"Content-Length: 3\r\n\r\nabc");
+        let mut parser = HttpParser::new();
+        for byte in &wire {
+            parser.feed(std::slice::from_ref(byte));
+            if parser.poll(1 << 20).unwrap() == ParseStatus::Message {
+                break;
+            }
+        }
+        assert_eq!(parser.poll(1 << 20).unwrap(), ParseStatus::Message);
+        assert_eq!(parser.body(), b"abc");
+        assert_eq!(
+            parser.head().header("x-filler-0"),
+            Some("v".repeat(100).as_str())
+        );
+        parser.advance();
+        assert!(parser.is_between_messages());
+    }
+
+    #[test]
+    fn zero_copy_bodies_and_pipelining_via_advance() {
+        let mut parser = HttpParser::new();
+        parser.feed(b"POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirstPOST /b HTTP/1.1\r\nContent-Length: 6\r\n\r\nsecond");
+        assert_eq!(parser.poll(1 << 20).unwrap(), ParseStatus::Message);
+        assert_eq!(parser.body(), b"first");
+        assert_eq!(parser.head().request_parts().unwrap(), ("POST", "/a"));
+        parser.advance();
+        assert_eq!(parser.poll(1 << 20).unwrap(), ParseStatus::Message);
+        assert_eq!(parser.body(), b"second");
+        parser.advance();
+        assert!(parser.is_between_messages());
+        assert_eq!(parser.poll(1 << 20).unwrap(), ParseStatus::NeedMore);
     }
 }

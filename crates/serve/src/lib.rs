@@ -51,6 +51,7 @@
 pub mod batcher;
 pub mod client;
 pub mod error;
+pub mod event_loop;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -58,9 +59,10 @@ pub mod registry;
 pub mod server;
 pub mod worker;
 
-pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest, RequestDeadline};
+pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest, RequestDeadline, Responder};
 pub use client::{ClientError, InferResponse, ServeClient};
 pub use error::ServeError;
+pub use event_loop::{Completion, EventFront, FrontConfig, FrontRequest};
 pub use metrics::{LatencyHistogram, Metrics, VariantStats};
 pub use protocol::InferOptions;
 pub use registry::{ModelEntry, ModelRegistry};

@@ -1,22 +1,23 @@
-//! The serving engine: TCP accept loop, per-connection handlers, the dynamic batcher
-//! and the worker pool, assembled behind [`Server::start`] / [`Server::shutdown`].
+//! The serving engine: the epoll connection front, the dynamic batcher and the
+//! worker pool, assembled behind [`Server::start`] / [`Server::shutdown`].
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
 
-use crate::batcher::{BatchPolicy, Batcher, PendingRequest, RequestDeadline};
+use crate::batcher::{BatchPolicy, Batcher, PendingRequest, RequestDeadline, Responder};
 use crate::error::ServeError;
-use crate::http::{serve_connection, RouteResponse, WriteReport};
+use crate::event_loop::{Completion, EventFront, FrontConfig, FrontRequest};
+use crate::http::{RouteResponse, WriteReport};
 use crate::metrics::{Metrics, VariantStats};
 use crate::protocol;
 use crate::registry::ModelRegistry;
 use crate::worker::WorkerPool;
+use vitality_tensor::Matrix;
 
 /// Server tunables; `Default` is a sane local configuration on an ephemeral port.
 #[derive(Debug, Clone)]
@@ -30,13 +31,18 @@ pub struct ServerConfig {
     pub policy: BatchPolicy,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Socket read timeout; doubles as the shutdown poll interval for idle keep-alive
-    /// connections.
+    /// The event loop's poll timeout (doubles as the shutdown poll interval; on the
+    /// threaded fallback it is the socket read timeout serving the same role).
     pub poll_interval: Duration,
-    /// How long a connection handler waits for the worker pool to answer one request
-    /// before reporting an internal error (a backstop for worker crashes, not a
-    /// queueing deadline).
+    /// Retained for configuration compatibility. The blocking front used this as
+    /// the per-request wait on the worker's reply channel; the event front needs
+    /// no timed wait — a worker that dies answers every riding request with a
+    /// typed 500 through its responder's drop guard instead.
     pub reply_timeout: Duration,
+    /// Per-connection cap on dispatched-but-unanswered pipelined requests; reading
+    /// pauses at the cap so a fast pipeliner is backpressured through the kernel
+    /// socket buffer instead of growing server-side queues without bound.
+    pub max_pipeline: usize,
     /// Request-tracing policy (sampling rate + `/debug/traces` ring size). The
     /// default reads `VITALITY_TRACE_SAMPLE` and keeps tracing off otherwise.
     pub trace: trace::TraceConfig,
@@ -51,6 +57,7 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             poll_interval: Duration::from_millis(50),
             reply_timeout: Duration::from_secs(60),
+            max_pipeline: 64,
             trace: trace::TraceConfig::default(),
         }
     }
@@ -62,32 +69,32 @@ struct Shared {
     metrics: Arc<Metrics>,
     tracer: Arc<trace::Tracer>,
     shutdown: AtomicBool,
-    config: ServerConfig,
 }
 
 /// A running serving engine.
 ///
 /// ```text
-/// accept loop ──► connection threads ──► Batcher (bounded queue, coalescing)
-///                       ▲                     │ formed batches
-///                       │ per-request         ▼
-///                       └─── mpsc reply ── WorkerPool ──► VisionTransformer::infer_batch
+/// event-loop front ──► dispatch ──► Batcher (bounded queue, coalescing)
+///   (epoll, one thread,    │              │ formed batches
+///    all connections)      │ GETs answer  ▼
+///         ▲                │ inline    WorkerPool ──► VisionTransformer::infer_batch
+///         └── completions ◄┴─────────────┘ (per-request Responder hooks)
 /// ```
 ///
 /// Start with [`Server::start`]; stop with [`Server::shutdown`], which drains in
-/// order: accept loop first, then the batcher (already-admitted requests are still
-/// answered), then workers, then connection handlers.
+/// order: the front stops parsing new requests, the batcher drains (already-admitted
+/// requests are still answered), workers exit, then the front flushes every pending
+/// response and joins.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    front: Option<EventFront>,
     workers: Option<WorkerPool>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
-    /// Binds the listener, spawns the worker pool and the accept loop, and returns the
-    /// running server.
+    /// Binds the listener, spawns the worker pool and the connection front, and
+    /// returns the running server.
     ///
     /// # Errors
     ///
@@ -111,10 +118,11 @@ impl Server {
             metrics,
             tracer,
             shutdown: AtomicBool::new(false),
-            config,
         });
         // Thread names carry the bound port so failpoint thread-scoping (and thread
-        // dumps) can tell the engines of an in-process cluster apart.
+        // dumps) can tell the engines of an in-process cluster apart. The event
+        // loop inherits the `serve-conn-<port>` name the per-connection threads
+        // used to carry, keeping existing chaos specs aimed at the right thread.
         let workers = WorkerPool::start_named(
             worker_count,
             Arc::clone(&shared.batcher),
@@ -122,38 +130,25 @@ impl Server {
             &format!("serve-worker-{}", local_addr.port()),
         );
 
-        let connections = Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_connections = Arc::clone(&connections);
-        let accept_handle = std::thread::Builder::new()
-            .name("serve-accept".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let conn_shared = Arc::clone(&accept_shared);
-                    let handle = std::thread::Builder::new()
-                        .name(format!("serve-conn-{}", local_addr.port()))
-                        .spawn(move || handle_connection(stream, conn_shared))
-                        .expect("spawn connection handler");
-                    let mut handles = accept_connections.lock().expect("connection list poisoned");
-                    // Reap finished handlers as connections churn, so a long-lived
-                    // server does not accumulate one dead JoinHandle per connection
-                    // it ever served.
-                    handles.retain(|h: &JoinHandle<()>| !h.is_finished());
-                    handles.push(handle);
-                }
-            })
-            .expect("spawn accept loop");
+        let dispatch_shared = Arc::clone(&shared);
+        let front = EventFront::start(
+            listener,
+            FrontConfig {
+                poll_interval: config.poll_interval,
+                max_body_bytes: config.max_body_bytes,
+                max_pipeline: config.max_pipeline,
+                thread_name: format!("serve-conn-{}", local_addr.port()),
+            },
+            move |request: &FrontRequest<'_>, completion: Completion| {
+                route(request, completion, &dispatch_shared)
+            },
+        )?;
 
         Ok(Server {
             local_addr,
             shared,
-            accept_handle: Some(accept_handle),
+            front: Some(front),
             workers: Some(workers),
-            connections,
         })
     }
 
@@ -172,27 +167,23 @@ impl Server {
         Arc::clone(&self.shared.tracer)
     }
 
-    /// Graceful shutdown: stop accepting, drain the admitted queue through the
-    /// workers, answer in-flight requests, then join every thread.
+    /// Graceful shutdown: stop accepting and parsing, drain the admitted queue
+    /// through the workers, flush every pending response, then join every thread.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        if let Some(front) = &self.front {
+            front.stop();
         }
         // Drain the batcher: admitted requests are still answered, new submissions
-        // are refused with ShuttingDown.
+        // are refused with ShuttingDown (their typed 503s flow out as completions).
         self.shared.batcher.shutdown();
         if let Some(workers) = self.workers.take() {
             workers.join();
         }
-        // Connection handlers observe the shutdown flag at the next poll tick (idle)
-        // or right after writing their in-flight response.
-        let handles =
-            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
-        for handle in handles {
-            let _ = handle.join();
+        // With the workers gone every completion is in: the front drains its
+        // remaining writes and exits.
+        if let Some(mut front) = self.front.take() {
+            front.join();
         }
     }
 }
@@ -206,20 +197,11 @@ impl std::fmt::Debug for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let stop = || shared.shutdown.load(Ordering::SeqCst);
-    serve_connection(
-        stream,
-        shared.config.poll_interval,
-        shared.config.max_body_bytes,
-        &stop,
-        |message| route(message, &shared),
-    );
-}
-
-fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
-    let Ok((method, path)) = message.request_parts() else {
-        return error_response(&ServeError::BadRequest("malformed request line".into()));
+fn route(request: &FrontRequest<'_>, completion: Completion, shared: &Arc<Shared>) {
+    let Ok((method, path)) = request.request_parts() else {
+        return completion.complete(error_response(&ServeError::BadRequest(
+            "malformed request line".into(),
+        )));
     };
     match (method, path) {
         ("GET", "/healthz") => {
@@ -232,23 +214,30 @@ fn route(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> RouteRespo
                 .set(
                     "in_flight_batches",
                     shared.metrics.in_flight_batches.load(Ordering::Relaxed),
-                );
-            RouteResponse::new(200, body)
+                )
+                // Request encodings this engine accepts; callers switch to the
+                // binary image encoding only after seeing it advertised here.
+                .set("encodings", vec!["json".to_string(), "binary".to_string()]);
+            completion.complete(RouteResponse::new(200, body));
         }
-        ("GET", "/metrics") => RouteResponse::new(200, shared.metrics.snapshot_json()),
-        ("GET", "/debug/traces") => RouteResponse::new(200, shared.tracer.recent_json()),
-        ("POST", "/v1/infer") => handle_infer(message, shared),
-        ("POST" | "GET", _) => RouteResponse::new(
+        ("GET", "/metrics") => {
+            completion.complete(RouteResponse::new(200, shared.metrics.snapshot_json()));
+        }
+        ("GET", "/debug/traces") => {
+            completion.complete(RouteResponse::new(200, shared.tracer.recent_json()));
+        }
+        ("POST", "/v1/infer") => handle_infer(request, completion, shared),
+        ("POST" | "GET", _) => completion.complete(RouteResponse::new(
             404,
             protocol::error_body("not_found", &format!("no route for {method} {path}")),
-        ),
-        _ => RouteResponse::new(
+        )),
+        _ => completion.complete(RouteResponse::new(
             405,
             protocol::error_body(
                 "method_not_allowed",
                 &format!("unsupported method {method}"),
             ),
-        ),
+        )),
     }
 }
 
@@ -319,62 +308,94 @@ fn infer_error(
     response
 }
 
-fn handle_infer(message: &crate::http::HttpMessage, shared: &Arc<Shared>) -> RouteResponse {
-    // The origin for every span offset: work before the body parses (UTF-8 check,
-    // JSON) is attributed to the `parse` span retroactively.
-    let received = Instant::now();
-    let parsed = match std::str::from_utf8(&message.body)
+/// Decodes the request body by its negotiated encoding: the JSON shape, or the
+/// binary image encoding (selected by `Content-Type`, see
+/// [`protocol::BINARY_CONTENT_TYPE`]). Returns the metadata object the field
+/// parsers read, plus the already-decoded image on the binary path.
+fn decode_infer_body(
+    request: &FrontRequest<'_>,
+) -> Result<(JsonValue, Option<Matrix>), ServeError> {
+    let content_type = request.header("content-type").unwrap_or("");
+    if content_type
+        .split(';')
+        .next()
+        .is_some_and(|t| t.trim().eq_ignore_ascii_case(protocol::BINARY_CONTENT_TYPE))
+    {
+        let (meta, image) = protocol::decode_binary_infer(request.body)?;
+        return Ok((meta, Some(image)));
+    }
+    let parsed = std::str::from_utf8(request.body)
         .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))
         .and_then(|text| {
             serde::json::parse(text)
                 .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))
-        }) {
-        Ok(parsed) => parsed,
+        })?;
+    Ok((parsed, None))
+}
+
+fn handle_infer(request: &FrontRequest<'_>, completion: Completion, shared: &Arc<Shared>) {
+    // The origin for every span offset: work before the body parses (UTF-8 check,
+    // JSON or binary decode) is attributed to the `parse` span retroactively.
+    let received = Instant::now();
+    let (parsed, binary_image) = match decode_infer_body(request) {
+        Ok(decoded) => decoded,
         // No usable body, so no client id: generate one so even this failure is
         // quotable from the error body.
-        Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
+        Err(err) => {
+            return completion.complete(infer_error(shared, &err, &trace::new_request_id(), None))
+        }
     };
     let request_id = match protocol::parse_infer_request_id(&parsed) {
         Ok(id) => id.unwrap_or_else(trace::new_request_id),
-        Err(err) => return infer_error(shared, &err, &trace::new_request_id(), None),
+        Err(err) => {
+            return completion.complete(infer_error(shared, &err, &trace::new_request_id(), None))
+        }
     };
     let _log_scope = trace::request_scope(&request_id);
     let want_trace = match protocol::parse_infer_trace_flag(&parsed) {
         Ok(flag) => flag,
-        Err(err) => return infer_error(shared, &err, &request_id, None),
+        Err(err) => return completion.complete(infer_error(shared, &err, &request_id, None)),
     };
     // `"trace": true` forces span recording even when sampling is off — that is how
     // a gateway collects engine spans; retention in this engine's own ring is still
     // the tracer's sampling decision.
     let handle = shared.tracer.begin(&request_id, received, want_trace);
-    match infer_core(&parsed, shared, received, &handle) {
-        Ok((reply, variant_stats)) => {
-            let mut body = protocol::infer_reply_json(&reply);
-            body.set("request_id", request_id.as_str());
-            if want_trace {
-                // Embed what has been recorded so far (parse + worker stages); the
-                // serialize/write spans land after this snapshot and so stay
-                // engine-local, covered upstream by the caller's attempt span.
-                if let Some(t) = &handle {
-                    body.set("trace", trace::spans_json(&t.snapshot()));
-                }
-            }
-            let hook = finish_hook(Arc::clone(&shared.tracer), handle, 200, Some(variant_stats));
-            RouteResponse::new(200, body).with_on_written(hook)
-        }
-        Err(err) => infer_error(shared, &err, &request_id, handle),
+    match admit_infer(&parsed, binary_image, shared, received, &handle) {
+        Ok(admitted) => submit_infer(admitted, shared, completion, request_id, want_trace, handle),
+        Err(err) => completion.complete(infer_error(shared, &err, &request_id, handle)),
     }
 }
 
-/// The admission → batcher → reply core of one infer request. Returns the reply
-/// plus the per-variant stats block so the caller can attribute the write stage.
-fn infer_core(
+/// An infer request that passed validation and is ready for the batcher.
+struct AdmittedInfer {
+    entry: Arc<crate::registry::ModelEntry>,
+    image: Matrix,
+    deadline: Option<RequestDeadline>,
+    variant_stats: Arc<VariantStats>,
+}
+
+/// The validation → admission half of one infer request: resolve the model, check
+/// the image shape, shed already-expired deadlines. Everything after admission is
+/// answered through the request's responder.
+fn admit_infer(
     parsed: &JsonValue,
+    binary_image: Option<Matrix>,
     shared: &Arc<Shared>,
     received: Instant,
     handle: &trace::TraceHandle,
-) -> Result<(crate::batcher::InferReply, Arc<VariantStats>), ServeError> {
-    let (model_key, image) = protocol::parse_infer_request(parsed)?;
+) -> Result<AdmittedInfer, ServeError> {
+    let (model_key, image) = match binary_image {
+        // Binary path: the image arrived outside the metadata object.
+        Some(image) => {
+            let model = parsed
+                .get("model")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ServeError::BadRequest("missing string field \"model\"".into()))?
+                .to_string();
+            (model, image)
+        }
+        None => protocol::parse_infer_request(parsed)?,
+    };
     let deadline = protocol::parse_infer_deadline_ms(parsed)?.map(RequestDeadline::from_budget_ms);
     let entry = shared.registry.get(&model_key)?;
     let expected = entry.config().image_size;
@@ -397,23 +418,69 @@ fn infer_core(
         }
     }
     let variant_stats = shared.metrics.variant(entry.variant_label());
-    let (reply_tx, reply_rx) = mpsc::channel();
-    shared.batcher.submit(PendingRequest {
+    Ok(AdmittedInfer {
+        entry,
+        image,
+        deadline,
+        variant_stats,
+    })
+}
+
+/// Hands an admitted request to the batcher with a responder hook that builds and
+/// delivers the final response from whichever thread answers (a worker on success,
+/// the batcher on shed, the submitting thread on refusal — and the responder's
+/// drop guard with a typed 500 if a worker dies with the request in hand, which is
+/// why the front needs no reply timeout).
+fn submit_infer(
+    admitted: AdmittedInfer,
+    shared: &Arc<Shared>,
+    completion: Completion,
+    request_id: String,
+    want_trace: bool,
+    handle: trace::TraceHandle,
+) {
+    let AdmittedInfer {
+        entry,
+        image,
+        deadline,
+        variant_stats,
+    } = admitted;
+    let hook_shared = Arc::clone(shared);
+    let hook_handle = handle.clone();
+    let responder = Responder::hook(move |result| {
+        let response = match result {
+            Ok(reply) => {
+                let mut body = protocol::infer_reply_json(&reply);
+                body.set("request_id", request_id.as_str());
+                if want_trace {
+                    // Embed what has been recorded so far (parse + worker stages);
+                    // the serialize/write spans land after this snapshot and so
+                    // stay engine-local, covered upstream by the caller's attempt
+                    // span.
+                    if let Some(t) = &hook_handle {
+                        body.set("trace", trace::spans_json(&t.snapshot()));
+                    }
+                }
+                let finish = finish_hook(
+                    Arc::clone(&hook_shared.tracer),
+                    hook_handle,
+                    200,
+                    Some(variant_stats),
+                );
+                RouteResponse::new(200, body).with_on_written(finish)
+            }
+            Err(err) => infer_error(&hook_shared, &err, &request_id, hook_handle),
+        };
+        completion.complete(response);
+    });
+    // Refusals (queue full, shutting down) flow back through the responder as
+    // typed errors; the returned Err is the same information, already handled.
+    let _ = shared.batcher.submit(PendingRequest {
         entry,
         image,
         submitted: Instant::now(),
         deadline,
-        reply_tx,
-        trace: handle.clone(),
-    })?;
-    let reply = match reply_rx.recv_timeout(shared.config.reply_timeout) {
-        Ok(result) => result,
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Internal(
-            "worker did not answer within the reply timeout".into(),
-        )),
-        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Internal(
-            "worker dropped the reply channel".into(),
-        )),
-    }?;
-    Ok((reply, variant_stats))
+        responder,
+        trace: handle,
+    });
 }

@@ -60,9 +60,12 @@ impl WorkerPool {
                                     run_batch(batch, &metrics, &mut ws, &mut outputs)
                                 }));
                             if ran.is_err() {
-                                // The batch's reply senders dropped with the panic, so
-                                // every request in it is answered 500 (Disconnected)
-                                // by its connection handler; the pool itself survives.
+                                // The batch's responders dropped with the panic:
+                                // channel-backed requests surface as Disconnected to
+                                // their blocking handler, hook-backed ones fire their
+                                // drop guard with a typed 500 on this unwind path.
+                                // Either way every request is answered 500 and the
+                                // pool itself survives.
                                 // The workspace may hold partially-written state —
                                 // start the next batch from fresh scratch.
                                 metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -132,12 +135,12 @@ fn run_batch(
         if let Some(deadline) = request.deadline {
             if deadline.expired_at(formed) {
                 metrics.expired.fetch_add(1, Ordering::Relaxed);
-                let _ = request.reply_tx.send(Err(deadline.error()));
+                request.responder.send(Err(deadline.error()));
                 continue;
             }
         }
         images.push(request.image);
-        meta.push((request.submitted, request.reply_tx, request.trace));
+        meta.push((request.submitted, request.responder, request.trace));
     }
     if images.is_empty() {
         return;
@@ -159,7 +162,7 @@ fn run_batch(
     let compute_us = infer_end.duration_since(infer_start).as_micros() as u64;
     // Resolved once per batch; recording through it is lock-free.
     let variant_stats = metrics.variant(entry.variant_label());
-    for (output, (submitted, reply_tx, request_trace)) in outputs.iter().zip(meta) {
+    for (output, (submitted, responder, request_trace)) in outputs.iter().zip(meta) {
         let logits = output.logits.row(0).to_vec();
         let prediction = argmax(&logits);
         let queue_us = formed.duration_since(submitted).as_micros() as u64;
@@ -181,9 +184,9 @@ fn run_batch(
                 infer_end,
             );
         }
-        // A dropped receiver means the client disconnected mid-flight; the work is
-        // done either way, so the send result is deliberately ignored.
-        let _ = reply_tx.send(Ok(InferReply {
+        // A caller that stopped listening (disconnected mid-flight) is the
+        // responder's concern; the work is done either way.
+        responder.send(Ok(InferReply {
             model: entry.key().to_string(),
             prediction,
             logits,
@@ -258,7 +261,7 @@ mod tests {
                         image: image.clone(),
                         submitted: Instant::now(),
                         deadline: None,
-                        reply_tx: tx,
+                        responder: crate::batcher::Responder::channel(tx),
                         trace: None,
                     })
                     .unwrap();

@@ -1,0 +1,401 @@
+//! Differential framing suite: the blocking [`MessageReader`] socket path and the
+//! readiness-driven [`HttpParser`] must produce byte-identical message sequences
+//! (or the same framing error) over identical wire bytes, no matter how those
+//! bytes are chunked. Every well-formed fixture is replayed at every two-chunk
+//! split point and byte-at-a-time; the three framing fixes this suite guards —
+//! strict `Content-Length` (digits only, duplicates rejected), `Connection:
+//! close` as an RFC 9112 comma-token list, and the linear-time head-terminator
+//! scan cursor — each get explicit regression cases.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vitality_serve::http::{HttpMessage, HttpParser, MessageReader, ParseStatus};
+
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed message flattened to comparable parts: start line, headers, body.
+type Flat = (String, Vec<(String, String)>, Vec<u8>);
+
+/// Outcome of parsing one wire stream: the full message sequence, or the
+/// normalized framing error that killed the connection.
+type Outcome = Result<Vec<Flat>, String>;
+
+fn flatten(msg: HttpMessage) -> Flat {
+    (msg.start_line, msg.headers, msg.body)
+}
+
+/// Framing errors compare by their stable message; truncation (EOF mid-message,
+/// or chunks running out mid-message) normalizes to one sentinel so the blocking
+/// and incremental drivers agree on classification.
+fn normalize_err(err: &io::Error) -> String {
+    if err.kind() == io::ErrorKind::UnexpectedEof {
+        "truncated".to_string()
+    } else {
+        err.to_string()
+    }
+}
+
+/// Drives [`HttpParser`] over `wire` split into the given chunks, draining every
+/// complete message after each feed (pipelined bytes must parse without waiting
+/// on more input). Leftover partial state after the last chunk is truncation.
+fn parse_incremental(chunks: &[&[u8]]) -> Outcome {
+    let mut parser = HttpParser::new();
+    let mut out = Vec::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        loop {
+            match parser.poll(MAX_BODY) {
+                Ok(ParseStatus::Message) => out.push(flatten(parser.take_message())),
+                Ok(ParseStatus::NeedMore) => break,
+                Err(err) => return Err(normalize_err(&err)),
+            }
+        }
+    }
+    if parser.is_between_messages() {
+        Ok(out)
+    } else {
+        Err("truncated".to_string())
+    }
+}
+
+/// Drives the blocking [`MessageReader`] over a real socket whose peer writes
+/// `chunks` with flushes (and a nudge of latency) between them, then closes.
+fn parse_blocking(chunks: Vec<Vec<u8>>) -> Outcome {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let writer = thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        for chunk in chunks {
+            // The reader may close mid-stream after a framing error; a write
+            // failure here is that error propagating back, not a test failure.
+            if stream
+                .write_all(&chunk)
+                .and_then(|_| stream.flush())
+                .is_err()
+            {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let (mut stream, _) = listener.accept().expect("accept");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("read timeout");
+    let mut reader = MessageReader::new();
+    let mut out = Vec::new();
+    let outcome = loop {
+        match reader.read_message(&mut stream, MAX_BODY, &|| false) {
+            Ok(Some(msg)) => out.push(flatten(msg)),
+            Ok(None) => break Ok(out),
+            Err(err) => break Err(normalize_err(&err)),
+        }
+    };
+    drop(stream);
+    writer.join().expect("writer thread");
+    outcome
+}
+
+/// Replays `wire` through the incremental parser at every two-chunk split point
+/// plus several fixed chunk widths, asserting every chunking yields `expected`.
+fn assert_split_invariant(name: &str, wire: &[u8], expected: &Outcome) {
+    for split in 0..=wire.len() {
+        let got = parse_incremental(&[&wire[..split], &wire[split..]]);
+        assert_eq!(
+            &got, expected,
+            "{name}: two-chunk split at byte {split} diverged"
+        );
+    }
+    for width in [1usize, 2, 3, 7] {
+        let chunks: Vec<&[u8]> = wire.chunks(width.max(1)).collect();
+        let got = parse_incremental(&chunks);
+        assert_eq!(&got, expected, "{name}: chunk width {width} diverged");
+    }
+}
+
+fn request(head: &str, body: &[u8]) -> Vec<u8> {
+    let mut wire = head.as_bytes().to_vec();
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// Well-formed fixtures: `(name, wire bytes)`. The oracle outcome is the
+/// all-at-once parse of the same bytes.
+fn well_formed_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let post_a = request(
+        "POST /v1/infer HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 11\r\n\r\n",
+        b"hello world",
+    );
+    // Second pipelined body contains a head terminator — it must never be
+    // mistaken for one while body bytes are still owed.
+    let post_b = request(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: 12\r\n\r\n",
+        b"ab\r\n\r\ncd\r\n\r\n",
+    );
+    let get = b"GET /healthz HTTP/1.1\r\nHost: example\r\n\r\n".to_vec();
+    let mut pipelined_posts = post_a.clone();
+    pipelined_posts.extend_from_slice(&post_b);
+    let mut mixed = get.clone();
+    mixed.extend_from_slice(&post_a);
+    mixed.extend_from_slice(&get);
+    vec![
+        ("get_no_body", get),
+        ("post_with_body", post_a),
+        ("pipelined_posts_with_terminator_in_body", pipelined_posts),
+        ("mixed_pipeline", mixed),
+        (
+            "response_with_body",
+            request("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n", b"ok"),
+        ),
+        (
+            "explicit_zero_length",
+            b"POST /v1/infer HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec(),
+        ),
+        (
+            "header_value_with_colon",
+            b"GET / HTTP/1.1\r\nX-Forwarded-Host: example:8080\r\n\r\n".to_vec(),
+        ),
+    ]
+}
+
+/// Malformed fixtures: `(name, wire bytes, expected normalized error)`.
+fn malformed_fixtures() -> Vec<(&'static str, Vec<u8>, &'static str)> {
+    vec![
+        (
+            // Regression: `parse::<usize>()` alone accepts a leading `+`, which
+            // peers can disagree on — a request-smuggling surface on pipelined
+            // keep-alive connections. Digits only.
+            "plus_prefixed_content_length",
+            request("POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\n", b"hello"),
+            "malformed Content-Length",
+        ),
+        (
+            "negative_content_length",
+            request("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", b""),
+            "malformed Content-Length",
+        ),
+        (
+            "empty_content_length",
+            request("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n", b""),
+            "malformed Content-Length",
+        ),
+        (
+            // Regression: duplicates are rejected outright — even when they
+            // agree — instead of silently taking the first value.
+            "duplicate_content_length",
+            request(
+                "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n",
+                b"ok",
+            ),
+            "duplicate Content-Length",
+        ),
+        (
+            "header_line_without_colon",
+            b"GET / HTTP/1.1\r\nnot a header\r\n\r\n".to_vec(),
+            "malformed header line",
+        ),
+        (
+            "non_utf8_head",
+            request("GET / HTTP/1.1\r\nX-Bin: \u{0}", b"\xff\xfe\r\n\r\n"),
+            "non-UTF-8 HTTP head",
+        ),
+    ]
+}
+
+#[test]
+fn chunking_never_changes_what_a_wire_stream_parses_to() {
+    for (name, wire) in well_formed_fixtures() {
+        let oracle = parse_incremental(&[&wire]);
+        assert!(oracle.is_ok(), "{name}: oracle parse failed: {oracle:?}");
+        assert_split_invariant(name, &wire, &oracle);
+    }
+}
+
+#[test]
+fn framing_errors_fire_at_every_chunk_split() {
+    for (name, wire, expected_err) in malformed_fixtures() {
+        let oracle = parse_incremental(&[&wire]);
+        assert_eq!(
+            oracle,
+            Err(expected_err.to_string()),
+            "{name}: oracle outcome"
+        );
+        assert_split_invariant(name, &wire, &oracle);
+    }
+}
+
+#[test]
+fn blocking_reader_and_incremental_parser_agree_over_real_sockets() {
+    let mut cases: Vec<(&'static str, Vec<u8>)> = well_formed_fixtures();
+    cases.extend(
+        malformed_fixtures()
+            .into_iter()
+            .map(|(name, wire, _)| (name, wire)),
+    );
+    for (name, wire) in cases {
+        let oracle = parse_incremental(&[&wire]);
+        // All-at-once, a mid-head/mid-body straddle, and small fixed chunks: the
+        // socket path must classify identically under each delivery pattern.
+        let straddle = wire.len() / 2;
+        let chunkings: Vec<Vec<Vec<u8>>> = vec![
+            vec![wire.clone()],
+            vec![wire[..straddle].to_vec(), wire[straddle..].to_vec()],
+            wire.chunks(7).map(<[u8]>::to_vec).collect(),
+        ];
+        for (i, chunks) in chunkings.into_iter().enumerate() {
+            let got = parse_blocking(chunks);
+            assert_eq!(got, oracle, "{name}: socket chunking #{i} diverged");
+        }
+    }
+}
+
+#[test]
+fn truncated_streams_are_truncation_everywhere_not_partial_messages() {
+    let full = request(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: 11\r\n\r\n",
+        b"hello world",
+    );
+    // Cut mid-head, at the head/body boundary, and mid-body; also after one
+    // complete pipelined message plus a partial second (the complete first
+    // message is NOT recoverable output — the connection still dies truncated,
+    // matching the blocking reader which errors before handing anything back
+    // only for the *incomplete* tail).
+    for cut in [10, full.len() - 15, full.len() - 4] {
+        let wire = &full[..cut];
+        assert_eq!(
+            parse_incremental(&[wire]),
+            Err("truncated".to_string()),
+            "incremental cut at {cut}"
+        );
+        assert_eq!(
+            parse_blocking(vec![wire.to_vec()]),
+            Err("truncated".to_string()),
+            "blocking cut at {cut}"
+        );
+    }
+    // A complete message followed by a truncated one: the blocking path yields
+    // the complete message first, then errors; the incremental driver folds
+    // that into the same truncation classification for the stream.
+    let mut pipelined = full.clone();
+    pipelined.extend_from_slice(&full[..20]);
+    assert_eq!(
+        parse_incremental(&[&pipelined]),
+        Err("truncated".to_string())
+    );
+}
+
+#[test]
+fn connection_close_matches_tokens_not_substrings() {
+    // Regression: `close` must match as a comma-separated token (RFC 9112),
+    // case-insensitively, across repeated Connection headers — and `closed` /
+    // `close-notify` must NOT match as substrings.
+    let cases: &[(&str, bool)] = &[
+        ("Connection: close\r\n", true),
+        ("Connection: Close\r\n", true),
+        ("Connection: keep-alive, close\r\n", true),
+        ("Connection: keep-alive ,\tCLOSE\r\n", true),
+        ("Connection: keep-alive\r\nConnection: close\r\n", true),
+        ("Connection: keep-alive\r\n", false),
+        ("Connection: closed\r\n", false),
+        ("Connection: close-notify\r\n", false),
+        ("", false),
+    ];
+    for (headers, expect_close) in cases {
+        let wire = request(&format!("GET / HTTP/1.1\r\n{headers}\r\n"), b"");
+        // Incremental path, checked at every split so a header value straddling
+        // a chunk boundary cannot change the token match.
+        for split in 0..=wire.len() {
+            let mut parser = HttpParser::new();
+            parser.feed(&wire[..split]);
+            let _ = parser.poll(MAX_BODY);
+            parser.feed(&wire[split..]);
+            assert_eq!(parser.poll(MAX_BODY).expect("parse"), ParseStatus::Message);
+            assert_eq!(
+                parser.head().wants_close(),
+                *expect_close,
+                "incremental wants_close for {headers:?} split {split}"
+            );
+        }
+        // Blocking path over a socket must agree.
+        let parsed = parse_blocking(vec![wire]).expect("blocking parse");
+        let msg = HttpMessage {
+            start_line: parsed[0].0.clone(),
+            headers: parsed[0].1.clone(),
+            body: parsed[0].2.clone(),
+        };
+        assert_eq!(
+            msg.wants_close(),
+            *expect_close,
+            "blocking wants_close for {headers:?}"
+        );
+    }
+}
+
+#[test]
+fn trickled_heads_parse_in_linear_time() {
+    // Regression for the O(head²) terminator scan: a large head arriving
+    // byte-at-a-time forces one poll per byte. With the resumable scan cursor
+    // each poll inspects a constant window, so 48 KiB of trickled headers parse
+    // in well under a second even in debug builds; the old rescan-from-the-start
+    // behavior is quadratic (~1.2e9 window compares) and blows far past the
+    // generous bound below.
+    let mut head = String::from("POST /v1/infer HTTP/1.1\r\n");
+    let mut i = 0;
+    while head.len() < 48 * 1024 {
+        head.push_str(&format!("X-Pad-{i}: {}\r\n", "v".repeat(60)));
+        i += 1;
+    }
+    head.push_str("Content-Length: 4\r\n\r\n");
+    let wire = request(&head, b"body");
+
+    let started = Instant::now();
+    let chunks: Vec<&[u8]> = wire.chunks(1).collect();
+    let parsed = parse_incremental(&chunks).expect("trickled head parses");
+    let elapsed = started.elapsed();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].2, b"body");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "trickled 48 KiB head took {elapsed:?} — terminator scan has gone quadratic"
+    );
+
+    // And the same bytes all-at-once parse to the identical message.
+    assert_eq!(parse_incremental(&[&wire]), Ok(parsed));
+}
+
+#[test]
+fn oversized_heads_are_rejected_without_unbounded_buffering() {
+    // A head past 64 KiB is a framing error whether it arrives in one write or
+    // dribbles in — and the dribble case must error as soon as the cap is
+    // crossed, not buffer forever waiting for a terminator that never comes.
+    let head = format!(
+        "GET / HTTP/1.1\r\nX-Huge: {}\r\n\r\n",
+        "h".repeat(70 * 1024)
+    );
+    let wire = head.into_bytes();
+    let expected = Err("HTTP head exceeds 64 KiB".to_string());
+    assert_eq!(parse_incremental(&[&wire]), expected, "all at once");
+    let chunks: Vec<&[u8]> = wire.chunks(4096).collect();
+    assert_eq!(parse_incremental(&chunks), expected, "4 KiB chunks");
+
+    // The dribbling variant must fail before consuming the whole (endless)
+    // stream: stop feeding at 65 KiB + slack and the error must already be out.
+    let mut parser = HttpParser::new();
+    let mut failed = None;
+    for chunk in wire[..66 * 1024].chunks(1024) {
+        parser.feed(chunk);
+        if let Err(err) = parser.poll(MAX_BODY) {
+            failed = Some(normalize_err(&err));
+            break;
+        }
+    }
+    assert_eq!(
+        failed.as_deref(),
+        Some("HTTP head exceeds 64 KiB"),
+        "cap must trip mid-stream, before any terminator"
+    );
+}
