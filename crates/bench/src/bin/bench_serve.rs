@@ -24,6 +24,12 @@
 //! A final phase measures the request-tracing overhead (sampling off vs 100%, gated
 //! at p50 +5%) and writes the 100%-sampled ring as `TRACE_serve.json` — a
 //! `chrome://tracing`-compatible span timeline next to the `BENCH_*.json` results.
+//!
+//! A perf-counter overhead phase then measures the batch-path p50 with hardware
+//! counter regions globally disabled vs enabled (`perf::set_enabled`) on one more
+//! dedicated server, gated the same way (+5% +300 us): opening and reading a counter
+//! group per batch must be effectively free, whether the host grants
+//! `perf_event_open(2)` or the shim is running its no-op Unsupported path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -373,6 +379,76 @@ fn main() {
     let trace_off_p50 = overhead_points[0].p50_us;
     let trace_on_p50 = overhead_points[1].p50_us;
 
+    // ---- Perf-counter overhead --------------------------------------------
+    // One more dedicated server, driven twice with the hardware-counter regions
+    // globally disabled and then enabled. Both arms run the identical server and
+    // workload — only `perf::set_enabled` flips between them — so the delta is
+    // exactly the cost of entering/reading the counter group on every batch (or
+    // of the shim's no-op path on hosts where `perf_event_open(2)` is refused).
+    let perf_supported = perf::supported();
+    println!(
+        "measuring perf-region overhead: regions off vs on (taylor, c=8, host counters {})",
+        if perf_supported {
+            "available"
+        } else {
+            "unavailable"
+        }
+    );
+    let perf_enabled_before = perf::enabled();
+    let mut perf_points = Vec::new();
+    {
+        let mut registry = ModelRegistry::new();
+        let key = registry
+            .register("vit196", overhead_model.clone())
+            .expect("valid name");
+        let server = Server::start(
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 32,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: 1024,
+                },
+                ..ServerConfig::default()
+            },
+            registry,
+        )
+        .expect("boot perf-overhead server");
+        let addr = server.local_addr();
+        // Warmup on the disabled arm so both arms see a warm workspace pool.
+        perf::set_enabled(false);
+        drive(
+            addr,
+            &key,
+            8,
+            (overhead_per_client / 4).max(2),
+            &images,
+            &expected_taylor,
+        );
+        for on in [false, true] {
+            perf::set_enabled(on);
+            let point = drive(
+                addr,
+                &key,
+                8,
+                overhead_per_client,
+                &images,
+                &expected_taylor,
+            );
+            println!(
+                "  perf={:>3}: {:>7.1} req/s | p50 {:>7} us | p95 {:>7} us",
+                if on { "on" } else { "off" },
+                point.rps,
+                point.p50_us,
+                point.p95_us
+            );
+            perf_points.push(point);
+        }
+        server.shutdown();
+    }
+    perf::set_enabled(perf_enabled_before);
+    let perf_off_p50 = perf_points[0].p50_us;
+    let perf_on_p50 = perf_points[1].p50_us;
+
     // ---- Acceptance gates -------------------------------------------------
     let mut failures = Vec::new();
     for p in &points {
@@ -475,6 +551,21 @@ fn main() {
             "tracing overhead too high: p50 {trace_on_p50} us sampled vs {trace_off_p50} us off (gate: +5% +300us)"
         ));
     }
+    // Counter regions share the tracing gate: enabling them may cost at most 5% of
+    // the disabled p50 plus the same absolute noise slack.
+    for p in &perf_points {
+        if p.errors > 0 || p.mismatches > 0 {
+            failures.push(format!(
+                "perf-overhead arm: {} errors, {} mismatches",
+                p.errors, p.mismatches
+            ));
+        }
+    }
+    if perf_on_p50 as f64 > perf_off_p50 as f64 * 1.05 + 300.0 {
+        failures.push(format!(
+            "perf-region overhead too high: p50 {perf_on_p50} us enabled vs {perf_off_p50} us disabled (gate: +5% +300us)"
+        ));
+    }
     for label in ["taylor", "softmax", "unified", "int8"] {
         let counted = server_metrics
             .get("variants")
@@ -575,6 +666,13 @@ fn main() {
         .set(
             "trace_overhead_ratio",
             trace_on_p50 as f64 / (trace_off_p50 as f64).max(1e-9),
+        )
+        .set("perf_supported", perf_supported)
+        .set("perf_off_p50_us", perf_off_p50)
+        .set("perf_on_p50_us", perf_on_p50)
+        .set(
+            "perf_overhead_ratio",
+            perf_on_p50 as f64 / (perf_off_p50 as f64).max(1e-9),
         )
         .set("ok", failures.is_empty());
     std::fs::write("BENCH_serve.json", root.to_json_pretty()).expect("write BENCH_serve.json");

@@ -153,7 +153,7 @@ mod enabled {
                         if let Ok(point) = parse_spec(spec.trim()) {
                             reg.points.insert(name.trim().to_string(), point);
                         } else {
-                            eprintln!("failpoint: ignoring malformed FAILPOINTS entry {entry:?}");
+                            trace::warn!("ignoring malformed FAILPOINTS entry {entry:?}");
                         }
                     }
                 }

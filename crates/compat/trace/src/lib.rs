@@ -133,6 +133,10 @@ pub struct CompletedTrace {
     /// Total origin → finish duration in microseconds (finish runs after the
     /// response bytes are written, so this is the server-side end-to-end time).
     pub total_us: u64,
+    /// When the trace was retained — `GET /debug/traces` reports each trace's
+    /// age from this, so a dashboard can tell a fresh incident from stale
+    /// ring-buffer residue.
+    pub finished: Instant,
     /// The recorded spans, in recording order (parent indices point into this).
     pub spans: Vec<Span>,
 }
@@ -288,6 +292,11 @@ impl Default for TraceConfig {
     }
 }
 
+/// Default newest-N cap on the `GET /debug/traces` body ([`Tracer::recent_json`]);
+/// callers override per request via [`Tracer::recent_json_limited`]. Smaller than
+/// the default ring so a debug scrape stays cheap even with a large retention ring.
+pub const DEFAULT_JSON_TRACES: usize = 32;
+
 /// One server's sampling policy plus the ring buffer of retained traces.
 #[derive(Debug)]
 pub struct Tracer {
@@ -351,6 +360,7 @@ impl Tracer {
             id: active.id.clone(),
             status,
             total_us: active.origin.elapsed().as_micros() as u64,
+            finished: Instant::now(),
             spans: active.snapshot(),
         };
         let mut ring = self.ring.lock().expect("trace ring poisoned");
@@ -370,11 +380,33 @@ impl Tracer {
             .collect()
     }
 
-    /// The `GET /debug/traces` body: retained traces as nested span trees.
+    /// The `GET /debug/traces` body: retained traces as nested span trees,
+    /// capped to the default newest-[`DEFAULT_JSON_TRACES`] window.
     pub fn recent_json(&self) -> JsonValue {
-        let traces: Vec<JsonValue> = self.recent().iter().map(trace_tree_json).collect();
+        self.recent_json_limited(DEFAULT_JSON_TRACES)
+    }
+
+    /// [`Tracer::recent_json`] with an explicit cap: only the *newest* `limit`
+    /// retained traces are returned (newest last, matching ring order), each
+    /// annotated with its age in seconds since retention. `retained` reports
+    /// how many traces the ring actually holds so a capped response is visibly
+    /// capped.
+    pub fn recent_json_limited(&self, limit: usize) -> JsonValue {
+        let recent = self.recent();
+        let skip = recent.len().saturating_sub(limit);
+        let traces: Vec<JsonValue> = recent[skip..]
+            .iter()
+            .map(|trace| {
+                let mut tree = trace_tree_json(trace);
+                tree.set("age_s", trace.finished.elapsed().as_secs_f64());
+                tree
+            })
+            .collect();
         let mut body = JsonValue::object();
-        body.set("enabled", self.enabled()).set("traces", traces);
+        body.set("enabled", self.enabled())
+            .set("retained", recent.len() as u64)
+            .set("returned", traces.len() as u64)
+            .set("traces", traces);
         body
     }
 
@@ -848,6 +880,7 @@ mod tests {
             id: "00000000000000aa".into(),
             status: 200,
             total_us: 1500,
+            finished: Instant::now(),
             spans: vec![Span {
                 name: Cow::Borrowed("compute"),
                 detail: "taylor".into(),

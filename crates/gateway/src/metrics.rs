@@ -95,6 +95,129 @@ impl GatewayMetrics {
             .unwrap_or(0)
     }
 
+    /// Registers the gateway's series into a Prometheus scrape under the
+    /// `vitality_gateway_` prefix — the body of `GET /metrics?format=prometheus`.
+    /// Mirrors [`GatewayMetrics::snapshot_json`]: request/retry/failover counters,
+    /// hit- vs miss-path and stage histograms, per-variant routing counts, cache
+    /// hit/miss counters, and per-backend health gauges.
+    pub fn register_prometheus(
+        &self,
+        reg: &mut vitality_serve::MetricsRegistry,
+        cache: &ResponseCache,
+        pool: &BackendPool,
+    ) {
+        let none: &[(&str, &str)] = &[];
+        reg.gauge(
+            "vitality_gateway_uptime_seconds",
+            "Seconds since this gateway started",
+            none,
+            self.started.elapsed().as_secs_f64(),
+        );
+        for (name, help, value) in [
+            (
+                "vitality_gateway_requests_total",
+                "Inference requests that reached routing (cache hits included)",
+                &self.requests,
+            ),
+            (
+                "vitality_gateway_requests_completed_total",
+                "Requests answered 200 (from cache or a backend)",
+                &self.completed,
+            ),
+            (
+                "vitality_gateway_requests_failed_total",
+                "Requests answered with any error status",
+                &self.failed,
+            ),
+            (
+                "vitality_gateway_retries_total",
+                "Backend attempts beyond each request's first",
+                &self.retries,
+            ),
+            (
+                "vitality_gateway_failovers_total",
+                "Retries caused by a transport-level backend failure",
+                &self.failovers,
+            ),
+            (
+                "vitality_gateway_degraded_total",
+                "Accuracy-tier requests downgraded by brownout",
+                &self.degraded,
+            ),
+            (
+                "vitality_gateway_admission_shed_total",
+                "Requests refused 503 by gateway-side admission control",
+                &self.admission_shed,
+            ),
+            (
+                "vitality_gateway_deadline_expired_total",
+                "Requests answered 504 because their deadline expired at the gateway",
+                &self.deadline_expired,
+            ),
+        ] {
+            reg.counter(name, help, none, value.load(Ordering::Relaxed) as f64);
+        }
+        reg.histogram_us(
+            "vitality_gateway_hit_latency_us",
+            "End-to-end latency of cache-hit responses, microseconds",
+            none,
+            &self.hit_latency,
+        );
+        reg.histogram_us(
+            "vitality_gateway_miss_latency_us",
+            "End-to-end latency of responses that went to a backend, microseconds",
+            none,
+            &self.miss_latency,
+        );
+        reg.histogram_us(
+            "vitality_gateway_stage_us",
+            "Per-stage gateway latency, microseconds",
+            &[("stage", "backend_attempt")],
+            &self.backend_attempt,
+        );
+        reg.histogram_us(
+            "vitality_gateway_stage_us",
+            "Per-stage gateway latency, microseconds",
+            &[("stage", "write")],
+            &self.write,
+        );
+        for (variant, count) in self.routed.lock().expect("routed counters poisoned").iter() {
+            reg.counter(
+                "vitality_gateway_routed_total",
+                "Requests answered per resolved variant label",
+                &[("variant", variant)],
+                *count as f64,
+            );
+        }
+        reg.counter(
+            "vitality_gateway_cache_hits_total",
+            "Response-cache hits",
+            none,
+            cache.hits() as f64,
+        );
+        reg.counter(
+            "vitality_gateway_cache_misses_total",
+            "Response-cache misses",
+            none,
+            cache.misses() as f64,
+        );
+        reg.gauge(
+            "vitality_gateway_healthy_backends",
+            "Backends currently considered healthy",
+            none,
+            pool.healthy_count() as f64,
+        );
+        for backend in pool.backends() {
+            let addr = backend.addr().to_string();
+            reg.gauge(
+                "vitality_gateway_backend_healthy",
+                "Per-backend health (1 healthy, 0 ejected)",
+                &[("backend", addr.as_str())],
+                f64::from(u8::from(backend.healthy())),
+            );
+        }
+    }
+
     /// The gateway's `GET /metrics` body: own counters plus the cache block and one
     /// block per backend.
     pub fn snapshot_json(&self, cache: &ResponseCache, pool: &BackendPool) -> JsonValue {

@@ -5,14 +5,14 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
 use vitality_serve::http::{RouteResponse, WriteReport};
 use vitality_serve::{
-    protocol, ClientError, Completion, EventFront, FrontConfig, FrontRequest, InferReply,
+    protocol, ClientError, Completion, EventFront, FrontConfig, FrontRequest, InferReply, LoopStats,
 };
 use vitality_tensor::Matrix;
 
@@ -33,7 +33,22 @@ struct Shared {
     tracer: Arc<trace::Tracer>,
     /// Inference requests currently inside the gateway (admission-control bound).
     in_flight_requests: AtomicU64,
+    /// Infer work handed to the dispatch pool but not yet picked up by a
+    /// dispatcher thread — the queue between the event loop and the blocking
+    /// pipeline. A persistently nonzero depth means the dispatch pool, not the
+    /// loop, is the bottleneck.
+    dispatch_depth: AtomicU64,
+    /// The connection front's loop-health counters. Set once right after the
+    /// front starts; a request racing that window reads default (unstarted)
+    /// stats, never panics.
+    loop_stats: OnceLock<Arc<LoopStats>>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn loop_stats(&self) -> Arc<LoopStats> {
+        self.loop_stats.get().cloned().unwrap_or_default()
+    }
 }
 
 /// RAII window of one admitted request against the gateway-wide concurrency bound.
@@ -131,6 +146,8 @@ impl Gateway {
             brownout: BrownoutController::new(config.brownout.clone()),
             tracer: Arc::new(trace::Tracer::new(&config.trace)),
             in_flight_requests: AtomicU64::new(0),
+            dispatch_depth: AtomicU64::new(0),
+            loop_stats: OnceLock::new(),
             pool,
             shutdown: AtomicBool::new(false),
             config,
@@ -195,6 +212,7 @@ impl Gateway {
                             .recv();
                         match work {
                             Ok(work) => {
+                                shared.dispatch_depth.fetch_sub(1, Ordering::Relaxed);
                                 let response =
                                     handle_infer(&work.body, work.content_type.as_deref(), &shared);
                                 work.completion.complete(response);
@@ -220,6 +238,7 @@ impl Gateway {
                 route(request, completion, &dispatch_shared, &work_tx)
             },
         )?;
+        let _ = shared.loop_stats.set(front.stats());
 
         Ok(Gateway {
             local_addr,
@@ -293,17 +312,35 @@ impl std::fmt::Debug for Gateway {
     }
 }
 
+/// Whether a raw query string selects the Prometheus text exposition
+/// (`?format=prometheus` as an exact key/value pair, position-independent).
+fn wants_prometheus(query: &str) -> bool {
+    query.split('&').any(|pair| pair == "format=prometheus")
+}
+
+/// Parses `limit=N` out of a raw query string (`None` when absent or malformed).
+fn query_limit(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("limit="))
+        .and_then(|raw| raw.parse().ok())
+}
+
+/// `Content-Type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 fn route(
     request: &FrontRequest<'_>,
     completion: Completion,
     shared: &Arc<Shared>,
     work_tx: &mpsc::Sender<InferWork>,
 ) {
-    let Ok((method, path)) = request.request_parts() else {
+    let Ok((method, target)) = request.request_parts() else {
         return completion.complete(error_response(&GatewayError::BadRequest(
             "malformed request line".into(),
         )));
     };
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
     match (method, path) {
         ("GET", "/healthz") => {
             let healthy = shared.pool.healthy_count();
@@ -334,25 +371,62 @@ fn route(
                 .set("models", shared.pool.model_union())
                 // Request encodings this gateway accepts; callers switch to the
                 // binary image encoding only after seeing it advertised here.
-                .set("encodings", vec!["json".to_string(), "binary".to_string()]);
+                .set("encodings", vec!["json".to_string(), "binary".to_string()])
+                // Loop-front health plus the dispatch hand-off queue: whether
+                // the loop thread or the dispatch pool is the next bottleneck.
+                .set("event_loop", shared.loop_stats().json())
+                .set(
+                    "dispatch_queue_depth",
+                    shared.dispatch_depth.load(Ordering::Relaxed),
+                );
             completion.complete(RouteResponse::new(200, body));
         }
-        ("GET", "/metrics") => completion.complete(RouteResponse::new(
-            200,
-            shared.metrics.snapshot_json(&shared.cache, &shared.pool),
-        )),
+        ("GET", "/metrics") => {
+            if wants_prometheus(query) {
+                let mut reg = vitality_serve::MetricsRegistry::new();
+                shared
+                    .metrics
+                    .register_prometheus(&mut reg, &shared.cache, &shared.pool);
+                shared.loop_stats().register(&mut reg, "vitality_gateway");
+                reg.gauge(
+                    "vitality_gateway_dispatch_queue_depth",
+                    "Infer work queued between the event loop and the dispatch pool",
+                    &[],
+                    shared.dispatch_depth.load(Ordering::Relaxed) as f64,
+                );
+                return completion.complete(RouteResponse::text(
+                    200,
+                    PROMETHEUS_CONTENT_TYPE,
+                    reg.encode(),
+                ));
+            }
+            let mut body = shared.metrics.snapshot_json(&shared.cache, &shared.pool);
+            body.set("event_loop", shared.loop_stats().json()).set(
+                "dispatch_queue_depth",
+                shared.dispatch_depth.load(Ordering::Relaxed),
+            );
+            completion.complete(RouteResponse::new(200, body));
+        }
         ("GET", "/debug/traces") => {
-            completion.complete(RouteResponse::new(200, shared.tracer.recent_json()))
+            let body = match query_limit(query) {
+                Some(limit) => shared.tracer.recent_json_limited(limit),
+                None => shared.tracer.recent_json(),
+            };
+            completion.complete(RouteResponse::new(200, body));
         }
         ("POST", "/v1/infer") => {
             // The blocking pipeline must not run on the event loop: hand the
             // owned bytes to the dispatch pool. A send can only fail during
             // shutdown teardown; the completion's drop guard answers 500 then.
-            let _ = work_tx.send(InferWork {
+            shared.dispatch_depth.fetch_add(1, Ordering::Relaxed);
+            let sent = work_tx.send(InferWork {
                 body: request.body.to_vec(),
                 content_type: request.header("content-type").map(str::to_string),
                 completion,
             });
+            if sent.is_err() {
+                shared.dispatch_depth.fetch_sub(1, Ordering::Relaxed);
+            }
         }
         ("POST" | "GET", _) => completion.complete(RouteResponse::new(
             404,

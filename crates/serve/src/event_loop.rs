@@ -28,7 +28,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,8 +36,8 @@ use std::time::{Duration, Instant};
 use mio::{Events, Interest, Poll, Token, Waker};
 
 use crate::http::{
-    encode_response, serve_connection, EncodedResponse, HttpMessage, HttpParser, ParseStatus,
-    RouteResponse, WriteReport,
+    serve_connection, EncodedResponse, HttpMessage, HttpParser, ParseStatus, RouteResponse,
+    WriteReport,
 };
 use crate::protocol;
 
@@ -104,22 +104,162 @@ impl FrontRequest<'_> {
     }
 }
 
+const LOOP_MODE_UNSTARTED: u8 = 0;
+const LOOP_MODE_EVENT: u8 = 1;
+const LOOP_MODE_THREADED: u8 = 2;
+
+/// Loop-health counters answering "is the single loop thread the next wall":
+/// epoll wakeups, ready events per wake, the completion-queue depth, and
+/// saturation — the fraction of loop wall-clock spent *outside* `epoll_wait`
+/// (parsing, dispatching, writing). All lock-free; sampled by `/metrics` and
+/// `/healthz`. The threaded fallback reports its mode and leaves the loop
+/// counters at zero (saturation reads as absent).
+#[derive(Debug, Default)]
+pub struct LoopStats {
+    /// `epoll_wait` returns (including timeouts and waker wakeups).
+    pub wakeups: AtomicU64,
+    /// Ready events summed over all wakeups.
+    pub ready_events: AtomicU64,
+    /// Completions drained off the dispatch queue, total.
+    pub completions: AtomicU64,
+    /// Current depth of the completion (dispatch) queue.
+    pub queue_depth: AtomicU64,
+    /// Deepest completion-queue backlog observed.
+    pub max_queue_depth: AtomicU64,
+    /// Nanoseconds the loop spent busy (outside the poll call).
+    pub busy_ns: AtomicU64,
+    /// Nanoseconds the loop spent parked inside the poll call.
+    pub idle_ns: AtomicU64,
+    mode: AtomicU8,
+}
+
+impl LoopStats {
+    /// Which front implementation is reporting: `"event"`, `"threaded"`, or
+    /// `"unstarted"`.
+    pub fn mode(&self) -> &'static str {
+        match self.mode.load(Ordering::Relaxed) {
+            LOOP_MODE_EVENT => "event",
+            LOOP_MODE_THREADED => "threaded",
+            LOOP_MODE_UNSTARTED => "unstarted",
+            _ => "unstarted",
+        }
+    }
+
+    /// Mean ready events per wakeup (`None` before the first wakeup).
+    pub fn events_per_wake(&self) -> Option<f64> {
+        let wakeups = self.wakeups.load(Ordering::Relaxed);
+        if wakeups == 0 {
+            return None;
+        }
+        Some(self.ready_events.load(Ordering::Relaxed) as f64 / wakeups as f64)
+    }
+
+    /// Fraction of loop time spent outside `epoll_wait` (`None` until the loop
+    /// has run, and always `None` on the threaded fallback).
+    pub fn saturation(&self) -> Option<f64> {
+        let busy = self.busy_ns.load(Ordering::Relaxed);
+        let idle = self.idle_ns.load(Ordering::Relaxed);
+        if busy + idle == 0 {
+            return None;
+        }
+        Some(busy as f64 / (busy + idle) as f64)
+    }
+
+    /// The loop-health JSON block shared by `/metrics` and `/healthz`.
+    pub fn json(&self) -> serde::json::JsonValue {
+        let mut block = serde::json::JsonValue::object();
+        block
+            .set("mode", self.mode())
+            .set("wakeups", self.wakeups.load(Ordering::Relaxed))
+            .set("ready_events", self.ready_events.load(Ordering::Relaxed))
+            .set("completions", self.completions.load(Ordering::Relaxed))
+            .set("queue_depth", self.queue_depth.load(Ordering::Relaxed))
+            .set(
+                "max_queue_depth",
+                self.max_queue_depth.load(Ordering::Relaxed),
+            );
+        match self.events_per_wake() {
+            Some(v) => block.set("events_per_wake", v),
+            None => block.set("events_per_wake", serde::json::JsonValue::Null),
+        };
+        match self.saturation() {
+            Some(v) => block.set("saturation", v),
+            None => block.set("saturation", serde::json::JsonValue::Null),
+        };
+        block
+    }
+
+    /// Register the loop-health series into a Prometheus scrape under
+    /// `<prefix>_event_loop_*` names, labelled with the loop mode.
+    pub fn register(&self, reg: &mut crate::exposition::MetricsRegistry, prefix: &str) {
+        let mode = self.mode();
+        let labels: &[(&str, &str)] = &[("mode", mode)];
+        reg.counter(
+            &format!("{prefix}_event_loop_wakeups_total"),
+            "epoll_wait returns on the connection-front loop thread",
+            labels,
+            self.wakeups.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
+            &format!("{prefix}_event_loop_ready_events_total"),
+            "Ready events summed over all wakeups",
+            labels,
+            self.ready_events.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
+            &format!("{prefix}_event_loop_completions_total"),
+            "Responses drained off the completion queue",
+            labels,
+            self.completions.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            &format!("{prefix}_event_loop_queue_depth"),
+            "Current completion (dispatch) queue depth",
+            labels,
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            &format!("{prefix}_event_loop_max_queue_depth"),
+            "Deepest completion-queue backlog observed",
+            labels,
+            self.max_queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        if let Some(saturation) = self.saturation() {
+            reg.gauge(
+                &format!("{prefix}_event_loop_saturation"),
+                "Fraction of loop time spent outside epoll_wait",
+                labels,
+                saturation,
+            );
+        }
+    }
+}
+
 /// The completion queue and stop flag shared between the loop thread and
 /// completions fired from worker threads.
 struct FrontShared {
     waker: Option<Waker>,
     completions: Mutex<Vec<(u64, u64, RouteResponse)>>,
     stop: AtomicBool,
+    stats: Arc<LoopStats>,
 }
 
 impl FrontShared {
     fn push(&self, conn: u64, seq: u64, response: RouteResponse) {
         // Completions may fire on a panicking worker's unwind path (the
         // responder drop guard); a poisoned mutex must not lose the response.
-        self.completions
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push((conn, seq, response));
+        let depth = {
+            let mut queue = self
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            queue.push((conn, seq, response));
+            queue.len() as u64
+        };
+        self.stats.queue_depth.store(depth, Ordering::Relaxed);
+        self.stats
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
         if let Some(waker) = &self.waker {
             let _ = waker.wake();
         }
@@ -212,6 +352,7 @@ enum FrontInner {
         local_addr: SocketAddr,
         accept: Option<JoinHandle<()>>,
         connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        stats: Arc<LoopStats>,
     },
 }
 
@@ -228,7 +369,9 @@ impl EventFront {
         // std's bind hard-codes a 128-deep accept queue; under a connection
         // storm the kernel then RSTs the overflow and peers see their first
         // write die. Re-listen with a deeper queue (clamped by somaxconn).
-        let _ = mio::set_backlog(&listener, 4096);
+        if let Err(err) = mio::set_backlog(&listener, 4096) {
+            trace::debug!("keeping the default accept backlog: {err}");
+        }
         let forced_fallback =
             std::env::var_os("VITALITY_FORCE_THREADED_FRONT").is_some_and(|v| v == "1");
         if !forced_fallback {
@@ -245,6 +388,16 @@ impl EventFront {
     /// Whether this front runs the epoll event loop (`false`: threaded fallback).
     pub fn is_event_loop(&self) -> bool {
         matches!(self.inner, FrontInner::Event { .. })
+    }
+
+    /// The loop-health counters of this front (all zero on the threaded
+    /// fallback, which has no loop thread — `mode` still reports which
+    /// implementation answered).
+    pub fn stats(&self) -> Arc<LoopStats> {
+        match &self.inner {
+            FrontInner::Event { shared, .. } => Arc::clone(&shared.stats),
+            FrontInner::Threaded { stats, .. } => Arc::clone(stats),
+        }
     }
 
     /// Signals the front to stop: no new connections or requests; responses
@@ -304,10 +457,13 @@ impl EventFront {
         listener.set_nonblocking(true)?;
         poll.register(&listener, LISTENER, Interest::READABLE)?;
         let waker = Waker::new(&poll, WAKER)?;
+        let stats = Arc::new(LoopStats::default());
+        stats.mode.store(LOOP_MODE_EVENT, Ordering::Relaxed);
         let shared = Arc::new(FrontShared {
             waker: Some(waker),
             completions: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
+            stats,
         });
         let loop_shared = Arc::clone(&shared);
         let loop_config = config.clone();
@@ -340,6 +496,8 @@ impl EventFront {
         dispatch: impl Dispatch,
     ) -> io::Result<EventFront> {
         let local_addr = listener.local_addr()?;
+        let stats = Arc::new(LoopStats::default());
+        stats.mode.store(LOOP_MODE_THREADED, Ordering::Relaxed);
         let stop = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         // One dispatcher shared by every connection thread. Dispatch calls are
@@ -416,6 +574,7 @@ impl EventFront {
                 local_addr,
                 accept: Some(accept),
                 connections,
+                stats,
             },
         })
     }
@@ -527,6 +686,10 @@ struct EventLoop<F: Dispatch> {
 impl<F: Dispatch> EventLoop<F> {
     fn run(mut self) {
         let mut events = Events::with_capacity(256);
+        // Loop-health accounting: everything between one poll return and the
+        // next poll call is "busy" (drain, parse, dispatch, write); the poll
+        // call itself is "idle". Their ratio is the saturation gauge.
+        let mut busy_since = Instant::now();
         loop {
             let stopping = self.shared.stop.load(Ordering::SeqCst);
             self.drain_completions(stopping);
@@ -546,18 +709,32 @@ impl<F: Dispatch> EventLoop<F> {
                     return;
                 }
             }
-            if self
-                .poll
-                .poll(&mut events, Some(self.config.poll_interval))
-                .is_err()
-            {
+            let stats = Arc::clone(&self.shared.stats);
+            let idle_start = Instant::now();
+            stats.busy_ns.fetch_add(
+                idle_start.duration_since(busy_since).as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            let poll_result = self.poll.poll(&mut events, Some(self.config.poll_interval));
+            busy_since = Instant::now();
+            stats.idle_ns.fetch_add(
+                busy_since.duration_since(idle_start).as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            if let Err(err) = poll_result {
                 // A failed poll would spin; treat it as fatal for the loop but
                 // keep the process alive (stop() still drains via fallthrough).
+                trace::warn!("event-loop poll failed, draining and stopping the front: {err}");
                 self.shared.stop.store(true, Ordering::SeqCst);
                 continue;
             }
+            let ready: Vec<_> = events.iter().collect();
+            stats
+                .ready_events
+                .fetch_add(ready.len() as u64, Ordering::Relaxed);
             let stopping = self.shared.stop.load(Ordering::SeqCst);
-            for event in events.iter().collect::<Vec<_>>() {
+            for event in ready {
                 match event.token() {
                     LISTENER => self.accept_ready(stopping),
                     WAKER => {
@@ -588,21 +765,32 @@ impl<F: Dispatch> EventLoop<F> {
                     if stopping {
                         continue;
                     }
-                    if stream.set_nonblocking(true).is_err() {
+                    if let Err(err) = stream.set_nonblocking(true) {
+                        trace::debug!("dropping accepted conn: set_nonblocking failed: {err}");
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
                     let id = self.next_conn_id;
                     self.next_conn_id += 1;
                     let mut conn = Conn::new(stream);
-                    if self.sync_interest(id, &mut conn, stopping).is_ok() {
-                        self.conns.insert(id, conn);
+                    match self.sync_interest(id, &mut conn, stopping) {
+                        Ok(()) => {
+                            self.conns.insert(id, conn);
+                        }
+                        Err(err) => {
+                            trace::warn!(
+                                "dropping accepted conn {id}: epoll register failed: {err}"
+                            )
+                        }
                     }
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
                 // Transient accept errors (ECONNABORTED etc.): drop and move on.
-                Err(_) => return,
+                Err(err) => {
+                    trace::debug!("transient accept error: {err}");
+                    return;
+                }
             }
         }
     }
@@ -680,10 +868,16 @@ impl<F: Dispatch> EventLoop<F> {
                 .unwrap_or_else(PoisonError::into_inner);
             std::mem::take(&mut *queue)
         };
+        self.shared
+            .stats
+            .completions
+            .fetch_add(arrived.len() as u64, Ordering::Relaxed);
+        self.shared.stats.queue_depth.store(0, Ordering::Relaxed);
         let mut touched: Vec<u64> = Vec::new();
         for (conn_id, seq, response) in arrived {
             let Some(conn) = self.conns.get_mut(&conn_id) else {
                 // The connection died before its response was ready.
+                trace::debug!("dropping orphan completion {conn_id}#{seq}");
                 continue;
             };
             conn.stash.push((seq, response));
@@ -720,12 +914,21 @@ impl<F: Dispatch> EventLoop<F> {
                 extra.push(("Retry-After", secs.to_string()));
             }
             let serialize_start = Instant::now();
-            let body = response.body.to_json();
+            let (content_type, body) = match response.text_body {
+                Some((content_type, text)) => (content_type, text),
+                None => ("application/json", response.body.to_json()),
+            };
             let write_start = Instant::now();
             let EncodedResponse {
                 mut bytes,
                 fail_after,
-            } = encode_response(response.status, body.as_bytes(), keep_alive, &extra);
+            } = crate::http::encode_response_typed(
+                response.status,
+                body.as_bytes(),
+                keep_alive,
+                &extra,
+                content_type,
+            );
             let mut close_after = !keep_alive;
             if let Some(limit) = fail_after {
                 // Chaos truncation: emit only the prefix, then hard-close.
@@ -777,8 +980,9 @@ impl<F: Dispatch> EventLoop<F> {
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => {
+                Err(err) => {
                     // Read error: the peer is gone; nothing sane to answer.
+                    trace::debug!("closing conn {id}: read failed: {err}");
                     self.close_conn(id);
                     return;
                 }
@@ -870,9 +1074,10 @@ impl<F: Dispatch> EventLoop<F> {
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => {
+                Err(err) => {
                     // Write failure: the hooks still observe their outcome,
                     // then the connection dies.
+                    trace::debug!("closing conn {id}: write failed: {err}");
                     self.close_conn(id);
                     return;
                 }
@@ -893,7 +1098,14 @@ impl<F: Dispatch> EventLoop<F> {
         }
         // Borrow dance: sync_interest needs &self.poll and &mut conn.
         let mut conn = self.conns.remove(&id).expect("checked above");
-        let _ = self.sync_interest(id, &mut conn, stopping);
+        if let Err(err) = self.sync_interest(id, &mut conn, stopping) {
+            // A connection the poller refuses to track can never progress;
+            // close it (firing owed hooks) instead of leaking it parked.
+            trace::warn!("closing conn {id}: epoll re-registration failed: {err}");
+            self.conns.insert(id, conn);
+            self.close_conn(id);
+            return;
+        }
         self.conns.insert(id, conn);
     }
 }

@@ -463,6 +463,10 @@ pub struct RouteResponse {
     pub status: u16,
     /// JSON response body.
     pub body: JsonValue,
+    /// Pre-rendered non-JSON body as `(content_type, text)`. When set, it is
+    /// written verbatim instead of serializing [`body`](Self::body) — the
+    /// Prometheus text exposition (`/metrics?format=prometheus`) rides this.
+    pub text_body: Option<(&'static str, String)>,
     /// `Retry-After` header value in seconds, when set.
     pub retry_after: Option<u64>,
     /// Invoked once after the response write completes (even a failed write), with
@@ -487,6 +491,19 @@ impl RouteResponse {
         Self {
             status,
             body,
+            text_body: None,
+            retry_after: None,
+            on_written: None,
+        }
+    }
+
+    /// A pre-rendered text response with an explicit content type — the JSON
+    /// body is left `Null` and never serialized.
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Self {
+            status,
+            body: JsonValue::Null,
+            text_body: Some((content_type, body)),
             retry_after: None,
             on_written: None,
         }
@@ -532,6 +549,19 @@ pub fn encode_response(
     keep_alive: bool,
     extra_headers: &[(&str, String)],
 ) -> EncodedResponse {
+    encode_response_typed(status, body, keep_alive, extra_headers, "application/json")
+}
+
+/// [`encode_response`] with an explicit `Content-Type` — the Prometheus text
+/// exposition (`text/plain; version=0.0.4`) rides this; everything else stays
+/// on the JSON default.
+pub fn encode_response_typed(
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+) -> EncodedResponse {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -555,7 +585,7 @@ pub fn encode_response(
         body
     };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -606,11 +636,20 @@ pub fn serve_connection(
             headers.push(("Retry-After", secs.to_string()));
         }
         let serialize_start = Instant::now();
-        let body = response.body.to_json();
+        let (content_type, body) = match response.text_body {
+            Some((content_type, text)) => (content_type, text),
+            None => ("application/json", response.body.to_json()),
+        };
         let write_start = Instant::now();
         let wrote = write_encoded(
             &mut stream,
-            &encode_response(response.status, body.as_bytes(), keep_alive, &headers),
+            &encode_response_typed(
+                response.status,
+                body.as_bytes(),
+                keep_alive,
+                &headers,
+                content_type,
+            ),
         );
         if let Some(hook) = response.on_written {
             hook(WriteReport {

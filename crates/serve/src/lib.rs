@@ -52,6 +52,7 @@ pub mod batcher;
 pub mod client;
 pub mod error;
 pub mod event_loop;
+pub mod exposition;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -62,7 +63,8 @@ pub mod worker;
 pub use batcher::{BatchPolicy, Batcher, InferReply, PendingRequest, RequestDeadline, Responder};
 pub use client::{ClientError, InferResponse, ServeClient};
 pub use error::ServeError;
-pub use event_loop::{Completion, EventFront, FrontConfig, FrontRequest};
+pub use event_loop::{Completion, EventFront, FrontConfig, FrontRequest, LoopStats};
+pub use exposition::{validate_exposition, MetricsRegistry};
 pub use metrics::{LatencyHistogram, Metrics, VariantStats};
 pub use protocol::InferOptions;
 pub use registry::{ModelEntry, ModelRegistry};

@@ -66,6 +66,23 @@ impl LatencyHistogram {
         }
     }
 
+    /// Number of buckets (see [`LatencyHistogram::bucket_counts`]); the last bucket
+    /// is the overflow bucket, rendered as `+Inf` by the Prometheus encoder.
+    pub const BUCKETS: usize = LATENCY_BUCKETS;
+
+    /// Raw per-bucket counts. Bucket `i < 30` has upper bound `2^i` µs; the last
+    /// bucket absorbs everything larger. Reads are relaxed — encoders must derive
+    /// totals from this snapshot (not [`LatencyHistogram::count`]) so cumulative
+    /// invariants hold under concurrent recording.
+    pub fn bucket_counts(&self) -> [u64; Self::BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
     /// Upper bound (µs) of the bucket holding the `q`-quantile sample (0 when empty).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let total = self.count();
@@ -106,6 +123,10 @@ pub struct VariantStats {
     pub compute: LatencyHistogram,
     /// Stage breakdown: response serialize + socket write.
     pub write: LatencyHistogram,
+    /// Hardware-counter accumulation over this variant's `infer_batch_into` windows
+    /// (worker threads only; absent — never zero — where `perf_event_open(2)` is
+    /// unavailable). Exposes per-variant IPC and LLC miss rate on `/metrics`.
+    pub perf: perf::PerfStats,
 }
 
 impl VariantStats {
@@ -243,6 +264,118 @@ impl Metrics {
         }
     }
 
+    /// Registers every serving series into a Prometheus scrape under the
+    /// `vitality_serve_` prefix — the body of `GET /metrics?format=prometheus`.
+    /// The same counters as [`Metrics::snapshot_json`], in text exposition form:
+    /// request counters, the end-to-end and queue-wait histograms, per-variant
+    /// request/latency/stage series, and the hardware-counter blocks (present
+    /// only where `perf_event_open(2)` works — absence is absence, not zero).
+    pub fn register_prometheus(&self, reg: &mut crate::exposition::MetricsRegistry) {
+        let none: &[(&str, &str)] = &[];
+        reg.gauge(
+            "vitality_serve_uptime_seconds",
+            "Seconds since this engine started",
+            none,
+            self.started.elapsed().as_secs_f64(),
+        );
+        for (name, help, value) in [
+            (
+                "vitality_serve_requests_submitted_total",
+                "Requests admitted into the batching queue",
+                &self.submitted,
+            ),
+            (
+                "vitality_serve_requests_completed_total",
+                "Requests answered successfully",
+                &self.completed,
+            ),
+            (
+                "vitality_serve_requests_shed_total",
+                "Requests shed at admission (queue full)",
+                &self.shed,
+            ),
+            (
+                "vitality_serve_requests_expired_total",
+                "Requests shed because their deadline budget expired before inference",
+                &self.expired,
+            ),
+            (
+                "vitality_serve_worker_panics_total",
+                "Worker batches that panicked mid-inference",
+                &self.worker_panics,
+            ),
+            (
+                "vitality_serve_requests_failed_total",
+                "Requests answered with a non-shed error",
+                &self.failed,
+            ),
+            (
+                "vitality_serve_batches_total",
+                "Batches handed to workers",
+                &self.batches,
+            ),
+        ] {
+            reg.counter(name, help, none, value.load(Ordering::Relaxed) as f64);
+        }
+        reg.gauge(
+            "vitality_serve_in_flight_batches",
+            "Batches currently running inference on a worker",
+            none,
+            self.in_flight_batches.load(Ordering::Relaxed) as f64,
+        );
+        reg.histogram_us(
+            "vitality_serve_latency_us",
+            "End-to-end request latency (submit to response ready), microseconds",
+            none,
+            &self.latency,
+        );
+        reg.histogram_us(
+            "vitality_serve_queue_wait_us",
+            "Queue wait (submit to batch formed), microseconds",
+            none,
+            &self.queue_wait,
+        );
+        for (label, stats) in self
+            .variants
+            .lock()
+            .expect("variant metrics lock poisoned")
+            .iter()
+        {
+            let variant: &[(&str, &str)] = &[("variant", label)];
+            reg.counter(
+                "vitality_serve_variant_requests_total",
+                "Requests answered, by attention variant",
+                variant,
+                stats.requests.load(Ordering::Relaxed) as f64,
+            );
+            reg.histogram_us(
+                "vitality_serve_variant_latency_us",
+                "End-to-end request latency by attention variant, microseconds",
+                variant,
+                &stats.latency,
+            );
+            for (stage, hist) in [
+                ("queue_wait", &stats.queue_wait),
+                ("compute", &stats.compute),
+                ("write", &stats.write),
+            ] {
+                reg.histogram_us(
+                    "vitality_serve_variant_stage_us",
+                    "Per-stage latency by attention variant, microseconds",
+                    &[("variant", label), ("stage", stage)],
+                    hist,
+                );
+            }
+            crate::exposition::register_perf(reg, "vitality_serve_variant", variant, &stats.perf);
+        }
+        crate::exposition::register_perf(
+            reg,
+            "vitality_serve_gemm",
+            none,
+            vitality_tensor::gemm_perf(),
+        );
+    }
+
     /// A point-in-time JSON snapshot, the body of `GET /metrics`.
     pub fn snapshot_json(&self) -> JsonValue {
         let mut latency = JsonValue::object();
@@ -292,7 +425,8 @@ impl Metrics {
                 .set("p50_us", stats.latency.quantile_us(0.50))
                 .set("p95_us", stats.latency.quantile_us(0.95))
                 .set("p99_us", stats.latency.quantile_us(0.99))
-                .set("stages", stats.stages_json());
+                .set("stages", stats.stages_json())
+                .set("perf", crate::exposition::perf_json(&stats.perf));
             variants.set(label, v);
         }
         // The *resolved* matmul backend (env request reconciled against the host's
@@ -303,7 +437,13 @@ impl Metrics {
         compute
             .set("matmul_backend", vitality_tensor::matmul_backend().label())
             .set("cpu_avx2", cpu.avx2)
-            .set("cpu_fma", cpu.fma);
+            .set("cpu_fma", cpu.fma)
+            // GEMM-attributed hardware counters (all backends' non-small products),
+            // distinct from the per-variant whole-batch windows above.
+            .set(
+                "gemm_perf",
+                crate::exposition::perf_json(vitality_tensor::gemm_perf()),
+            );
         let mut root = JsonValue::object();
         root.set("uptime_s", self.started.elapsed().as_secs_f64())
             .set("compute", compute)

@@ -4,14 +4,14 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde::json::JsonValue;
 
 use crate::batcher::{BatchPolicy, Batcher, PendingRequest, RequestDeadline, Responder};
 use crate::error::ServeError;
-use crate::event_loop::{Completion, EventFront, FrontConfig, FrontRequest};
+use crate::event_loop::{Completion, EventFront, FrontConfig, FrontRequest, LoopStats};
 use crate::http::{RouteResponse, WriteReport};
 use crate::metrics::{Metrics, VariantStats};
 use crate::protocol;
@@ -69,6 +69,17 @@ struct Shared {
     metrics: Arc<Metrics>,
     tracer: Arc<trace::Tracer>,
     shutdown: AtomicBool,
+    /// The connection front's loop-health counters. Set once right after the
+    /// front starts (the front owns the stats, the dispatch closure needs
+    /// `Shared` first); a request racing that window reads default (unstarted)
+    /// stats, never panics.
+    loop_stats: OnceLock<Arc<LoopStats>>,
+}
+
+impl Shared {
+    fn loop_stats(&self) -> Arc<LoopStats> {
+        self.loop_stats.get().cloned().unwrap_or_default()
+    }
 }
 
 /// A running serving engine.
@@ -118,6 +129,7 @@ impl Server {
             metrics,
             tracer,
             shutdown: AtomicBool::new(false),
+            loop_stats: OnceLock::new(),
         });
         // Thread names carry the bound port so failpoint thread-scoping (and thread
         // dumps) can tell the engines of an in-process cluster apart. The event
@@ -143,6 +155,7 @@ impl Server {
                 route(request, completion, &dispatch_shared)
             },
         )?;
+        let _ = shared.loop_stats.set(front.stats());
 
         Ok(Server {
             local_addr,
@@ -197,12 +210,30 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Whether a raw query string selects the Prometheus text exposition
+/// (`?format=prometheus` as an exact key/value pair, position-independent).
+fn wants_prometheus(query: &str) -> bool {
+    query.split('&').any(|pair| pair == "format=prometheus")
+}
+
+/// Parses `limit=N` out of a raw query string (`None` when absent or malformed).
+fn query_limit(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("limit="))
+        .and_then(|raw| raw.parse().ok())
+}
+
+/// `Content-Type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 fn route(request: &FrontRequest<'_>, completion: Completion, shared: &Arc<Shared>) {
-    let Ok((method, path)) = request.request_parts() else {
+    let Ok((method, target)) = request.request_parts() else {
         return completion.complete(error_response(&ServeError::BadRequest(
             "malformed request line".into(),
         )));
     };
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
     match (method, path) {
         ("GET", "/healthz") => {
             let mut body = JsonValue::object();
@@ -217,14 +248,33 @@ fn route(request: &FrontRequest<'_>, completion: Completion, shared: &Arc<Shared
                 )
                 // Request encodings this engine accepts; callers switch to the
                 // binary image encoding only after seeing it advertised here.
-                .set("encodings", vec!["json".to_string(), "binary".to_string()]);
+                .set("encodings", vec!["json".to_string(), "binary".to_string()])
+                // Loop-front health: mode, wakeups, queue depth, saturation —
+                // whether the single loop thread is becoming the bottleneck.
+                .set("event_loop", shared.loop_stats().json());
             completion.complete(RouteResponse::new(200, body));
         }
         ("GET", "/metrics") => {
-            completion.complete(RouteResponse::new(200, shared.metrics.snapshot_json()));
+            if wants_prometheus(query) {
+                let mut reg = crate::exposition::MetricsRegistry::new();
+                shared.metrics.register_prometheus(&mut reg);
+                shared.loop_stats().register(&mut reg, "vitality_serve");
+                return completion.complete(RouteResponse::text(
+                    200,
+                    PROMETHEUS_CONTENT_TYPE,
+                    reg.encode(),
+                ));
+            }
+            let mut body = shared.metrics.snapshot_json();
+            body.set("event_loop", shared.loop_stats().json());
+            completion.complete(RouteResponse::new(200, body));
         }
         ("GET", "/debug/traces") => {
-            completion.complete(RouteResponse::new(200, shared.tracer.recent_json()));
+            let body = match query_limit(query) {
+                Some(limit) => shared.tracer.recent_json_limited(limit),
+                None => shared.tracer.recent_json(),
+            };
+            completion.complete(RouteResponse::new(200, body));
         }
         ("POST", "/v1/infer") => handle_infer(request, completion, shared),
         ("POST" | "GET", _) => completion.complete(RouteResponse::new(

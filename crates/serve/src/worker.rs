@@ -152,16 +152,19 @@ fn run_batch(
     // The in-flight window covers inference only: it must have closed by the time
     // any reply is sent, or a client probing /healthz right after its reply could
     // read a stale nonzero count.
+    // Resolved once per batch; recording through it is lock-free.
+    let variant_stats = metrics.variant(entry.variant_label());
     let infer_start = Instant::now();
     {
         metrics.in_flight_batches.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlight(metrics);
+        // Hardware-counter window over the whole-batch kernel: per-variant IPC
+        // and LLC miss rate on `/metrics` (inert where perf is unavailable).
+        let _perf = perf::PerfRegion::enter(&variant_stats.perf);
         entry.model().infer_batch_into(&images, outputs, ws);
     }
     let infer_end = Instant::now();
     let compute_us = infer_end.duration_since(infer_start).as_micros() as u64;
-    // Resolved once per batch; recording through it is lock-free.
-    let variant_stats = metrics.variant(entry.variant_label());
     for (output, (submitted, responder, request_trace)) in outputs.iter().zip(meta) {
         let logits = output.logits.row(0).to_vec();
         let prediction = argmax(&logits);
